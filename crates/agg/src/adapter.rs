@@ -1,0 +1,155 @@
+//! Adapters from the [`crowd_core`] data model to dense judgment triples.
+
+use std::collections::HashMap;
+
+use crowd_core::answer::Answer;
+use crowd_core::dataset::{Dataset, DatasetIndex};
+use crowd_core::id::{BatchId, ItemId, WorkerId};
+
+use crate::Judgment;
+
+/// Judgments of one batch in dense index space, with the label and worker
+/// dictionaries needed to translate results back.
+#[derive(Debug, Clone, Default)]
+pub struct BatchJudgments {
+    /// Dense judgments.
+    pub judgments: Vec<Judgment>,
+    /// Per-judgment marketplace trust scores (aligned with `judgments`),
+    /// ready for [`crate::weighted::weighted_vote`].
+    pub trust: Vec<f64>,
+    /// Dense item index → dataset item id.
+    pub items: Vec<ItemId>,
+    /// Dense worker index → dataset worker id.
+    pub workers: Vec<WorkerId>,
+    /// Dense label → answer. Choice answers map per distinct value; text
+    /// answers per distinct string; skips are excluded (they carry no
+    /// signal, §4.1).
+    pub labels: Vec<Answer>,
+}
+
+impl BatchJudgments {
+    /// Number of label classes.
+    pub fn n_classes(&self) -> u16 {
+        self.labels.len() as u16
+    }
+
+    /// Translates a dense label back to the answer it stands for.
+    pub fn answer_of(&self, label: u16) -> &Answer {
+        &self.labels[label as usize]
+    }
+}
+
+/// Extracts the dense judgments of `batch`. Skipped answers are dropped.
+/// Returns an empty set when the batch has no non-skip answers.
+pub fn batch_judgments(ds: &Dataset, index: &DatasetIndex, batch: BatchId) -> BatchJudgments {
+    let mut out = BatchJudgments::default();
+    let mut item_ids: HashMap<u32, u32> = HashMap::new();
+    let mut worker_ids: HashMap<u32, u32> = HashMap::new();
+    let mut label_ids: HashMap<Answer, u16> = HashMap::new();
+
+    for inst_id in index.instances_of_batch(batch) {
+        let inst = &ds.instances[inst_id.index()];
+        if matches!(inst.answer, Answer::Skipped) {
+            continue;
+        }
+        let item = *item_ids.entry(inst.item.raw()).or_insert_with(|| {
+            out.items.push(inst.item);
+            out.items.len() as u32 - 1
+        });
+        let worker = *worker_ids.entry(inst.worker.raw()).or_insert_with(|| {
+            out.workers.push(inst.worker);
+            out.workers.len() as u32 - 1
+        });
+        let label = *label_ids.entry(inst.answer.clone()).or_insert_with(|| {
+            out.labels.push(inst.answer.clone());
+            (out.labels.len() - 1) as u16
+        });
+        out.judgments.push(Judgment { item, worker, label });
+        out.trust.push(f64::from(inst.trust));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::prelude::*;
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source(Source::new("s", SourceKind::Dedicated));
+        let c = b.add_country("X");
+        let w1 = b.add_worker(Worker::new(s, c));
+        let w2 = b.add_worker(Worker::new(s, c));
+        let tt = b.add_task_type(TaskType::new("t"));
+        let t0 = Timestamp::from_ymd(2015, 1, 5);
+        let batch = b.add_batch(Batch::new(tt, t0).with_html("<p>x</p>"));
+        let answers = [
+            (0u32, w1, Answer::Choice(0), 0.9),
+            (0, w2, Answer::Choice(1), 0.5),
+            (1, w1, Answer::Text("yes".into()), 0.9),
+            (1, w2, Answer::Skipped, 0.4),
+        ];
+        for (item, worker, answer, trust) in answers {
+            b.add_instance(TaskInstance {
+                batch,
+                item: ItemId::new(item),
+                worker,
+                start: t0 + Duration::from_secs(60),
+                end: t0 + Duration::from_secs(90),
+                trust,
+                answer,
+            });
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn extracts_dense_judgments() {
+        let ds = dataset();
+        let idx = ds.index();
+        let bj = batch_judgments(&ds, &idx, BatchId::new(0));
+        assert_eq!(bj.judgments.len(), 3, "skip dropped");
+        assert_eq!(bj.items.len(), 2);
+        assert_eq!(bj.workers.len(), 2);
+        assert_eq!(bj.n_classes(), 3, "Choice(0), Choice(1), Text(yes)");
+        assert_eq!(bj.trust.len(), 3);
+    }
+
+    #[test]
+    fn labels_translate_back() {
+        let ds = dataset();
+        let idx = ds.index();
+        let bj = batch_judgments(&ds, &idx, BatchId::new(0));
+        let text_label = bj
+            .labels
+            .iter()
+            .position(|a| matches!(a, Answer::Text(t) if t == "yes"))
+            .unwrap() as u16;
+        assert_eq!(bj.answer_of(text_label), &Answer::Text("yes".into()));
+    }
+
+    #[test]
+    fn aggregation_roundtrip() {
+        let ds = dataset();
+        let idx = ds.index();
+        let bj = batch_judgments(&ds, &idx, BatchId::new(0));
+        let weighted = crate::weighted::weighted_vote(&bj.judgments, &bj.trust, bj.n_classes());
+        // Item 0: trust 0.9 (choice 0) vs 0.5 (choice 1) → choice 0 wins.
+        let dense_item0 = bj.items.iter().position(|&i| i == ItemId::new(0)).unwrap() as u32;
+        let label = weighted.labels[&dense_item0];
+        assert_eq!(bj.answer_of(label), &Answer::Choice(0));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let mut b = DatasetBuilder::new();
+        let tt = b.add_task_type(TaskType::new("t"));
+        b.add_batch(Batch::new(tt, Timestamp::from_ymd(2015, 1, 5)).with_html("<p/>"));
+        let ds = b.finish().unwrap();
+        let idx = ds.index();
+        let bj = batch_judgments(&ds, &idx, BatchId::new(0));
+        assert!(bj.judgments.is_empty());
+        assert_eq!(bj.n_classes(), 0);
+    }
+}

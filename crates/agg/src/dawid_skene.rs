@@ -1,0 +1,315 @@
+//! The Dawid–Skene estimator (EM over per-worker confusion matrices).
+//!
+//! Dawid & Skene, *Maximum Likelihood Estimation of Observer Error-Rates
+//! Using the EM Algorithm*, JRSS-C 1979 — the canonical model behind much
+//! of the crowd-powered data processing literature the paper cites (§6).
+//!
+//! E-step: posterior over each item's true class given current confusion
+//! matrices and priors. M-step: re-estimate class priors and per-worker
+//! confusion matrices from the posteriors. Laplace smoothing keeps
+//! matrices proper for workers with few judgments.
+
+use std::collections::BTreeMap;
+
+use crate::majority::{majority_vote, AggregationResult};
+use crate::Judgment;
+
+/// EM hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DawidSkeneParams {
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the max absolute posterior change.
+    pub tol: f64,
+    /// Laplace smoothing added to confusion-matrix counts.
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkeneParams {
+    fn default() -> Self {
+        DawidSkeneParams { max_iter: 60, tol: 1e-6, smoothing: 0.01 }
+    }
+}
+
+/// Fitted model plus the aggregated labels.
+#[derive(Debug, Clone)]
+pub struct DawidSkeneResult {
+    /// Aggregation outcome (MAP label + posterior confidence per item).
+    pub aggregation: AggregationResult,
+    /// Posterior class distribution per item.
+    pub posteriors: BTreeMap<u32, Vec<f64>>,
+    /// Per-worker confusion matrices: `confusion[w][true][observed]`.
+    pub confusion: BTreeMap<u32, Vec<Vec<f64>>>,
+    /// Estimated class priors.
+    pub priors: Vec<f64>,
+    /// EM iterations actually run.
+    pub iterations: usize,
+    /// Whether the run converged before `max_iter`.
+    pub converged: bool,
+}
+
+impl DawidSkeneResult {
+    /// Estimated accuracy of a worker: the prior-weighted diagonal of
+    /// their confusion matrix. `None` for unseen workers.
+    pub fn worker_accuracy(&self, worker: u32) -> Option<f64> {
+        let m = self.confusion.get(&worker)?;
+        Some(
+            self.priors
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| p * m[k][k])
+                .sum(),
+        )
+    }
+}
+
+/// Runs Dawid–Skene. Initializes posteriors from majority vote (the
+/// standard warm start). Returns `None` for empty input.
+pub fn dawid_skene(
+    judgments: &[Judgment],
+    n_classes: u16,
+    params: &DawidSkeneParams,
+) -> Option<DawidSkeneResult> {
+    if judgments.is_empty() || n_classes < 2 {
+        return None;
+    }
+    let k = n_classes as usize;
+    for j in judgments {
+        assert!(j.label < n_classes, "label {} out of range {n_classes}", j.label);
+    }
+
+    // Dense per-item judgment lists.
+    let mut items: BTreeMap<u32, Vec<(u32, u16)>> = BTreeMap::new();
+    let mut workers: BTreeMap<u32, Vec<(u32, u16)>> = BTreeMap::new();
+    for j in judgments {
+        items.entry(j.item).or_default().push((j.worker, j.label));
+        workers.entry(j.worker).or_default().push((j.item, j.label));
+    }
+
+    // Initialize posteriors from vote shares.
+    let mv = majority_vote(judgments, n_classes);
+    let mut posteriors: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for (&item, js) in &items {
+        let mut p = vec![params.smoothing; k];
+        for &(_, label) in js {
+            p[label as usize] += 1.0;
+        }
+        let total: f64 = p.iter().sum();
+        for v in p.iter_mut() {
+            *v /= total;
+        }
+        posteriors.insert(item, p);
+    }
+    let _ = mv;
+
+    let mut priors = vec![1.0 / k as f64; k];
+    let mut confusion: BTreeMap<u32, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for iter in 0..params.max_iter {
+        iterations = iter + 1;
+
+        // ---- M-step ----------------------------------------------------
+        // Priors.
+        let mut prior_counts = vec![params.smoothing; k];
+        for p in posteriors.values() {
+            for (c, &v) in p.iter().enumerate() {
+                prior_counts[c] += v;
+            }
+        }
+        let total: f64 = prior_counts.iter().sum();
+        for (c, v) in prior_counts.iter().enumerate() {
+            priors[c] = v / total;
+        }
+        // Confusion matrices.
+        confusion.clear();
+        for (&worker, js) in &workers {
+            let mut m = vec![vec![params.smoothing; k]; k];
+            for &(item, label) in js {
+                let post = &posteriors[&item];
+                for (t, &p) in post.iter().enumerate() {
+                    m[t][label as usize] += p;
+                }
+            }
+            for row in m.iter_mut() {
+                let s: f64 = row.iter().sum();
+                for v in row.iter_mut() {
+                    *v /= s;
+                }
+            }
+            confusion.insert(worker, m);
+        }
+
+        // ---- E-step ----------------------------------------------------
+        let mut max_delta = 0.0f64;
+        for (&item, js) in &items {
+            let mut log_p: Vec<f64> = priors.iter().map(|&p| p.max(1e-300).ln()).collect();
+            for &(worker, label) in js {
+                let m = &confusion[&worker];
+                for (t, lp) in log_p.iter_mut().enumerate() {
+                    *lp += m[t][label as usize].max(1e-300).ln();
+                }
+            }
+            // Normalize in log space.
+            let max_lp = log_p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut p: Vec<f64> = log_p.iter().map(|&lp| (lp - max_lp).exp()).collect();
+            let s: f64 = p.iter().sum();
+            for v in p.iter_mut() {
+                *v /= s;
+            }
+            let old = posteriors.get_mut(&item).expect("initialized");
+            for (a, b) in old.iter().zip(&p) {
+                max_delta = max_delta.max((a - b).abs());
+            }
+            *old = p;
+        }
+        if max_delta < params.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // MAP labels + confidences.
+    let mut labels = BTreeMap::new();
+    let mut confidence = BTreeMap::new();
+    for (&item, p) in &posteriors {
+        let mut best = 0usize;
+        for (c, &v) in p.iter().enumerate() {
+            if v > p[best] {
+                best = c;
+            }
+        }
+        labels.insert(item, best as u16);
+        confidence.insert(item, p[best]);
+    }
+
+    Some(DawidSkeneResult {
+        aggregation: AggregationResult { labels, confidence },
+        posteriors,
+        confusion,
+        priors,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(item: u32, worker: u32, label: u16) -> Judgment {
+        Judgment { item, worker, label }
+    }
+
+    /// 3 good workers + 2 systematic flippers over binary items. Majority
+    /// is right only when the good workers outvote; DS should learn the
+    /// flippers' confusion and beat majority.
+    fn adversarial_setup() -> (Vec<Judgment>, Vec<u16>) {
+        let truth: Vec<u16> = (0..40).map(|i| (i % 2) as u16).collect();
+        let mut judgments = Vec::new();
+        for (item, &t) in truth.iter().enumerate() {
+            let item = item as u32;
+            // Good workers 0-1: always right. Worker 2: right 75% (every
+            // 4th item wrong). Flippers 3-4: always wrong.
+            judgments.push(j(item, 0, t));
+            judgments.push(j(item, 1, t));
+            judgments.push(j(item, 2, if item.is_multiple_of(4) { 1 - t } else { t }));
+            judgments.push(j(item, 3, 1 - t));
+            judgments.push(j(item, 4, 1 - t));
+        }
+        (judgments, truth)
+    }
+
+    fn accuracy(result: &AggregationResult, truth: &[u16]) -> f64 {
+        let correct = truth
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| result.labels.get(&(i as u32)) == Some(&t))
+            .count();
+        correct as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn recovers_truth_with_adversaries() {
+        let (judgments, truth) = adversarial_setup();
+        let ds = dawid_skene(&judgments, 2, &DawidSkeneParams::default()).unwrap();
+        let acc = accuracy(&ds.aggregation, &truth);
+        assert!(acc > 0.95, "DS accuracy {acc}");
+        let mv = majority_vote(&judgments, 2);
+        let mv_acc = accuracy(&mv, &truth);
+        assert!(acc >= mv_acc, "DS ({acc}) ≥ majority ({mv_acc})");
+    }
+
+    #[test]
+    fn learns_worker_confusion() {
+        let (judgments, _) = adversarial_setup();
+        let ds = dawid_skene(&judgments, 2, &DawidSkeneParams::default()).unwrap();
+        let good = ds.worker_accuracy(0).unwrap();
+        let flipper = ds.worker_accuracy(3).unwrap();
+        assert!(good > 0.9, "good worker accuracy {good}");
+        assert!(flipper < 0.2, "flipper accuracy {flipper}");
+        let mediocre = ds.worker_accuracy(2).unwrap();
+        assert!(mediocre > flipper && mediocre < good);
+    }
+
+    #[test]
+    fn converges_on_clean_data() {
+        let judgments: Vec<Judgment> =
+            (0..30).flat_map(|i| (0..3).map(move |w| j(i, w, (i % 3) as u16))).collect();
+        let ds = dawid_skene(&judgments, 3, &DawidSkeneParams::default()).unwrap();
+        assert!(ds.converged, "after {} iterations", ds.iterations);
+        for i in 0..30u32 {
+            assert_eq!(ds.aggregation.labels[&i], (i % 3) as u16);
+            assert!(ds.aggregation.confidence[&i] > 0.9);
+        }
+    }
+
+    #[test]
+    fn priors_reflect_class_balance() {
+        // 80% of items are class 0.
+        let judgments: Vec<Judgment> = (0..50u32)
+            .flat_map(|i| {
+                let t = u16::from(i.is_multiple_of(5));
+                (0..3).map(move |w| j(i, w, t))
+            })
+            .collect();
+        let ds = dawid_skene(&judgments, 2, &DawidSkeneParams::default()).unwrap();
+        assert!(ds.priors[0] > 0.7, "priors {:?}", ds.priors);
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let (judgments, _) = adversarial_setup();
+        let ds = dawid_skene(&judgments, 2, &DawidSkeneParams::default()).unwrap();
+        for p in ds.posteriors.values() {
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        for m in ds.confusion.values() {
+            for row in m {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(dawid_skene(&[], 2, &DawidSkeneParams::default()).is_none());
+        assert!(dawid_skene(&[j(0, 0, 0)], 1, &DawidSkeneParams::default()).is_none());
+        // Single judgment: still works, follows the vote.
+        let ds = dawid_skene(&[j(0, 0, 1)], 2, &DawidSkeneParams::default()).unwrap();
+        assert_eq!(ds.aggregation.labels[&0], 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (judgments, _) = adversarial_setup();
+        let a = dawid_skene(&judgments, 2, &DawidSkeneParams::default()).unwrap();
+        let b = dawid_skene(&judgments, 2, &DawidSkeneParams::default()).unwrap();
+        assert_eq!(a.aggregation.labels, b.aggregation.labels);
+        assert_eq!(a.priors, b.priors);
+    }
+}

@@ -1,0 +1,56 @@
+//! # crowd-agg
+//!
+//! Answer aggregation for crowdsourced judgments.
+//!
+//! The paper's §4.1 observes that "crowdsourcing requesters require high
+//! exact agreement … so that the answers can be easily aggregated via
+//! conventional majority vote type schemes", and its §6 situates the study
+//! within the crowd-powered data-processing literature. This crate
+//! provides the aggregation side of that ecosystem over the
+//! [`crowd_core`] data model:
+//!
+//! * [`majority`] — plain majority vote per item;
+//! * [`weighted`] — trust-weighted vote, using the marketplace trust
+//!   scores the dataset carries per instance (§2.3);
+//! * [`dawid_skene`](crate::dawid_skene::dawid_skene) — the classic
+//!   Dawid–Skene EM estimator of per-worker confusion matrices and
+//!   posterior truth.
+//!
+//! ```
+//! use crowd_agg::{Judgment, majority::majority_vote};
+//!
+//! let judgments = vec![
+//!     Judgment { item: 0, worker: 0, label: 1 },
+//!     Judgment { item: 0, worker: 1, label: 1 },
+//!     Judgment { item: 0, worker: 2, label: 0 },
+//! ];
+//! let result = majority_vote(&judgments, 2);
+//! assert_eq!(result.labels[&0], 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod dawid_skene;
+pub mod majority;
+pub mod weighted;
+
+pub use adapter::{batch_judgments, BatchJudgments};
+pub use dawid_skene::{dawid_skene, DawidSkeneParams, DawidSkeneResult};
+pub use majority::{majority_vote, AggregationResult};
+pub use weighted::weighted_vote;
+
+/// One categorical judgment: `worker` labeled `item` with `label`.
+///
+/// Items, workers, and labels are dense indices scoped to the aggregation
+/// call (use [`adapter::batch_judgments`] to build them from a dataset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Judgment {
+    /// Dense item index.
+    pub item: u32,
+    /// Dense worker index.
+    pub worker: u32,
+    /// Class label in `0..n_classes`.
+    pub label: u16,
+}

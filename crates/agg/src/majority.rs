@@ -1,0 +1,135 @@
+//! Plain majority vote.
+
+use std::collections::BTreeMap;
+
+use crate::Judgment;
+
+/// Outcome of an aggregation: one label per item plus a confidence (the
+/// winning label's vote share).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregationResult {
+    /// Winning label per item.
+    pub labels: BTreeMap<u32, u16>,
+    /// Vote share of the winning label per item, in `[0, 1]`.
+    pub confidence: BTreeMap<u32, f64>,
+}
+
+impl AggregationResult {
+    /// Number of items aggregated.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no items were aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Fraction of items where this result and `other` agree (over items
+    /// present in both).
+    pub fn agreement_with(&self, other: &AggregationResult) -> f64 {
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for (item, label) in &self.labels {
+            if let Some(o) = other.labels.get(item) {
+                total += 1;
+                if o == label {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    /// Mean winning-vote share across items.
+    pub fn mean_confidence(&self) -> f64 {
+        if self.confidence.is_empty() {
+            return 0.0;
+        }
+        self.confidence.values().sum::<f64>() / self.confidence.len() as f64
+    }
+}
+
+/// Majority vote per item. Ties break toward the smaller label, making the
+/// result deterministic.
+pub fn majority_vote(judgments: &[Judgment], n_classes: u16) -> AggregationResult {
+    let mut votes: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for j in judgments {
+        assert!(j.label < n_classes, "label {} out of range {n_classes}", j.label);
+        let counts = votes.entry(j.item).or_insert_with(|| vec![0; n_classes as usize]);
+        counts[j.label as usize] += 1;
+    }
+    let mut labels = BTreeMap::new();
+    let mut confidence = BTreeMap::new();
+    for (item, counts) in votes {
+        let total: u32 = counts.iter().sum();
+        let (best, &count) =
+            counts.iter().enumerate().max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i))).unwrap();
+        labels.insert(item, best as u16);
+        confidence.insert(item, f64::from(count) / f64::from(total));
+    }
+    AggregationResult { labels, confidence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(item: u32, worker: u32, label: u16) -> Judgment {
+        Judgment { item, worker, label }
+    }
+
+    #[test]
+    fn simple_majority() {
+        let r = majority_vote(&[j(0, 0, 1), j(0, 1, 1), j(0, 2, 0)], 2);
+        assert_eq!(r.labels[&0], 1);
+        assert!((r.confidence[&0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_label() {
+        let r = majority_vote(&[j(0, 0, 2), j(0, 1, 1)], 3);
+        assert_eq!(r.labels[&0], 1, "deterministic tie-break");
+        assert_eq!(r.confidence[&0], 0.5);
+    }
+
+    #[test]
+    fn multiple_items() {
+        let r = majority_vote(&[j(0, 0, 0), j(1, 0, 1), j(1, 1, 1), j(2, 0, 2)], 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.labels[&0], 0);
+        assert_eq!(r.labels[&1], 1);
+        assert_eq!(r.labels[&2], 2);
+    }
+
+    #[test]
+    fn unanimous_confidence_is_one() {
+        let r = majority_vote(&[j(5, 0, 1), j(5, 1, 1), j(5, 2, 1)], 2);
+        assert_eq!(r.confidence[&5], 1.0);
+        assert_eq!(r.mean_confidence(), 1.0);
+    }
+
+    #[test]
+    fn agreement_between_results() {
+        let a = majority_vote(&[j(0, 0, 1), j(1, 0, 0)], 2);
+        let b = majority_vote(&[j(0, 0, 1), j(1, 0, 1), j(2, 0, 0)], 2);
+        assert_eq!(a.agreement_with(&b), 0.5, "items 0 agree, 1 disagree, 2 absent");
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = majority_vote(&[], 4);
+        assert!(r.is_empty());
+        assert_eq!(r.mean_confidence(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_bounds_checked() {
+        let _ = majority_vote(&[j(0, 0, 5)], 2);
+    }
+}

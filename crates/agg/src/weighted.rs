@@ -1,0 +1,87 @@
+//! Trust-weighted voting: each judgment carries the marketplace-assigned
+//! trust score of its instance (§2.3), and votes are weighted by it.
+
+use std::collections::BTreeMap;
+
+use crate::majority::AggregationResult;
+use crate::Judgment;
+
+/// Weighted vote: judgment `i` contributes `weights[i]` to its label.
+/// Weights must be non-negative and aligned with `judgments`. Ties break
+/// toward the smaller label.
+pub fn weighted_vote(
+    judgments: &[Judgment],
+    weights: &[f64],
+    n_classes: u16,
+) -> AggregationResult {
+    assert_eq!(judgments.len(), weights.len(), "weights must align with judgments");
+    let mut votes: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for (j, &w) in judgments.iter().zip(weights) {
+        assert!(j.label < n_classes, "label {} out of range {n_classes}", j.label);
+        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+        let counts = votes.entry(j.item).or_insert_with(|| vec![0.0; n_classes as usize]);
+        counts[j.label as usize] += w;
+    }
+    let mut labels = BTreeMap::new();
+    let mut confidence = BTreeMap::new();
+    for (item, counts) in votes {
+        let total: f64 = counts.iter().sum();
+        let mut best = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = i;
+            }
+        }
+        labels.insert(item, best as u16);
+        confidence.insert(item, if total > 0.0 { counts[best] / total } else { 0.0 });
+    }
+    AggregationResult { labels, confidence }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(item: u32, worker: u32, label: u16) -> Judgment {
+        Judgment { item, worker, label }
+    }
+
+    #[test]
+    fn high_trust_minority_can_win() {
+        // Two low-trust workers say 0; one high-trust worker says 1.
+        let judgments = [j(0, 0, 0), j(0, 1, 0), j(0, 2, 1)];
+        let weights = [0.3, 0.3, 0.9];
+        let r = weighted_vote(&judgments, &weights, 2);
+        assert_eq!(r.labels[&0], 1, "0.9 beats 0.6");
+        assert!((r.confidence[&0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_match_majority() {
+        let judgments = [j(0, 0, 1), j(0, 1, 1), j(0, 2, 0), j(1, 0, 2)];
+        let w = vec![1.0; judgments.len()];
+        let weighted = weighted_vote(&judgments, &w, 3);
+        let plain = crate::majority::majority_vote(&judgments, 3);
+        assert_eq!(weighted.labels, plain.labels);
+    }
+
+    #[test]
+    fn zero_weight_votes_are_ignored() {
+        let judgments = [j(0, 0, 0), j(0, 1, 1)];
+        let r = weighted_vote(&judgments, &[0.0, 0.5], 2);
+        assert_eq!(r.labels[&0], 1);
+        assert_eq!(r.confidence[&0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_weights_panic() {
+        let _ = weighted_vote(&[j(0, 0, 0)], &[1.0, 2.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weights_panic() {
+        let _ = weighted_vote(&[j(0, 0, 0)], &[-1.0], 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Pickup-latency forecasting: "when will my batch get picked up?"
+//!
+//! §6 notes that "understanding how tasks are picked up and worked on can
+//! help the community develop better models of task latency". This module
+//! is such a model: it fits a lognormal to the pickup medians of clusters
+//! matching a design profile (examples / images / batch size — the §4
+//! features that move pickup) and answers quantile and
+//! completion-fraction queries for a prospective batch.
+
+use crowd_stats::special::normal_cdf;
+
+use crate::design::methodology::eligible_clusters;
+use crate::study::Study;
+
+/// The design profile of a prospective batch, in terms of the §4 features
+/// that significantly move pickup time (Tables 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PickupProfile {
+    /// Will the interface carry prominent examples?
+    pub has_examples: bool,
+    /// Will it carry images?
+    pub has_images: bool,
+    /// Will the batch be large (items above the marketplace median)?
+    pub large_batch: bool,
+}
+
+impl PickupProfile {
+    /// All eight profiles.
+    pub fn all() -> impl Iterator<Item = PickupProfile> {
+        (0..8u8).map(|b| PickupProfile {
+            has_examples: b & 1 != 0,
+            has_images: b & 2 != 0,
+            large_batch: b & 4 != 0,
+        })
+    }
+}
+
+/// A fitted lognormal pickup model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PickupForecast {
+    /// Mean of ln(pickup seconds) across matching clusters.
+    pub mu: f64,
+    /// Standard deviation of ln(pickup seconds).
+    pub sigma: f64,
+    /// Clusters the fit is based on.
+    pub n_clusters: usize,
+}
+
+impl PickupForecast {
+    /// Median forecast pickup, seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The `p`-quantile (`0 < p < 1`) of pickup time in seconds.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile needs p in (0, 1)");
+        (self.mu + self.sigma * z_quantile(p)).exp()
+    }
+
+    /// Expected fraction of instances picked up within `secs`.
+    pub fn completion_fraction(&self, secs: f64) -> f64 {
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        let z = (secs.ln() - self.mu) / self.sigma.max(1e-9);
+        normal_cdf(z)
+    }
+}
+
+/// Standard-normal quantile by bisection over the CDF (sufficient accuracy
+/// for forecasting; avoids an inverse-erf implementation).
+fn z_quantile(p: f64) -> f64 {
+    let (mut lo, mut hi) = (-8.0f64, 8.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Fits the pickup model for a profile. `None` when fewer than 5 matching
+/// clusters carry a pickup metric.
+pub fn fit_pickup(study: &Study, profile: PickupProfile) -> Option<PickupForecast> {
+    let items_median = {
+        let mut all: Vec<f64> = eligible_clusters(study, None).map(|c| c.items).collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_by(f64::total_cmp);
+        all[all.len() / 2]
+    };
+    let ln_pickups: Vec<f64> = eligible_clusters(study, None)
+        .filter(|c| (c.examples > 0.0) == profile.has_examples)
+        .filter(|c| (c.images > 0.0) == profile.has_images)
+        .filter(|c| (c.items > items_median) == profile.large_batch)
+        .filter_map(|c| c.pickup_time)
+        .filter(|&p| p > 0.0)
+        .map(f64::ln)
+        .collect();
+    if ln_pickups.len() < 5 {
+        return None;
+    }
+    let n = ln_pickups.len() as f64;
+    let mu = ln_pickups.iter().sum::<f64>() / n;
+    let var = ln_pickups.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n - 1.0);
+    Some(PickupForecast { mu, sigma: var.sqrt().max(1e-6), n_clusters: ln_pickups.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> &'static Study {
+        crate::testutil::default_study()
+    }
+
+    const BASELINE: PickupProfile =
+        PickupProfile { has_examples: false, has_images: false, large_batch: false };
+
+    #[test]
+    fn fits_the_baseline_profile() {
+        let f = fit_pickup(study(), BASELINE).expect("plenty of plain clusters");
+        assert!(f.n_clusters > 50);
+        assert!(f.median_secs() > 100.0 && f.median_secs() < 1.0e6, "{}", f.median_secs());
+        assert!(f.sigma > 0.1);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let f = fit_pickup(study(), BASELINE).unwrap();
+        let q = [0.1, 0.25, 0.5, 0.75, 0.9].map(|p| f.quantile(p));
+        for w in q.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // The 0.5 quantile is the median.
+        assert!((f.quantile(0.5) / f.median_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn completion_fraction_inverts_quantiles() {
+        let f = fit_pickup(study(), BASELINE).unwrap();
+        for p in [0.2, 0.5, 0.8] {
+            let t = f.quantile(p);
+            assert!((f.completion_fraction(t) - p).abs() < 1e-5);
+        }
+        assert_eq!(f.completion_fraction(0.0), 0.0);
+        assert!(f.completion_fraction(1.0e12) > 0.999);
+    }
+
+    #[test]
+    fn examples_profile_forecasts_faster_pickup() {
+        // Table 3: examples cut pickup ~4.7×.
+        let s = study();
+        let plain = fit_pickup(s, BASELINE).unwrap();
+        let with_examples = fit_pickup(
+            s,
+            PickupProfile { has_examples: true, ..BASELINE },
+        );
+        if let Some(ex) = with_examples {
+            assert!(
+                ex.median_secs() < plain.median_secs(),
+                "{} < {}",
+                ex.median_secs(),
+                plain.median_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn images_profile_forecasts_faster_pickup() {
+        let s = study();
+        let plain = fit_pickup(s, BASELINE).unwrap();
+        let with_images =
+            fit_pickup(s, PickupProfile { has_images: true, ..BASELINE }).unwrap();
+        assert!(with_images.median_secs() < plain.median_secs());
+    }
+
+    #[test]
+    fn z_quantile_matches_known_values() {
+        assert!((z_quantile(0.5)).abs() < 1e-6, "{}", z_quantile(0.5));
+        assert!((z_quantile(0.975) - 1.959_96).abs() < 1e-3);
+        assert!((z_quantile(0.8413) - 1.0).abs() < 1e-2);
+        assert!((z_quantile(0.0228) + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn empty_study_yields_none() {
+        let s = crate::study::Study::new(crowd_core::DatasetBuilder::new().finish().unwrap());
+        assert!(fit_pickup(&s, BASELINE).is_none());
+    }
+
+    #[test]
+    fn all_profiles_enumerate() {
+        assert_eq!(PickupProfile::all().count(), 8);
+    }
+}

@@ -1,0 +1,166 @@
+//! Effectiveness metrics and the latency decomposition (paper §4.1,
+//! Fig 13): pickup-time dominates task-time by orders of magnitude, which
+//! justifies using pickup-time as *the* latency metric.
+
+use crowd_stats::descriptive::median;
+
+use crate::study::Study;
+
+/// The three §4.1 effectiveness metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Error: average pairwise disagreement (§4.1).
+    Disagreement,
+    /// Cost: median task time in seconds.
+    TaskTime,
+    /// Latency: median pickup time in seconds.
+    PickupTime,
+}
+
+impl Metric {
+    /// All metrics.
+    pub const ALL: [Metric; 3] = [Metric::Disagreement, Metric::TaskTime, Metric::PickupTime];
+
+    /// Paper-style display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::Disagreement => "disagreement",
+            Metric::TaskTime => "task-time",
+            Metric::PickupTime => "pickup-time",
+        }
+    }
+
+    /// Reads the metric from a cluster aggregate.
+    pub fn of_cluster(self, c: &crate::study::ClusterInfo) -> Option<f64> {
+        match self {
+            Metric::Disagreement => c.disagreement,
+            Metric::TaskTime => c.task_time,
+            Metric::PickupTime => c.pickup_time,
+        }
+    }
+}
+
+/// One point of the Fig 13 scatter: a batch's end-to-end time with its
+/// pickup and task components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// End-to-end time (seconds).
+    pub end_to_end: f64,
+    /// Median pickup time (seconds).
+    pub pickup: f64,
+    /// Median task time (seconds).
+    pub task: f64,
+}
+
+/// Latency decomposition at batch and instance granularity (Fig 13a/13b),
+/// plus the headline ratio.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyDecomposition {
+    /// Batch-level points (Fig 13a): one per enriched batch.
+    pub batch_level: Vec<LatencyPoint>,
+    /// Instance-level points (Fig 13b): median pickup/task per
+    /// end-to-end splice (log-bucketed).
+    pub instance_level: Vec<LatencyPoint>,
+    /// Median over batches of `pickup / task` — the paper reports orders
+    /// of magnitude.
+    pub median_pickup_to_task_ratio: f64,
+}
+
+/// Computes the Fig 13 decomposition.
+pub fn latency_decomposition(study: &Study) -> LatencyDecomposition {
+    let ds = study.dataset();
+
+    let mut batch_level = Vec::new();
+    let mut ratios = Vec::new();
+    for m in study.enriched_batches() {
+        let (Some(p), Some(t)) = (m.pickup_time, m.task_time) else { continue };
+        batch_level.push(LatencyPoint { end_to_end: p + t, pickup: p, task: t });
+        if t > 0.0 {
+            ratios.push(p / t);
+        }
+    }
+
+    // Instance-level: bucket end-to-end times into half-decade log splices
+    // and take medians per splice (the paper's per-splice medians).
+    let mut buckets: std::collections::BTreeMap<i32, (Vec<f64>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for inst in &ds.instances {
+        let pickup = study.pickup_secs(inst).max(1.0);
+        let task = inst.work_time().as_secs().max(1) as f64;
+        let e2e = pickup + task;
+        let splice = (2.0 * e2e.log10()).floor() as i32;
+        let entry = buckets.entry(splice).or_default();
+        entry.0.push(pickup);
+        entry.1.push(task);
+    }
+    let instance_level = buckets
+        .into_iter()
+        .filter_map(|(splice, (pickups, tasks))| {
+            let e2e = 10f64.powf(f64::from(splice) / 2.0 + 0.25);
+            Some(LatencyPoint {
+                end_to_end: e2e,
+                pickup: median(&pickups)?,
+                task: median(&tasks)?,
+            })
+        })
+        .collect();
+
+    LatencyDecomposition {
+        batch_level,
+        instance_level,
+        median_pickup_to_task_ratio: median(&ratios).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    #[test]
+    fn pickup_dominates_task_time() {
+        // Fig 13 / §4.1: "the pickup-time for batches is orders of
+        // magnitude higher than the task-time".
+        let s = study();
+        let d = latency_decomposition(s);
+        assert!(
+            d.median_pickup_to_task_ratio > 5.0,
+            "ratio {}",
+            d.median_pickup_to_task_ratio
+        );
+    }
+
+    #[test]
+    fn decomposition_components_sum() {
+        let s = study();
+        let d = latency_decomposition(s);
+        for p in &d.batch_level {
+            assert!((p.end_to_end - (p.pickup + p.task)).abs() < 1e-9);
+            assert!(p.pickup > 0.0 && p.task > 0.0);
+        }
+    }
+
+    #[test]
+    fn instance_level_buckets_are_ordered() {
+        let s = study();
+        let d = latency_decomposition(s);
+        assert!(d.instance_level.len() > 3, "several end-to-end splices");
+        for w in d.instance_level.windows(2) {
+            assert!(w[0].end_to_end < w[1].end_to_end);
+        }
+    }
+
+    #[test]
+    fn metric_accessors() {
+        let s = study();
+        let c = &s.clusters()[0];
+        assert_eq!(Metric::Disagreement.of_cluster(c), c.disagreement);
+        assert_eq!(Metric::TaskTime.of_cluster(c), c.task_time);
+        assert_eq!(Metric::PickupTime.of_cluster(c), c.pickup_time);
+        assert_eq!(Metric::Disagreement.name(), "disagreement");
+        assert_eq!(Metric::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! §4 "Effective Task Design": metrics, correlation methodology,
+//! drill-downs, summary tables, and the predictive setting.
+
+pub mod drilldown;
+pub mod forecast;
+pub mod methodology;
+pub mod metrics;
+pub mod prediction;
+pub mod redundancy;
+pub mod summary;

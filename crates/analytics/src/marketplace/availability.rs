@@ -1,0 +1,183 @@
+//! Worker availability and engagement splits (paper §3.2; Figs 4, 5b).
+
+use crowd_core::prelude::*;
+use std::collections::HashSet;
+
+use crate::study::Study;
+
+/// Weekly active-worker counts (Fig 4).
+#[derive(Debug, Clone, Default)]
+pub struct WeeklyWorkers {
+    /// Week of each row.
+    pub weeks: Vec<WeekIndex>,
+    /// Distinct workers with ≥1 instance started that week.
+    pub active_workers: Vec<u64>,
+}
+
+/// Computes distinct active workers per week.
+pub fn weekly_workers(study: &Study) -> WeeklyWorkers {
+    let ds = study.dataset();
+    let (Some(t0), Some(t1)) = (ds.time_min(), ds.time_max()) else {
+        return WeeklyWorkers::default();
+    };
+    let w0 = t0.week().0;
+    let n = (t1.week().0 - w0 + 1).max(0) as usize;
+    let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    for inst in &ds.instances {
+        let w = ((inst.start.week().0 - w0).max(0) as usize).min(n - 1);
+        sets[w].insert(inst.worker.raw());
+    }
+    WeeklyWorkers {
+        weeks: (0..n).map(|i| WeekIndex(w0 + i as i32)).collect(),
+        active_workers: sets.iter().map(|s| s.len() as u64).collect(),
+    }
+}
+
+/// Fig 5b: weekly tasks and active time, split between the top-10% of
+/// workers (by total tasks) and the rest.
+#[derive(Debug, Clone, Default)]
+pub struct EngagementSplit {
+    /// Week of each row.
+    pub weeks: Vec<WeekIndex>,
+    /// Tasks completed by the top-10% workers.
+    pub tasks_top10: Vec<u64>,
+    /// Tasks completed by the bottom-90%.
+    pub tasks_bot90: Vec<u64>,
+    /// Active hours clocked by the top-10%.
+    pub hours_top10: Vec<f64>,
+    /// Active hours clocked by the bottom-90%.
+    pub hours_bot90: Vec<f64>,
+    /// Share of all tasks done by the top-10% (paper §5.2: > 80%).
+    pub top10_task_share: f64,
+}
+
+/// Computes the engagement split.
+pub fn engagement_split(study: &Study) -> EngagementSplit {
+    let ds = study.dataset();
+    let (Some(t0), Some(t1)) = (ds.time_min(), ds.time_max()) else {
+        return EngagementSplit::default();
+    };
+    let w0 = t0.week().0;
+    let n = (t1.week().0 - w0 + 1).max(0) as usize;
+
+    // Rank workers by total tasks.
+    let mut totals = vec![0u64; ds.workers.len()];
+    for inst in &ds.instances {
+        totals[inst.worker.index()] += 1;
+    }
+    let mut active: Vec<usize> =
+        (0..ds.workers.len()).filter(|&i| totals[i] > 0).collect();
+    active.sort_by_key(|&i| std::cmp::Reverse(totals[i]));
+    let cut = (active.len() / 10).max(1);
+    let mut is_top = vec![false; ds.workers.len()];
+    for &i in &active[..cut.min(active.len())] {
+        is_top[i] = true;
+    }
+
+    let mut out = EngagementSplit {
+        weeks: (0..n).map(|i| WeekIndex(w0 + i as i32)).collect(),
+        tasks_top10: vec![0; n],
+        tasks_bot90: vec![0; n],
+        hours_top10: vec![0.0; n],
+        hours_bot90: vec![0.0; n],
+        top10_task_share: 0.0,
+    };
+    let mut top_total = 0u64;
+    for inst in &ds.instances {
+        let w = ((inst.start.week().0 - w0).max(0) as usize).min(n - 1);
+        let hours = inst.work_time().as_hours_f64();
+        if is_top[inst.worker.index()] {
+            out.tasks_top10[w] += 1;
+            out.hours_top10[w] += hours;
+            top_total += 1;
+        } else {
+            out.tasks_bot90[w] += 1;
+            out.hours_bot90[w] += hours;
+        }
+    }
+    out.top10_task_share = top_total as f64 / ds.instances.len().max(1) as f64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+        use crowd_stats::descriptive::median;
+
+    fn study() -> &'static Study {
+        crate::testutil::default_study()
+    }
+
+    #[test]
+    fn weekly_worker_counts_are_bounded() {
+        let s = study();
+        let w = weekly_workers(s);
+        let max = *w.active_workers.iter().max().unwrap();
+        assert!(max > 0);
+        assert!(max as usize <= s.dataset().workers.len());
+    }
+
+    #[test]
+    fn worker_counts_vary_less_than_load() {
+        // Fig 4 vs Fig 2a: worker counts are far more stable than task
+        // counts. Compare coefficient of max/median over post-regime weeks.
+        let s = study();
+        let workers = weekly_workers(s);
+        let arrivals = crate::marketplace::arrivals::weekly(s);
+        let cutoff = Timestamp::from_ymd(2015, 1, 1).week();
+        let wv: Vec<f64> = workers
+            .weeks
+            .iter()
+            .zip(&workers.active_workers)
+            .filter(|(w, &c)| **w >= cutoff && c > 0)
+            .map(|(_, &c)| c as f64)
+            .collect();
+        let av: Vec<f64> = arrivals
+            .weeks
+            .iter()
+            .zip(&arrivals.instances)
+            .filter(|(w, &c)| **w >= cutoff && c > 0)
+            .map(|(_, &c)| c as f64)
+            .collect();
+        let ratio = |v: &[f64]| {
+            let max = v.iter().copied().fold(0.0, f64::max);
+            max / median(v).unwrap()
+        };
+        assert!(
+            ratio(&wv) < ratio(&av),
+            "workers steadier than load: {} vs {}",
+            ratio(&wv),
+            ratio(&av)
+        );
+    }
+
+    #[test]
+    fn top10_dominates_tasks() {
+        let s = study();
+        let e = engagement_split(s);
+        assert!(
+            e.top10_task_share > 0.6,
+            "§5.2: top-10% carries most of the load, got {}",
+            e.top10_task_share
+        );
+        let top: u64 = e.tasks_top10.iter().sum();
+        let bot: u64 = e.tasks_bot90.iter().sum();
+        assert_eq!((top + bot) as usize, s.dataset().instances.len());
+    }
+
+    #[test]
+    fn top10_spends_more_active_time() {
+        let s = study();
+        let e = engagement_split(s);
+        let top: f64 = e.hours_top10.iter().sum();
+        let bot: f64 = e.hours_bot90.iter().sum();
+        assert!(top > bot, "Fig 5b: top-10% clocks more hours: {top} vs {bot}");
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = Study::new(crowd_core::DatasetBuilder::new().finish().unwrap());
+        assert!(weekly_workers(&s).weeks.is_empty());
+        assert_eq!(engagement_split(&s).top10_task_share, 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Task characterization from manual labels (paper §3.4; Figs 9–11).
+//!
+//! Counts are **instance-weighted** (the paper reports "over 4 and 3
+//! million tasks" for LU and T), computed over labeled clusters.
+
+use crowd_core::labels::{DataType, Goal, Label, LabelSet, Operator};
+
+use crate::study::{ClusterInfo, Study};
+
+/// Instance-weighted label distribution for one category (Fig 9 panels).
+#[derive(Debug, Clone)]
+pub struct LabelDistribution {
+    /// Category name (`goal` / `operator` / `data type`).
+    pub category: &'static str,
+    /// `(abbreviation, instances)` per label, in enum order.
+    pub counts: Vec<(&'static str, u64)>,
+}
+
+impl LabelDistribution {
+    /// Total instances across labels (multi-labeled tasks count per label).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Share of a label among all label assignments of this category.
+    pub fn share(&self, abbrev: &str) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .find(|&&(a, _)| a == abbrev)
+            .map(|&(_, c)| c as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+fn distribution<L: Label>(
+    study: &Study,
+    get: impl Fn(&ClusterInfo) -> LabelSet<L>,
+) -> LabelDistribution {
+    let mut counts = vec![0u64; L::COUNT];
+    for c in study.labeled_clusters() {
+        for l in get(c).iter() {
+            counts[l.index()] += c.n_instances;
+        }
+    }
+    LabelDistribution {
+        category: L::CATEGORY,
+        counts: L::all().map(|l| (l.abbrev(), counts[l.index()])).collect(),
+    }
+}
+
+/// Fig 9a: instances per goal.
+pub fn goal_distribution(study: &Study) -> LabelDistribution {
+    distribution::<Goal>(study, |c| c.goals)
+}
+
+/// Fig 9b: instances per data type.
+pub fn data_distribution(study: &Study) -> LabelDistribution {
+    distribution::<DataType>(study, |c| c.data_types)
+}
+
+/// Fig 9c: instances per operator.
+pub fn operator_distribution(study: &Study) -> LabelDistribution {
+    distribution::<Operator>(study, |c| c.operators)
+}
+
+/// A cross-category matrix (Figs 10, 11): `cell[r][c]` is the number of
+/// instances carrying row-label `r` and column-label `c`.
+#[derive(Debug, Clone)]
+pub struct CrossMatrix {
+    /// Row category name.
+    pub row_category: &'static str,
+    /// Column category name.
+    pub col_category: &'static str,
+    /// Row label abbreviations.
+    pub row_labels: Vec<&'static str>,
+    /// Column label abbreviations.
+    pub col_labels: Vec<&'static str>,
+    /// Instance counts.
+    pub cells: Vec<Vec<u64>>,
+}
+
+impl CrossMatrix {
+    /// Row-normalized percentages (each row sums to 100, the stacked-bar
+    /// breakdown of Figs 10/11), 0 for empty rows.
+    pub fn row_percentages(&self) -> Vec<Vec<f64>> {
+        self.cells
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                row.iter()
+                    .map(|&c| if total == 0 { 0.0 } else { 100.0 * c as f64 / total as f64 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Percentage for a `(row, col)` abbreviation pair.
+    pub fn percent(&self, row: &str, col: &str) -> f64 {
+        let r = self.row_labels.iter().position(|&l| l == row);
+        let c = self.col_labels.iter().position(|&l| l == col);
+        match (r, c) {
+            (Some(r), Some(c)) => self.row_percentages()[r][c],
+            _ => 0.0,
+        }
+    }
+
+    /// The transposed matrix (Fig 11 views are transposes of Fig 10).
+    pub fn transposed(&self) -> CrossMatrix {
+        let mut cells = vec![vec![0u64; self.row_labels.len()]; self.col_labels.len()];
+        for (r, row) in self.cells.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                cells[c][r] = v;
+            }
+        }
+        CrossMatrix {
+            row_category: self.col_category,
+            col_category: self.row_category,
+            row_labels: self.col_labels.clone(),
+            col_labels: self.row_labels.clone(),
+            cells,
+        }
+    }
+}
+
+fn cross<R: Label, C: Label>(
+    study: &Study,
+    get_r: impl Fn(&ClusterInfo) -> LabelSet<R>,
+    get_c: impl Fn(&ClusterInfo) -> LabelSet<C>,
+) -> CrossMatrix {
+    let mut cells = vec![vec![0u64; C::COUNT]; R::COUNT];
+    for cl in study.labeled_clusters() {
+        for r in get_r(cl).iter() {
+            for c in get_c(cl).iter() {
+                cells[r.index()][c.index()] += cl.n_instances;
+            }
+        }
+    }
+    CrossMatrix {
+        row_category: R::CATEGORY,
+        col_category: C::CATEGORY,
+        row_labels: R::all().map(Label::abbrev).collect(),
+        col_labels: C::all().map(Label::abbrev).collect(),
+        cells,
+    }
+}
+
+/// Fig 10a: data types used per goal.
+pub fn data_given_goal(study: &Study) -> CrossMatrix {
+    cross::<Goal, DataType>(study, |c| c.goals, |c| c.data_types)
+}
+
+/// Fig 10b: operators used per goal.
+pub fn operator_given_goal(study: &Study) -> CrossMatrix {
+    cross::<Goal, Operator>(study, |c| c.goals, |c| c.operators)
+}
+
+/// Fig 10c: operators applied per data type.
+pub fn operator_given_data(study: &Study) -> CrossMatrix {
+    cross::<DataType, Operator>(study, |c| c.data_types, |c| c.operators)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::default_study()
+    }
+
+    #[test]
+    fn lu_and_transcription_lead_goals() {
+        // Fig 9a: "language understanding and transcription are very
+        // common … around 17% and 13%".
+        let s = study();
+        let d = goal_distribution(s);
+        let lu = d.share("LU");
+        let t = d.share("T");
+        assert!(lu > d.share("ER"), "LU > ER");
+        assert!(lu > d.share("SA"), "LU > SA");
+        assert!(t > d.share("SA"), "T > SA");
+        assert!(lu >= t, "LU is the most common goal");
+    }
+
+    #[test]
+    fn text_and_image_lead_data() {
+        // Fig 9b: text ≈ 40%, image ≈ 26%.
+        let s = study();
+        let d = data_distribution(s);
+        assert!(d.share("Text") > 0.25);
+        assert!(d.share("Text") > d.share("Image"));
+        assert!(d.share("Image") > d.share("Audio"));
+        assert!(d.share("Image") > d.share("Map"));
+    }
+
+    #[test]
+    fn filter_and_rate_lead_operators() {
+        // Fig 9c: filter ≈ 33%, rate ≈ 13%.
+        let s = study();
+        let d = operator_distribution(s);
+        assert!(d.share("Filt") > 0.2);
+        for op in ["Sort", "Count", "Gat", "Loc", "Exter"] {
+            assert!(d.share("Filt") > d.share(op), "Filt > {op}");
+        }
+    }
+
+    #[test]
+    fn transcription_is_extraction_driven() {
+        // §3.4: "one notable exception is transcription, where the primary
+        // operation employed is extraction".
+        let s = study();
+        let m = operator_given_goal(s);
+        let ext = m.percent("T", "Ext");
+        let filt = m.percent("T", "Filt");
+        assert!(ext > filt, "T uses Ext ({ext}%) over Filt ({filt}%)");
+    }
+
+    #[test]
+    fn web_matters_for_er_and_sr() {
+        // Fig 10a: web serves 24% of ER and 37% of SR tasks.
+        let s = study();
+        let m = data_given_goal(s);
+        assert!(m.percent("ER", "Web") > 10.0);
+        assert!(m.percent("SR", "Web") > 15.0);
+        assert!(m.percent("SR", "Web") > m.percent("LU", "Web"));
+    }
+
+    #[test]
+    fn social_media_matters_for_sentiment() {
+        // Fig 10a: SA uses social media for ~13% of its data.
+        let s = study();
+        let m = data_given_goal(s);
+        assert!(m.percent("SA", "Social") > m.percent("T", "Social"));
+    }
+
+    #[test]
+    fn row_percentages_sum_to_100() {
+        let s = study();
+        for m in [data_given_goal(s), operator_given_goal(s), operator_given_data(s)] {
+            for (r, row) in m.row_percentages().iter().enumerate() {
+                let sum: f64 = row.iter().sum();
+                let raw: u64 = m.cells[r].iter().sum();
+                if raw > 0 {
+                    assert!((sum - 100.0).abs() < 1e-9, "row {r} sums to {sum}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let s = study();
+        let m = data_given_goal(s);
+        let back = m.transposed().transposed();
+        assert_eq!(m.cells, back.cells);
+        assert_eq!(m.row_labels, back.row_labels);
+        let t = m.transposed();
+        assert_eq!(t.cells[0][0], m.cells[0][0]);
+        assert_eq!(t.row_category, "data type");
+    }
+
+    #[test]
+    fn totals_are_instance_weighted() {
+        let s = study();
+        let d = goal_distribution(s);
+        // Instance-weighted totals far exceed cluster counts.
+        assert!(d.total() > s.clusters().len() as u64 * 5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Distribution of work across distinct tasks (paper §3.3; Figs 6, 7, 8).
+
+use crowd_core::prelude::*;
+use crowd_stats::descriptive::median;
+
+use crate::study::Study;
+
+/// Cluster-size statistics (Fig 6: batches per cluster; Fig 7: instances
+/// per cluster; plus the §3.3 headline numbers).
+#[derive(Debug, Clone, Default)]
+pub struct ClusterLoad {
+    /// Batches per cluster, one entry per cluster.
+    pub batches_per_cluster: Vec<u32>,
+    /// Instances per cluster.
+    pub instances_per_cluster: Vec<u64>,
+    /// Clusters spanning more than 100 batches ("heavy hitters", §3.3).
+    pub clusters_over_100_batches: usize,
+    /// Clusters with fewer than 10 batches ("one-off" tasks).
+    pub one_off_clusters: usize,
+    /// Median instances per cluster (paper: ≈ 400 at full scale).
+    pub median_instances_per_cluster: f64,
+}
+
+/// Computes cluster load statistics.
+pub fn cluster_load(study: &Study) -> ClusterLoad {
+    let batches: Vec<u32> = study.clusters().iter().map(|c| c.batches.len() as u32).collect();
+    let instances: Vec<u64> = study.clusters().iter().map(|c| c.n_instances).collect();
+    let inst_f: Vec<f64> = instances.iter().map(|&x| x as f64).collect();
+    ClusterLoad {
+        clusters_over_100_batches: batches.iter().filter(|&&b| b > 100).count(),
+        one_off_clusters: batches.iter().filter(|&&b| b < 10).count(),
+        median_instances_per_cluster: median(&inst_f).unwrap_or(0.0),
+        batches_per_cluster: batches,
+        instances_per_cluster: instances,
+    }
+}
+
+/// Log-log histogram points for Figs 6/7: `(size, #clusters of that size
+/// bucket)`, using power-of-two buckets.
+pub fn log_histogram(sizes: &[u64]) -> Vec<(u64, u64)> {
+    let mut buckets: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for &s in sizes {
+        let bucket = if s == 0 { 0 } else { 1u64 << (63 - s.leading_zeros()) };
+        *buckets.entry(bucket).or_insert(0) += 1;
+    }
+    buckets.into_iter().collect()
+}
+
+/// One heavy hitter's cumulative activity (Fig 8).
+#[derive(Debug, Clone)]
+pub struct HeavyHitter {
+    /// Cluster id.
+    pub cluster: u32,
+    /// Batches in the cluster.
+    pub n_batches: usize,
+    /// Weekly cumulative instance counts as `(week, cumulative)` pairs,
+    /// only for weeks where the count changed.
+    pub cumulative: Vec<(WeekIndex, u64)>,
+}
+
+/// The top-`n` clusters by batch count with their cumulative instance
+/// curves (Fig 8 plots the top 10).
+pub fn heavy_hitters(study: &Study, n: usize) -> Vec<HeavyHitter> {
+    let ds = study.dataset();
+    let mut order: Vec<&crate::study::ClusterInfo> = study.clusters().iter().collect();
+    order.sort_by_key(|c| std::cmp::Reverse(c.batches.len()));
+
+    order
+        .iter()
+        .take(n)
+        .map(|c| {
+            // Instances per week for this cluster, then cumulative.
+            let mut per_week: std::collections::BTreeMap<i32, u64> =
+                std::collections::BTreeMap::new();
+            for &b in &c.batches {
+                let week = ds.batch(b).created_at.week().0;
+                let count = study
+                    .batch_metrics(b)
+                    .map(|m| u64::from(m.n_instances))
+                    .unwrap_or(0);
+                *per_week.entry(week).or_insert(0) += count;
+            }
+            let mut cumulative = Vec::with_capacity(per_week.len());
+            let mut acc = 0u64;
+            for (week, count) in per_week {
+                acc += count;
+                cumulative.push((WeekIndex(week), acc));
+            }
+            HeavyHitter { cluster: c.id, n_batches: c.batches.len(), cumulative }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    #[test]
+    fn load_totals_are_consistent() {
+        let s = study();
+        let load = cluster_load(s);
+        let total_batches: u32 = load.batches_per_cluster.iter().sum();
+        assert_eq!(total_batches as usize, s.enriched_batches().count());
+        let total_instances: u64 = load.instances_per_cluster.iter().sum();
+        assert_eq!(total_instances as usize, s.dataset().instances.len());
+    }
+
+    #[test]
+    fn one_off_clusters_dominate_counts() {
+        // §3.3: "a large number of tasks that are 'one-off' with a small
+        // number (< 10) of batches".
+        let s = study();
+        let load = cluster_load(s);
+        let frac = load.one_off_clusters as f64 / load.batches_per_cluster.len() as f64;
+        assert!(frac > 0.6, "one-off majority: {frac}");
+    }
+
+    #[test]
+    fn instance_mass_is_skewed() {
+        // Fig 7: a few clusters hold orders of magnitude more instances.
+        let s = study();
+        let load = cluster_load(s);
+        let max = *load.instances_per_cluster.iter().max().unwrap() as f64;
+        assert!(
+            max / load.median_instances_per_cluster > 30.0,
+            "skew: max {max} vs median {}",
+            load.median_instances_per_cluster
+        );
+    }
+
+    #[test]
+    fn log_histogram_conserves_mass() {
+        let sizes = vec![1, 1, 2, 3, 5, 9, 17, 200, 1023];
+        let hist = log_histogram(&sizes);
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total as usize, sizes.len());
+        // Buckets are powers of two.
+        for &(b, _) in &hist {
+            assert!(b == 0 || b.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_are_sorted_and_cumulative() {
+        let s = study();
+        let hh = heavy_hitters(s, 10);
+        assert!(hh.len() <= 10);
+        assert!(!hh.is_empty());
+        for pair in hh.windows(2) {
+            assert!(pair[0].n_batches >= pair[1].n_batches);
+        }
+        for h in &hh {
+            for w in h.cumulative.windows(2) {
+                assert!(w[0].1 <= w[1].1, "cumulative is monotone");
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn top_heavy_hitter_has_many_batches() {
+        let s = study();
+        let hh = heavy_hitters(s, 1);
+        assert!(
+            hh[0].n_batches >= 10,
+            "heavy hitters span many batches even at tiny scale: {}",
+            hh[0].n_batches
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! §3 "Marketplace Analyses": load, availability, distribution of work,
+//! task characterization, and complexity trends.
+
+pub mod arrivals;
+pub mod availability;
+pub mod labels;
+pub mod load;
+pub mod trends;

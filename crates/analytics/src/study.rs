@@ -1,0 +1,379 @@
+//! The enriched study context (paper §2.4): clustering, design-parameter
+//! extraction, and effectiveness metrics over a raw dataset.
+
+use std::collections::HashMap;
+
+use crowd_cluster::{ClusterParams, Clusterer};
+use crowd_core::answer::item_disagreement;
+use crowd_core::prelude::*;
+use crowd_html::{extract_features, ExtractedFeatures};
+use crowd_stats::descriptive::median;
+
+/// Per-batch enrichment: extracted design features plus the three §4.1
+/// effectiveness metrics.
+#[derive(Debug, Clone)]
+pub struct BatchMetrics {
+    /// The batch.
+    pub batch: BatchId,
+    /// Cluster id assigned by HTML-similarity clustering (§3.3).
+    pub cluster: u32,
+    /// Instances observed in the batch.
+    pub n_instances: u32,
+    /// Distinct items the batch operated on (`#items`, §4.5).
+    pub n_items: u32,
+    /// Disagreement score (§4.1); `None` when no item has ≥ 2 judgments.
+    pub disagreement: Option<f64>,
+    /// Median task time in seconds (§4.1 "cost").
+    pub task_time: Option<f64>,
+    /// Median pickup time in seconds (§4.1 "latency").
+    pub pickup_time: Option<f64>,
+    /// Design parameters extracted from the batch's sample HTML (§2.4).
+    pub features: ExtractedFeatures,
+}
+
+/// Cluster-level aggregate: medians across member batches (§4.2 step 1).
+#[derive(Debug, Clone)]
+pub struct ClusterInfo {
+    /// Dense cluster id.
+    pub id: u32,
+    /// Member batches (sampled only), in dataset order.
+    pub batches: Vec<BatchId>,
+    /// Total instances across member batches.
+    pub n_instances: u64,
+    /// Whether manual labels are available (§2.4: ~83%).
+    pub labeled: bool,
+    /// Goal labels of the cluster's majority task type.
+    pub goals: LabelSet<Goal>,
+    /// Operator labels.
+    pub operators: LabelSet<Operator>,
+    /// Data-type labels.
+    pub data_types: LabelSet<DataType>,
+    /// Median `#words` across member batches.
+    pub words: f64,
+    /// Median `#text-box`.
+    pub text_boxes: f64,
+    /// Median `#examples`.
+    pub examples: f64,
+    /// Median `#images`.
+    pub images: f64,
+    /// Median `#items`.
+    pub items: f64,
+    /// Median disagreement across member batches.
+    pub disagreement: Option<f64>,
+    /// Median task-time (seconds).
+    pub task_time: Option<f64>,
+    /// Median pickup-time (seconds).
+    pub pickup_time: Option<f64>,
+    /// Week of the cluster's earliest batch (for §3.5 trends).
+    pub first_week: WeekIndex,
+}
+
+/// The enriched dataset all analyses run on.
+pub struct Study {
+    ds: Dataset,
+    index: DatasetIndex,
+    /// Parallel to `ds.batches`; `None` for unsampled batches.
+    batch_metrics: Vec<Option<BatchMetrics>>,
+    clusters: Vec<ClusterInfo>,
+}
+
+impl Study {
+    /// Enriches a dataset with default clustering parameters.
+    pub fn new(ds: Dataset) -> Study {
+        Study::with_cluster_params(ds, ClusterParams::default())
+    }
+
+    /// Enriches with explicit clustering parameters (the paper reports
+    /// tuning the match threshold by inspection, §3.3).
+    pub fn with_cluster_params(ds: Dataset, params: ClusterParams) -> Study {
+        let index = ds.index();
+
+        // ---- §3.3: cluster sampled batches by HTML similarity ----------
+        let sampled: Vec<BatchId> = ds
+            .batches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.sampled)
+            .map(|(i, _)| BatchId::from_usize(i))
+            .collect();
+        let docs: Vec<&str> = sampled
+            .iter()
+            .map(|&b| ds.batch(b).html.as_deref().unwrap_or(""))
+            .collect();
+        let clustering = Clusterer::new(params).cluster(&docs);
+
+        // ---- §2.4 + §4.1: per-batch features and metrics ----------------
+        let mut batch_metrics: Vec<Option<BatchMetrics>> = vec![None; ds.batches.len()];
+        for (pos, &batch) in sampled.iter().enumerate() {
+            let metrics = compute_batch_metrics(
+                &ds,
+                &index,
+                batch,
+                clustering.cluster_of(pos),
+            );
+            batch_metrics[batch.index()] = Some(metrics);
+        }
+
+        // ---- cluster aggregates ----------------------------------------
+        let clusters = aggregate_clusters(&ds, &batch_metrics, clustering.n_clusters());
+
+        Study { ds, index, batch_metrics, clusters }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Navigation indexes.
+    pub fn index(&self) -> &DatasetIndex {
+        &self.index
+    }
+
+    /// Enrichment for one batch (`None` for unsampled batches).
+    pub fn batch_metrics(&self, batch: BatchId) -> Option<&BatchMetrics> {
+        self.batch_metrics[batch.index()].as_ref()
+    }
+
+    /// All enriched batches, in dataset order.
+    pub fn enriched_batches(&self) -> impl Iterator<Item = &BatchMetrics> {
+        self.batch_metrics.iter().flatten()
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[ClusterInfo] {
+        &self.clusters
+    }
+
+    /// Labeled clusters only — the ~3,200 the paper's §4 analysis uses.
+    pub fn labeled_clusters(&self) -> impl Iterator<Item = &ClusterInfo> {
+        self.clusters.iter().filter(|c| c.labeled)
+    }
+
+    /// Pickup latency of an instance (start − batch creation).
+    pub fn pickup_secs(&self, inst: &TaskInstance) -> f64 {
+        self.ds.pickup_time(inst).as_secs() as f64
+    }
+}
+
+fn compute_batch_metrics(
+    ds: &Dataset,
+    index: &DatasetIndex,
+    batch: BatchId,
+    cluster: u32,
+) -> BatchMetrics {
+    let created = ds.batch(batch).created_at;
+    let mut pickups = Vec::new();
+    let mut times = Vec::new();
+    let mut by_item: HashMap<u32, Vec<&Answer>> = HashMap::new();
+    let mut n_instances = 0u32;
+    for inst_id in index.instances_of_batch(batch) {
+        let inst = &ds.instances[inst_id.index()];
+        n_instances += 1;
+        pickups.push((inst.start - created).as_secs() as f64);
+        times.push(inst.work_time().as_secs() as f64);
+        by_item.entry(inst.item.raw()).or_default().push(&inst.answer);
+    }
+    let n_items = by_item.len() as u32;
+
+    // §4.1: average item-level pairwise disagreement.
+    let mut item_scores = Vec::with_capacity(by_item.len());
+    for answers in by_item.values() {
+        let owned: Vec<Answer> = answers.iter().map(|&a| a.clone()).collect();
+        if let Some(score) = item_disagreement(&owned) {
+            item_scores.push(score);
+        }
+    }
+    let disagreement = if item_scores.is_empty() {
+        None
+    } else {
+        Some(item_scores.iter().sum::<f64>() / item_scores.len() as f64)
+    };
+
+    let features = ds
+        .batch(batch)
+        .html
+        .as_deref()
+        .and_then(|h| extract_features(h).ok())
+        .unwrap_or_default();
+
+    BatchMetrics {
+        batch,
+        cluster,
+        n_instances,
+        n_items,
+        disagreement,
+        task_time: median(&times),
+        pickup_time: median(&pickups),
+        features,
+    }
+}
+
+fn aggregate_clusters(
+    ds: &Dataset,
+    batch_metrics: &[Option<BatchMetrics>],
+    n_clusters: usize,
+) -> Vec<ClusterInfo> {
+    let mut members: Vec<Vec<&BatchMetrics>> = vec![Vec::new(); n_clusters];
+    for m in batch_metrics.iter().flatten() {
+        members[m.cluster as usize].push(m);
+    }
+
+    members
+        .iter()
+        .enumerate()
+        .filter(|(_, ms)| !ms.is_empty())
+        .map(|(id, ms)| {
+            // Majority task type supplies the cluster's manual labels
+            // (the paper labels one task per cluster, §3.4).
+            let mut type_votes: HashMap<TaskTypeId, usize> = HashMap::new();
+            for m in ms {
+                *type_votes.entry(ds.batch(m.batch).task_type).or_insert(0) += 1;
+            }
+            let majority = type_votes
+                .iter()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(&t, _)| t)
+                .expect("non-empty cluster");
+            let tt = ds.task_type(majority);
+
+            let med = |f: &dyn Fn(&BatchMetrics) -> Option<f64>| {
+                let vals: Vec<f64> = ms.iter().filter_map(|m| f(m)).collect();
+                median(&vals)
+            };
+            let medf = |f: &dyn Fn(&BatchMetrics) -> f64| {
+                let vals: Vec<f64> = ms.iter().map(|m| f(m)).collect();
+                median(&vals).unwrap_or(0.0)
+            };
+
+            ClusterInfo {
+                id: id as u32,
+                batches: ms.iter().map(|m| m.batch).collect(),
+                n_instances: ms.iter().map(|m| u64::from(m.n_instances)).sum(),
+                labeled: tt.is_labeled(),
+                goals: tt.goals,
+                operators: tt.operators,
+                data_types: tt.data_types,
+                words: medf(&|m| f64::from(m.features.words)),
+                text_boxes: medf(&|m| f64::from(m.features.text_boxes)),
+                examples: medf(&|m| f64::from(m.features.examples)),
+                images: medf(&|m| f64::from(m.features.images)),
+                items: medf(&|m| f64::from(m.n_items)),
+                disagreement: med(&|m| m.disagreement),
+                task_time: med(&|m| m.task_time),
+                pickup_time: med(&|m| m.pickup_time),
+                first_week: ms
+                    .iter()
+                    .map(|m| ds.batch(m.batch).created_at.week())
+                    .min()
+                    .expect("non-empty cluster"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    #[test]
+    fn enriches_every_sampled_batch() {
+        let s = study();
+        let sampled = s.dataset().batches.iter().filter(|b| b.sampled).count();
+        assert_eq!(s.enriched_batches().count(), sampled);
+        for (i, b) in s.dataset().batches.iter().enumerate() {
+            assert_eq!(
+                s.batch_metrics(BatchId::from_usize(i)).is_some(),
+                b.sampled,
+                "metrics exactly for sampled batches"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_are_plausible() {
+        let s = study();
+        for m in s.enriched_batches() {
+            if let Some(d) = m.disagreement {
+                assert!((0.0..=1.0).contains(&d), "disagreement {d}");
+            }
+            if let Some(t) = m.task_time {
+                assert!(t > 0.0);
+            }
+            if let Some(p) = m.pickup_time {
+                assert!(p > 0.0);
+            }
+            assert!(m.n_items <= m.n_instances);
+        }
+    }
+
+    #[test]
+    fn pickup_dominates_task_time_in_aggregate() {
+        // Fig 13: pickup-time is orders of magnitude above task-time.
+        let s = study();
+        let pickups: Vec<f64> = s.enriched_batches().filter_map(|m| m.pickup_time).collect();
+        let times: Vec<f64> = s.enriched_batches().filter_map(|m| m.task_time).collect();
+        let mp = median(&pickups).unwrap();
+        let mt = median(&times).unwrap();
+        assert!(mp > mt * 3.0, "median pickup {mp} ≫ median task time {mt}");
+    }
+
+    #[test]
+    fn clusters_cover_all_enriched_batches() {
+        let s = study();
+        let in_clusters: usize = s.clusters().iter().map(|c| c.batches.len()).sum();
+        assert_eq!(in_clusters, s.enriched_batches().count());
+        for c in s.clusters() {
+            assert!(!c.batches.is_empty());
+            assert!(c.n_instances > 0);
+        }
+    }
+
+    #[test]
+    fn clustering_recovers_task_types() {
+        // Batches of one task type should overwhelmingly share a cluster.
+        let s = study();
+        let mut type_to_clusters: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
+        for m in s.enriched_batches() {
+            let tt = s.dataset().batch(m.batch).task_type.raw();
+            type_to_clusters.entry(tt).or_default().insert(m.cluster);
+        }
+        let split_types =
+            type_to_clusters.values().filter(|set| set.len() > 1).count();
+        let frac = split_types as f64 / type_to_clusters.len() as f64;
+        assert!(frac < 0.12, "few types split across clusters: {frac}");
+        // And the number of clusters is near the number of observed types.
+        let n_types = type_to_clusters.len();
+        let n_clusters = s.clusters().len();
+        assert!(
+            (n_clusters as f64) < n_types as f64 * 1.35,
+            "clusters {n_clusters} vs types {n_types}"
+        );
+    }
+
+    #[test]
+    fn labeled_cluster_fraction_near_83_percent() {
+        let s = study();
+        let labeled = s.labeled_clusters().count() as f64;
+        let frac = labeled / s.clusters().len() as f64;
+        assert!((0.70..=0.95).contains(&frac), "§2.4: ~83% labeled, got {frac}");
+    }
+
+    #[test]
+    fn cluster_features_reflect_extraction() {
+        let s = study();
+        for c in s.clusters() {
+            assert!(c.words > 0.0, "every interface has words");
+            assert!(c.items >= 1.0);
+        }
+        // Some clusters have examples/images, most do not (§4.6, §4.7).
+        let with_ex = s.clusters().iter().filter(|c| c.examples > 0.0).count();
+        let with_im = s.clusters().iter().filter(|c| c.images > 0.0).count();
+        assert!(with_ex < s.clusters().len() / 4);
+        assert!(with_im > 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared test fixtures: simulated studies are expensive to build, so the
+//! unit tests across this crate share two cached instances.
+
+#![allow(missing_docs)]
+
+use std::sync::OnceLock;
+
+use crowd_sim::{simulate, SimConfig};
+
+use crate::study::Study;
+
+/// Tiny study (~30k instances) for structural tests.
+pub fn tiny_study() -> &'static Study {
+    static S: OnceLock<Study> = OnceLock::new();
+    S.get_or_init(|| Study::new(simulate(&SimConfig::tiny(1301))))
+}
+
+/// Default-scale study (~270k instances) for distributional tests.
+pub fn default_study() -> &'static Study {
+    static S: OnceLock<Study> = OnceLock::new();
+    S.get_or_init(|| Study::new(simulate(&SimConfig::default_scale(1303))))
+}

@@ -1,0 +1,93 @@
+//! Geographic distribution of the workforce (paper §5.1, Fig 28).
+
+use crowd_core::prelude::*;
+
+use crate::study::Study;
+
+/// Workers per country, for countries with at least one participating
+/// worker, sorted descending.
+#[derive(Debug, Clone)]
+pub struct GeoDistribution {
+    /// `(country, name, workers)` rows, descending by worker count.
+    pub countries: Vec<(CountryId, String, u64)>,
+    /// Total participating workers.
+    pub total_workers: u64,
+}
+
+impl GeoDistribution {
+    /// Share of the workforce held by the top `n` countries.
+    pub fn top_share(&self, n: usize) -> f64 {
+        let top: u64 = self.countries.iter().take(n).map(|&(_, _, c)| c).sum();
+        top as f64 / self.total_workers.max(1) as f64
+    }
+
+    /// Number of countries represented.
+    pub fn n_countries(&self) -> usize {
+        self.countries.len()
+    }
+}
+
+/// Computes the country distribution over workers who performed ≥1 task.
+pub fn distribution(study: &Study) -> GeoDistribution {
+    let ds = study.dataset();
+    let mut seen = vec![false; ds.workers.len()];
+    for inst in &ds.instances {
+        seen[inst.worker.index()] = true;
+    }
+    let mut per_country = vec![0u64; ds.countries.len()];
+    let mut total = 0u64;
+    for (i, w) in ds.workers.iter().enumerate() {
+        if seen[i] {
+            per_country[w.country.index()] += 1;
+            total += 1;
+        }
+    }
+    let mut countries: Vec<(CountryId, String, u64)> = per_country
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (CountryId::from_usize(i), ds.countries[i].name.clone(), c))
+        .collect();
+    countries.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+    GeoDistribution { countries, total_workers: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    #[test]
+    fn usa_leads() {
+        let g = distribution(study());
+        assert_eq!(g.countries[0].1, "USA", "Fig 28: USA contributes the most workers");
+    }
+
+    #[test]
+    fn top5_hold_about_half() {
+        // Fig 28: "close to 50% of the workers come from 5 countries".
+        let g = distribution(study());
+        let share = g.top_share(5);
+        assert!((0.40..=0.65).contains(&share), "top-5 share {share}");
+    }
+
+    #[test]
+    fn many_countries_represented() {
+        // Fig 28: 148 countries at full scale; a tiny run still spans many.
+        let g = distribution(study());
+        assert!(g.n_countries() > 50, "countries {}", g.n_countries());
+    }
+
+    #[test]
+    fn counts_are_descending_and_sum() {
+        let g = distribution(study());
+        for w in g.countries.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+        let sum: u64 = g.countries.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(sum, g.total_workers);
+    }
+}

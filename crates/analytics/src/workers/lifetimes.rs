@@ -1,0 +1,214 @@
+//! Worker lifetimes and engagement (paper §5.3–§5.4; Fig 30).
+//!
+//! All lifetime quantities are *emergent*: computed from instance
+//! timestamps, exactly as the authors did — "the number of days between
+//! their last and first activity on the marketplace".
+
+use crowd_stats::descriptive::{mean, median, percentile};
+
+use crate::study::Study;
+
+/// Per-worker lifetime aggregates for workers with ≥1 task.
+#[derive(Debug, Clone, Default)]
+pub struct LifetimeStats {
+    /// Lifetime in days (last − first activity + 1) per worker.
+    pub lifetimes_days: Vec<u32>,
+    /// Distinct working days per worker.
+    pub working_days: Vec<u32>,
+    /// Fraction of lifetime days on which the worker was active.
+    pub active_fraction: Vec<f64>,
+    /// Tasks per worker (aligned with the other vectors).
+    pub tasks: Vec<u64>,
+    /// Fraction of workers with a one-day lifetime (paper: 52.7%).
+    pub one_day_fraction: f64,
+    /// Share of tasks done by one-day workers (paper: 2.4%).
+    pub one_day_task_share: f64,
+    /// Fraction of workers with lifetime < 100 days (paper: 79%).
+    pub short_lifetime_fraction: f64,
+    /// Share of tasks done by "active" workers (>10 working days;
+    /// paper: 83%).
+    pub active_task_share: f64,
+    /// Fraction of the whole workforce that is "active" (paper: ~15%).
+    pub active_worker_fraction: f64,
+    /// Among active workers, the fraction averaging ≥1 working day per
+    /// week of lifetime (paper: >43%).
+    pub weekly_active_fraction: f64,
+}
+
+/// Computes lifetime statistics.
+pub fn lifetime_stats(study: &Study) -> LifetimeStats {
+    let ds = study.dataset();
+    let n = ds.workers.len();
+    let mut first = vec![i64::MAX; n];
+    let mut last = vec![i64::MIN; n];
+    let mut days: Vec<std::collections::HashSet<i64>> =
+        vec![std::collections::HashSet::new(); n];
+    let mut tasks = vec![0u64; n];
+    for inst in &ds.instances {
+        let w = inst.worker.index();
+        let d = inst.start.day_number();
+        first[w] = first[w].min(d);
+        last[w] = last[w].max(d);
+        days[w].insert(d);
+        tasks[w] += 1;
+    }
+
+    let active_workers: Vec<usize> = (0..n).filter(|&i| tasks[i] > 0).collect();
+    let mut out = LifetimeStats::default();
+    let total_tasks: u64 = tasks.iter().sum();
+    let mut one_day_tasks = 0u64;
+    let mut active_tasks = 0u64;
+    let mut n_active = 0usize;
+    let mut weekly_active = 0usize;
+
+    for &i in &active_workers {
+        let lifetime = (last[i] - first[i] + 1) as u32;
+        let wd = days[i].len() as u32;
+        out.lifetimes_days.push(lifetime);
+        out.working_days.push(wd);
+        out.active_fraction.push(f64::from(wd) / f64::from(lifetime));
+        out.tasks.push(tasks[i]);
+        if lifetime == 1 {
+            one_day_tasks += tasks[i];
+        }
+        if wd > 10 {
+            n_active += 1;
+            active_tasks += tasks[i];
+            if f64::from(wd) >= f64::from(lifetime) / 7.0 {
+                weekly_active += 1;
+            }
+        }
+    }
+    let n_workers = active_workers.len().max(1) as f64;
+    out.one_day_fraction =
+        out.lifetimes_days.iter().filter(|&&l| l == 1).count() as f64 / n_workers;
+    out.one_day_task_share = one_day_tasks as f64 / total_tasks.max(1) as f64;
+    out.short_lifetime_fraction =
+        out.lifetimes_days.iter().filter(|&&l| l < 100).count() as f64 / n_workers;
+    out.active_task_share = active_tasks as f64 / total_tasks.max(1) as f64;
+    out.active_worker_fraction = n_active as f64 / n_workers;
+    out.weekly_active_fraction = weekly_active as f64 / n_active.max(1) as f64;
+    out
+}
+
+/// §5.4 "Trust": distribution of average trust among active workers
+/// (>10 working days).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveTrust {
+    /// Mean of active workers' average trust (paper: ≥ 0.91).
+    pub mean: f64,
+    /// Median (paper: ≥ 0.91).
+    pub median: f64,
+    /// 10th percentile (paper: 90% of active workers above 0.84).
+    pub p10: f64,
+    /// Active workers measured.
+    pub n: usize,
+}
+
+/// Computes the active-worker trust distribution; `None` when no worker
+/// has more than 10 working days.
+pub fn active_trust(study: &Study) -> Option<ActiveTrust> {
+    let ds = study.dataset();
+    let n = ds.workers.len();
+    let mut days: Vec<std::collections::HashSet<i64>> =
+        vec![std::collections::HashSet::new(); n];
+    let mut trust_sum = vec![0f64; n];
+    let mut count = vec![0u64; n];
+    for inst in &ds.instances {
+        let w = inst.worker.index();
+        days[w].insert(inst.start.day_number());
+        trust_sum[w] += f64::from(inst.trust);
+        count[w] += 1;
+    }
+    let avgs: Vec<f64> = (0..n)
+        .filter(|&i| days[i].len() > 10)
+        .map(|i| trust_sum[i] / count[i] as f64)
+        .collect();
+    if avgs.is_empty() {
+        return None;
+    }
+    Some(ActiveTrust {
+        mean: mean(&avgs)?,
+        median: median(&avgs)?,
+        p10: percentile(&avgs, 10.0)?,
+        n: avgs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    #[test]
+    fn majority_are_one_day_workers() {
+        // §5.3: 52.7% of workers have a one-day lifetime.
+        let l = lifetime_stats(study());
+        assert!(
+            (0.30..=0.70).contains(&l.one_day_fraction),
+            "one-day fraction {}",
+            l.one_day_fraction
+        );
+    }
+
+    #[test]
+    fn one_day_workers_do_little_work() {
+        // §5.3: one-day workers complete only ~2.4% of tasks.
+        let l = lifetime_stats(study());
+        assert!(l.one_day_task_share < 0.15, "share {}", l.one_day_task_share);
+    }
+
+    #[test]
+    fn short_lifetimes_dominate() {
+        // §5.3: 79% of lifetimes under 100 days.
+        let l = lifetime_stats(study());
+        assert!(
+            l.short_lifetime_fraction > 0.6,
+            "short fraction {}",
+            l.short_lifetime_fraction
+        );
+    }
+
+    #[test]
+    fn active_minority_does_most_work() {
+        // §5.3: ~15% of workers are active repeats doing >80% of tasks.
+        let l = lifetime_stats(study());
+        assert!(l.active_worker_fraction < 0.5, "{}", l.active_worker_fraction);
+        assert!(l.active_task_share > 0.5, "active share {}", l.active_task_share);
+        assert!(l.active_task_share > l.one_day_task_share * 5.0);
+    }
+
+    #[test]
+    fn vectors_are_aligned_and_valid() {
+        let l = lifetime_stats(study());
+        assert_eq!(l.lifetimes_days.len(), l.working_days.len());
+        assert_eq!(l.lifetimes_days.len(), l.active_fraction.len());
+        assert_eq!(l.lifetimes_days.len(), l.tasks.len());
+        for i in 0..l.lifetimes_days.len() {
+            assert!(l.working_days[i] >= 1);
+            assert!(l.working_days[i] <= l.lifetimes_days[i]);
+            assert!(l.active_fraction[i] > 0.0 && l.active_fraction[i] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn some_long_lifetimes_exist() {
+        // Fig 30a: lifetimes extend to hundreds of days.
+        let l = lifetime_stats(study());
+        let max = *l.lifetimes_days.iter().max().unwrap();
+        assert!(max > 200, "max lifetime {max}");
+    }
+
+    #[test]
+    fn active_trust_is_high() {
+        // §5.4: mean/median ≈ 0.91, 90% above 0.84.
+        let t = active_trust(study()).expect("active workers exist");
+        assert!(t.mean > 0.85, "mean {}", t.mean);
+        assert!(t.median > 0.85, "median {}", t.median);
+        assert!(t.p10 > 0.80, "p10 {}", t.p10);
+        assert!(t.n > 10);
+    }
+}

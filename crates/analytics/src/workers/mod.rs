@@ -1,0 +1,9 @@
+//! §5 "Worker Analyses": labor sources, geography, workloads, lifetimes
+//! and engagement.
+
+pub mod cohorts;
+pub mod geography;
+pub mod lifetimes;
+pub mod sessions;
+pub mod sources;
+pub mod workload;

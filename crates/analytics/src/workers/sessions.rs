@@ -1,0 +1,207 @@
+//! Work-session segmentation — the "attention spans" the paper names as a
+//! §5 goal ("understanding worker attention spans, lifetimes, and general
+//! behavior") and §7 future work ("a deeper understanding of worker
+//! behavior by looking at phenomena such as worker anchoring, worker
+//! learning, and interactions between various jobs").
+//!
+//! A session is a maximal run of one worker's instances where each next
+//! instance starts within `gap` of the previous instance's end. Session
+//! statistics quantify how long workers stay engaged once they sit down.
+
+use crowd_core::time::Duration;
+
+use crate::study::Study;
+
+/// Default session-splitting gap: 30 minutes of inactivity.
+pub const DEFAULT_GAP: Duration = Duration::from_mins(30);
+
+/// One work session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Session {
+    /// Worker (dataset index).
+    pub worker: u32,
+    /// Instances completed within the session.
+    pub instances: u32,
+    /// Wall-clock span in seconds (first start → last end).
+    pub span_secs: f64,
+}
+
+/// Aggregate session statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// All sessions.
+    pub sessions: Vec<Session>,
+    /// Median session span in minutes.
+    pub median_span_mins: f64,
+    /// Median instances per session.
+    pub median_instances: f64,
+    /// Mean sessions per active worker.
+    pub mean_sessions_per_worker: f64,
+    /// Fraction of sessions consisting of a single instance
+    /// (drive-by participation).
+    pub single_instance_fraction: f64,
+}
+
+/// Segments every worker's instances into sessions.
+pub fn sessions(study: &Study, gap: Duration) -> SessionStats {
+    let ds = study.dataset();
+    // Group instance indices per worker, then sort by start time.
+    let mut per_worker: Vec<Vec<u32>> = vec![Vec::new(); ds.workers.len()];
+    for (i, inst) in ds.instances.iter().enumerate() {
+        per_worker[inst.worker.index()].push(i as u32);
+    }
+
+    let mut out = SessionStats::default();
+    let mut active_workers = 0usize;
+    for (worker, idxs) in per_worker.iter_mut().enumerate() {
+        if idxs.is_empty() {
+            continue;
+        }
+        active_workers += 1;
+        idxs.sort_by_key(|&i| ds.instances[i as usize].start);
+        let mut start = ds.instances[idxs[0] as usize].start;
+        let mut end = ds.instances[idxs[0] as usize].end;
+        let mut count = 1u32;
+        for &i in idxs.iter().skip(1) {
+            let inst = &ds.instances[i as usize];
+            if inst.start - end <= gap {
+                count += 1;
+                if inst.end > end {
+                    end = inst.end;
+                }
+            } else {
+                out.sessions.push(Session {
+                    worker: worker as u32,
+                    instances: count,
+                    span_secs: (end - start).as_secs() as f64,
+                });
+                start = inst.start;
+                end = inst.end;
+                count = 1;
+            }
+        }
+        out.sessions.push(Session {
+            worker: worker as u32,
+            instances: count,
+            span_secs: (end - start).as_secs() as f64,
+        });
+    }
+
+    if out.sessions.is_empty() {
+        return out;
+    }
+    let mut spans: Vec<f64> = out.sessions.iter().map(|s| s.span_secs / 60.0).collect();
+    spans.sort_by(f64::total_cmp);
+    out.median_span_mins = spans[spans.len() / 2];
+    let mut counts: Vec<f64> = out.sessions.iter().map(|s| f64::from(s.instances)).collect();
+    counts.sort_by(f64::total_cmp);
+    out.median_instances = counts[counts.len() / 2];
+    out.mean_sessions_per_worker = out.sessions.len() as f64 / active_workers.max(1) as f64;
+    out.single_instance_fraction =
+        out.sessions.iter().filter(|s| s.instances == 1).count() as f64
+            / out.sessions.len() as f64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::prelude::*;
+
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    /// Hand-built dataset: one worker with two clear sessions.
+    fn two_session_dataset() -> Study {
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source(Source::new("s", SourceKind::Dedicated));
+        let c = b.add_country("X");
+        let w = b.add_worker(Worker::new(s, c));
+        let tt = b.add_task_type(TaskType::new("t"));
+        let t0 = Timestamp::from_ymd(2015, 4, 1);
+        let batch = b.add_batch(Batch::new(tt, t0).with_html("<p>q</p>"));
+        // Session 1: three instances back-to-back; session 2 after 2 hours.
+        let offsets = [(0i64, 60i64), (90, 150), (200, 260), (7_600, 7_700)];
+        for (i, &(start, end)) in offsets.iter().enumerate() {
+            b.add_instance(TaskInstance {
+                batch,
+                item: ItemId::new(i as u32),
+                worker: w,
+                start: t0 + Duration::from_secs(start),
+                end: t0 + Duration::from_secs(end),
+                trust: 0.9,
+                answer: Answer::Choice(0),
+            });
+        }
+        Study::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn splits_on_the_gap() {
+        let s = two_session_dataset();
+        let stats = sessions(&s, DEFAULT_GAP);
+        assert_eq!(stats.sessions.len(), 2);
+        assert_eq!(stats.sessions[0].instances, 3);
+        assert_eq!(stats.sessions[1].instances, 1);
+        assert!((stats.sessions[0].span_secs - 260.0).abs() < 1e-9);
+        assert_eq!(stats.mean_sessions_per_worker, 2.0);
+        assert_eq!(stats.single_instance_fraction, 0.5);
+    }
+
+    #[test]
+    fn giant_gap_merges_everything() {
+        let s = two_session_dataset();
+        let stats = sessions(&s, Duration::from_hours(6));
+        assert_eq!(stats.sessions.len(), 1);
+        assert_eq!(stats.sessions[0].instances, 4);
+    }
+
+    #[test]
+    fn zero_gap_splits_everything_disjoint() {
+        let s = two_session_dataset();
+        let stats = sessions(&s, Duration::ZERO);
+        // Instances don't touch exactly → every instance its own session.
+        assert_eq!(stats.sessions.len(), 4);
+    }
+
+    #[test]
+    fn simulated_world_has_plausible_sessions() {
+        let stats = sessions(study(), DEFAULT_GAP);
+        assert!(!stats.sessions.is_empty());
+        assert!(stats.median_span_mins >= 0.0);
+        assert!(stats.mean_sessions_per_worker >= 1.0);
+        // §5.4: most workers put in < 1h per working day, so sessions are
+        // typically short.
+        assert!(
+            stats.median_span_mins < 120.0,
+            "median session {} mins",
+            stats.median_span_mins
+        );
+        // Total instances across sessions equals the dataset.
+        let total: u32 = stats.sessions.iter().map(|s| s.instances).sum();
+        assert_eq!(total as usize, study().dataset().instances.len());
+    }
+
+    #[test]
+    fn sessions_are_per_worker() {
+        let stats = sessions(study(), DEFAULT_GAP);
+        // No session may span more instances than its worker performed.
+        let ds = study().dataset();
+        let mut per_worker = vec![0u32; ds.workers.len()];
+        for inst in &ds.instances {
+            per_worker[inst.worker.index()] += 1;
+        }
+        for s in &stats.sessions {
+            assert!(s.instances <= per_worker[s.worker as usize]);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = Study::new(DatasetBuilder::new().finish().unwrap());
+        let stats = sessions(&s, DEFAULT_GAP);
+        assert!(stats.sessions.is_empty());
+        assert_eq!(stats.median_span_mins, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Worker workload distribution (paper §5.2; Fig 29).
+
+use crate::study::Study;
+
+/// Per-worker workload aggregates for workers with ≥1 task.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadDistribution {
+    /// Task counts sorted descending — the Fig 29a rank plot.
+    pub tasks_by_rank: Vec<u64>,
+    /// Total hours on tasks per worker (unordered) — Fig 29b.
+    pub total_hours: Vec<f64>,
+    /// Average hours per active day per worker — Fig 29c.
+    pub hours_per_active_day: Vec<f64>,
+    /// Share of all tasks done by the top-10% of workers (paper: > 80%).
+    pub top10_share: f64,
+    /// Fraction of workers working < 1 hour per active day (paper: > 90%).
+    pub under_one_hour_fraction: f64,
+}
+
+/// Computes the workload distribution.
+pub fn distribution(study: &Study) -> WorkloadDistribution {
+    let ds = study.dataset();
+    let n = ds.workers.len();
+    let mut tasks = vec![0u64; n];
+    let mut secs = vec![0f64; n];
+    let mut days: Vec<std::collections::HashSet<i64>> =
+        vec![std::collections::HashSet::new(); n];
+    for inst in &ds.instances {
+        let w = inst.worker.index();
+        tasks[w] += 1;
+        secs[w] += inst.work_time().as_secs() as f64;
+        days[w].insert(inst.start.day_number());
+    }
+
+    let active: Vec<usize> = (0..n).filter(|&i| tasks[i] > 0).collect();
+    let mut tasks_by_rank: Vec<u64> = active.iter().map(|&i| tasks[i]).collect();
+    tasks_by_rank.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+
+    let total: u64 = tasks_by_rank.iter().sum();
+    let cut = (tasks_by_rank.len() / 10).max(1);
+    let top: u64 = tasks_by_rank.iter().take(cut).sum();
+
+    let total_hours: Vec<f64> = active.iter().map(|&i| secs[i] / 3_600.0).collect();
+    let hours_per_active_day: Vec<f64> = active
+        .iter()
+        .map(|&i| secs[i] / 3_600.0 / days[i].len().max(1) as f64)
+        .collect();
+    let under_one_hour =
+        hours_per_active_day.iter().filter(|&&h| h < 1.0).count() as f64;
+
+    WorkloadDistribution {
+        top10_share: top as f64 / total.max(1) as f64,
+        under_one_hour_fraction: under_one_hour / active.len().max(1) as f64,
+        tasks_by_rank,
+        total_hours,
+        hours_per_active_day,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    fn study() -> &'static Study {
+        crate::testutil::tiny_study()
+    }
+
+    #[test]
+    fn rank_plot_is_descending() {
+        let d = distribution(study());
+        for w in d.tasks_by_rank.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(!d.tasks_by_rank.is_empty());
+    }
+
+    #[test]
+    fn top10_does_most_of_the_work() {
+        // §5.2: "more than 80% of the tasks are completed by just 10% of
+        // the workforce".
+        let d = distribution(study());
+        assert!(d.top10_share > 0.6, "top-10% share {}", d.top10_share);
+    }
+
+    #[test]
+    fn most_workers_under_an_hour_per_day() {
+        // §5.4: "more than 90% of the workers work for less than 1 hour
+        // during their working days".
+        let d = distribution(study());
+        assert!(
+            d.under_one_hour_fraction > 0.75,
+            "under-1h fraction {}",
+            d.under_one_hour_fraction
+        );
+    }
+
+    #[test]
+    fn long_tail_of_hours_exists() {
+        // Fig 29b: a handful of workers clock hundreds of hours; most few.
+        let d = distribution(study());
+        let max = d.total_hours.iter().copied().fold(0.0, f64::max);
+        let median = {
+            let mut v = d.total_hours.clone();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        assert!(max / median.max(1e-9) > 20.0, "heavy tail: {max} vs {median}");
+    }
+
+    #[test]
+    fn totals_match_instances() {
+        let s = study();
+        let d = distribution(s);
+        let total: u64 = d.tasks_by_rank.iter().sum();
+        assert_eq!(total as usize, s.dataset().instances.len());
+    }
+}

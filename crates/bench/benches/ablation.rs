@@ -1,0 +1,117 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! clustering threshold and signature size, decision-tree depth, and the
+//! disagreement computation strategy. Criterion measures the cost of each
+//! configuration; the accompanying eprintln!s report the quality trade-off
+//! once per run, so `cargo bench` doubles as the ablation study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crowd_bench::bench_study;
+use crowd_classify::tree::{DecisionTree, TreeParams};
+use crowd_cluster::{ClusterParams, Clusterer};
+
+fn corpus() -> (Vec<String>, Vec<u32>) {
+    let study = bench_study();
+    let ds = study.dataset();
+    let mut docs = Vec::new();
+    let mut truth = Vec::new();
+    for b in ds.batches.iter().filter(|b| b.sampled) {
+        if let Some(h) = &b.html {
+            docs.push(h.clone());
+            truth.push(b.task_type.raw());
+        }
+    }
+    (docs, truth)
+}
+
+fn purity(labels: &[u32], truth: &[u32]) -> f64 {
+    use std::collections::HashMap;
+    let mut clusters: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    for (&l, &t) in labels.iter().zip(truth) {
+        *clusters.entry(l).or_default().entry(t).or_insert(0) += 1;
+    }
+    let pure: usize = clusters.values().map(|c| c.values().max().copied().unwrap_or(0)).sum();
+    pure as f64 / truth.len() as f64
+}
+
+fn ablate_cluster_threshold(c: &mut Criterion) {
+    let (docs, truth) = corpus();
+    let mut g = c.benchmark_group("ablation_cluster_threshold");
+    g.sample_size(10);
+    for &threshold in &[0.3, 0.5, 0.6, 0.8, 0.95] {
+        let params = ClusterParams { threshold, ..ClusterParams::default() };
+        let clusterer = Clusterer::new(params);
+        let clustering = clusterer.cluster(&docs);
+        eprintln!(
+            "[ablation] threshold {threshold}: {} clusters, purity {:.4}",
+            clustering.n_clusters(),
+            purity(clustering.labels(), &truth)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, _| {
+            b.iter(|| black_box(clusterer.cluster(&docs)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_signature_size(c: &mut Criterion) {
+    let (docs, truth) = corpus();
+    let mut g = c.benchmark_group("ablation_signature_size");
+    g.sample_size(10);
+    for &n_hashes in &[32usize, 64, 128, 256] {
+        let params = ClusterParams {
+            n_hashes,
+            bands: n_hashes / 4,
+            ..ClusterParams::default()
+        };
+        let clusterer = Clusterer::new(params);
+        let clustering = clusterer.cluster(&docs);
+        eprintln!(
+            "[ablation] {n_hashes} hashes: {} clusters, purity {:.4}",
+            clustering.n_clusters(),
+            purity(clustering.labels(), &truth)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n_hashes), &n_hashes, |b, _| {
+            b.iter(|| black_box(clusterer.cluster(&docs)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_tree_depth(c: &mut Criterion) {
+    // §4.9-shaped data: clusters × features → metric bucket.
+    let study = bench_study();
+    use crowd_analytics::design::metrics::Metric;
+    use crowd_analytics::design::prediction::feature_vector;
+    use crowd_classify::Bucketization;
+    let clusters: Vec<_> = study.clusters().iter().filter(|cl| cl.pickup_time.is_some()).collect();
+    let values: Vec<f64> = clusters.iter().map(|cl| cl.pickup_time.unwrap()).collect();
+    let buckets = Bucketization::by_percentiles(&values, 10).expect("non-constant");
+    let y: Vec<usize> = values.iter().map(|&v| buckets.bucket_of(v)).collect();
+    let x: Vec<Vec<f64>> = clusters.iter().map(|cl| feature_vector(Metric::PickupTime, cl)).collect();
+
+    let mut g = c.benchmark_group("ablation_tree_depth");
+    for &depth in &[2usize, 4, 8, 16] {
+        let params = TreeParams { max_depth: depth, ..TreeParams::default() };
+        let tree = DecisionTree::fit(&x, &y, 10, &params);
+        let train_acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| tree.predict(row) == label)
+            .count() as f64
+            / x.len() as f64;
+        eprintln!(
+            "[ablation] depth {depth}: {} nodes, train accuracy {:.3}",
+            tree.node_count(),
+            train_acc
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(DecisionTree::fit(&x, &y, 10, &params)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablation, ablate_cluster_threshold, ablate_signature_size, ablate_tree_depth);
+criterion_main!(ablation);

@@ -1,0 +1,131 @@
+//! One criterion bench per table/figure family of the paper. Each bench
+//! runs the exact analysis that regenerates the figure's series, over the
+//! shared fixture dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crowd_analytics::design::{drilldown, methodology, metrics, prediction, summary};
+use crowd_analytics::marketplace::{arrivals, availability, labels, load, trends};
+use crowd_analytics::workers::{geography, lifetimes, sources, workload};
+use crowd_bench::bench_study;
+use crowd_core::time::Timestamp;
+
+fn bench_marketplace(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("marketplace");
+    g.sample_size(20);
+    // Fig 1, 2a, 2b: weekly arrivals with pickup overlay.
+    g.bench_function("fig01_02_arrivals_weekly", |b| {
+        b.iter(|| black_box(arrivals::weekly(study)))
+    });
+    // Fig 3: day-of-week distribution.
+    g.bench_function("fig03_weekday", |b| b.iter(|| black_box(arrivals::by_weekday(study))));
+    // §3.1 takeaway: daily load statistics.
+    g.bench_function("sec3_1_daily_load", |b| {
+        b.iter(|| black_box(arrivals::daily_load(study, Timestamp::from_ymd(2015, 1, 1))))
+    });
+    // Fig 4: weekly active workers.
+    g.bench_function("fig04_weekly_workers", |b| {
+        b.iter(|| black_box(availability::weekly_workers(study)))
+    });
+    // Fig 5b: engagement split.
+    g.bench_function("fig05_engagement_split", |b| {
+        b.iter(|| black_box(availability::engagement_split(study)))
+    });
+    // Figs 6, 7: cluster size/instance distributions.
+    g.bench_function("fig06_07_cluster_load", |b| {
+        b.iter(|| black_box(load::cluster_load(study)))
+    });
+    // Fig 8: heavy hitters.
+    g.bench_function("fig08_heavy_hitters", |b| {
+        b.iter(|| black_box(load::heavy_hitters(study, 10)))
+    });
+    // Fig 9: label distributions.
+    g.bench_function("fig09_label_distributions", |b| {
+        b.iter(|| {
+            black_box((
+                labels::goal_distribution(study),
+                labels::data_distribution(study),
+                labels::operator_distribution(study),
+            ))
+        })
+    });
+    // Figs 10, 11: cross matrices (+ transposes).
+    g.bench_function("fig10_11_cross_matrices", |b| {
+        b.iter(|| {
+            let dg = labels::data_given_goal(study);
+            let og = labels::operator_given_goal(study);
+            let od = labels::operator_given_data(study);
+            black_box((dg.transposed(), og.transposed(), od.transposed()))
+        })
+    });
+    // Fig 12: complexity trends.
+    g.bench_function("fig12_complexity_trends", |b| {
+        b.iter(|| {
+            black_box((
+                trends::goal_trend(study),
+                trends::operator_trend(study),
+                trends::data_trend(study),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_design(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("design");
+    g.sample_size(20);
+    // Fig 13: latency decomposition.
+    g.bench_function("fig13_latency_decomposition", |b| {
+        b.iter(|| black_box(metrics::latency_decomposition(study)))
+    });
+    // Fig 14: the full feature × metric grid of CDF experiments.
+    g.bench_function("fig14_feature_metric_grid", |b| {
+        b.iter(|| black_box(methodology::full_grid(study)))
+    });
+    // Tables 1–3.
+    g.bench_function("tables_1_2_3_summaries", |b| {
+        b.iter(|| {
+            black_box((
+                summary::disagreement_table(study),
+                summary::task_time_table(study),
+                summary::pickup_time_table(study),
+            ))
+        })
+    });
+    // Fig 25: drill-down panels.
+    g.bench_function("fig25_drilldowns", |b| b.iter(|| black_box(drilldown::fig25_panels(study))));
+    // §4.9: prediction, both bucketizations, all metrics.
+    g.bench_function("sec4_9_prediction", |b| {
+        b.iter(|| black_box(prediction::predict_all(study, 7)))
+    });
+    g.finish();
+}
+
+fn bench_workers(c: &mut Criterion) {
+    let study = bench_study();
+    let mut g = c.benchmark_group("workers");
+    g.sample_size(20);
+    // Figs 26, 27 + Table 4 stats: per-source aggregates.
+    g.bench_function("fig26_27_sources", |b| {
+        b.iter(|| {
+            let stats = sources::per_source(study);
+            let act = sources::active_sources_weekly(study);
+            black_box((sources::quality_stats(study, &stats), act))
+        })
+    });
+    // Fig 28: geography.
+    g.bench_function("fig28_geography", |b| b.iter(|| black_box(geography::distribution(study))));
+    // Fig 29: workload distribution.
+    g.bench_function("fig29_workload", |b| b.iter(|| black_box(workload::distribution(study))));
+    // Fig 30 + §5.4: lifetimes and active trust.
+    g.bench_function("fig30_lifetimes", |b| {
+        b.iter(|| black_box((lifetimes::lifetime_stats(study), lifetimes::active_trust(study))))
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_marketplace, bench_design, bench_workers);
+criterion_main!(figures);

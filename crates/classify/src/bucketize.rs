@@ -1,0 +1,148 @@
+//! Metric bucketization (§4.9): by range and by percentiles.
+
+/// A bucketization of a metric's value range into `n` buckets, described —
+/// as the paper reports it — by the upper bound of each bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucketization {
+    /// Inclusive upper bounds, ascending; the last equals the data max.
+    pub upper_bounds: Vec<f64>,
+    lo: f64,
+}
+
+impl Bucketization {
+    /// Evenly divides `[min, max]` into `n` buckets of uniform width
+    /// ("bucketization by range"). `None` for empty input, `n == 0`, or a
+    /// constant metric.
+    pub fn by_range(values: &[f64], n: usize) -> Option<Bucketization> {
+        if values.is_empty() || n == 0 {
+            return None;
+        }
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if hi <= lo || hi.is_nan() || lo.is_nan() {
+            return None;
+        }
+        let width = (hi - lo) / n as f64;
+        let upper_bounds = (1..=n)
+            .map(|i| if i == n { hi } else { lo + width * i as f64 })
+            .collect();
+        Some(Bucketization { upper_bounds, lo })
+    }
+
+    /// Divides the range so each bucket holds roughly equal numbers of
+    /// observations ("bucketization by percentiles"). Duplicate bounds
+    /// (heavily tied data) are kept — empty buckets may result, exactly as
+    /// with the paper's skewed metrics.
+    pub fn by_percentiles(values: &[f64], n: usize) -> Option<Bucketization> {
+        if values.is_empty() || n == 0 {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        if hi <= lo || hi.is_nan() || lo.is_nan() {
+            return None;
+        }
+        let m = sorted.len();
+        let upper_bounds = (1..=n)
+            .map(|i| {
+                let idx = (i * m / n).saturating_sub(1);
+                sorted[idx]
+            })
+            .collect();
+        Some(Bucketization { upper_bounds, lo })
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.upper_bounds.len()
+    }
+
+    /// The bucket index of a value: the first bucket whose upper bound is
+    /// ≥ `v`. Values beyond the top bound land in the last bucket.
+    pub fn bucket_of(&self, v: f64) -> usize {
+        self.upper_bounds
+            .partition_point(|&ub| ub < v)
+            .min(self.upper_bounds.len() - 1)
+    }
+
+    /// Number of observations per bucket.
+    pub fn counts(&self, values: &[f64]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_buckets()];
+        for &v in values {
+            counts[self.bucket_of(v)] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_buckets_uniform_width() {
+        let values: Vec<f64> = (0..=100).map(f64::from).collect();
+        let b = Bucketization::by_range(&values, 10).unwrap();
+        assert_eq!(b.n_buckets(), 10);
+        assert!((b.upper_bounds[0] - 10.0).abs() < 1e-12);
+        assert_eq!(*b.upper_bounds.last().unwrap(), 100.0);
+        assert_eq!(b.bucket_of(0.0), 0);
+        assert_eq!(b.bucket_of(10.0), 0, "upper bound inclusive");
+        assert_eq!(b.bucket_of(10.5), 1);
+        assert_eq!(b.bucket_of(100.0), 9);
+        assert_eq!(b.bucket_of(999.0), 9, "overflow clamps to last");
+    }
+
+    #[test]
+    fn range_buckets_on_skewed_data_concentrate_mass() {
+        // Like the paper's pickup-time: extreme skew puts nearly everything
+        // into bucket 0 (§4.9 reports [2906, 17, 8, 5, 1, 0, 0, 0, 0, 1]).
+        let mut values = vec![10.0; 990];
+        values.extend((1..=10).map(|i| i as f64 * 1.6e6));
+        let b = Bucketization::by_range(&values, 10).unwrap();
+        let counts = b.counts(&values);
+        assert!(counts[0] >= 990);
+        assert_eq!(counts.iter().sum::<usize>(), values.len());
+    }
+
+    #[test]
+    fn percentile_buckets_balance_counts() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).powi(3)).collect();
+        let b = Bucketization::by_percentiles(&values, 10).unwrap();
+        let counts = b.counts(&values);
+        for &c in &counts {
+            assert!((90..=110).contains(&c), "balanced buckets: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Bucketization::by_range(&[], 10).is_none());
+        assert!(Bucketization::by_range(&[1.0, 1.0], 10).is_none(), "constant metric");
+        assert!(Bucketization::by_percentiles(&[2.0], 5).is_none());
+        assert!(Bucketization::by_range(&[1.0, 2.0], 0).is_none());
+    }
+
+    #[test]
+    fn bounds_are_ascending() {
+        let values: Vec<f64> = (0..500).map(|i| ((i * 37) % 91) as f64).collect();
+        for b in [
+            Bucketization::by_range(&values, 10).unwrap(),
+            Bucketization::by_percentiles(&values, 10).unwrap(),
+        ] {
+            for w in b.upper_bounds.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket() {
+        let values: Vec<f64> = (0..200).map(|i| (i as f64 * 1.7).sin() * 50.0).collect();
+        let b = Bucketization::by_percentiles(&values, 7).unwrap();
+        let counts = b.counts(&values);
+        assert_eq!(counts.iter().sum::<usize>(), values.len());
+    }
+}

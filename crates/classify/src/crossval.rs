@@ -1,0 +1,160 @@
+//! k-fold cross-validation with exact and ±tolerance bucket accuracy
+//! (§4.9 reports both exact-bucket accuracy and accuracy "if we allow an
+//! error tolerance of 1 bucket").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::tree::{DecisionTree, TreeParams};
+
+/// Cross-validation outcome, averaged across folds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvReport {
+    /// Mean exact-bucket accuracy.
+    pub accuracy: f64,
+    /// Mean accuracy allowing the prediction to be off by one bucket.
+    pub accuracy_within_1: f64,
+    /// Number of folds actually evaluated.
+    pub folds: usize,
+    /// Total held-out predictions made.
+    pub n_test: usize,
+}
+
+/// Runs `k`-fold cross-validation of a decision tree on `(x, y)` with
+/// `n_classes` buckets. Rows are shuffled with `seed` before folding, so
+/// results are deterministic per seed.
+///
+/// # Panics
+/// If `k < 2` or the data is empty/misaligned.
+pub fn k_fold(
+    x: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    k: usize,
+    seed: u64,
+    params: &TreeParams,
+) -> CvReport {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(!x.is_empty() && x.len() == y.len(), "need non-empty aligned data");
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut exact = 0usize;
+    let mut within1 = 0usize;
+    let mut n_test = 0usize;
+    let mut folds = 0usize;
+
+    for fold in 0..k {
+        let test_set: Vec<usize> =
+            order.iter().copied().skip(fold).step_by(k).collect();
+        if test_set.is_empty() {
+            continue;
+        }
+        let in_test = {
+            let mut mask = vec![false; x.len()];
+            for &i in &test_set {
+                mask[i] = true;
+            }
+            mask
+        };
+        let train_x: Vec<Vec<f64>> = order
+            .iter()
+            .filter(|&&i| !in_test[i])
+            .map(|&i| x[i].clone())
+            .collect();
+        let train_y: Vec<usize> =
+            order.iter().filter(|&&i| !in_test[i]).map(|&i| y[i]).collect();
+        if train_x.is_empty() {
+            continue;
+        }
+        let tree = DecisionTree::fit(&train_x, &train_y, n_classes, params);
+        for &i in &test_set {
+            let pred = tree.predict(&x[i]);
+            if pred == y[i] {
+                exact += 1;
+            }
+            if pred.abs_diff(y[i]) <= 1 {
+                within1 += 1;
+            }
+            n_test += 1;
+        }
+        folds += 1;
+    }
+
+    CvReport {
+        accuracy: exact as f64 / n_test.max(1) as f64,
+        accuracy_within_1: within1 as f64 / n_test.max(1) as f64,
+        folds,
+        n_test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_learnable_data_scores_high() {
+        let x: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 100) as f64]).collect();
+        let y: Vec<usize> = (0..500).map(|i| (i % 100) / 10).collect();
+        let r = k_fold(&x, &y, 10, 5, 1, &TreeParams::default());
+        assert!(r.accuracy > 0.95, "accuracy {}", r.accuracy);
+        assert!(r.accuracy_within_1 >= r.accuracy);
+        assert_eq!(r.folds, 5);
+        assert_eq!(r.n_test, 500);
+    }
+
+    #[test]
+    fn pure_noise_scores_near_chance() {
+        // Feature carries no signal about the label.
+        let x: Vec<Vec<f64>> = (0..600).map(|i| vec![((i * 31) % 17) as f64]).collect();
+        let y: Vec<usize> = (0..600).map(|i| (i * 7919 + 13) % 10).collect();
+        let r = k_fold(&x, &y, 10, 5, 2, &TreeParams::default());
+        assert!(r.accuracy < 0.35, "near chance (10%): {}", r.accuracy);
+    }
+
+    #[test]
+    fn within_1_catches_adjacent_errors() {
+        // Labels = bucket of a noisy copy of the feature: exact accuracy
+        // suffers, ±1 should be much higher.
+        let x: Vec<Vec<f64>> = (0..800).map(|i| vec![(i % 100) as f64]).collect();
+        let y: Vec<usize> = (0..800)
+            .map(|i| {
+                let noisy = (i % 100) as f64 + if i % 3 == 0 { 9.0 } else { 0.0 };
+                ((noisy / 10.0) as usize).min(9)
+            })
+            .collect();
+        let r = k_fold(&x, &y, 10, 5, 3, &TreeParams::default());
+        assert!(
+            r.accuracy_within_1 > r.accuracy + 0.1,
+            "tolerance helps: {} vs {}",
+            r.accuracy_within_1,
+            r.accuracy
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 40) as f64]).collect();
+        let y: Vec<usize> = (0..200).map(|i| (i % 40) / 10).collect();
+        let a = k_fold(&x, &y, 4, 5, 42, &TreeParams::default());
+        let b = k_fold(&x, &y, 4, 5, 42, &TreeParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_row_tested_once() {
+        let x: Vec<Vec<f64>> = (0..103).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..103).map(|i| i % 3).collect();
+        let r = k_fold(&x, &y, 3, 5, 9, &TreeParams::default());
+        assert_eq!(r.n_test, 103);
+    }
+
+    #[test]
+    #[should_panic(expected = "folds")]
+    fn one_fold_rejected() {
+        let _ = k_fold(&[vec![1.0]], &[0], 2, 1, 0, &TreeParams::default());
+    }
+}

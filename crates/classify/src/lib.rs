@@ -1,0 +1,35 @@
+//! # crowd-classify
+//!
+//! The §4.9 predictive setting: "we bucketize the range of values into 10
+//! buckets, and try to predict which bucket any given task will fall into
+//! … We run a simple decision tree classifier … We perform a 5-fold
+//! cross-validation to test the accuracy of our models."
+//!
+//! This crate provides the three pieces: [`bucketize`] (by range and by
+//! percentiles), a CART [`tree::DecisionTree`] with Gini impurity, and
+//! [`crossval`] with exact and ±1-bucket tolerance accuracy.
+//!
+//! ```
+//! use crowd_classify::{bucketize::Bucketization, tree::DecisionTree, crossval::k_fold};
+//!
+//! // Metric values → 10 buckets by range.
+//! let metric: Vec<f64> = (0..200).map(|i| (i % 100) as f64).collect();
+//! let buckets = Bucketization::by_range(&metric, 10).unwrap();
+//! let y: Vec<usize> = metric.iter().map(|&v| buckets.bucket_of(v)).collect();
+//! // One informative feature: the metric itself, plus a noise column.
+//! let x: Vec<Vec<f64>> = metric.iter().enumerate()
+//!     .map(|(i, &v)| vec![v, (i % 7) as f64]).collect();
+//! let report = k_fold(&x, &y, 10, 5, 0xC0DE, &Default::default());
+//! assert!(report.accuracy > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bucketize;
+pub mod crossval;
+pub mod tree;
+
+pub use bucketize::Bucketization;
+pub use crossval::{k_fold, CvReport};
+pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,287 @@
+//! CART decision tree with Gini impurity — the paper's "simple decision
+//! tree classifier" (§4.9).
+
+/// Hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples allowed in a leaf.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_split: 8, min_samples_leaf: 2 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on rows `x` with class labels `y` (`y[i] < n_classes`).
+    ///
+    /// # Panics
+    /// On empty input, ragged rows, or labels ≥ `n_classes`.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, params: &TreeParams) -> DecisionTree {
+        assert!(!x.is_empty() && x.len() == y.len(), "need non-empty aligned data");
+        let n_features = x[0].len();
+        assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        let root = build(x, y, n_classes, &idx, params, 0);
+        DecisionTree { root, n_features }
+    }
+
+    /// Predicts the class of one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.n_features, "feature arity mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of decision nodes + leaves (model size diagnostic).
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn majority(y: &[usize], idx: &[u32], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes];
+    for &i in idx {
+        counts[y[i as usize]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(cls, _)| cls)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn build(
+    x: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    idx: &[u32],
+    params: &TreeParams,
+    depth: usize,
+) -> Node {
+    let leaf = || Node::Leaf { class: majority(y, idx, n_classes) };
+    if depth >= params.max_depth || idx.len() < params.min_samples_split {
+        return leaf();
+    }
+    // Pure node?
+    let first = y[idx[0] as usize];
+    if idx.iter().all(|&i| y[i as usize] == first) {
+        return Node::Leaf { class: first };
+    }
+
+    let n_features = x[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+
+    // Scratch buffers reused across features.
+    let mut order: Vec<u32> = Vec::with_capacity(idx.len());
+    #[allow(clippy::needless_range_loop)] // `feature` indexes per-row vectors
+    for feature in 0..n_features {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| {
+            x[a as usize][feature].total_cmp(&x[b as usize][feature])
+        });
+        // Sweep split points between distinct adjacent values.
+        let mut left_counts = vec![0usize; n_classes];
+        let mut right_counts = vec![0usize; n_classes];
+        for &i in order.iter() {
+            right_counts[y[i as usize]] += 1;
+        }
+        let total = order.len();
+        for pos in 1..total {
+            let moved = order[pos - 1] as usize;
+            left_counts[y[moved]] += 1;
+            right_counts[y[moved]] -= 1;
+            let prev_v = x[moved][feature];
+            let next_v = x[order[pos] as usize][feature];
+            if prev_v == next_v {
+                continue;
+            }
+            if pos < params.min_samples_leaf || total - pos < params.min_samples_leaf {
+                continue;
+            }
+            let w_left = pos as f64 / total as f64;
+            let impurity = w_left * gini(&left_counts, pos)
+                + (1.0 - w_left) * gini(&right_counts, total - pos);
+            if best.map(|(_, _, b)| impurity < b).unwrap_or(true) {
+                best = Some((feature, 0.5 * (prev_v + next_v), impurity));
+            }
+        }
+    }
+
+    let Some((feature, threshold, impurity)) = best else {
+        return leaf();
+    };
+    // No improvement over the parent? Stop.
+    let mut parent_counts = vec![0usize; n_classes];
+    for &i in idx {
+        parent_counts[y[i as usize]] += 1;
+    }
+    if impurity >= gini(&parent_counts, idx.len()) - 1e-12 {
+        return leaf();
+    }
+
+    let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+        idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return leaf();
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(x, y, n_classes, &left_idx, params, depth + 1)),
+        right: Box::new(build(x, y, n_classes, &right_idx, params, depth + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = f64::from((i % 2) as u32);
+            let b = f64::from(((i / 2) % 2) as u32);
+            // jitter so thresholds are findable
+            let ja = a + (i % 5) as f64 * 0.01;
+            let jb = b + (i % 7) as f64 * 0.01;
+            x.push(vec![ja, jb]);
+            y.push((a as usize) ^ (b as usize));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(row, &label)| tree.predict(row) == label)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.98, "xor is tree-learnable");
+    }
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
+        let tree = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+        assert_eq!(tree.predict(&[10.0]), 0);
+        assert_eq!(tree.predict(&[90.0]), 1);
+        assert_eq!(tree.predict(&[49.0]), 0);
+        assert_eq!(tree.predict(&[51.0]), 1);
+    }
+
+    #[test]
+    fn pure_labels_give_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * 3) as f64]).collect();
+        let y = vec![1usize; 20];
+        let tree = DecisionTree::fit(&x, &y, 3, &TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[5.0, 7.0]), 1);
+    }
+
+    #[test]
+    fn depth_limit_bounds_tree() {
+        let (x, y) = xor_data();
+        let stump = DecisionTree::fit(
+            &x,
+            &y,
+            2,
+            &TreeParams { max_depth: 1, ..TreeParams::default() },
+        );
+        assert!(stump.node_count() <= 3, "a depth-1 tree has at most 3 nodes");
+    }
+
+    #[test]
+    fn multiclass() {
+        let x: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 30) as f64]).collect();
+        let y: Vec<usize> = (0..300).map(|i| (i % 30) / 10).collect();
+        let tree = DecisionTree::fit(&x, &y, 3, &TreeParams::default());
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+        assert_eq!(tree.predict(&[25.0]), 2);
+    }
+
+    #[test]
+    fn constant_features_fall_back_to_majority() {
+        let x = vec![vec![1.0]; 10];
+        let mut y = vec![0usize; 7];
+        y.extend(vec![1usize; 3]);
+        let tree = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
+        assert_eq!(tree.predict(&[1.0]), 0, "majority class");
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn empty_input_panics() {
+        let _ = DecisionTree::fit(&[], &[], 2, &TreeParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_at_predict_panics() {
+        let tree =
+            DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], 2, &TreeParams::default());
+        let _ = tree.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,287 @@
+//! The end-to-end batch clusterer (paper §3.3).
+//!
+//! Shingle every document, MinHash it, find candidate pairs via LSH
+//! banding, confirm candidates against the tuned similarity threshold, and
+//! merge confirmed pairs in a union-find. Connected components are the
+//! paper's "clusters of similar batches corresponding to a distinct task".
+
+use std::collections::HashMap;
+
+use crate::minhash::{MinHasher, Signature};
+use crate::shingle::{fnv1a, shingles};
+use crate::unionfind::UnionFind;
+
+/// Tuning parameters of the clusterer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Shingle width in tokens.
+    pub shingle_k: usize,
+    /// Signature length (number of min-hashes); must be `bands × rows`.
+    pub n_hashes: usize,
+    /// Number of LSH bands.
+    pub bands: usize,
+    /// Estimated-Jaccard threshold above which two batches are "a match" —
+    /// the knob the authors report tuning by inspection.
+    pub threshold: f64,
+    /// Seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        // 128 hashes in 32 bands of 4 rows: the LSH S-curve crosses 50%
+        // candidate probability near J ≈ (1/32)^(1/4) ≈ 0.42, comfortably
+        // below the 0.6 confirmation threshold, so recall at the threshold
+        // is high while candidate volume stays manageable.
+        ClusterParams { shingle_k: 3, n_hashes: 128, bands: 32, threshold: 0.6, seed: 0x5eed }
+    }
+}
+
+/// A clustering of `n` documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    labels: Vec<u32>,
+    n_clusters: usize,
+}
+
+impl Clustering {
+    /// Cluster id of document `i` (dense, `0..n_clusters`).
+    pub fn cluster_of(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All labels, indexed by document.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no documents were clustered.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Documents per cluster, indexed by cluster id.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.n_clusters];
+        for (doc, &c) in self.labels.iter().enumerate() {
+            out[c as usize].push(doc as u32);
+        }
+        out
+    }
+
+    /// Cluster sizes, indexed by cluster id (the paper's "cluster size" is
+    /// the number of batches in a cluster, Fig. 6).
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.n_clusters];
+        for &c in &self.labels {
+            out[c as usize] += 1;
+        }
+        out
+    }
+}
+
+/// The configured clustering pipeline.
+#[derive(Debug, Clone)]
+pub struct Clusterer {
+    params: ClusterParams,
+    hasher: MinHasher,
+}
+
+impl Clusterer {
+    /// Creates a clusterer.
+    ///
+    /// # Panics
+    /// If `n_hashes` is not divisible by `bands`, or a parameter is zero.
+    pub fn new(params: ClusterParams) -> Clusterer {
+        assert!(params.bands > 0 && params.n_hashes > 0 && params.shingle_k > 0);
+        assert_eq!(
+            params.n_hashes % params.bands,
+            0,
+            "n_hashes must be a multiple of bands"
+        );
+        assert!((0.0..=1.0).contains(&params.threshold));
+        Clusterer { hasher: MinHasher::new(params.n_hashes, params.seed), params }
+    }
+
+    /// The active parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Computes MinHash signatures for a document set.
+    pub fn signatures<S: AsRef<str>>(&self, docs: &[S]) -> Vec<Signature> {
+        docs.iter()
+            .map(|d| self.hasher.signature(&shingles(d.as_ref(), self.params.shingle_k)))
+            .collect()
+    }
+
+    /// Clusters documents: LSH candidates, threshold confirmation,
+    /// union-find components.
+    pub fn cluster<S: AsRef<str>>(&self, docs: &[S]) -> Clustering {
+        let sigs = self.signatures(docs);
+        self.cluster_signatures(&sigs)
+    }
+
+    /// Clusters from precomputed signatures (must come from
+    /// [`Clusterer::signatures`] with the same parameters).
+    pub fn cluster_signatures(&self, sigs: &[Signature]) -> Clustering {
+        let n = sigs.len();
+        let mut uf = UnionFind::new(n);
+        let rows = self.params.n_hashes / self.params.bands;
+
+        // LSH banding: documents agreeing on all rows of any band become
+        // candidate pairs. Buckets are per-band hash maps.
+        let mut band_key = Vec::with_capacity(rows * 8);
+        for band in 0..self.params.bands {
+            let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (doc, sig) in sigs.iter().enumerate() {
+                band_key.clear();
+                for r in 0..rows {
+                    band_key.extend_from_slice(&sig.0[band * rows + r].to_le_bytes());
+                }
+                buckets.entry(fnv1a(&band_key)).or_default().push(doc as u32);
+            }
+            for bucket in buckets.values() {
+                if bucket.len() < 2 {
+                    continue;
+                }
+                // Confirm each member against the bucket's first unmerged
+                // representative to avoid O(|bucket|²) on giant buckets;
+                // transitive merging covers the rest across bands.
+                let first = bucket[0] as usize;
+                for &other in &bucket[1..] {
+                    let other = other as usize;
+                    if uf.connected(first, other) {
+                        continue;
+                    }
+                    let est = sigs[first].estimate_jaccard(&sigs[other]);
+                    if est >= self.params.threshold {
+                        uf.union(first, other);
+                    }
+                }
+            }
+        }
+        let labels = uf.labels();
+        let n_clusters = uf.components();
+        Clustering { labels, n_clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small synthetic corpus: three "task types", several near-duplicate
+    /// variants each, plus one unique document.
+    fn corpus() -> Vec<String> {
+        let mut docs = Vec::new();
+        let templates = [
+            "<div class=\"task\"><h1>flag inappropriate images</h1><p>please review the image \
+             shown below and select whether it is appropriate for all audiences or contains \
+             content that should be flagged for removal</p><input type=\"radio\" name=\"q\">\
+             <label>appropriate</label><input type=\"radio\" name=\"q\"><label>flag</label></div>",
+            "<div class=\"task\"><h1>find business website</h1><p>search the web for the \
+             official website of the business listed below and paste the full url into the \
+             provided text box make sure the url starts with http</p><input type=\"text\" \
+             name=\"url\"></div>",
+            "<div class=\"task\"><h1>transcribe the receipt</h1><p>look at the scanned receipt \
+             image and type the total amount and the store name into the boxes below use \
+             exact spelling</p><input type=\"text\" name=\"total\"><input type=\"text\" \
+             name=\"store\"></div>",
+        ];
+        for (t, template) in templates.iter().enumerate() {
+            for v in 0..4 {
+                // Near-duplicate: vary an item reference.
+                docs.push(template.replace("below", &format!("below item{}{}", t, v)));
+            }
+        }
+        docs.push("<p>completely unrelated survey about breakfast preferences and pets</p>".into());
+        docs
+    }
+
+    #[test]
+    fn recovers_planted_clusters() {
+        let docs = corpus();
+        let clustering = Clusterer::new(ClusterParams::default()).cluster(&docs);
+        assert_eq!(clustering.n_clusters(), 4, "3 template groups + 1 singleton");
+        // All variants of a template share a cluster.
+        for t in 0..3 {
+            let base = clustering.cluster_of(t * 4);
+            for v in 1..4 {
+                assert_eq!(clustering.cluster_of(t * 4 + v), base, "template {t} variant {v}");
+            }
+        }
+        // Different templates land in different clusters.
+        assert_ne!(clustering.cluster_of(0), clustering.cluster_of(4));
+        assert_ne!(clustering.cluster_of(4), clustering.cluster_of(8));
+        // Singleton stays alone.
+        let sizes = clustering.sizes();
+        assert_eq!(sizes[clustering.cluster_of(12) as usize], 1);
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let docs = corpus();
+        let clustering = Clusterer::new(ClusterParams::default()).cluster(&docs);
+        let members = clustering.members();
+        let sizes = clustering.sizes();
+        assert_eq!(members.len(), sizes.len());
+        for (m, &s) in members.iter().zip(&sizes) {
+            assert_eq!(m.len() as u32, s);
+        }
+        let total: u32 = sizes.iter().sum();
+        assert_eq!(total as usize, docs.len(), "every document is assigned");
+    }
+
+    #[test]
+    fn threshold_one_only_merges_identical() {
+        let params = ClusterParams { threshold: 1.0, ..ClusterParams::default() };
+        let docs =
+            vec!["same exact words here", "same exact words here", "same exact words there"];
+        let clustering = Clusterer::new(params).cluster(&docs);
+        assert_eq!(clustering.cluster_of(0), clustering.cluster_of(1));
+        assert_ne!(clustering.cluster_of(0), clustering.cluster_of(2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let clustering = Clusterer::new(ClusterParams::default()).cluster::<&str>(&[]);
+        assert!(clustering.is_empty());
+        assert_eq!(clustering.n_clusters(), 0);
+    }
+
+    #[test]
+    fn single_document() {
+        let clustering = Clusterer::new(ClusterParams::default()).cluster(&["only one"]);
+        assert_eq!(clustering.n_clusters(), 1);
+        assert_eq!(clustering.cluster_of(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of bands")]
+    fn bad_band_split_panics() {
+        let _ = Clusterer::new(ClusterParams {
+            n_hashes: 100,
+            bands: 33,
+            ..ClusterParams::default()
+        });
+    }
+
+    #[test]
+    fn deterministic() {
+        let docs = corpus();
+        let a = Clusterer::new(ClusterParams::default()).cluster(&docs);
+        let b = Clusterer::new(ClusterParams::default()).cluster(&docs);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! # crowd-cluster
+//!
+//! Batch clustering by task-interface similarity (paper §3.3):
+//!
+//! > "we first clustered the batches in our dataset based on metadata from
+//! > the extracted HTML source corresponding to the tasks, and tuned the
+//! > threshold of a match to ensure that the tasks that on inspection look
+//! > very similar and have similar purposes are actually clustered
+//! > together."
+//!
+//! The pipeline is the standard near-duplicate-detection stack: token
+//! [`shingle`]s → [`minhash`] signatures → LSH banding for candidate pairs
+//! → exact-signature Jaccard check against a tuned threshold →
+//! [`unionfind`] merge. The result assigns every batch a cluster id; the
+//! paper's "clusters" (≈3,200 labeled ones) are these connected components.
+//!
+//! ```
+//! use crowd_cluster::{Clusterer, ClusterParams};
+//!
+//! let docs = [
+//!     "<div class=\"task\"><h1>flag images</h1><input type=\"radio\"></div>",
+//!     "<div class=\"task\"><h1>flag images</h1><input type=\"radio\" id=\"x\"></div>",
+//!     "<p>write a caption for the audio clip and transcribe speakers</p>",
+//! ];
+//! let clustering = Clusterer::new(ClusterParams::default()).cluster(&docs);
+//! assert_eq!(clustering.cluster_of(0), clustering.cluster_of(1));
+//! assert_ne!(clustering.cluster_of(0), clustering.cluster_of(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clusterer;
+pub mod minhash;
+pub mod shingle;
+pub mod unionfind;
+
+pub use clusterer::{ClusterParams, Clusterer, Clustering};
+pub use minhash::{MinHasher, Signature};
+pub use shingle::{jaccard, shingles};
+pub use unionfind::UnionFind;

@@ -1,0 +1,147 @@
+//! Token shingling and exact Jaccard similarity.
+//!
+//! Documents (task HTML) are tokenized on non-alphanumeric boundaries —
+//! which naturally picks up tag names, attribute names, and visible words —
+//! and hashed as overlapping `k`-grams into a set of 64-bit shingles.
+
+use std::collections::HashSet;
+
+/// Default shingle width: 3-token grams capture local structure without
+/// being hypersensitive to single-word edits.
+pub const DEFAULT_K: usize = 3;
+
+/// FNV-1a 64-bit hash.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Lower-cased alphanumeric tokens of a document.
+pub fn tokenize(doc: &str) -> Vec<String> {
+    doc.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// The set of hashed `k`-token shingles of a document. Documents shorter
+/// than `k` tokens contribute a single shingle over all their tokens (an
+/// empty document yields the empty set).
+pub fn shingles(doc: &str, k: usize) -> HashSet<u64> {
+    assert!(k > 0, "shingle width must be positive");
+    let tokens = tokenize(doc);
+    let mut out = HashSet::new();
+    if tokens.is_empty() {
+        return out;
+    }
+    if tokens.len() < k {
+        let joined = tokens.join("\u{1f}");
+        out.insert(fnv1a(joined.as_bytes()));
+        return out;
+    }
+    let mut buf = String::new();
+    for window in tokens.windows(k) {
+        buf.clear();
+        for (i, t) in window.iter().enumerate() {
+            if i > 0 {
+                buf.push('\u{1f}');
+            }
+            buf.push_str(t);
+        }
+        out.insert(fnv1a(buf.as_bytes()));
+    }
+    out
+}
+
+/// Exact Jaccard similarity of two shingle sets. Two empty sets are defined
+/// as fully similar (identical empty documents).
+pub fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_markup() {
+        assert_eq!(
+            tokenize("<div class=\"task\">Hi there</div>"),
+            vec!["div", "class", "task", "hi", "there", "div"]
+        );
+        assert!(tokenize("!!! ???").is_empty());
+    }
+
+    #[test]
+    fn shingles_of_identical_docs_match() {
+        let a = shingles("<p>one two three four</p>", 3);
+        let b = shingles("<p>one two three four</p>", 3);
+        assert_eq!(a, b);
+        assert_eq!(jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn shingle_count_is_tokens_minus_k_plus_one() {
+        let s = shingles("a b c d e", 3);
+        assert_eq!(s.len(), 3); // abc, bcd, cde
+    }
+
+    #[test]
+    fn short_documents_still_shingle() {
+        let s = shingles("one two", 5);
+        assert_eq!(s.len(), 1);
+        assert!(shingles("", 3).is_empty());
+    }
+
+    #[test]
+    fn jaccard_disjoint_and_partial() {
+        let a = shingles("alpha beta gamma delta", 2);
+        let b = shingles("epsilon zeta eta theta", 2);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        let c = shingles("alpha beta gamma epsilon", 2);
+        let j = jaccard(&a, &c);
+        assert!(j > 0.0 && j < 1.0, "partial overlap: {j}");
+    }
+
+    #[test]
+    fn jaccard_empty_sets() {
+        let e = HashSet::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+        let a = shingles("x y z", 1);
+        assert_eq!(jaccard(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn small_edit_keeps_high_similarity() {
+        let base = "<div class=\"task\"><h1>find the url</h1><p>please search for the official \
+                    website of the business and copy its address</p><input type=\"text\"></div>";
+        let edited = base.replace("item_1", "item_2").replace("copy", "paste");
+        let ja = jaccard(&shingles(base, 3), &shingles(&edited, 3));
+        assert!(ja > 0.7, "one-word edit should stay similar: {ja}");
+    }
+
+    #[test]
+    fn separator_prevents_token_gluing() {
+        // Without a separator "ab c" and "a bc" would collide.
+        let a = shingles("ab c x", 2);
+        let b = shingles("a bc x", 2);
+        assert!(jaccard(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

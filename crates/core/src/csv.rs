@@ -1,0 +1,508 @@
+//! CSV import/export of datasets (RFC-4180-style quoting).
+//!
+//! The marketplace delivered its data as per-batch flat files (paper §2.3);
+//! this module provides the equivalent interchange format so datasets can be
+//! moved between the simulator, external tooling, and the analytics layer.
+//! Six tables are written: `sources`, `countries`, `workers`, `task_types`,
+//! `batches`, `instances`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self};
+use std::path::Path;
+
+use crate::answer::Answer;
+use crate::dataset::{Dataset, DatasetBuilder, TaskInstance};
+use crate::error::{CoreError, Result};
+use crate::id::{BatchId, CountryId, ItemId, SourceId, TaskTypeId, WorkerId};
+use crate::labels::LabelSet;
+use crate::task::{Batch, TaskType};
+use crate::time::Timestamp;
+use crate::worker::{Source, SourceKind, Worker};
+
+/// Escapes one CSV field: quotes when it contains a comma, quote, CR or LF.
+pub fn escape_field(field: &str, out: &mut String) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Splits one CSV record (which may span multiple physical lines when quoted
+/// fields contain newlines) into fields. `records` iterates a whole document.
+pub fn parse_records(text: &str) -> CsvRecords<'_> {
+    CsvRecords { rest: text, line: 0 }
+}
+
+/// Iterator over CSV records; yields `(line_number, fields)`.
+pub struct CsvRecords<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Iterator for CsvRecords<'a> {
+    type Item = Result<(usize, Vec<String>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        self.line += 1;
+        let start_line = self.line;
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = self.rest.char_indices();
+        let mut in_quotes = false;
+        let mut after_quote = false; // just closed a quote; expect , or EOL
+        loop {
+            match chars.next() {
+                None => {
+                    if in_quotes {
+                        return Some(Err(CoreError::Csv {
+                            line: start_line,
+                            message: "unterminated quoted field".into(),
+                        }));
+                    }
+                    self.rest = "";
+                    fields.push(std::mem::take(&mut cur));
+                    return Some(Ok((start_line, fields)));
+                }
+                Some((pos, ch)) => {
+                    if in_quotes {
+                        if ch == '"' {
+                            // Peek: doubled quote = literal quote.
+                            if self.rest[pos + 1..].starts_with('"') {
+                                cur.push('"');
+                                chars.next();
+                            } else {
+                                in_quotes = false;
+                                after_quote = true;
+                            }
+                        } else {
+                            if ch == '\n' {
+                                self.line += 1;
+                            }
+                            cur.push(ch);
+                        }
+                        continue;
+                    }
+                    match ch {
+                        '"' if cur.is_empty() && !after_quote => in_quotes = true,
+                        '"' => {
+                            return Some(Err(CoreError::Csv {
+                                line: start_line,
+                                message: "stray quote inside unquoted field".into(),
+                            }))
+                        }
+                        ',' => {
+                            fields.push(std::mem::take(&mut cur));
+                            after_quote = false;
+                        }
+                        '\r' => {} // tolerate CRLF
+                        '\n' => {
+                            self.rest = &self.rest[pos + 1..];
+                            fields.push(std::mem::take(&mut cur));
+                            return Some(Ok((start_line, fields)));
+                        }
+                        _ if after_quote => {
+                            return Some(Err(CoreError::Csv {
+                                line: start_line,
+                                message: "data after closing quote".into(),
+                            }))
+                        }
+                        _ => cur.push(ch),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn write_record(out: &mut String, fields: &[&str]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_field(f, out);
+    }
+    out.push('\n');
+}
+
+fn answer_to_field(a: &Answer) -> String {
+    match a {
+        Answer::Choice(i) => format!("C:{i}"),
+        Answer::Text(t) => format!("T:{t}"),
+        Answer::Skipped => "S".to_owned(),
+    }
+}
+
+fn answer_from_field(s: &str, line: usize) -> Result<Answer> {
+    if s == "S" {
+        return Ok(Answer::Skipped);
+    }
+    if let Some(rest) = s.strip_prefix("C:") {
+        return rest
+            .parse()
+            .map(Answer::Choice)
+            .map_err(|_| CoreError::Csv { line, message: format!("bad choice `{rest}`") });
+    }
+    if let Some(rest) = s.strip_prefix("T:") {
+        return Ok(Answer::Text(rest.to_owned()));
+    }
+    Err(CoreError::Csv { line, message: format!("bad answer `{s}`") })
+}
+
+fn kind_to_str(k: SourceKind) -> &'static str {
+    k.name()
+}
+
+fn kind_from_str(s: &str, line: usize) -> Result<SourceKind> {
+    SourceKind::ALL
+        .into_iter()
+        .find(|k| k.name() == s)
+        .ok_or_else(|| CoreError::Csv { line, message: format!("bad source kind `{s}`") })
+}
+
+/// Serializes the `sources` table.
+pub fn sources_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("name,kind\n");
+    for s in &ds.sources {
+        write_record(&mut out, &[&s.name, kind_to_str(s.kind)]);
+    }
+    out
+}
+
+/// Serializes the `countries` table.
+pub fn countries_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("name\n");
+    for c in &ds.countries {
+        write_record(&mut out, &[&c.name]);
+    }
+    out
+}
+
+/// Serializes the `workers` table.
+pub fn workers_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("source,country\n");
+    for w in &ds.workers {
+        write_record(&mut out, &[&w.source.raw().to_string(), &w.country.raw().to_string()]);
+    }
+    out
+}
+
+/// Serializes the `task_types` table.
+pub fn task_types_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("title,goals,operators,data_types,choice_arity\n");
+    for t in &ds.task_types {
+        write_record(
+            &mut out,
+            &[
+                &t.title,
+                &t.goals.bits().to_string(),
+                &t.operators.bits().to_string(),
+                &t.data_types.bits().to_string(),
+                &t.choice_arity.to_string(),
+            ],
+        );
+    }
+    out
+}
+
+/// Serializes the `batches` table.
+pub fn batches_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("task_type,created_at,sampled,html\n");
+    for b in &ds.batches {
+        write_record(
+            &mut out,
+            &[
+                &b.task_type.raw().to_string(),
+                &b.created_at.as_secs().to_string(),
+                if b.sampled { "1" } else { "0" },
+                b.html.as_deref().unwrap_or(""),
+            ],
+        );
+    }
+    out
+}
+
+/// Serializes the `instances` table.
+pub fn instances_to_csv(ds: &Dataset) -> String {
+    let mut out = String::from("batch,item,worker,start,end,trust,answer\n");
+    // Preallocate roughly: ~40 bytes per row.
+    out.reserve(ds.instances.len() * 40);
+    let mut trust_buf = String::new();
+    for i in &ds.instances {
+        trust_buf.clear();
+        let _ = write!(trust_buf, "{}", i.trust);
+        write_record(
+            &mut out,
+            &[
+                &i.batch.raw().to_string(),
+                &i.item.raw().to_string(),
+                &i.worker.raw().to_string(),
+                &i.start.as_secs().to_string(),
+                &i.end.as_secs().to_string(),
+                &trust_buf,
+                &answer_to_field(&i.answer),
+            ],
+        );
+    }
+    out
+}
+
+/// Writes the six tables as `<name>.csv` files under `dir`.
+pub fn export_dir(ds: &Dataset, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("sources.csv"), sources_to_csv(ds))?;
+    fs::write(dir.join("countries.csv"), countries_to_csv(ds))?;
+    fs::write(dir.join("workers.csv"), workers_to_csv(ds))?;
+    fs::write(dir.join("task_types.csv"), task_types_to_csv(ds))?;
+    fs::write(dir.join("batches.csv"), batches_to_csv(ds))?;
+    fs::write(dir.join("instances.csv"), instances_to_csv(ds))?;
+    Ok(())
+}
+
+struct TableReader<'a> {
+    records: CsvRecords<'a>,
+    expected_fields: usize,
+}
+
+impl<'a> TableReader<'a> {
+    fn new(text: &'a str, header: &str) -> Result<Self> {
+        let expected_fields = header.split(',').count();
+        let mut records = parse_records(text);
+        match records.next() {
+            Some(Ok((_, fields))) if fields.join(",") == header => {}
+            Some(Ok((line, _))) => {
+                return Err(CoreError::Csv { line, message: format!("expected header `{header}`") })
+            }
+            Some(Err(e)) => return Err(e),
+            None => return Err(CoreError::Csv { line: 1, message: "empty file".into() }),
+        }
+        Ok(TableReader { records, expected_fields })
+    }
+}
+
+impl Iterator for TableReader<'_> {
+    type Item = Result<(usize, Vec<String>)>;
+    fn next(&mut self) -> Option<Self::Item> {
+        let rec = self.records.next()?;
+        Some(rec.and_then(|(line, fields)| {
+            if fields.len() == 1 && fields[0].is_empty() {
+                // Trailing blank line.
+                return Err(CoreError::Csv { line, message: "blank record".into() });
+            }
+            if fields.len() != self.expected_fields {
+                return Err(CoreError::Csv {
+                    line,
+                    message: format!(
+                        "expected {} fields, got {}",
+                        self.expected_fields,
+                        fields.len()
+                    ),
+                });
+            }
+            Ok((line, fields))
+        }))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T> {
+    s.parse().map_err(|_| CoreError::Csv { line, message: format!("bad {what} `{s}`") })
+}
+
+/// Reads the six `<name>.csv` tables from `dir` and validates the result.
+pub fn import_dir(dir: &Path) -> Result<Dataset> {
+    let read = |name: &str| -> Result<String> {
+        fs::read_to_string(dir.join(name))
+            .map_err(|e| CoreError::Csv { line: 0, message: format!("{name}: {e}") })
+    };
+    let mut b = DatasetBuilder::new();
+
+    for rec in TableReader::new(&read("sources.csv")?, "name,kind")? {
+        let (line, f) = rec?;
+        b.add_source(Source::new(&f[0], kind_from_str(&f[1], line)?));
+    }
+    for rec in TableReader::new(&read("countries.csv")?, "name")? {
+        let (_, f) = rec?;
+        b.add_country(&f[0]);
+    }
+    for rec in TableReader::new(&read("workers.csv")?, "source,country")? {
+        let (line, f) = rec?;
+        b.add_worker(Worker::new(
+            SourceId::new(parse_num(&f[0], line, "source id")?),
+            CountryId::new(parse_num(&f[1], line, "country id")?),
+        ));
+    }
+    for rec in TableReader::new(
+        &read("task_types.csv")?,
+        "title,goals,operators,data_types,choice_arity",
+    )? {
+        let (line, f) = rec?;
+        let mut tt = TaskType::new(&f[0]);
+        tt.goals = LabelSet::from_bits(parse_num(&f[1], line, "goal bits")?)?;
+        tt.operators = LabelSet::from_bits(parse_num(&f[2], line, "operator bits")?)?;
+        tt.data_types = LabelSet::from_bits(parse_num(&f[3], line, "data-type bits")?)?;
+        tt.choice_arity = parse_num(&f[4], line, "choice arity")?;
+        b.add_task_type(tt);
+    }
+    for rec in TableReader::new(&read("batches.csv")?, "task_type,created_at,sampled,html")? {
+        let (line, f) = rec?;
+        let mut batch = Batch::new(
+            TaskTypeId::new(parse_num(&f[0], line, "task type id")?),
+            Timestamp::from_secs(parse_num(&f[1], line, "created_at")?),
+        );
+        batch.sampled = &f[2] == "1";
+        if !f[3].is_empty() {
+            batch.html = Some(f[3].clone());
+        }
+        b.add_batch(batch);
+    }
+    for rec in
+        TableReader::new(&read("instances.csv")?, "batch,item,worker,start,end,trust,answer")?
+    {
+        let (line, f) = rec?;
+        b.add_instance(TaskInstance {
+            batch: BatchId::new(parse_num(&f[0], line, "batch id")?),
+            item: ItemId::new(parse_num(&f[1], line, "item id")?),
+            worker: WorkerId::new(parse_num(&f[2], line, "worker id")?),
+            start: Timestamp::from_secs(parse_num(&f[3], line, "start")?),
+            end: Timestamp::from_secs(parse_num(&f[4], line, "end")?),
+            trust: parse_num(&f[5], line, "trust")?,
+            answer: answer_from_field(&f[6], line)?,
+        });
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{DataType, Goal, Operator};
+    use crate::time::Duration;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source(Source::new("clix,sense \"quoted\"", SourceKind::Dedicated));
+        let c = b.add_country("USA");
+        let w = b.add_worker(Worker::new(s, c));
+        let tt = b.add_task_type(
+            TaskType::new("find \"urls\", quickly\nplease")
+                .with_goal(Goal::LanguageUnderstanding)
+                .with_operator(Operator::Gather)
+                .with_data_type(DataType::Webpage),
+        );
+        let t0 = Timestamp::from_ymd(2015, 6, 1);
+        let batch =
+            b.add_batch(Batch::new(tt, t0).with_html("<div class=\"a,b\">\n<p>hi</p></div>"));
+        b.add_batch(Batch::new(tt, t0 + Duration::from_days(1)).unsampled());
+        b.add_instance(TaskInstance {
+            batch,
+            item: ItemId::new(0),
+            worker: w,
+            start: t0 + Duration::from_secs(100),
+            end: t0 + Duration::from_secs(160),
+            trust: 0.875,
+            answer: Answer::Text("http://example.com, \"the\" site".into()),
+        });
+        b.add_instance(TaskInstance {
+            batch,
+            item: ItemId::new(0),
+            worker: w,
+            start: t0 + Duration::from_secs(400),
+            end: t0 + Duration::from_secs(460),
+            trust: 0.5,
+            answer: Answer::Skipped,
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn escape_roundtrip_simple() {
+        let mut out = String::new();
+        escape_field("plain", &mut out);
+        assert_eq!(out, "plain");
+    }
+
+    #[test]
+    fn escape_roundtrip_tricky() {
+        let mut out = String::new();
+        escape_field("a,\"b\"\nc", &mut out);
+        assert_eq!(out, "\"a,\"\"b\"\"\nc\"");
+        let parsed: Vec<_> = parse_records(&out).map(|r| r.unwrap().1).collect();
+        assert_eq!(parsed, vec![vec!["a,\"b\"\nc".to_string()]]);
+    }
+
+    #[test]
+    fn parse_multiline_record_counts_lines() {
+        let doc = "a,\"x\ny\"\nb,c\n";
+        let recs: Vec<_> = parse_records(doc).map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].1, vec!["a", "x\ny"]);
+        assert_eq!(recs[1].1, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_quote() {
+        let doc = "a,\"open\n";
+        let err = parse_records(doc).next().unwrap().unwrap_err();
+        assert!(matches!(err, CoreError::Csv { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_stray_quote() {
+        let doc = "ab\"c,d\n";
+        assert!(parse_records(doc).next().unwrap().is_err());
+    }
+
+    #[test]
+    fn full_roundtrip_via_dir() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join(format!("crowd_csv_test_{}", std::process::id()));
+        export_dir(&ds, &dir).unwrap();
+        let back = import_dir(&dir).unwrap();
+        assert_eq!(back.sources, ds.sources);
+        assert_eq!(back.countries, ds.countries);
+        assert_eq!(back.workers, ds.workers);
+        assert_eq!(back.task_types, ds.task_types);
+        assert_eq!(back.batches, ds.batches);
+        assert_eq!(back.instances, ds.instances);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn answer_field_roundtrip() {
+        for a in [Answer::Choice(7), Answer::Text("x,y".into()), Answer::Skipped] {
+            let f = answer_to_field(&a);
+            assert_eq!(answer_from_field(&f, 1).unwrap(), a);
+        }
+        assert!(answer_from_field("Q:9", 1).is_err());
+        assert!(answer_from_field("C:notanum", 1).is_err());
+    }
+
+    #[test]
+    fn import_rejects_wrong_header() {
+        let dir = std::env::temp_dir().join(format!("crowd_csv_badhdr_{}", std::process::id()));
+        export_dir(&sample(), &dir).unwrap();
+        std::fs::write(dir.join("workers.csv"), "wrong,header\n1,2\n").unwrap();
+        assert!(import_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_rejects_wrong_arity() {
+        let dir = std::env::temp_dir().join(format!("crowd_csv_badarity_{}", std::process::id()));
+        export_dir(&sample(), &dir).unwrap();
+        std::fs::write(dir.join("workers.csv"), "source,country\n1\n").unwrap();
+        assert!(import_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

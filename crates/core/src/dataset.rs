@@ -1,0 +1,504 @@
+//! The dataset container: all entity tables plus derived indexes.
+
+use crate::answer::Answer;
+use crate::error::{CoreError, Result};
+use crate::id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
+use crate::task::{Batch, TaskType};
+use crate::time::{Duration, Timestamp};
+use crate::worker::{Country, Source, Worker};
+
+/// One completed task instance: a single worker's unit of work on one item
+/// (paper §2, §2.3 "Task instance attributes").
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TaskInstance {
+    /// The batch this instance belongs to.
+    pub batch: BatchId,
+    /// The item the instance's question operates on, scoped to the batch's
+    /// task type: equal `(task_type, item)` pairs denote the same datum.
+    pub item: ItemId,
+    /// The worker who performed the instance.
+    pub worker: WorkerId,
+    /// When the worker started the instance.
+    pub start: Timestamp,
+    /// When the worker submitted the instance.
+    pub end: Timestamp,
+    /// Marketplace-assigned trust score in `[0, 1]` — accuracy on hidden
+    /// test questions, the paper's only proxy for worker accuracy (§2.3).
+    pub trust: f32,
+    /// The worker's answer.
+    pub answer: Answer,
+}
+
+impl TaskInstance {
+    /// Time the worker spent on the instance.
+    #[inline]
+    pub fn work_time(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// The full relational dataset: dense entity tables linked by typed ids.
+///
+/// Construct through [`DatasetBuilder`], which validates referential
+/// integrity; a `Dataset` in hand is therefore always consistent.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dataset {
+    /// Labor sources (paper Table 4).
+    pub sources: Vec<Source>,
+    /// Worker countries (paper Fig. 28).
+    pub countries: Vec<Country>,
+    /// Workers.
+    pub workers: Vec<Worker>,
+    /// Distinct task types.
+    pub task_types: Vec<TaskType>,
+    /// Batches, in creation-time order.
+    pub batches: Vec<Batch>,
+    /// Task instances.
+    pub instances: Vec<TaskInstance>,
+}
+
+impl Dataset {
+    /// Looks up a batch row.
+    #[inline]
+    pub fn batch(&self, id: BatchId) -> &Batch {
+        &self.batches[id.index()]
+    }
+
+    /// Looks up a task-type row.
+    #[inline]
+    pub fn task_type(&self, id: TaskTypeId) -> &TaskType {
+        &self.task_types[id.index()]
+    }
+
+    /// Looks up a worker row.
+    #[inline]
+    pub fn worker(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.index()]
+    }
+
+    /// Looks up a source row.
+    #[inline]
+    pub fn source(&self, id: SourceId) -> &Source {
+        &self.sources[id.index()]
+    }
+
+    /// Looks up a country row.
+    #[inline]
+    pub fn country(&self, id: CountryId) -> &Country {
+        &self.countries[id.index()]
+    }
+
+    /// The task type behind an instance (via its batch).
+    #[inline]
+    pub fn instance_task_type(&self, inst: &TaskInstance) -> TaskTypeId {
+        self.batch(inst.batch).task_type
+    }
+
+    /// Pickup latency of an instance: time from batch creation to the
+    /// worker starting the instance (paper §4.1 "Median Pickup Time").
+    #[inline]
+    pub fn pickup_time(&self, inst: &TaskInstance) -> Duration {
+        inst.start - self.batch(inst.batch).created_at
+    }
+
+    /// Earliest batch creation time, if any batches exist.
+    pub fn time_min(&self) -> Option<Timestamp> {
+        self.batches.iter().map(|b| b.created_at).min()
+    }
+
+    /// Latest instance end time (falling back to batch creation times).
+    pub fn time_max(&self) -> Option<Timestamp> {
+        let inst_max = self.instances.iter().map(|i| i.end).max();
+        let batch_max = self.batches.iter().map(|b| b.created_at).max();
+        inst_max.into_iter().chain(batch_max).max()
+    }
+
+    /// Builds the derived navigation indexes (CSR adjacency per batch,
+    /// task type, and worker). O(instances + batches).
+    pub fn index(&self) -> DatasetIndex {
+        let by_batch = Csr::build(self.batches.len(), self.instances.len(), |i| {
+            self.instances[i].batch.index()
+        });
+        let by_worker = Csr::build(self.workers.len(), self.instances.len(), |i| {
+            self.instances[i].worker.index()
+        });
+        let batches_by_type = Csr::build(self.task_types.len(), self.batches.len(), |b| {
+            self.batches[b].task_type.index()
+        });
+        DatasetIndex { by_batch, by_worker, batches_by_type }
+    }
+
+    /// Summary counts, as the paper reports in §2.2.
+    pub fn summary(&self) -> DatasetSummary {
+        let sampled_batches = self.batches.iter().filter(|b| b.sampled).count();
+        let mut type_seen = vec![false; self.task_types.len()];
+        let mut type_sampled = vec![false; self.task_types.len()];
+        for b in &self.batches {
+            type_seen[b.task_type.index()] = true;
+            if b.sampled {
+                type_sampled[b.task_type.index()] = true;
+            }
+        }
+        DatasetSummary {
+            sources: self.sources.len(),
+            countries: self.countries.len(),
+            workers: self.workers.len(),
+            distinct_tasks: type_seen.iter().filter(|&&x| x).count(),
+            distinct_tasks_sampled: type_sampled.iter().filter(|&&x| x).count(),
+            batches: self.batches.len(),
+            batches_sampled: sampled_batches,
+            instances: self.instances.len(),
+            time_min: self.time_min(),
+            time_max: self.time_max(),
+        }
+    }
+
+    /// Validates referential integrity and value ranges; returns the first
+    /// violation found. [`DatasetBuilder::finish`] runs this automatically.
+    pub fn validate(&self) -> Result<()> {
+        for (i, w) in self.workers.iter().enumerate() {
+            if w.source.index() >= self.sources.len() {
+                return Err(CoreError::DanglingReference {
+                    table: "sources",
+                    index: w.source.index(),
+                    len: self.sources.len(),
+                });
+            }
+            if w.country.index() >= self.countries.len() {
+                return Err(CoreError::DanglingReference {
+                    table: "countries",
+                    index: w.country.index(),
+                    len: self.countries.len(),
+                });
+            }
+            let _ = i;
+        }
+        for (bi, b) in self.batches.iter().enumerate() {
+            if b.task_type.index() >= self.task_types.len() {
+                return Err(CoreError::DanglingReference {
+                    table: "task_types",
+                    index: b.task_type.index(),
+                    len: self.task_types.len(),
+                });
+            }
+            if b.sampled && b.html.is_none() {
+                return Err(CoreError::SampledBatchWithoutHtml { batch: bi });
+            }
+        }
+        for (ii, inst) in self.instances.iter().enumerate() {
+            if inst.batch.index() >= self.batches.len() {
+                return Err(CoreError::DanglingReference {
+                    table: "batches",
+                    index: inst.batch.index(),
+                    len: self.batches.len(),
+                });
+            }
+            if inst.worker.index() >= self.workers.len() {
+                return Err(CoreError::DanglingReference {
+                    table: "workers",
+                    index: inst.worker.index(),
+                    len: self.workers.len(),
+                });
+            }
+            if inst.end < inst.start {
+                return Err(CoreError::NegativeDuration { instance: ii });
+            }
+            if !(0.0..=1.0).contains(&inst.trust) || inst.trust.is_nan() {
+                return Err(CoreError::TrustOutOfRange { instance: ii, value: inst.trust });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compressed-sparse-row adjacency: for each of `n` keys, the list of row
+/// indices mapping to it, in stable (row) order.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds by counting sort: `key(i)` gives the bucket of row `i`.
+    pub fn build(n_keys: usize, n_rows: usize, key: impl Fn(usize) -> usize) -> Csr {
+        let mut counts = vec![0u32; n_keys + 1];
+        for i in 0..n_rows {
+            counts[key(i) + 1] += 1;
+        }
+        for k in 0..n_keys {
+            counts[k + 1] += counts[k];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut rows = vec![0u32; n_rows];
+        for i in 0..n_rows {
+            let k = key(i);
+            rows[cursor[k] as usize] = i as u32;
+            cursor[k] += 1;
+        }
+        Csr { offsets, rows }
+    }
+
+    /// Rows mapped to `key`.
+    #[inline]
+    pub fn get(&self, key: usize) -> &[u32] {
+        &self.rows[self.offsets[key] as usize..self.offsets[key + 1] as usize]
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Derived navigation indexes over a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DatasetIndex {
+    by_batch: Csr,
+    by_worker: Csr,
+    batches_by_type: Csr,
+}
+
+impl DatasetIndex {
+    /// Instance row indices belonging to `batch`.
+    pub fn instances_of_batch(&self, batch: BatchId) -> impl Iterator<Item = InstanceId> + '_ {
+        self.by_batch.get(batch.index()).iter().map(|&r| InstanceId::new(r))
+    }
+
+    /// Instance row indices performed by `worker`.
+    pub fn instances_of_worker(&self, worker: WorkerId) -> impl Iterator<Item = InstanceId> + '_ {
+        self.by_worker.get(worker.index()).iter().map(|&r| InstanceId::new(r))
+    }
+
+    /// Batch row indices instantiating `task_type`.
+    pub fn batches_of_type(&self, tt: TaskTypeId) -> impl Iterator<Item = BatchId> + '_ {
+        self.batches_by_type.get(tt.index()).iter().map(|&r| BatchId::new(r))
+    }
+
+    /// Number of instances in `batch`.
+    pub fn batch_size(&self, batch: BatchId) -> usize {
+        self.by_batch.get(batch.index()).len()
+    }
+
+    /// Number of instances performed by `worker`.
+    pub fn worker_load(&self, worker: WorkerId) -> usize {
+        self.by_worker.get(worker.index()).len()
+    }
+}
+
+/// Headline dataset counts (paper §2.2).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetSummary {
+    /// Number of labor sources.
+    pub sources: usize,
+    /// Number of countries with at least one registered worker row.
+    pub countries: usize,
+    /// Number of workers.
+    pub workers: usize,
+    /// Distinct task types with at least one batch.
+    pub distinct_tasks: usize,
+    /// Distinct task types with at least one *sampled* batch.
+    pub distinct_tasks_sampled: usize,
+    /// Total batches.
+    pub batches: usize,
+    /// Batches inside the fully observed sample.
+    pub batches_sampled: usize,
+    /// Total task instances (sampled batches only carry instances).
+    pub instances: usize,
+    /// Earliest batch creation time.
+    pub time_min: Option<Timestamp>,
+    /// Latest activity time.
+    pub time_max: Option<Timestamp>,
+}
+
+/// Incremental, validating constructor for [`Dataset`].
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    ds: Dataset,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a source, returning its id.
+    pub fn add_source(&mut self, source: Source) -> SourceId {
+        self.ds.sources.push(source);
+        SourceId::from_usize(self.ds.sources.len() - 1)
+    }
+
+    /// Appends a country, returning its id.
+    pub fn add_country(&mut self, name: impl Into<String>) -> CountryId {
+        self.ds.countries.push(Country::new(name));
+        CountryId::from_usize(self.ds.countries.len() - 1)
+    }
+
+    /// Appends a worker, returning its id.
+    pub fn add_worker(&mut self, worker: Worker) -> WorkerId {
+        self.ds.workers.push(worker);
+        WorkerId::from_usize(self.ds.workers.len() - 1)
+    }
+
+    /// Appends a task type, returning its id.
+    pub fn add_task_type(&mut self, tt: TaskType) -> TaskTypeId {
+        self.ds.task_types.push(tt);
+        TaskTypeId::from_usize(self.ds.task_types.len() - 1)
+    }
+
+    /// Appends a batch, returning its id.
+    pub fn add_batch(&mut self, batch: Batch) -> BatchId {
+        self.ds.batches.push(batch);
+        BatchId::from_usize(self.ds.batches.len() - 1)
+    }
+
+    /// Appends a task instance, returning its id.
+    pub fn add_instance(&mut self, inst: TaskInstance) -> InstanceId {
+        self.ds.instances.push(inst);
+        InstanceId::from_usize(self.ds.instances.len() - 1)
+    }
+
+    /// Reserves capacity in the instance table (the hot one).
+    pub fn reserve_instances(&mut self, additional: usize) {
+        self.ds.instances.reserve(additional);
+    }
+
+    /// Validates and returns the dataset.
+    pub fn finish(self) -> Result<Dataset> {
+        self.ds.validate()?;
+        Ok(self.ds)
+    }
+
+    /// Returns the dataset without validation (for trusted bulk loads;
+    /// prefer [`DatasetBuilder::finish`]).
+    pub fn finish_unchecked(self) -> Dataset {
+        self.ds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::Goal;
+
+    fn tiny() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source(Source::new("neodev", crate::worker::SourceKind::Dedicated));
+        let c = b.add_country("USA");
+        let w1 = b.add_worker(Worker::new(s, c));
+        let w2 = b.add_worker(Worker::new(s, c));
+        let tt = b.add_task_type(TaskType::new("label cats").with_goal(Goal::QualityAssurance));
+        let t0 = Timestamp::from_ymd(2015, 2, 1);
+        let batch = b.add_batch(Batch::new(tt, t0).with_html("<p>cat?</p>"));
+        for (w, offset, ans) in [(w1, 60, 0u16), (w2, 120, 0), (w1, 300, 1)] {
+            b.add_instance(TaskInstance {
+                batch,
+                item: ItemId::new(if ans == 1 { 1 } else { 0 }),
+                worker: w,
+                start: t0 + Duration::from_secs(offset),
+                end: t0 + Duration::from_secs(offset + 30),
+                trust: 0.9,
+                answer: Answer::Choice(ans),
+            });
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_dataset() {
+        let ds = tiny();
+        assert_eq!(ds.instances.len(), 3);
+        assert_eq!(ds.summary().distinct_tasks, 1);
+        assert_eq!(ds.summary().batches_sampled, 1);
+    }
+
+    #[test]
+    fn validation_catches_dangling_worker() {
+        let mut ds = tiny();
+        ds.instances[0].worker = WorkerId::new(99);
+        assert!(matches!(
+            ds.validate(),
+            Err(CoreError::DanglingReference { table: "workers", .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_negative_duration() {
+        let mut ds = tiny();
+        ds.instances[1].end = ds.instances[1].start - Duration::from_secs(1);
+        assert_eq!(ds.validate(), Err(CoreError::NegativeDuration { instance: 1 }));
+    }
+
+    #[test]
+    fn validation_catches_bad_trust() {
+        let mut ds = tiny();
+        ds.instances[2].trust = 1.5;
+        assert!(matches!(ds.validate(), Err(CoreError::TrustOutOfRange { instance: 2, .. })));
+        ds.instances[2].trust = f32::NAN;
+        assert!(matches!(ds.validate(), Err(CoreError::TrustOutOfRange { .. })));
+    }
+
+    #[test]
+    fn validation_catches_sampled_batch_without_html() {
+        let mut ds = tiny();
+        ds.batches[0].html = None;
+        assert_eq!(ds.validate(), Err(CoreError::SampledBatchWithoutHtml { batch: 0 }));
+    }
+
+    #[test]
+    fn pickup_and_work_time() {
+        let ds = tiny();
+        let inst = &ds.instances[0];
+        assert_eq!(ds.pickup_time(inst), Duration::from_secs(60));
+        assert_eq!(inst.work_time(), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn index_navigation() {
+        let ds = tiny();
+        let idx = ds.index();
+        assert_eq!(idx.batch_size(BatchId::new(0)), 3);
+        assert_eq!(idx.worker_load(WorkerId::new(0)), 2);
+        assert_eq!(idx.worker_load(WorkerId::new(1)), 1);
+        let batches: Vec<_> = idx.batches_of_type(TaskTypeId::new(0)).collect();
+        assert_eq!(batches, vec![BatchId::new(0)]);
+        // CSR preserves row order within a bucket.
+        let rows: Vec<_> = idx.instances_of_batch(BatchId::new(0)).collect();
+        assert_eq!(rows, vec![InstanceId::new(0), InstanceId::new(1), InstanceId::new(2)]);
+    }
+
+    #[test]
+    fn csr_handles_empty_buckets() {
+        let csr = Csr::build(3, 2, |i| i * 2); // keys 0 and 2; key 1 empty
+        assert_eq!(csr.get(0), &[0]);
+        assert_eq!(csr.get(1), &[] as &[u32]);
+        assert_eq!(csr.get(2), &[1]);
+        assert_eq!(csr.len(), 3);
+    }
+
+    #[test]
+    fn summary_time_range() {
+        let ds = tiny();
+        let s = ds.summary();
+        assert_eq!(s.time_min.unwrap(), Timestamp::from_ymd(2015, 2, 1));
+        assert!(s.time_max.unwrap() > s.time_min.unwrap());
+    }
+
+    #[test]
+    fn empty_dataset_is_valid() {
+        let ds = DatasetBuilder::new().finish().unwrap();
+        assert_eq!(ds.summary().instances, 0);
+        assert_eq!(ds.time_min(), None);
+        assert_eq!(ds.time_max(), None);
+    }
+}

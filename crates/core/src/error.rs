@@ -1,0 +1,104 @@
+//! Error type shared by the core data model.
+
+use std::fmt;
+
+/// Result alias used throughout `crowd-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced while constructing or (de)serializing datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A row referenced an entity id that does not exist in the dataset.
+    DanglingReference {
+        /// Which table the bad reference points into (e.g. `"workers"`).
+        table: &'static str,
+        /// The out-of-range index.
+        index: usize,
+        /// Number of rows actually present in that table.
+        len: usize,
+    },
+    /// A task instance ended before it started.
+    NegativeDuration {
+        /// Index of the offending instance row.
+        instance: usize,
+    },
+    /// A trust score fell outside `[0, 1]`.
+    TrustOutOfRange {
+        /// Index of the offending instance row.
+        instance: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// A batch was marked sampled but carries no task HTML.
+    SampledBatchWithoutHtml {
+        /// Index of the offending batch row.
+        batch: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A timestamp string or component was invalid.
+    InvalidTime(String),
+    /// A label abbreviation could not be parsed.
+    UnknownLabel(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DanglingReference { table, index, len } => {
+                write!(f, "dangling reference into `{table}`: index {index} >= len {len}")
+            }
+            CoreError::NegativeDuration { instance } => {
+                write!(f, "instance {instance} ends before it starts")
+            }
+            CoreError::TrustOutOfRange { instance, value } => {
+                write!(f, "instance {instance} has trust {value} outside [0, 1]")
+            }
+            CoreError::SampledBatchWithoutHtml { batch } => {
+                write!(f, "batch {batch} is in the sample but has no task HTML")
+            }
+            CoreError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            CoreError::InvalidTime(s) => write!(f, "invalid time: {s}"),
+            CoreError::UnknownLabel(s) => write!(f, "unknown label: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::DanglingReference { table: "workers", index: 9, len: 3 };
+        let s = e.to_string();
+        assert!(s.contains("workers"));
+        assert!(s.contains('9'));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CoreError::NegativeDuration { instance: 1 },
+            CoreError::NegativeDuration { instance: 1 }
+        );
+        assert_ne!(
+            CoreError::NegativeDuration { instance: 1 },
+            CoreError::NegativeDuration { instance: 2 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::InvalidTime("x".into()));
+        assert!(e.to_string().contains("invalid time"));
+    }
+}

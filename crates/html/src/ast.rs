@@ -1,0 +1,222 @@
+//! HTML document tree.
+
+use std::fmt;
+
+/// Tags that never have children or closing tags (HTML void elements that
+/// appear in task interfaces).
+pub const VOID_ELEMENTS: &[&str] = &["img", "input", "br", "hr", "meta", "link", "source"];
+
+/// True for void (self-contained) elements.
+pub fn is_void(tag: &str) -> bool {
+    VOID_ELEMENTS.contains(&tag)
+}
+
+/// A node in the parsed HTML tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with tag name, attributes, and children.
+    Element(Element),
+    /// A run of text.
+    Text(String),
+    /// A comment (`<!-- … -->`); preserved for fidelity.
+    Comment(String),
+}
+
+/// An element node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Lower-cased tag name.
+    pub tag: String,
+    /// Attributes in source order; names lower-cased, values unescaped.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(tag: impl Into<String>) -> Element {
+        Element { tag: tag.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute (builder style).
+    #[must_use]
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child (builder style).
+    #[must_use]
+    pub fn child(mut self, node: Node) -> Element {
+        self.children.push(node);
+        self
+    }
+
+    /// Adds a text child (builder style).
+    #[must_use]
+    pub fn text(self, t: impl Into<String>) -> Element {
+        self.child(Node::Text(t.into()))
+    }
+
+    /// First value of attribute `name`, if present.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the space-separated `class` attribute contains `class_name`.
+    pub fn has_class(&self, class_name: &str) -> bool {
+        self.get_attr("class")
+            .map(|c| c.split_ascii_whitespace().any(|p| p == class_name))
+            .unwrap_or(false)
+    }
+
+    /// Concatenated text of all descendant text nodes.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        collect_text(&self.children, &mut out);
+        out
+    }
+}
+
+impl Node {
+    /// Shorthand for an element node.
+    pub fn elem(e: Element) -> Node {
+        Node::Element(e)
+    }
+
+    /// The element inside, if this is an element node.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+fn collect_text(nodes: &[Node], out: &mut String) {
+    for n in nodes {
+        match n {
+            Node::Text(t) => {
+                if !out.is_empty() && !out.ends_with(' ') {
+                    out.push(' ');
+                }
+                out.push_str(t.trim());
+            }
+            Node::Element(e) => collect_text(&e.children, out),
+            Node::Comment(_) => {}
+        }
+    }
+}
+
+/// A parsed document: the root-level node sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Document {
+    /// Top-level nodes in source order.
+    pub nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Depth-first traversal over every node.
+    pub fn walk(&self) -> Walk<'_> {
+        Walk { stack: self.nodes.iter().rev().collect() }
+    }
+
+    /// All elements with the given tag name.
+    pub fn elements_by_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.walk().filter_map(Node::as_element).filter(move |e| e.tag == tag)
+    }
+
+    /// Concatenated text of the whole document.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        collect_text(&self.nodes, &mut out);
+        out
+    }
+}
+
+/// Depth-first iterator over all nodes of a [`Document`].
+pub struct Walk<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for Walk<'a> {
+    type Item = &'a Node;
+    fn next(&mut self) -> Option<&'a Node> {
+        let node = self.stack.pop()?;
+        if let Node::Element(e) = node {
+            self.stack.extend(e.children.iter().rev());
+        }
+        Some(node)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::write_document(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        Document {
+            nodes: vec![Node::elem(
+                Element::new("div")
+                    .attr("class", "task main")
+                    .child(Node::elem(Element::new("h1").text("Title")))
+                    .child(Node::elem(Element::new("p").text("hello world")))
+                    .child(Node::Comment("note".into())),
+            )],
+        }
+    }
+
+    #[test]
+    fn builder_and_attr_lookup() {
+        let e = Element::new("input").attr("type", "text").attr("name", "q1");
+        assert_eq!(e.get_attr("type"), Some("text"));
+        assert_eq!(e.get_attr("missing"), None);
+    }
+
+    #[test]
+    fn has_class_splits_tokens() {
+        let e = Element::new("div").attr("class", "example prominent");
+        assert!(e.has_class("example"));
+        assert!(e.has_class("prominent"));
+        assert!(!e.has_class("examp"));
+        assert!(!Element::new("div").has_class("x"));
+    }
+
+    #[test]
+    fn text_content_joins_with_spaces() {
+        let doc = sample();
+        assert_eq!(doc.text_content(), "Title hello world");
+    }
+
+    #[test]
+    fn walk_visits_depth_first() {
+        let doc = sample();
+        let tags: Vec<_> = doc
+            .walk()
+            .filter_map(Node::as_element)
+            .map(|e| e.tag.clone())
+            .collect();
+        assert_eq!(tags, vec!["div", "h1", "p"]);
+    }
+
+    #[test]
+    fn elements_by_tag() {
+        let doc = sample();
+        assert_eq!(doc.elements_by_tag("p").count(), 1);
+        assert_eq!(doc.elements_by_tag("img").count(), 0);
+    }
+
+    #[test]
+    fn void_elements() {
+        assert!(is_void("img"));
+        assert!(is_void("input"));
+        assert!(!is_void("div"));
+    }
+}

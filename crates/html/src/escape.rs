@@ -1,0 +1,107 @@
+//! HTML entity escaping for the five predefined entities.
+
+/// Escapes text-node content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escapes attribute-value content (adds `"` and `'`).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Unescapes the predefined entities plus decimal/hex numeric references.
+/// Unknown or malformed references are passed through verbatim, as browsers
+/// do for legacy content.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|p| i + p) {
+                let entity = &s[i + 1..semi];
+                let replacement = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                        u32::from_str_radix(&entity[2..], 16).ok().and_then(char::from_u32)
+                    }
+                    _ if entity.starts_with('#') => {
+                        entity[1..].parse::<u32>().ok().and_then(char::from_u32)
+                    }
+                    _ => None,
+                };
+                if let Some(ch) = replacement {
+                    out.push(ch);
+                    i = semi + 1;
+                    continue;
+                }
+            }
+        }
+        let ch = s[i..].chars().next().unwrap();
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basics() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_text("\"quotes\" stay"), "\"quotes\" stay");
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &#39;bye&#39;");
+    }
+
+    #[test]
+    fn unescape_roundtrip() {
+        for s in ["a < b & c > d", r#"say "hi" & 'bye'"#, "plain", "ünïcödé ✓"] {
+            assert_eq!(unescape(&escape_attr(s)), s);
+            assert_eq!(unescape(&escape_text(s)), s);
+        }
+    }
+
+    #[test]
+    fn unescape_numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;"), "ABC");
+        assert_eq!(unescape("&#128075;"), "👋");
+    }
+
+    #[test]
+    fn unescape_passes_through_unknown() {
+        assert_eq!(unescape("&nbsp; &bogus; &"), "&nbsp; &bogus; &");
+        assert_eq!(unescape("&#xZZ;"), "&#xZZ;");
+        assert_eq!(unescape("a & b"), "a & b");
+    }
+}

@@ -1,0 +1,172 @@
+//! Design-parameter extraction from task HTML (paper §2.4).
+//!
+//! "We extract and store features from the sample HTML source … For
+//! example, we check whether a task contains instructions, examples,
+//! text-boxes and images." The §4 analyses then correlate these features
+//! with the effectiveness metrics.
+
+use crate::ast::{Document, Node};
+use crate::parser::{parse, HtmlError};
+
+/// Design parameters recovered from a task's HTML source.
+///
+/// `#items` is *not* extractable from HTML — it is a property of the batch
+/// (how many distinct items its instances operate on) and is computed by
+/// the analytics layer from instance rows instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtractedFeatures {
+    /// `#words`: whitespace-separated tokens across all text nodes (§4.3).
+    pub words: u32,
+    /// `#text-box`: free-form inputs — `<input type="text">` (or inputs
+    /// with no `type`, which default to text) plus `<textarea>` (§4.4).
+    pub text_boxes: u32,
+    /// `#examples`: occurrences of the word "example" wrapped in a tag of
+    /// its own, i.e. prominently displayed (§4.6).
+    pub examples: u32,
+    /// `#images`: `<img>` tags (§4.7).
+    pub images: u32,
+    /// Total input fields of any kind (`input`, `textarea`, `select`).
+    pub input_fields: u32,
+    /// Whether an instructions block is present (§2.4).
+    pub has_instructions: bool,
+}
+
+/// Parses `html` and extracts design features.
+pub fn extract_features(html: &str) -> Result<ExtractedFeatures, HtmlError> {
+    Ok(extract_from_document(&parse(html)?))
+}
+
+/// Extracts design features from an already parsed document.
+pub fn extract_from_document(doc: &Document) -> ExtractedFeatures {
+    let mut f = ExtractedFeatures {
+        words: doc.text_content().split_whitespace().count() as u32,
+        ..Default::default()
+    };
+
+    for node in doc.walk() {
+        let Some(e) = node.as_element() else { continue };
+        match e.tag.as_str() {
+            "img" => f.images += 1,
+            "textarea" => {
+                f.text_boxes += 1;
+                f.input_fields += 1;
+            }
+            "select" => f.input_fields += 1,
+            "input" => {
+                f.input_fields += 1;
+                let ty = e.get_attr("type").unwrap_or("text");
+                if ty.eq_ignore_ascii_case("text") {
+                    f.text_boxes += 1;
+                }
+            }
+            _ => {}
+        }
+        // "The word example wrapped in a tag of its own": an element whose
+        // sole child is a text node starting with "example".
+        if let [Node::Text(t)] = e.children.as_slice() {
+            if is_example_marker(t) {
+                f.examples += 1;
+            }
+        }
+        if !f.has_instructions && is_instructions_block(e) {
+            f.has_instructions = true;
+        }
+    }
+    f
+}
+
+/// Matches "example", optionally followed by an index and punctuation
+/// ("Example", "example 2:", "EXAMPLE:").
+fn is_example_marker(text: &str) -> bool {
+    let t = text.trim();
+    let lower = t.to_ascii_lowercase();
+    let Some(rest) = lower.strip_prefix("example") else {
+        return false;
+    };
+    rest.chars().all(|c| c.is_ascii_digit() || c.is_ascii_whitespace() || c == ':' || c == '.')
+}
+
+fn is_instructions_block(e: &crate::ast::Element) -> bool {
+    if e.has_class("instructions") || e.get_attr("id") == Some("instructions") {
+        return true;
+    }
+    if matches!(e.tag.as_str(), "h1" | "h2" | "h3" | "b" | "strong") {
+        if let [Node::Text(t)] = e.children.as_slice() {
+            return t.trim().eq_ignore_ascii_case("instructions");
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_words_across_nested_text() {
+        let f = extract_features("<div><p>one two</p><span>three</span></div>").unwrap();
+        assert_eq!(f.words, 3);
+    }
+
+    #[test]
+    fn counts_text_boxes_by_type() {
+        let html = r#"
+            <input type="text">
+            <input type="radio">
+            <input>
+            <textarea></textarea>
+            <select></select>
+        "#;
+        let f = extract_features(html).unwrap();
+        assert_eq!(f.text_boxes, 3, "text + default-type input + textarea");
+        assert_eq!(f.input_fields, 5);
+    }
+
+    #[test]
+    fn example_marker_variants() {
+        assert!(is_example_marker("Example"));
+        assert!(is_example_marker("example 12:"));
+        assert!(is_example_marker("  EXAMPLE.  "));
+        assert!(!is_example_marker("for example, do this"));
+        assert!(!is_example_marker("examples are in the text"));
+        assert!(!is_example_marker("counterexample"));
+    }
+
+    #[test]
+    fn counts_wrapped_examples_only() {
+        let html = r#"
+            <b>Example 1</b>
+            <p>for example you could answer yes</p>
+            <div><span>Example 2:</span></div>
+        "#;
+        let f = extract_features(html).unwrap();
+        assert_eq!(f.examples, 2, "inline mentions inside prose do not count");
+    }
+
+    #[test]
+    fn counts_images() {
+        let f = extract_features(r#"<img src="a"><div><img src="b"></div>"#).unwrap();
+        assert_eq!(f.images, 2);
+    }
+
+    #[test]
+    fn detects_instructions_by_class_and_heading() {
+        assert!(extract_features(r#"<div class="instructions">x</div>"#).unwrap().has_instructions);
+        assert!(extract_features("<h2>Instructions</h2>").unwrap().has_instructions);
+        assert!(extract_features("<h2>INSTRUCTIONS</h2>").unwrap().has_instructions);
+        assert!(!extract_features("<p>follow the instructions above</p>")
+            .unwrap()
+            .has_instructions);
+    }
+
+    #[test]
+    fn empty_document() {
+        let f = extract_features("").unwrap();
+        assert_eq!(f, ExtractedFeatures::default());
+    }
+
+    #[test]
+    fn malformed_html_is_an_error() {
+        assert!(extract_features("<input type=\"text").is_err());
+    }
+}

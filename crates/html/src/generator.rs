@@ -1,0 +1,331 @@
+//! Task-interface generator.
+//!
+//! `crowd-sim` attaches HTML to every sampled batch; this module renders a
+//! realistic interface from an [`InterfaceSpec`] whose knobs correspond
+//! one-to-one to the paper's §4 design parameters. The text is drawn
+//! deterministically from a word bank keyed by `seed`, so two batches of the
+//! same task type produce *near-identical* markup (same structure, slightly
+//! different item references) — which is exactly what makes the §3.3
+//! HTML-similarity clustering both possible and non-trivial.
+
+use crate::ast::{Document, Element, Node};
+use crate::writer::write_document;
+
+/// Specification of one task interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceSpec {
+    /// Task title (the batch's one-sentence description, §2.3).
+    pub title: String,
+    /// Approximate number of words of instructions to include. The total
+    /// `#words` of the page will exceed this by the title/questions/labels.
+    pub instruction_words: u32,
+    /// Number of questions on the page.
+    pub questions: u32,
+    /// Number of free-form text boxes (distributed across questions).
+    pub text_boxes: u32,
+    /// Number of prominently displayed examples (the paper counts the word
+    /// "example" wrapped in a tag of its own, §4.6).
+    pub examples: u32,
+    /// Number of `<img>` tags.
+    pub images: u32,
+    /// Alternatives per multiple-choice question.
+    pub choice_options: u16,
+    /// Seed for word selection: batches of one task type share this, so
+    /// their instruction text is identical.
+    pub seed: u64,
+    /// Per-batch variant: drives only incidental content (item references,
+    /// batch markers), keeping same-type batches *near*-identical — the
+    /// property the §3.3 similarity clustering relies on.
+    pub variant: u64,
+}
+
+impl Default for InterfaceSpec {
+    fn default() -> Self {
+        InterfaceSpec {
+            title: "Untitled task".into(),
+            instruction_words: 60,
+            questions: 1,
+            text_boxes: 0,
+            examples: 0,
+            images: 0,
+            choice_options: 2,
+            seed: 0,
+            variant: 0,
+        }
+    }
+}
+
+/// Word bank for generated instructions — vocabulary typical of microtask
+/// guidelines, so generated pages tokenize like real ones.
+const WORDS: &[&str] = &[
+    "please", "read", "the", "following", "carefully", "before", "answering", "each", "question",
+    "select", "option", "that", "best", "describes", "item", "shown", "below", "if", "you", "are",
+    "unsure", "choose", "closest", "match", "do", "not", "use", "external", "tools", "unless",
+    "instructed", "otherwise", "search", "for", "official", "website", "of", "business", "and",
+    "copy", "its", "address", "into", "box", "provided", "make", "sure", "your", "answer", "is",
+    "complete", "sentence", "avoid", "abbreviations", "when", "possible", "check", "spelling",
+    "submit", "only", "after", "reviewing", "all", "responses", "work", "will", "be", "reviewed",
+    "by", "other", "contributors", "accuracy", "matters", "more", "than", "speed", "thank",
+    "this", "task", "should", "take", "about", "two", "minutes", "to", "image", "text", "page",
+    "profile", "record", "listing", "screenshot", "document", "label", "category", "relevant",
+    "irrelevant", "positive", "negative", "neutral", "same", "different", "matches", "contains",
+];
+
+/// Minimal xorshift64* generator — deterministic, dependency-free.
+#[derive(Debug, Clone)]
+pub struct WordRng(u64);
+
+impl WordRng {
+    /// Seeds the generator (zero is remapped to a fixed constant).
+    pub fn new(seed: u64) -> WordRng {
+        WordRng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn sentence(&mut self, words: u32) -> String {
+        let mut out = String::with_capacity(words as usize * 8);
+        for i in 0..words {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(WORDS[self.below(WORDS.len() as u64) as usize]);
+        }
+        out
+    }
+}
+
+impl InterfaceSpec {
+    /// Builds the interface as an AST.
+    pub fn build(&self) -> Document {
+        let mut rng = WordRng::new(self.seed ^ 0xC0FF_EE00);
+        let mut item_rng = WordRng::new(self.variant ^ 0x00BA_7C45_EED1);
+        let mut task = Element::new("div")
+            .attr("class", "task")
+            .attr("data-batch", format!("{:x}", self.variant));
+
+        task = task.child(Node::Element(Element::new("h1").text(self.title.clone())));
+
+        if self.instruction_words > 0 {
+            let mut instr = Element::new("div").attr("class", "instructions");
+            instr = instr.child(Node::Element(
+                Element::new("h2").text("Instructions"),
+            ));
+            // Split the instruction words across a few paragraphs.
+            let mut remaining = self.instruction_words;
+            while remaining > 0 {
+                let take = remaining.min(40);
+                instr = instr
+                    .child(Node::Element(Element::new("p").text(rng.sentence(take))));
+                remaining -= take;
+            }
+            task = task.child(Node::Element(instr));
+        }
+
+        for i in 0..self.examples {
+            let ex = Element::new("div")
+                .attr("class", "example")
+                .child(Node::Element(Element::new("b").text(format!("Example {}", i + 1))))
+                .child(Node::Element(Element::new("p").text(rng.sentence(18))));
+            task = task.child(Node::Element(ex));
+        }
+
+        // Images: attach to the first questions, overflow standalone.
+        let mut images_left = self.images;
+        let text_boxes_in_questions = self.text_boxes.min(self.questions);
+
+        for q in 0..self.questions.max(1) {
+            let mut qdiv = Element::new("div")
+                .attr("class", "question")
+                .attr("data-q", (q + 1).to_string());
+            qdiv = qdiv.child(Node::Element(
+                Element::new("p").text(format!("{}?", rng.sentence(9))),
+            ));
+            if images_left > 0 {
+                qdiv = qdiv.child(Node::Element(
+                    Element::new("img")
+                        .attr("src", format!("https://cdn.example.org/item_{}.png", item_rng.below(1_000_000)))
+                        .attr("alt", "item"),
+                ));
+                images_left -= 1;
+            }
+            if q < text_boxes_in_questions {
+                qdiv = qdiv.child(Node::Element(
+                    Element::new("input")
+                        .attr("type", "text")
+                        .attr("name", format!("q{}", q + 1)),
+                ));
+            } else {
+                for opt in 0..self.choice_options.max(2) {
+                    let id = format!("q{}o{}", q + 1, opt);
+                    qdiv = qdiv
+                        .child(Node::Element(
+                            Element::new("input")
+                                .attr("type", "radio")
+                                .attr("name", format!("q{}", q + 1))
+                                .attr("id", id.clone())
+                                .attr("value", opt.to_string()),
+                        ))
+                        .child(Node::Element(
+                            Element::new("label")
+                                .attr("for", id)
+                                .text(WORDS[rng.below(WORDS.len() as u64) as usize].to_string()),
+                        ));
+                }
+            }
+            task = task.child(Node::Element(qdiv));
+        }
+
+        // Extra text boxes beyond the question count live in a comments div.
+        for extra in text_boxes_in_questions..self.text_boxes {
+            task = task.child(Node::Element(
+                Element::new("input")
+                    .attr("type", "text")
+                    .attr("name", format!("extra{}", extra + 1)),
+            ));
+        }
+        // Leftover images not attached to a question.
+        for _ in 0..images_left {
+            task = task.child(Node::Element(
+                Element::new("img")
+                    .attr("src", format!("https://cdn.example.org/item_{}.png", item_rng.below(1_000_000)))
+                    .attr("alt", "item"),
+            ));
+        }
+
+        task = task.child(Node::Element(
+            Element::new("button").attr("type", "submit").text("Submit"),
+        ));
+
+        Document { nodes: vec![Node::Element(task)] }
+    }
+
+    /// Renders the interface to an HTML string.
+    pub fn render(&self) -> String {
+        write_document(&self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_features;
+    use crate::parser::parse;
+
+    fn spec() -> InterfaceSpec {
+        InterfaceSpec {
+            title: "Classify storefront photos".into(),
+            instruction_words: 100,
+            questions: 4,
+            text_boxes: 2,
+            examples: 3,
+            images: 5,
+            choice_options: 3,
+            seed: 42,
+            variant: 7,
+        }
+    }
+
+    #[test]
+    fn render_is_parseable() {
+        let html = spec().render();
+        let doc = parse(&html).unwrap();
+        assert_eq!(doc.nodes.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(spec().render(), spec().render());
+        let mut other = spec();
+        other.seed = 43;
+        assert_ne!(spec().render(), other.render(), "different seed, different page");
+        let variant = InterfaceSpec { variant: 8, ..spec() };
+        assert_ne!(spec().render(), variant.render(), "variants differ");
+    }
+
+    #[test]
+    fn variants_share_instruction_text() {
+        let a = spec().render();
+        let b = InterfaceSpec { variant: 999, ..spec() }.render();
+        assert_ne!(a, b);
+        // Strip the incidental parts; the instruction prose is identical.
+        let text_a: Vec<&str> = a.split("cdn.example.org").collect();
+        let text_b: Vec<&str> = b.split("cdn.example.org").collect();
+        assert_eq!(text_a.len(), text_b.len());
+        assert_eq!(text_a[0].split("data-batch").next().unwrap().len(),
+                   text_b[0].split("data-batch").next().unwrap().len());
+    }
+
+    #[test]
+    fn counts_survive_roundtrip() {
+        let f = extract_features(&spec().render()).unwrap();
+        assert_eq!(f.examples, 3);
+        assert_eq!(f.images, 5);
+        assert_eq!(f.text_boxes, 2);
+        assert!(f.has_instructions);
+        assert!(f.words >= 100, "instructions alone contribute 100 words, got {}", f.words);
+    }
+
+    #[test]
+    fn zero_features_render_cleanly() {
+        let s = InterfaceSpec {
+            title: "t".into(),
+            instruction_words: 0,
+            questions: 1,
+            text_boxes: 0,
+            examples: 0,
+            images: 0,
+            choice_options: 2,
+            seed: 1,
+            variant: 0,
+        };
+        let f = extract_features(&s.render()).unwrap();
+        assert_eq!(f.examples, 0);
+        assert_eq!(f.images, 0);
+        assert_eq!(f.text_boxes, 0);
+        assert!(!f.has_instructions);
+    }
+
+    #[test]
+    fn more_text_boxes_than_questions() {
+        let s = InterfaceSpec { text_boxes: 6, questions: 2, ..spec() };
+        let f = extract_features(&s.render()).unwrap();
+        assert_eq!(f.text_boxes, 6);
+    }
+
+    #[test]
+    fn word_rng_is_stable() {
+        let mut a = WordRng::new(5);
+        let mut b = WordRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Zero seed is remapped, not degenerate.
+        let mut z = WordRng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn same_type_different_seeds_share_structure() {
+        let a = spec();
+        let b = InterfaceSpec { seed: 777, ..spec() };
+        let fa = extract_features(&a.render()).unwrap();
+        let fb = extract_features(&b.render()).unwrap();
+        assert_eq!(fa.examples, fb.examples);
+        assert_eq!(fa.images, fb.images);
+        assert_eq!(fa.text_boxes, fb.text_boxes);
+    }
+}

@@ -1,0 +1,313 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream — open tags (with parsed attributes),
+//! close tags, text runs, and comments — which [`crate::parser`] folds
+//! into a tree. The lexer is tolerant where real-world task HTML is sloppy
+//! (unquoted attribute values, stray whitespace) and reports a precise byte
+//! offset for every error.
+
+use crate::escape::unescape;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<tag attr="v" …>` or `<tag … />` (`self_closing`).
+    Open {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes in order; names lower-cased, values unescaped.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+    },
+    /// `</tag>`.
+    Close {
+        /// Lower-cased tag name.
+        name: String,
+    },
+    /// A text run (entities resolved).
+    Text(String),
+    /// `<!-- … -->`.
+    Comment(String),
+}
+
+/// A lexing failure with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte position where the problem was detected.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an HTML fragment.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    Lexer { input, pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        while self.pos < self.input.len() {
+            if self.rest().starts_with("<!--") {
+                tokens.push(self.comment()?);
+            } else if self.rest().starts_with("</") {
+                tokens.push(self.close_tag()?);
+            } else if self.rest().starts_with('<') {
+                tokens.push(self.open_tag()?);
+            } else {
+                let text = self.text();
+                if !text.is_empty() {
+                    tokens.push(Token::Text(text));
+                }
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { offset: self.pos, message: message.into() }
+    }
+
+    fn text(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.input.len() && !self.rest().starts_with('<') {
+            self.pos += self.rest().chars().next().unwrap().len_utf8();
+        }
+        unescape(&self.input[start..self.pos])
+    }
+
+    fn comment(&mut self) -> Result<Token, LexError> {
+        let body_start = self.pos + 4;
+        match self.input[body_start..].find("-->") {
+            Some(end) => {
+                let body = self.input[body_start..body_start + end].to_owned();
+                self.pos = body_start + end + 3;
+                Ok(Token::Comment(body))
+            }
+            None => Err(self.err("unterminated comment")),
+        }
+    }
+
+    fn close_tag(&mut self) -> Result<Token, LexError> {
+        self.pos += 2; // </
+        let name = self.tag_name()?;
+        self.skip_ws();
+        if !self.rest().starts_with('>') {
+            return Err(self.err(format!("malformed closing tag </{name}")));
+        }
+        self.pos += 1;
+        Ok(Token::Close { name })
+    }
+
+    fn open_tag(&mut self) -> Result<Token, LexError> {
+        self.pos += 1; // <
+        let name = self.tag_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.rest().starts_with("/>") {
+                self.pos += 2;
+                return Ok(Token::Open { name, attrs, self_closing: true });
+            }
+            if self.rest().starts_with('>') {
+                self.pos += 1;
+                return Ok(Token::Open { name, attrs, self_closing: false });
+            }
+            if self.rest().is_empty() {
+                return Err(self.err(format!("unterminated tag <{name}")));
+            }
+            attrs.push(self.attribute()?);
+        }
+    }
+
+    fn tag_name(&mut self) -> Result<String, LexError> {
+        let start = self.pos;
+        while self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphanumeric() || c == '-')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected tag name"));
+        }
+        Ok(self.input[start..self.pos].to_ascii_lowercase())
+    }
+
+    fn attribute(&mut self) -> Result<(String, String), LexError> {
+        let start = self.pos;
+        while self
+            .rest()
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected attribute name"));
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_ws();
+        if !self.rest().starts_with('=') {
+            // Boolean attribute (e.g. `checked`).
+            return Ok((name, String::new()));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let value = match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                match self.rest().find(q) {
+                    Some(end) => {
+                        let raw = &self.input[vstart..vstart + end];
+                        self.pos = vstart + end + 1;
+                        unescape(raw)
+                    }
+                    None => return Err(self.err("unterminated attribute value")),
+                }
+            }
+            Some(_) => {
+                // Unquoted value: up to whitespace or tag end.
+                let vstart = self.pos;
+                while self
+                    .rest()
+                    .chars()
+                    .next()
+                    .map(|c| !c.is_ascii_whitespace() && c != '>' && c != '/')
+                    .unwrap_or(false)
+                {
+                    self.pos += self.rest().chars().next().unwrap().len_utf8();
+                }
+                unescape(&self.input[vstart..self.pos])
+            }
+            None => return Err(self.err("unterminated tag in attribute")),
+        };
+        Ok((name, value))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().chars().next().map(|c| c.is_ascii_whitespace()).unwrap_or(false) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_fragment() {
+        let toks = lex("<p>hi</p>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Open { name: "p".into(), attrs: vec![], self_closing: false },
+                Token::Text("hi".into()),
+                Token::Close { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_attributes_all_styles() {
+        let toks = lex(r#"<input type="text" name='q' checked size=20>"#).unwrap();
+        match &toks[0] {
+            Token::Open { name, attrs, self_closing } => {
+                assert_eq!(name, "input");
+                assert!(!self_closing);
+                assert_eq!(
+                    attrs,
+                    &vec![
+                        ("type".to_string(), "text".to_string()),
+                        ("name".to_string(), "q".to_string()),
+                        ("checked".to_string(), String::new()),
+                        ("size".to_string(), "20".to_string()),
+                    ]
+                );
+            }
+            other => panic!("unexpected token {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lexes_self_closing_and_case_folds() {
+        let toks = lex("<IMG SRC=\"x.png\"/>").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Open {
+                name: "img".into(),
+                attrs: vec![("src".into(), "x.png".into())],
+                self_closing: true,
+            }]
+        );
+    }
+
+    #[test]
+    fn lexes_comment() {
+        let toks = lex("a<!-- note -->b").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Text("a".into()),
+                Token::Comment(" note ".into()),
+                Token::Text("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn resolves_entities_in_text_and_attrs() {
+        let toks = lex("<a title=\"R&amp;D\">x &lt; y</a>").unwrap();
+        match &toks[0] {
+            Token::Open { attrs, .. } => assert_eq!(attrs[0].1, "R&D"),
+            _ => panic!(),
+        }
+        assert_eq!(toks[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn error_offsets() {
+        let e = lex("<p><").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(lex("<!-- open").is_err());
+        assert!(lex("<a href=\"no-close>").is_err());
+        assert!(lex("</p").is_err());
+        assert!(lex("<>").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerance_in_close_tag() {
+        assert_eq!(lex("</div >").unwrap(), vec![Token::Close { name: "div".into() }]);
+    }
+
+    #[test]
+    fn unicode_text_survives() {
+        let toks = lex("<p>héllo ✓</p>").unwrap();
+        assert_eq!(toks[1], Token::Text("héllo ✓".into()));
+    }
+}

@@ -1,0 +1,52 @@
+//! # crowd-html
+//!
+//! Task-interface HTML tooling for the crowdsourcing-marketplace study.
+//!
+//! The paper's dataset contains "the source HTML code to one sample task
+//! instance in the batch" (§2.3), from which the authors extracted *design
+//! parameters* — `#words`, `#text-box`, `#examples`, `#images` — used by the
+//! entire §4 task-design analysis. This crate provides both directions:
+//!
+//! * [`generator`] renders a realistic task interface from an
+//!   [`InterfaceSpec`] (used by `crowd-sim` to attach HTML to batches);
+//! * [`lexer`]/[`parser`] parse HTML into an AST, and [`features`]
+//!   re-extracts the design parameters from raw markup — so the enrichment
+//!   pipeline of §2.4 runs end-to-end instead of being short-circuited.
+//!
+//! ```
+//! use crowd_html::{generator::InterfaceSpec, features::extract_features};
+//!
+//! let spec = InterfaceSpec {
+//!     title: "Find the official website".into(),
+//!     instruction_words: 120,
+//!     questions: 3,
+//!     text_boxes: 1,
+//!     examples: 2,
+//!     images: 1,
+//!     choice_options: 4,
+//!     seed: 7,
+//!     variant: 0,
+//! };
+//! let html = spec.render();
+//! let feats = extract_features(&html).unwrap();
+//! assert_eq!(feats.examples, 2);
+//! assert_eq!(feats.images, 1);
+//! assert!(feats.text_boxes >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod escape;
+pub mod features;
+pub mod generator;
+pub mod lexer;
+pub mod parser;
+pub mod writer;
+
+pub use ast::{Document, Node};
+pub use features::{extract_features, ExtractedFeatures};
+pub use generator::InterfaceSpec;
+pub use parser::{parse, HtmlError};
+pub use writer::write_document;

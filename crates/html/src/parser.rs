@@ -1,0 +1,154 @@
+//! Tree construction from the token stream.
+//!
+//! Browser-style recovery for the sloppiness common in requester-authored
+//! task HTML: an unmatched close tag either closes the nearest matching
+//! open ancestor (implicitly closing everything inside it) or is dropped;
+//! unclosed elements are closed at end of input. Lexical garbage is still a
+//! hard error.
+
+use crate::ast::{is_void, Document, Element, Node};
+use crate::lexer::{lex, LexError, Token};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlError {
+    /// The tokenizer rejected the input.
+    Lex(LexError),
+}
+
+impl std::fmt::Display for HtmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HtmlError::Lex(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HtmlError {}
+
+impl From<LexError> for HtmlError {
+    fn from(e: LexError) -> Self {
+        HtmlError::Lex(e)
+    }
+}
+
+/// Parses an HTML fragment into a [`Document`].
+pub fn parse(input: &str) -> Result<Document, HtmlError> {
+    let tokens = lex(input)?;
+    // Stack of open elements; index 0 is a synthetic root.
+    let mut stack: Vec<Element> = vec![Element::new("#root")];
+    for tok in tokens {
+        match tok {
+            Token::Text(t) => {
+                if !t.trim().is_empty() {
+                    stack.last_mut().unwrap().children.push(Node::Text(t));
+                }
+            }
+            Token::Comment(c) => {
+                stack.last_mut().unwrap().children.push(Node::Comment(c));
+            }
+            Token::Open { name, attrs, self_closing } => {
+                let elem = Element { tag: name.clone(), attrs, children: Vec::new() };
+                if self_closing || is_void(&name) {
+                    stack.last_mut().unwrap().children.push(Node::Element(elem));
+                } else {
+                    stack.push(elem);
+                }
+            }
+            Token::Close { name } => {
+                // Find the nearest matching open element (not the root).
+                if let Some(pos) = stack.iter().rposition(|e| e.tag == name) {
+                    if pos == 0 {
+                        continue; // stray close for a never-opened tag: drop
+                    }
+                    // Implicitly close everything above it, then it.
+                    while stack.len() > pos {
+                        let done = stack.pop().unwrap();
+                        stack.last_mut().unwrap().children.push(Node::Element(done));
+                    }
+                }
+                // No match at all: drop the stray close tag.
+            }
+        }
+    }
+    // Close any elements left open at EOF.
+    while stack.len() > 1 {
+        let done = stack.pop().unwrap();
+        stack.last_mut().unwrap().children.push(Node::Element(done));
+    }
+    Ok(Document { nodes: stack.pop().unwrap().children })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = parse("<div><p>a</p><p>b</p></div>").unwrap();
+        assert_eq!(doc.nodes.len(), 1);
+        let div = doc.nodes[0].as_element().unwrap();
+        assert_eq!(div.tag, "div");
+        assert_eq!(div.children.len(), 2);
+        assert_eq!(doc.text_content(), "a b");
+    }
+
+    #[test]
+    fn void_elements_do_not_nest() {
+        let doc = parse("<p><img src=\"a.png\"><br>text</p>").unwrap();
+        let p = doc.nodes[0].as_element().unwrap();
+        assert_eq!(p.children.len(), 3);
+        assert_eq!(p.children[0].as_element().unwrap().tag, "img");
+    }
+
+    #[test]
+    fn recovers_from_unclosed_elements() {
+        let doc = parse("<div><p>open forever").unwrap();
+        let div = doc.nodes[0].as_element().unwrap();
+        let p = div.children[0].as_element().unwrap();
+        assert_eq!(p.text_content(), "open forever");
+    }
+
+    #[test]
+    fn recovers_from_mismatched_close() {
+        // </div> implicitly closes the <p>.
+        let doc = parse("<div><p>x</div>after").unwrap();
+        assert_eq!(doc.nodes.len(), 2);
+        assert_eq!(doc.nodes[0].as_element().unwrap().tag, "div");
+        assert_eq!(doc.nodes[1], Node::Text("after".into()));
+    }
+
+    #[test]
+    fn drops_stray_close_tags() {
+        let doc = parse("a</span>b").unwrap();
+        assert_eq!(doc.text_content(), "a b");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_pruned() {
+        let doc = parse("<div>  \n  <p>x</p>  </div>").unwrap();
+        let div = doc.nodes[0].as_element().unwrap();
+        assert_eq!(div.children.len(), 1);
+    }
+
+    #[test]
+    fn comments_are_kept() {
+        let doc = parse("<div><!-- hint --></div>").unwrap();
+        let div = doc.nodes[0].as_element().unwrap();
+        assert_eq!(div.children, vec![Node::Comment(" hint ".into())]);
+    }
+
+    #[test]
+    fn lex_errors_propagate() {
+        assert!(matches!(parse("<a href=\"oops>"), Err(HtmlError::Lex(_))));
+    }
+
+    #[test]
+    fn roundtrip_with_writer() {
+        let src = "<div class=\"task\"><h1>T</h1><p>body &amp; soul</p><img src=\"i.png\"></div>";
+        let doc = parse(src).unwrap();
+        let rendered = crate::writer::write_document(&doc);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(doc, reparsed, "parse → write → parse is a fixed point");
+    }
+}

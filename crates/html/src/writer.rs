@@ -1,0 +1,102 @@
+//! Serializing a [`Document`] back to HTML text.
+
+use crate::ast::{is_void, Document, Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Renders a document to HTML.
+pub fn write_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for node in &doc.nodes {
+        write_node(node, &mut out);
+    }
+    out
+}
+
+fn write_node(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&escape_text(t)),
+        Node::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        Node::Element(e) => write_element(e, out),
+    }
+}
+
+fn write_element(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.tag);
+    for (name, value) in &e.attrs {
+        out.push(' ');
+        out.push_str(name);
+        if !value.is_empty() {
+            out.push_str("=\"");
+            out.push_str(&escape_attr(value));
+            out.push('"');
+        }
+    }
+    if is_void(&e.tag) {
+        out.push('>');
+        return;
+    }
+    out.push('>');
+    for child in &e.children {
+        write_node(child, out);
+    }
+    out.push_str("</");
+    out.push_str(&e.tag);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn writes_simple_tree() {
+        let doc = Document {
+            nodes: vec![Node::Element(
+                Element::new("p").attr("class", "x").text("hello"),
+            )],
+        };
+        assert_eq!(write_document(&doc), "<p class=\"x\">hello</p>");
+    }
+
+    #[test]
+    fn escapes_text_and_attrs() {
+        let doc = Document {
+            nodes: vec![Node::Element(
+                Element::new("a").attr("title", "a \"b\" & c").text("x < y"),
+            )],
+        };
+        let html = write_document(&doc);
+        assert!(html.contains("&quot;b&quot;"));
+        assert!(html.contains("x &lt; y"));
+        // And it parses back to the same tree.
+        assert_eq!(parse(&html).unwrap(), doc);
+    }
+
+    #[test]
+    fn void_elements_have_no_close_tag() {
+        let doc = Document {
+            nodes: vec![Node::Element(Element::new("img").attr("src", "x.png"))],
+        };
+        assert_eq!(write_document(&doc), "<img src=\"x.png\">");
+    }
+
+    #[test]
+    fn boolean_attributes_render_bare() {
+        let doc = Document {
+            nodes: vec![Node::Element(Element::new("input").attr("checked", ""))],
+        };
+        assert_eq!(write_document(&doc), "<input checked>");
+    }
+
+    #[test]
+    fn comments_roundtrip() {
+        let doc = Document { nodes: vec![Node::Comment(" c ".into())] };
+        assert_eq!(write_document(&doc), "<!-- c -->");
+    }
+}

@@ -1,0 +1,190 @@
+//! Horizontal bar charts and stacked percentage bars (for the Fig 9–11
+//! label distributions and correlation breakdowns).
+
+use crate::lineplot::format_number;
+
+/// A horizontal bar chart.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    log: bool,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> BarChart {
+        BarChart { title: title.into(), width: 50, log: false, bars: Vec::new() }
+    }
+
+    /// Sets the maximum bar width in characters (builder style).
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> BarChart {
+        self.width = width.max(4);
+        self
+    }
+
+    /// Log-scales bar lengths (builder style) — for the heavy-tailed
+    /// distributions of Figs 6/7/29.
+    #[must_use]
+    pub fn log_scale(mut self) -> BarChart {
+        self.log = true;
+        self
+    }
+
+    /// Adds one bar (builder style).
+    #[must_use]
+    pub fn bar(mut self, label: impl Into<String>, value: f64) -> BarChart {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Adds many bars (builder style).
+    #[must_use]
+    pub fn bars<I: IntoIterator<Item = (String, f64)>>(mut self, iter: I) -> BarChart {
+        self.bars.extend(iter);
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        if self.bars.is_empty() {
+            out.push_str("  (no data)\n");
+            return out;
+        }
+        let scale = |v: f64| {
+            if self.log {
+                if v <= 0.0 {
+                    0.0
+                } else {
+                    (v.log10() + 1.0).max(0.0)
+                }
+            } else {
+                v.max(0.0)
+            }
+        };
+        let max = self.bars.iter().map(|&(_, v)| scale(v)).fold(0.0, f64::max);
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in &self.bars {
+            let len = if max > 0.0 {
+                ((scale(*value) / max) * self.width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "  {label:<label_w$} |{} {}\n",
+                "█".repeat(len),
+                format_number(*value)
+            ));
+        }
+        out
+    }
+}
+
+/// Stacked percentage bars: each row is broken into named segments summing
+/// to 100% (the Figs 10/11 breakdowns).
+#[derive(Debug, Clone)]
+pub struct StackedBars {
+    title: String,
+    width: usize,
+    segment_names: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Characters used for consecutive stack segments.
+const SEGMENT_CHARS: [char; 10] = ['█', '▓', '▒', '░', '#', '=', '+', '-', ':', '.'];
+
+impl StackedBars {
+    /// Creates a stacked chart with segment (column) names.
+    pub fn new(title: impl Into<String>, segment_names: Vec<String>) -> StackedBars {
+        StackedBars { title: title.into(), width: 60, segment_names, rows: Vec::new() }
+    }
+
+    /// Adds a row of segment percentages (builder style). Lengths must
+    /// match the segment names.
+    #[must_use]
+    pub fn row(mut self, label: impl Into<String>, percentages: Vec<f64>) -> StackedBars {
+        assert_eq!(percentages.len(), self.segment_names.len(), "segment arity");
+        self.rows.push((label.into(), percentages));
+        self
+    }
+
+    /// Renders the chart with a legend.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.title);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, percentages) in &self.rows {
+            let total: f64 = percentages.iter().sum();
+            out.push_str(&format!("  {label:<label_w$} |"));
+            if total > 0.0 {
+                for (i, &p) in percentages.iter().enumerate() {
+                    let chars = ((p / 100.0) * self.width as f64).round() as usize;
+                    out.extend(std::iter::repeat_n(SEGMENT_CHARS[i % SEGMENT_CHARS.len()], chars));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str("  legend:");
+        for (i, name) in self.segment_names.iter().enumerate() {
+            out.push_str(&format!(" {}={}", SEGMENT_CHARS[i % SEGMENT_CHARS.len()], name));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_lengths_are_proportional() {
+        let c = BarChart::new("t").with_width(10).bar("a", 10.0).bar("b", 5.0);
+        let s = c.render();
+        let a_len = s.lines().nth(1).unwrap().matches('█').count();
+        let b_len = s.lines().nth(2).unwrap().matches('█').count();
+        assert_eq!(a_len, 10);
+        assert_eq!(b_len, 5);
+    }
+
+    #[test]
+    fn log_scale_compresses() {
+        let c = BarChart::new("t").with_width(30).log_scale().bar("big", 1.0e6).bar("small", 10.0);
+        let s = c.render();
+        let big = s.lines().nth(1).unwrap().matches('█').count();
+        let small = s.lines().nth(2).unwrap().matches('█').count();
+        assert!(small > big / 10, "log keeps small bars visible: {small} vs {big}");
+    }
+
+    #[test]
+    fn empty_chart() {
+        assert!(BarChart::new("x").render().contains("(no data)"));
+    }
+
+    #[test]
+    fn values_printed() {
+        let s = BarChart::new("t").bar("tasks", 27_000_000.0).render();
+        assert!(s.contains("27.0M"));
+    }
+
+    #[test]
+    fn stacked_rows_render_segments() {
+        let c = StackedBars::new("mix", vec!["x".into(), "y".into()])
+            .row("row1", vec![50.0, 50.0])
+            .row("row2", vec![100.0, 0.0]);
+        let s = c.render();
+        assert!(s.contains("legend: █=x ▓=y"));
+        let row1 = s.lines().nth(1).unwrap();
+        assert!(row1.contains('█') && row1.contains('▓'));
+        let row2 = s.lines().nth(2).unwrap();
+        assert!(row2.contains('█') && !row2.contains('▓'));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment arity")]
+    fn stacked_arity_checked() {
+        let _ = StackedBars::new("t", vec!["a".into()]).row("r", vec![1.0, 2.0]);
+    }
+}

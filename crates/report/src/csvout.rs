@@ -1,0 +1,61 @@
+//! CSV output of plot series, so every figure's underlying data can be
+//! re-plotted with external tooling.
+
+use crate::lineplot::Series;
+
+/// Serializes series to CSV: a shared sorted x column, one column per
+/// series (empty cell where a series lacks that x).
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        // Commas in names would corrupt the CSV; replace conservatively.
+        out.push_str(&s.name.replace(',', ";"));
+    }
+    out.push('\n');
+
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in series {
+            out.push(',');
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_x_column() {
+        let a = Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]);
+        let b = Series::new("b", vec![(2.0, 200.0), (3.0, 300.0)]);
+        let csv = series_to_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn commas_in_names_sanitized() {
+        let s = Series::new("a,b", vec![(1.0, 1.0)]);
+        let csv = series_to_csv(&[s]);
+        assert!(csv.starts_with("x,a;b\n"));
+    }
+
+    #[test]
+    fn empty_series_list() {
+        assert_eq!(series_to_csv(&[]), "x\n");
+    }
+}

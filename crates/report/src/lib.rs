@@ -1,0 +1,30 @@
+//! # crowd-report
+//!
+//! Terminal rendering for the study's figures and tables: multi-series
+//! line plots (optionally log-scaled), horizontal bar charts, stacked
+//! percentage bars, aligned text tables, and CSV series output for
+//! external plotting. This replaces the paper's gnuplot figures: each
+//! `repro` figure prints an ASCII rendering *and* the underlying series.
+//!
+//! ```
+//! use crowd_report::{LinePlot, Series};
+//!
+//! let plot = LinePlot::new("Fig X: demo")
+//!     .with_size(40, 10)
+//!     .add(Series::new("squares", (0..10).map(|i| (i as f64, (i * i) as f64)).collect()));
+//! let text = plot.render();
+//! assert!(text.contains("Fig X: demo"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bars;
+pub mod csvout;
+pub mod lineplot;
+pub mod table;
+
+pub use bars::{BarChart, StackedBars};
+pub use csvout::series_to_csv;
+pub use lineplot::{LinePlot, Series};
+pub use table::TextTable;

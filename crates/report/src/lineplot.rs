@@ -1,0 +1,294 @@
+//! Multi-series ASCII line plots with optional log axes.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Data points (need not be sorted; the plot sorts by x).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKERS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// An ASCII line plot.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    width: usize,
+    height: usize,
+    x_log: bool,
+    y_log: bool,
+    series: Vec<Series>,
+    x_label: String,
+    y_label: String,
+}
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(title: impl Into<String>) -> LinePlot {
+        LinePlot {
+            title: title.into(),
+            width: 72,
+            height: 16,
+            x_log: false,
+            y_log: false,
+            series: Vec::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Sets the grid size in characters (builder style).
+    #[must_use]
+    pub fn with_size(mut self, width: usize, height: usize) -> LinePlot {
+        self.width = width.max(8);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Log-scales the x axis (builder style). Non-positive x are dropped.
+    #[must_use]
+    pub fn log_x(mut self) -> LinePlot {
+        self.x_log = true;
+        self
+    }
+
+    /// Log-scales the y axis (builder style). Non-positive y are dropped.
+    #[must_use]
+    pub fn log_y(mut self) -> LinePlot {
+        self.y_log = true;
+        self
+    }
+
+    /// Sets axis labels (builder style).
+    #[must_use]
+    pub fn with_labels(mut self, x: impl Into<String>, y: impl Into<String>) -> LinePlot {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // builder chaining, not arithmetic
+    pub fn add(mut self, series: Series) -> LinePlot {
+        self.series.push(series);
+        self
+    }
+
+    fn transform(&self, p: (f64, f64)) -> Option<(f64, f64)> {
+        let x = if self.x_log {
+            if p.0 <= 0.0 {
+                return None;
+            }
+            p.0.log10()
+        } else {
+            p.0
+        };
+        let y = if self.y_log {
+            if p.1 <= 0.0 {
+                return None;
+            }
+            p.1.log10()
+        } else {
+            p.1
+        };
+        (x.is_finite() && y.is_finite()).then_some((x, y))
+    }
+
+    /// Renders the plot to a string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+
+        let pts: Vec<Vec<(f64, f64)>> = self
+            .series
+            .iter()
+            .map(|s| s.points.iter().filter_map(|&p| self.transform(p)).collect())
+            .collect();
+        let all: Vec<(f64, f64)> = pts.iter().flatten().copied().collect();
+        if all.is_empty() {
+            out.push_str("  (no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 == x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 == y0 {
+            y1 = y0 + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, series_pts) in pts.iter().enumerate() {
+            let marker = MARKERS[si % MARKERS.len()];
+            let mut sorted = series_pts.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(x, y) in &sorted {
+                let col = (((x - x0) / (x1 - x0)) * (self.width - 1) as f64).round() as usize;
+                let row = (((y - y0) / (y1 - y0)) * (self.height - 1) as f64).round() as usize;
+                let r = self.height - 1 - row;
+                // Later series overwrite; shared cells show the last marker.
+                grid[r][col.min(self.width - 1)] = marker;
+            }
+        }
+
+        let fmt = |v: f64, log: bool| {
+            let raw = if log { 10f64.powf(v) } else { v };
+            format_number(raw)
+        };
+        let y_top = fmt(y1, self.y_log);
+        let y_bot = fmt(y0, self.y_log);
+        let label_w = y_top.len().max(y_bot.len());
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_top:>label_w$}")
+            } else if r == self.height - 1 {
+                format!("{y_bot:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let x_lo = fmt(x0, self.x_log);
+        let x_hi = fmt(x1, self.x_log);
+        let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());
+        out.push_str(&" ".repeat(label_w + 1));
+        out.push_str(&x_lo);
+        out.push_str(&" ".repeat(pad));
+        out.push_str(&x_hi);
+        if !self.x_label.is_empty() {
+            out.push_str("  (");
+            out.push_str(&self.x_label);
+            out.push(')');
+        }
+        out.push('\n');
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "  {} {}\n",
+                MARKERS[si % MARKERS.len()],
+                s.name
+            ));
+        }
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("  y: {}\n", self.y_label));
+        }
+        out
+    }
+}
+
+/// Compact human-readable number formatting (`1.2M`, `34k`, `0.004`).
+pub fn format_number(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1.0e9 {
+        format!("{:.1}G", v / 1.0e9)
+    } else if a >= 1.0e6 {
+        format!("{:.1}M", v / 1.0e6)
+    } else if a >= 10_000.0 {
+        format!("{:.0}k", v / 1.0e3)
+    } else if a >= 100.0 || (v.fract() == 0.0 && a >= 1.0) {
+        format!("{v:.0}")
+    } else if a >= 0.01 {
+        format!("{v:.2}")
+    } else if a == 0.0 {
+        "0".to_owned()
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_and_legend() {
+        let p = LinePlot::new("Fig 4: workers")
+            .add(Series::new("workers", vec![(0.0, 1.0), (1.0, 3.0)]));
+        let s = p.render();
+        assert!(s.contains("Fig 4: workers"));
+        assert!(s.contains("* workers"));
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let p = LinePlot::new("empty");
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive() {
+        let p = LinePlot::new("log")
+            .log_x()
+            .log_y()
+            .add(Series::new("s", vec![(0.0, 5.0), (-1.0, 2.0), (10.0, 100.0), (100.0, 1.0)]));
+        let s = p.render();
+        assert!(s.contains('*'), "positive points survive");
+    }
+
+    #[test]
+    fn marker_positions_reflect_values() {
+        let p = LinePlot::new("t").with_size(11, 5).add(Series::new(
+            "s",
+            vec![(0.0, 0.0), (10.0, 10.0)],
+        ));
+        let rendered = p.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Row 1 (top grid row) should have the high point at the right.
+        assert!(lines[1].ends_with('*'), "top-right marker: {:?}", lines[1]);
+        // Bottom grid row has the low point at the left.
+        assert!(lines[5].contains('|'), "{:?}", lines[5]);
+        let after_axis = &lines[5][lines[5].find('|').unwrap() + 1..];
+        assert!(after_axis.starts_with('*'), "bottom-left marker: {after_axis:?}");
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_markers() {
+        let p = LinePlot::new("two")
+            .add(Series::new("a", vec![(0.0, 0.0)]))
+            .add(Series::new("b", vec![(1.0, 1.0)]));
+        let s = p.render();
+        assert!(s.contains("* a"));
+        assert!(s.contains("+ b"));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let p = LinePlot::new("flat").add(Series::new("s", vec![(1.0, 5.0), (2.0, 5.0)]));
+        let _ = p.render();
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(27_000_000.0), "27.0M");
+        assert_eq!(format_number(30_000.0), "30k");
+        assert_eq!(format_number(466.0), "466");
+        assert_eq!(format_number(0.147), "0.15");
+        assert_eq!(format_number(0.0004), "4.0e-4");
+        assert_eq!(format_number(0.0), "0");
+    }
+}

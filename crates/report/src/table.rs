@@ -1,0 +1,110 @@
+//! Aligned text tables (for Tables 1–4 and the §4.9 reports).
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row; must match the header arity.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell arity");
+        self.rows.push(cells);
+    }
+
+    /// Builder-style [`TextTable::add_row`].
+    #[must_use]
+    pub fn row(mut self, cells: Vec<String>) -> TextTable {
+        self.add_row(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment and a separator under the headers.
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str("  ");
+                out.push_str(cell);
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                out.push_str(&" ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * n;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = TextTable::new("Table 1", &["feature", "bin1", "bin2"])
+            .row(vec!["#words".into(), "0.147".into(), "0.108".into()])
+            .row(vec!["#items".into(), "0.169".into(), "0.086".into()]);
+        let s = t.render();
+        assert!(s.starts_with("Table 1\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Columns align: "0.147" and "0.169" start at the same offset.
+        let c1 = lines[3].find("0.147").unwrap();
+        let c2 = lines[4].find("0.169").unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn unicode_width_handled_by_char_count() {
+        let t = TextTable::new("", &["h"]).row(vec!["≤ 466".into()]);
+        let _ = t.render();
+    }
+
+    #[test]
+    #[should_panic(expected = "cell arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new("", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn row_count() {
+        let t = TextTable::new("", &["a"]).row(vec!["1".into()]).row(vec!["2".into()]);
+        assert_eq!(t.n_rows(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Calibration constants, each annotated with the paper statistic it
+//! reproduces. These are **generator parameters**: the analytics layer
+//! never reads them — it must re-derive the corresponding statistics from
+//! the emitted rows.
+
+/// §2.2: task instances in the fully observed 12k-batch sample, full scale.
+pub const FULL_SAMPLED_INSTANCES: f64 = 27_000_000.0;
+
+/// §2.2: total batches issued 2012–2016 (sampled + unsampled).
+pub const FULL_BATCHES: f64 = 58_000.0;
+
+/// §2.2: distinct tasks across all batches.
+pub const FULL_DISTINCT_TASKS: f64 = 6_600.0;
+
+/// §5.1: registered workers across the study period.
+pub const FULL_WORKERS: f64 = 69_000.0;
+
+/// §3.1: median daily instances post-Jan-2015 (~30,000 at full scale).
+pub const POST2015_MEDIAN_DAILY: f64 = 30_000.0;
+
+/// §3.1: the busiest day carries ~30× the median load.
+pub const PEAK_DAILY_FACTOR: f64 = 30.0;
+
+/// §3.1: weekly arrival burstiness — lognormal σ of the post-2015 weekly
+/// volume multiplier. Large enough to produce the 30× peaks and the
+/// 0.0004× troughs the paper reports.
+pub const WEEKLY_VOLUME_SIGMA: f64 = 0.85;
+
+/// §3.1 / Fig 3: relative instance volume by day of week (Mon..Sun).
+/// Highest at the start of the week, declining, with weekend ≈ half of the
+/// early-week weekdays.
+pub const WEEKDAY_WEIGHTS: [f64; 7] = [1.30, 1.15, 1.05, 0.95, 0.85, 0.65, 0.65];
+
+/// Fig 3 / §3.1: bulk production batches come from business requesters who
+/// post at the start of the work week — their weekday profile is sharper.
+/// (Also keeps the aggregate weekday shape stable at reduced scale, where
+/// a single bulk batch otherwise dominates a whole weekday.)
+pub const HEAD_WEEKDAY_WEIGHTS: [f64; 7] = [1.8, 1.6, 1.3, 0.9, 0.7, 0.15, 0.15];
+
+/// §3.1: pre-2015 weekly volume relative to post-2015 (sparse early era).
+pub const PRE2015_VOLUME_FACTOR: f64 = 0.045;
+
+/// §3.1: probability a pre-2015 week has any activity at all.
+pub const PRE2015_ACTIVE_WEEK_PROB: f64 = 0.62;
+
+/// Fig 5a: during high-load weeks the marketplace "moves faster" — pickup
+/// medians shrink roughly with this power of the relative weekly load.
+pub const PICKUP_LOAD_EXPONENT: f64 = -0.75;
+
+/// §3.1: the push mechanism exists to "reduce latencies for requesters and
+/// clear backlogged … tasks" — pushed judgments reach a worker at a small
+/// fraction of the pull pickup latency.
+pub const PUSH_PICKUP_FACTOR: f64 = 0.08;
+
+// ---------------------------------------------------------------- workers
+
+/// §5.3: fraction of workers active on exactly one day (52.7%).
+pub const ONE_DAY_WORKER_FRACTION: f64 = 0.527;
+
+/// §5.3: 79% of workers have lifetime < 100 days; the rest form the
+/// heavy-tailed active population (up to ~1,400 days).
+pub const SHORT_LIFETIME_FRACTION: f64 = 0.79;
+
+/// §5.2: top-10% of workers complete >80% of tasks. Achieved with a
+/// Pareto activity-weight tail index near 1; tuned so the emergent share
+/// lands at the paper's value.
+pub const ACTIVITY_WEIGHT_ALPHA: f64 = 0.80;
+
+/// §5.4: mean/median trust of active workers ≈ 0.91, with 90% above 0.84.
+pub const ACTIVE_TRUST_MEAN: f64 = 0.91;
+
+/// Spread of per-worker latent skill around the source mean.
+pub const WORKER_SKILL_STD: f64 = 0.045;
+
+/// Per-instance trust-score noise around worker skill.
+pub const TRUST_NOISE_STD: f64 = 0.02;
+
+/// §5.1: the marketplace-internal pool performs ~2% of tasks.
+pub const INTERNAL_TASK_SHARE: f64 = 0.02;
+
+// ---------------------------------------------------- design features (§4)
+
+/// §4.3: median `#words` across clusters (Table 1 splits at 466).
+pub const WORDS_MEDIAN: f64 = 466.0;
+/// Lognormal shape of `#words`.
+pub const WORDS_SIGMA: f64 = 0.95;
+
+/// §4.5: `#items` median. Tables 1–3 split near 30–56 depending on the
+/// cluster subset; the generating distribution is wide (1 … 100k). The
+/// causal threshold matches the generating median so the analytics-side
+/// median split selects (almost exactly) the causally treated group.
+pub const ITEMS_MEDIAN: f64 = 35.0;
+/// Lognormal shape of `#items`.
+pub const ITEMS_SIGMA: f64 = 1.9;
+
+/// §4.4 Table 1: 1014 of 2297 clusters have at least one text box (≈ 44%)
+/// as a *baseline*; operator mix shifts this per task type.
+pub const TEXTBOX_BASE_PREVALENCE: f64 = 0.38;
+
+/// §4.6: examples are rare — "only around 200 task clusters employ
+/// explicit examples, as compared to the around 3500 that don't".
+pub const EXAMPLES_PREVALENCE: f64 = 0.04;
+
+/// §4.7: ~700 of ~2,900 clusters contain at least one image.
+pub const IMAGES_BASE_PREVALENCE: f64 = 0.24;
+
+// ------------------------------------------------------- metric baselines
+
+/// Baseline median work time in seconds (Table 2 medians range 119–286).
+pub const TASK_TIME_BASE_MEDIAN: f64 = 170.0;
+/// Lognormal shape of per-instance work time.
+pub const TASK_TIME_SIGMA: f64 = 0.7;
+
+/// §4.4 Table 2: text-boxes raise task-time 119s → 286s (×2.4).
+pub const TASK_TIME_TEXTBOX_FACTOR: f64 = 2.40;
+/// §4.5 Table 2: large #items lowers task-time 230s → 136s (×0.59).
+pub const TASK_TIME_ITEMS_FACTOR: f64 = 0.59;
+/// §4.7 Table 2: images lower task-time 184s → 129s (×0.70).
+pub const TASK_TIME_IMAGE_FACTOR: f64 = 0.70;
+
+/// Baseline median pickup latency in seconds (Table 3 medians 1.3k–8.1k).
+pub const PICKUP_BASE_MEDIAN: f64 = 5_800.0;
+/// Lognormal shape of pickup latency — heavy: the §4.9 range analysis sees
+/// pickups from seconds to 1.6×10⁷ s.
+pub const PICKUP_SIGMA: f64 = 2.1;
+
+/// §4.6 Table 3: examples cut pickup 6303s → 1353s (×0.21).
+pub const PICKUP_EXAMPLE_FACTOR: f64 = 0.21;
+/// §4.7 Table 3: images cut pickup 7838s → 2431s (×0.31).
+pub const PICKUP_IMAGE_FACTOR: f64 = 0.31;
+/// §4.5 Table 3: large #items raises pickup 4521s → 8132s (×1.8) —
+/// limited marketplace parallelism queues later instances.
+pub const PICKUP_ITEMS_FACTOR: f64 = 1.80;
+
+// --------------------------------------------------------- answer quality
+
+/// Baseline per-question ambiguity: probability a worker deviates from the
+/// latent answer on a neutral task. Tuned so cluster-median disagreement
+/// lands near Table 1's 0.10–0.17 band.
+pub const AMBIGUITY_BASE: f64 = 0.085;
+
+/// §4.3 Table 1: many words (detailed instructions) cut disagreement
+/// 0.147 → 0.108.
+pub const AMBIGUITY_WORDS_FACTOR: f64 = 0.68;
+/// §4.5 Table 1: many items cut disagreement 0.169 → 0.086.
+pub const AMBIGUITY_ITEMS_FACTOR: f64 = 0.52;
+/// §4.4 Table 1: text boxes raise disagreement 0.102 → 0.160.
+pub const AMBIGUITY_TEXTBOX_FACTOR: f64 = 1.62;
+/// §4.6 Table 1: examples cut disagreement 0.128 → 0.101.
+pub const AMBIGUITY_EXAMPLE_FACTOR: f64 = 0.74;
+/// Extra ambiguity multiplier for complex-goal tasks (drill-down §4.3:
+/// feature effects are pronounced for hard tasks like Gather).
+pub const AMBIGUITY_COMPLEX_FACTOR: f64 = 1.35;
+
+/// §4.1: tasks with disagreement > 0.5 are pruned as subjective; the
+/// generator includes a small population of such subjective tasks so the
+/// pruning step has something to prune.
+pub const SUBJECTIVE_TASK_FRACTION: f64 = 0.06;
+
+// ------------------------------------------------------------- redundancy
+
+/// Mean workers per item (redundancy). The marketplace collects multiple
+/// judgments per item for majority-vote aggregation (§4.1).
+pub const REDUNDANCY_MEAN: f64 = 3.2;
+
+/// §2.2 / §3.3: median instances per cluster ≈ 400 at full scale; the
+/// instances-per-batch distribution combines with batch counts to hit it.
+pub const BATCH_ITEMS_MEDIAN: f64 = 14.0;
+
+/// §3.3: heavy-hitter clusters issue ~80k instances per batch at full
+/// scale ("these 'bulky' clusters have issued close to 80k tasks/batch").
+pub const HEAVY_HITTER_BATCH_INSTANCES: f64 = 80_000.0;
+
+/// §3.3: more than 10 distinct tasks had over 100 batches each; 3 clusters
+/// exceed 1M instances. Fraction of task types that are heavy hitters.
+pub const HEAVY_HITTER_TYPE_FRACTION: f64 = 0.002;
+
+/// Share of the instance budget carried by the three "bulk" clusters
+/// (§3.3 / Fig 7: 3 clusters with > 1M instances of 27M ≈ 15–25% combined).
+pub const BULK_INSTANCE_SHARE: f64 = 0.20;
+
+#[cfg(test)]
+mod tests {
+    // The whole point of these tests is to pin compile-time constants to
+    // the paper's reported ratios.
+    #![allow(clippy::assertions_on_constants)]
+
+    use super::*;
+
+    #[test]
+    fn weekday_weights_decline_and_weekend_is_half() {
+        for w in WEEKDAY_WEIGHTS.windows(2) {
+            assert!(w[0] >= w[1], "volume declines across the week (Fig 3)");
+        }
+        let weekday_max = WEEKDAY_WEIGHTS[0];
+        let weekend = WEEKDAY_WEIGHTS[5];
+        assert!(weekday_max / weekend >= 1.8 && weekday_max / weekend <= 2.2);
+    }
+
+    #[test]
+    fn factors_point_in_paper_directions() {
+        assert!(TASK_TIME_TEXTBOX_FACTOR > 1.0);
+        assert!(TASK_TIME_ITEMS_FACTOR < 1.0);
+        assert!(TASK_TIME_IMAGE_FACTOR < 1.0);
+        assert!(PICKUP_EXAMPLE_FACTOR < 1.0);
+        assert!(PICKUP_IMAGE_FACTOR < 1.0);
+        assert!(PICKUP_ITEMS_FACTOR > 1.0);
+        assert!(AMBIGUITY_WORDS_FACTOR < 1.0);
+        assert!(AMBIGUITY_ITEMS_FACTOR < 1.0);
+        assert!(AMBIGUITY_TEXTBOX_FACTOR > 1.0);
+        assert!(AMBIGUITY_EXAMPLE_FACTOR < 1.0);
+    }
+
+    #[test]
+    fn effect_ratios_match_tables_1_to_3() {
+        // Table 1 ratios.
+        assert!((AMBIGUITY_WORDS_FACTOR - 0.108 / 0.147).abs() < 0.06);
+        assert!((AMBIGUITY_ITEMS_FACTOR - 0.086 / 0.169).abs() < 0.06);
+        assert!((AMBIGUITY_TEXTBOX_FACTOR - 0.160 / 0.102).abs() < 0.08);
+        assert!((AMBIGUITY_EXAMPLE_FACTOR - 0.101 / 0.128).abs() < 0.06);
+        // Table 2 ratios.
+        assert!((TASK_TIME_TEXTBOX_FACTOR - 285.7 / 119.0).abs() < 0.05);
+        assert!((TASK_TIME_ITEMS_FACTOR - 136.0 / 230.0).abs() < 0.05);
+        assert!((TASK_TIME_IMAGE_FACTOR - 129.0 / 183.6).abs() < 0.05);
+        // Table 3 ratios.
+        assert!((PICKUP_EXAMPLE_FACTOR - 1_353.0 / 6_303.0).abs() < 0.05);
+        assert!((PICKUP_IMAGE_FACTOR - 2_431.0 / 7_838.0).abs() < 0.05);
+        assert!((PICKUP_ITEMS_FACTOR - 8_132.0 / 4_521.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn population_fractions_are_sane() {
+        assert!(ONE_DAY_WORKER_FRACTION > 0.5 && ONE_DAY_WORKER_FRACTION < 0.55);
+        assert!(SHORT_LIFETIME_FRACTION > ONE_DAY_WORKER_FRACTION);
+        assert!(EXAMPLES_PREVALENCE < 0.1, "examples are rare (§4.6)");
+        assert!(INTERNAL_TASK_SHARE < 0.05);
+    }
+}

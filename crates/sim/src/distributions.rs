@@ -1,0 +1,211 @@
+//! Sampling primitives built on a raw uniform RNG.
+//!
+//! Only `rand`'s uniform draws are used; every distribution the simulator
+//! needs — normal, lognormal, Pareto, Zipf, weighted categorical — is
+//! implemented here so the generative model has no hidden dependencies.
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller (single value; the twin is discarded for
+/// simplicity — the simulator is not normal-draw-bound).
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Lognormal parameterized by its **median** and shape σ:
+/// `exp(N(ln median, σ))`. The paper's latency/time metrics are summarized
+/// by medians, so this parameterization keeps calibration direct.
+pub fn lognormal_median(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0);
+    normal(rng, median.ln(), sigma).exp()
+}
+
+/// Pareto (Lomax-style, support `x ≥ x_min`) with tail index `alpha`.
+pub fn pareto(rng: &mut impl Rng, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Draws `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli(rng: &mut impl Rng, p: f64) -> bool {
+    rng.gen_range(0.0..1.0) < p.clamp(0.0, 1.0)
+}
+
+/// Poisson sample. Knuth's method for small λ, normal approximation above
+/// λ = 64 (error negligible at the count sizes used here).
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 64.0 {
+        return normal(rng, lambda, lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Cumulative-weight categorical sampler over `0..weights.len()`.
+///
+/// Built once, sampled many times in O(log n).
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds from non-negative weights (at least one must be positive).
+    pub fn new(weights: &[f64]) -> Categorical {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()), "weights must be ≥ 0");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories (never — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a category index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+
+    /// Probability of category `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().unwrap();
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+/// Zipf-like weights `w_i = 1 / (i + 1)^s` for `n` ranks.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_the_median() {
+        let mut r = rng();
+        let mut xs: Vec<f64> =
+            (0..20_001).map(|_| lognormal_median(&mut r, 100.0, 1.5)).collect();
+        xs.sort_by(f64::total_cmp);
+        let med = xs[xs.len() / 2];
+        assert!((med / 100.0 - 1.0).abs() < 0.1, "median {med}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_bounds_and_tail() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..10_000).map(|_| pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        let frac_large = xs.iter().filter(|&&x| x > 20.0).count() as f64 / xs.len() as f64;
+        // P(X > 20) = (2/20)^1.5 ≈ 0.0316
+        assert!((frac_large - 0.0316).abs() < 0.01, "tail {frac_large}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut r = rng();
+        for lambda in [3.0, 120.0] {
+            let xs: Vec<u64> = (0..5_000).map(|_| poisson(&mut r, lambda)).collect();
+            let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+            assert!((mean / lambda - 1.0).abs() < 0.07, "λ={lambda} mean={mean}");
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut r = rng();
+        let hits = (0..10_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut r = rng();
+        let cat = Categorical::new(&[1.0, 3.0, 6.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[cat.sample(&mut r)] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / 30_000.0 - 0.3).abs() < 0.02);
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.02);
+        assert!((cat.probability(2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_sampled() {
+        let mut r = rng();
+        let cat = Categorical::new(&[0.0, 1.0]);
+        for _ in 0..1_000 {
+            assert_eq!(cat.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn categorical_all_zero_rejected() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(5, 1.0);
+        assert_eq!(w.len(), 5);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[4] - 0.2).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+    }
+}

@@ -1,0 +1,200 @@
+//! Worker geography: 148 countries with shares calibrated to Fig 28.
+//!
+//! "Close to 50% of the workers come from 5 countries — USA (21.3k),
+//! Venezuela (5.3k), Great Britain (4.4k), India (4.1k) and Canada (2.8k)"
+//! out of ~69k, and "17% of workers come from the emerging South American
+//! and African markets".
+
+/// One country with its share of the workforce and region tag.
+#[derive(Debug, Clone, Copy)]
+pub struct CountrySpec {
+    /// Country display name.
+    pub name: &'static str,
+    /// Share of registered workers (sums to 1 across the registry).
+    pub weight: f64,
+    /// Region bucket for the emerging-market statistics.
+    pub region: Region,
+}
+
+/// Coarse world regions used by the Fig 28 commentary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// North America.
+    NorthAmerica,
+    /// South & Central America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Africa.
+    Africa,
+    /// Oceania.
+    Oceania,
+}
+
+/// Named heads of the distribution, matching the paper's top-5 shares.
+const HEAD: [(&str, f64, Region); 5] = [
+    ("USA", 21_300.0 / 69_000.0, Region::NorthAmerica),
+    ("Venezuela", 5_300.0 / 69_000.0, Region::SouthAmerica),
+    ("Great Britain", 4_400.0 / 69_000.0, Region::Europe),
+    ("India", 4_100.0 / 69_000.0, Region::Asia),
+    ("Canada", 2_800.0 / 69_000.0, Region::NorthAmerica),
+];
+
+/// The long tail of countries (143 more, for 148 total — Fig 28). Weights
+/// decay by rank within the tail; regions chosen so South America + Africa
+/// land near the paper's 17% (Venezuela included).
+const TAIL: [(&str, Region); 143] = [
+    ("Brazil", Region::SouthAmerica), ("Philippines", Region::Asia),
+    ("Nigeria", Region::Africa), ("Egypt", Region::Africa),
+    ("Serbia", Region::Europe), ("Romania", Region::Europe),
+    ("Germany", Region::Europe), ("Indonesia", Region::Asia),
+    ("Colombia", Region::SouthAmerica), ("Kenya", Region::Africa),
+    ("Pakistan", Region::Asia), ("Bangladesh", Region::Asia),
+    ("Mexico", Region::NorthAmerica), ("Spain", Region::Europe),
+    ("Italy", Region::Europe), ("Argentina", Region::SouthAmerica),
+    ("Morocco", Region::Africa), ("Peru", Region::SouthAmerica),
+    ("France", Region::Europe), ("Poland", Region::Europe),
+    ("Ukraine", Region::Europe), ("Vietnam", Region::Asia),
+    ("Turkey", Region::Asia), ("Greece", Region::Europe),
+    ("Portugal", Region::Europe), ("Netherlands", Region::Europe),
+    ("Australia", Region::Oceania), ("South Africa", Region::Africa),
+    ("Algeria", Region::Africa), ("Tunisia", Region::Africa),
+    ("Ecuador", Region::SouthAmerica), ("Chile", Region::SouthAmerica),
+    ("Bolivia", Region::SouthAmerica), ("Ghana", Region::Africa),
+    ("Jamaica", Region::NorthAmerica), ("Sri Lanka", Region::Asia),
+    ("Nepal", Region::Asia), ("Malaysia", Region::Asia),
+    ("Thailand", Region::Asia), ("Hungary", Region::Europe),
+    ("Bulgaria", Region::Europe), ("Croatia", Region::Europe),
+    ("Bosnia", Region::Europe), ("Macedonia", Region::Europe),
+    ("Albania", Region::Europe), ("Lithuania", Region::Europe),
+    ("Latvia", Region::Europe), ("Estonia", Region::Europe),
+    ("Czech Republic", Region::Europe), ("Slovakia", Region::Europe),
+    ("Slovenia", Region::Europe), ("Austria", Region::Europe),
+    ("Switzerland", Region::Europe), ("Belgium", Region::Europe),
+    ("Ireland", Region::Europe), ("Sweden", Region::Europe),
+    ("Norway", Region::Europe), ("Denmark", Region::Europe),
+    ("Finland", Region::Europe), ("Russia", Region::Europe),
+    ("Belarus", Region::Europe), ("Moldova", Region::Europe),
+    ("Georgia", Region::Asia), ("Armenia", Region::Asia),
+    ("Azerbaijan", Region::Asia), ("Kazakhstan", Region::Asia),
+    ("Uzbekistan", Region::Asia), ("China", Region::Asia),
+    ("Japan", Region::Asia), ("South Korea", Region::Asia),
+    ("Taiwan", Region::Asia), ("Hong Kong", Region::Asia),
+    ("Singapore", Region::Asia), ("Cambodia", Region::Asia),
+    ("Laos", Region::Asia), ("Myanmar", Region::Asia),
+    ("Mongolia", Region::Asia), ("Afghanistan", Region::Asia),
+    ("Iraq", Region::Asia), ("Jordan", Region::Asia),
+    ("Lebanon", Region::Asia), ("Israel", Region::Asia),
+    ("Saudi Arabia", Region::Asia), ("UAE", Region::Asia),
+    ("Qatar", Region::Asia), ("Kuwait", Region::Asia),
+    ("Oman", Region::Asia), ("Yemen", Region::Asia),
+    ("Iran", Region::Asia), ("Syria", Region::Asia),
+    ("Palestine", Region::Asia), ("Uruguay", Region::SouthAmerica),
+    ("Paraguay", Region::SouthAmerica), ("Guyana", Region::SouthAmerica),
+    ("Suriname", Region::SouthAmerica), ("Costa Rica", Region::NorthAmerica),
+    ("Panama", Region::NorthAmerica), ("Nicaragua", Region::NorthAmerica),
+    ("Honduras", Region::NorthAmerica), ("El Salvador", Region::NorthAmerica),
+    ("Guatemala", Region::NorthAmerica), ("Belize", Region::NorthAmerica),
+    ("Cuba", Region::NorthAmerica), ("Haiti", Region::NorthAmerica),
+    ("Dominican Republic", Region::NorthAmerica), ("Trinidad", Region::NorthAmerica),
+    ("Barbados", Region::NorthAmerica), ("Bahamas", Region::NorthAmerica),
+    ("Ethiopia", Region::Africa), ("Tanzania", Region::Africa),
+    ("Uganda", Region::Africa), ("Rwanda", Region::Africa),
+    ("Zambia", Region::Africa), ("Zimbabwe", Region::Africa),
+    ("Botswana", Region::Africa), ("Namibia", Region::Africa),
+    ("Mozambique", Region::Africa), ("Angola", Region::Africa),
+    ("Cameroon", Region::Africa), ("Senegal", Region::Africa),
+    ("Ivory Coast", Region::Africa), ("Mali", Region::Africa),
+    ("Burkina Faso", Region::Africa), ("Niger", Region::Africa),
+    ("Chad", Region::Africa), ("Sudan", Region::Africa),
+    ("Libya", Region::Africa), ("Mauritius", Region::Africa),
+    ("Madagascar", Region::Africa), ("Malawi", Region::Africa),
+    ("Benin", Region::Africa), ("Togo", Region::Africa),
+    ("Sierra Leone", Region::Africa), ("Liberia", Region::Africa),
+    ("Gambia", Region::Africa), ("Guinea", Region::Africa),
+    ("New Zealand", Region::Oceania), ("Fiji", Region::Oceania),
+    ("Papua New Guinea", Region::Oceania), ("Samoa", Region::Oceania),
+    ("Iceland", Region::Europe), ("Luxembourg", Region::Europe),
+    ("Malta", Region::Europe),
+];
+
+/// The full 148-country registry with normalized weights.
+pub fn country_specs() -> Vec<CountrySpec> {
+    let head_mass: f64 = HEAD.iter().map(|&(_, w, _)| w).sum();
+    let tail_mass = 1.0 - head_mass;
+    // Zipf-ish decay over the tail ranks, with South America and Africa
+    // down-weighted so the emerging-market total (incl. Venezuela's 7.7%)
+    // lands near the paper's 17%.
+    let region_factor = |r: Region| match r {
+        Region::SouthAmerica | Region::Africa => 0.42,
+        _ => 1.0,
+    };
+    let raw: Vec<f64> = TAIL
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, region))| region_factor(region) / (i as f64 + 2.0))
+        .collect();
+    let denom: f64 = raw.iter().sum();
+    let mut out: Vec<CountrySpec> = HEAD
+        .iter()
+        .map(|&(name, weight, region)| CountrySpec { name, weight, region })
+        .collect();
+    out.extend(TAIL.iter().enumerate().map(|(i, &(name, region))| CountrySpec {
+        name,
+        weight: tail_mass * raw[i] / denom,
+        region,
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_148_countries() {
+        assert_eq!(country_specs().len(), 148, "Fig 28: 148 countries");
+    }
+
+    #[test]
+    fn names_unique() {
+        let specs = country_specs();
+        let set: std::collections::HashSet<_> = specs.iter().map(|c| c.name).collect();
+        assert_eq!(set.len(), specs.len());
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let total: f64 = country_specs().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top5_hold_half_the_workforce() {
+        let specs = country_specs();
+        let top5: f64 = specs.iter().take(5).map(|c| c.weight).sum();
+        assert!((0.45..=0.60).contains(&top5), "close to 50% (Fig 28): {top5}");
+        assert_eq!(specs[0].name, "USA");
+        assert_eq!(specs[1].name, "Venezuela");
+    }
+
+    #[test]
+    fn emerging_markets_near_17_percent() {
+        let specs = country_specs();
+        let emerging: f64 = specs
+            .iter()
+            .filter(|c| matches!(c.region, Region::SouthAmerica | Region::Africa))
+            .map(|c| c.weight)
+            .sum();
+        assert!((0.12..=0.23).contains(&emerging), "≈17% (Fig 28): {emerging}");
+    }
+
+    #[test]
+    fn head_weights_match_paper_counts() {
+        let specs = country_specs();
+        assert!((specs[0].weight * 69_000.0 - 21_300.0).abs() < 1.0);
+        assert!((specs[4].weight * 69_000.0 - 2_800.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Design interventions for A/B experiments (the paper's §7 future work:
+//! "with full-fledged A/B testing, we may be able to solidify our
+//! correlation and predictive claims with further causation-based
+//! evidence").
+//!
+//! An [`Intervention`] edits a targeted subset of the task-type population
+//! *after* generation and re-derives the affected latent response
+//! parameters through the same calibrated formulas the generator uses —
+//! so treatment differs from control exactly by the causal pathway under
+//! test. The RNG stream is untouched (interventions never draw), keeping
+//! control and treatment runs paired sample-for-sample.
+
+use crowd_core::labels::{Goal, Operator};
+
+use crate::calibration as cal;
+use crate::tasktypes::TaskTypeSpec;
+
+/// Which task types an experiment treats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetSelector {
+    /// Every task type.
+    All,
+    /// Types carrying a goal label.
+    Goal(Goal),
+    /// Types carrying an operator label.
+    Operator(Operator),
+    /// Types whose title contains a substring.
+    TitleContains(String),
+}
+
+impl TargetSelector {
+    /// Whether a type is in the treatment group.
+    pub fn matches(&self, t: &TaskTypeSpec) -> bool {
+        match self {
+            TargetSelector::All => true,
+            TargetSelector::Goal(g) => t.goals.contains(*g),
+            TargetSelector::Operator(o) => t.operators.contains(*o),
+            TargetSelector::TitleContains(s) => t.title.contains(s.as_str()),
+        }
+    }
+}
+
+/// A design change applied to treated task types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Intervention {
+    /// Add `count` prominent examples to interfaces that have none (§4.6).
+    AddExamples {
+        /// Examples to add.
+        count: u32,
+    },
+    /// Replace free-text inputs with closed choices (§4.4, §4.8: "it pays
+    /// to simplify questions down to a set of alternatives").
+    RemoveTextBoxes,
+    /// Add `count` images to interfaces that have none (§4.7).
+    AddImages {
+        /// Images to add.
+        count: u32,
+    },
+    /// Multiply the instruction length (§4.3).
+    ScaleWords {
+        /// Multiplier on `#words`.
+        factor: f64,
+    },
+    /// Multiply the items per batch (§4.5).
+    ScaleItems {
+        /// Multiplier on the type's median `#items`.
+        factor: f64,
+    },
+    /// No-op, for A/A validation runs.
+    Null,
+}
+
+impl Intervention {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Intervention::AddExamples { count } => format!("add {count} examples"),
+            Intervention::RemoveTextBoxes => "remove text boxes".into(),
+            Intervention::AddImages { count } => format!("add {count} images"),
+            Intervention::ScaleWords { factor } => format!("scale words ×{factor}"),
+            Intervention::ScaleItems { factor } => format!("scale items ×{factor}"),
+            Intervention::Null => "null (A/A)".into(),
+        }
+    }
+
+    /// Applies the change to one type, re-deriving the latent response
+    /// parameters through the calibrated causal formulas. Returns whether
+    /// the type actually changed.
+    pub fn apply(&self, t: &mut TaskTypeSpec) -> bool {
+        match *self {
+            Intervention::Null => false,
+            Intervention::AddExamples { count } => {
+                if t.examples > 0 || count == 0 {
+                    return false;
+                }
+                t.examples = count;
+                t.ambiguity = (t.ambiguity * cal::AMBIGUITY_EXAMPLE_FACTOR).clamp(0.002, 0.97);
+                t.pickup_median = (t.pickup_median * cal::PICKUP_EXAMPLE_FACTOR).max(20.0);
+                true
+            }
+            Intervention::RemoveTextBoxes => {
+                if t.text_boxes == 0 {
+                    return false;
+                }
+                t.text_boxes = 0;
+                t.ambiguity = (t.ambiguity / cal::AMBIGUITY_TEXTBOX_FACTOR).clamp(0.002, 0.97);
+                t.task_time_median =
+                    (t.task_time_median / cal::TASK_TIME_TEXTBOX_FACTOR).max(8.0);
+                // A closed interface also de-subjectivizes the task.
+                if t.subjective {
+                    t.subjective = false;
+                    t.ambiguity = t.ambiguity.min(0.3);
+                }
+                true
+            }
+            Intervention::AddImages { count } => {
+                if t.images > 0 || count == 0 {
+                    return false;
+                }
+                t.images = count;
+                t.pickup_median = (t.pickup_median * cal::PICKUP_IMAGE_FACTOR).max(20.0);
+                t.task_time_median = (t.task_time_median * cal::TASK_TIME_IMAGE_FACTOR).max(8.0);
+                true
+            }
+            Intervention::ScaleWords { factor } => {
+                if factor <= 0.0 || (factor - 1.0).abs() < f64::EPSILON {
+                    return false;
+                }
+                let before = f64::from(t.words) > cal::WORDS_MEDIAN;
+                t.words = ((f64::from(t.words) * factor).round() as u32).clamp(15, 30_000);
+                let after = f64::from(t.words) > cal::WORDS_MEDIAN;
+                match (before, after) {
+                    (false, true) => {
+                        t.ambiguity =
+                            (t.ambiguity * cal::AMBIGUITY_WORDS_FACTOR).clamp(0.002, 0.97)
+                    }
+                    (true, false) => {
+                        t.ambiguity =
+                            (t.ambiguity / cal::AMBIGUITY_WORDS_FACTOR).clamp(0.002, 0.97)
+                    }
+                    _ => {}
+                }
+                true
+            }
+            Intervention::ScaleItems { factor } => {
+                if factor <= 0.0 || (factor - 1.0).abs() < f64::EPSILON {
+                    return false;
+                }
+                let before = t.items_median;
+                t.items_median = (t.items_median * factor).clamp(1.0, 120_000.0);
+                // Re-derive the items-dependent latents.
+                let was_large = before > cal::ITEMS_MEDIAN;
+                let is_large = t.items_median > cal::ITEMS_MEDIAN;
+                if was_large != is_large {
+                    let (amb, tt) = if is_large {
+                        (cal::AMBIGUITY_ITEMS_FACTOR, cal::TASK_TIME_ITEMS_FACTOR)
+                    } else {
+                        (1.0 / cal::AMBIGUITY_ITEMS_FACTOR, 1.0 / cal::TASK_TIME_ITEMS_FACTOR)
+                    };
+                    t.ambiguity = (t.ambiguity * amb).clamp(0.002, 0.97);
+                    t.task_time_median = (t.task_time_median * tt).max(8.0);
+                }
+                // Pickup responds continuously to items (limited
+                // parallelism), same exponent as the generator.
+                let ratio = (t.items_median / before).powf(0.22).clamp(0.45, 2.6);
+                t.pickup_median = (t.pickup_median * ratio).clamp(20.0, 2.0e7);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::tasktypes::generate_task_types;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn some_types() -> Vec<TaskTypeSpec> {
+        let cfg = SimConfig::tiny(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        generate_task_types(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn add_examples_cuts_pickup_and_ambiguity() {
+        let mut types = some_types();
+        let t = types.iter_mut().find(|t| t.examples == 0).unwrap();
+        let (p0, a0) = (t.pickup_median, t.ambiguity);
+        assert!(Intervention::AddExamples { count: 2 }.apply(t));
+        assert!(t.pickup_median < p0 * 0.3);
+        assert!(t.ambiguity < a0);
+        // Idempotent: a second application is a no-op.
+        assert!(!Intervention::AddExamples { count: 2 }.apply(t));
+    }
+
+    #[test]
+    fn remove_text_boxes_reverses_their_penalty() {
+        let mut types = some_types();
+        let t = types.iter_mut().find(|t| t.text_boxes > 0 && !t.subjective).unwrap();
+        let (tt0, a0) = (t.task_time_median, t.ambiguity);
+        assert!(Intervention::RemoveTextBoxes.apply(t));
+        assert_eq!(t.text_boxes, 0);
+        assert!(t.task_time_median < tt0);
+        assert!(t.ambiguity < a0);
+        assert!(!Intervention::RemoveTextBoxes.apply(t), "no-op without text boxes");
+    }
+
+    #[test]
+    fn scale_items_moves_pickup_continuously() {
+        let mut types = some_types();
+        let t = &mut types[10];
+        let p0 = t.pickup_median;
+        assert!(Intervention::ScaleItems { factor: 10.0 }.apply(t));
+        assert!(t.pickup_median > p0, "more items → slower pickup");
+        assert!(!Intervention::ScaleItems { factor: 1.0 }.apply(&mut types[11]));
+    }
+
+    #[test]
+    fn scale_words_crossing_the_median_changes_ambiguity() {
+        let mut types = some_types();
+        let t = types.iter_mut().find(|t| f64::from(t.words) < cal::WORDS_MEDIAN / 2.0).unwrap();
+        let a0 = t.ambiguity;
+        assert!(Intervention::ScaleWords { factor: 10.0 }.apply(t));
+        assert!(t.ambiguity < a0, "crossed the words median → less ambiguity");
+    }
+
+    #[test]
+    fn null_is_a_noop() {
+        let mut types = some_types();
+        let before = types[0].clone();
+        assert!(!Intervention::Null.apply(&mut types[0]));
+        assert_eq!(types[0].words, before.words);
+        assert_eq!(types[0].ambiguity, before.ambiguity);
+    }
+
+    #[test]
+    fn selectors_match_labels() {
+        let types = some_types();
+        let by_goal = types
+            .iter()
+            .filter(|t| TargetSelector::Goal(Goal::Transcription).matches(t))
+            .count();
+        assert!(by_goal > 0);
+        for t in &types {
+            if TargetSelector::Operator(Operator::Filter).matches(t) {
+                assert!(t.operators.contains(Operator::Filter));
+            }
+        }
+        assert!(TargetSelector::All.matches(&types[0]));
+    }
+}

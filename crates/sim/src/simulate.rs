@@ -1,0 +1,164 @@
+//! Orchestrates a full simulation run into a [`Dataset`].
+
+use crowd_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::assignment::assign_all;
+use crate::config::SimConfig;
+use crate::geography::country_specs;
+use crate::schedule::plan_batches;
+use crate::sources::source_specs;
+use crate::tasktypes::generate_task_types;
+use crate::workers::generate_workers;
+
+/// Runs the full generative pipeline:
+///
+/// 1. task-type population (§2.4, §3.4–3.5);
+/// 2. batch arrival schedule (§3.1, §3.3);
+/// 3. worker population (§5);
+/// 4. instance assignment with timing/trust/answer models (§4);
+/// 5. assembly into a validated [`Dataset`].
+///
+/// Deterministic: equal configs yield bit-identical datasets.
+pub fn simulate(cfg: &SimConfig) -> Dataset {
+    simulate_with(cfg, |_| {})
+}
+
+/// [`simulate`] with a hook that may edit the task-type population before
+/// scheduling — the A/B experimentation entry point (see
+/// [`crate::intervention`]). The hook must not draw randomness of its own;
+/// the RNG stream continues identically after it, so a control run and a
+/// treated run stay paired sample-for-sample.
+pub fn simulate_with(
+    cfg: &SimConfig,
+    hook: impl FnOnce(&mut Vec<crate::tasktypes::TaskTypeSpec>),
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut types = generate_task_types(cfg, &mut rng);
+    hook(&mut types);
+    let types = types;
+    let schedule = plan_batches(cfg, &types, &mut rng);
+    let worker_specs = generate_workers(cfg, &schedule.weekly_load, &mut rng);
+    let drafts = assign_all(cfg, &types, &schedule, &worker_specs, &mut rng);
+
+    let mut b = DatasetBuilder::new();
+
+    for spec in source_specs() {
+        b.add_source(Source::new(spec.name, spec.kind));
+    }
+    for spec in country_specs() {
+        b.add_country(spec.name);
+    }
+    for w in &worker_specs {
+        b.add_worker(Worker::new(SourceId::new(w.source), CountryId::new(w.country)));
+    }
+    for t in &types {
+        let mut tt = TaskType::new(t.title.clone()).with_choice_arity(t.choice_arity);
+        if t.labeled {
+            tt.goals = t.goals;
+            tt.operators = t.operators;
+            tt.data_types = t.data_types;
+        }
+        b.add_task_type(tt);
+    }
+    for (i, plan) in schedule.batches.iter().enumerate() {
+        let mut batch =
+            Batch::new(TaskTypeId::new(plan.type_idx), plan.created_at);
+        if plan.sampled {
+            // Batch HTML: the type's interface with per-batch incidental
+            // variation (what makes §3.3 clustering non-trivial).
+            let t = &types[plan.type_idx as usize];
+            let seed = (cfg.seed ^ (i as u64) << 20) | u64::from(plan.type_idx);
+            batch = batch.with_html(t.interface(seed).render());
+        } else {
+            batch = batch.unsampled();
+        }
+        b.add_batch(batch);
+    }
+    b.reserve_instances(drafts.len());
+    for d in drafts {
+        b.add_instance(TaskInstance {
+            batch: BatchId::new(d.batch),
+            item: ItemId::new(d.item),
+            worker: WorkerId::new(d.worker),
+            start: d.start,
+            end: d.end,
+            trust: d.trust,
+            answer: d.answer,
+        });
+    }
+    b.finish().expect("generated dataset must be internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_consistent_and_nonempty() {
+        let ds = simulate(&SimConfig::tiny(1));
+        assert!(ds.validate().is_ok());
+        assert_eq!(ds.sources.len(), 139, "Table 4");
+        assert_eq!(ds.countries.len(), 148, "Fig 28");
+        assert!(ds.instances.len() > 10_000, "got {}", ds.instances.len());
+        assert!(ds.batches.iter().any(|b| b.sampled));
+        assert!(ds.batches.iter().any(|b| !b.sampled));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate(&SimConfig::tiny(99));
+        let b = simulate(&SimConfig::tiny(99));
+        assert_eq!(a.instances.len(), b.instances.len());
+        assert_eq!(a.instances[0], b.instances[0]);
+        assert_eq!(a.batches[5], b.batches[5]);
+        let c = simulate(&SimConfig::tiny(100));
+        assert_ne!(a.instances.len(), c.instances.len());
+    }
+
+    #[test]
+    fn sampled_batches_have_parseable_html() {
+        let ds = simulate(&SimConfig::tiny(2));
+        let mut checked = 0;
+        for batch in ds.batches.iter().filter(|b| b.sampled).take(50) {
+            let html = batch.html.as_ref().unwrap();
+            let feats = crowd_html::extract_features(html).unwrap();
+            let t = &ds.task_types[batch.task_type.index()];
+            let _ = t;
+            assert!(feats.words > 0);
+            checked += 1;
+        }
+        assert_eq!(checked, 50);
+    }
+
+    #[test]
+    fn batches_of_same_type_have_similar_but_distinct_html() {
+        let ds = simulate(&SimConfig::tiny(3));
+        // Find a type with ≥2 sampled batches.
+        let mut by_type: std::collections::HashMap<u32, Vec<&str>> =
+            std::collections::HashMap::new();
+        for batch in ds.batches.iter().filter(|b| b.sampled) {
+            if let Some(h) = &batch.html {
+                by_type.entry(batch.task_type.raw()).or_default().push(h);
+            }
+        }
+        let multi = by_type.values().find(|v| v.len() >= 2).expect("some repeated type");
+        assert_ne!(multi[0], multi[1], "per-batch seeds vary the HTML");
+        let a = crowd_cluster::shingles(multi[0], 3);
+        let b = crowd_cluster::shingles(multi[1], 3);
+        assert!(
+            crowd_cluster::jaccard(&a, &b) > 0.5,
+            "same-type batches stay similar for §3.3 clustering"
+        );
+    }
+
+    #[test]
+    fn unlabeled_types_exist() {
+        let ds = simulate(&SimConfig::tiny(4));
+        let labeled = ds.task_types.iter().filter(|t| t.is_labeled()).count();
+        let frac = labeled as f64 / ds.task_types.len() as f64;
+        assert!((0.70..=0.95).contains(&frac), "≈83% labeled (§2.4): {frac}");
+    }
+}

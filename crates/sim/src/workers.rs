@@ -1,0 +1,315 @@
+//! Worker population: sources, geography, engagement classes, activity
+//! schedules, latent skill (paper §5).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::calibration as cal;
+use crate::config::SimConfig;
+use crate::distributions::{bernoulli, normal, pareto, Categorical};
+use crate::geography::country_specs;
+use crate::sources::source_specs;
+
+/// Engagement class of a worker (paper §5.3: 52.7% one-day; 79% lifetime
+/// under 100 days; ~15% "active" repeat workers completing >80% of tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngagementClass {
+    /// Active on exactly one day.
+    OneDay,
+    /// A handful of working days inside a short lifetime.
+    Casual,
+    /// The repeat workforce: >10 working days, long lifetimes.
+    Active,
+}
+
+/// Generator-side description of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Index into the source registry.
+    pub source: u32,
+    /// Index into the country registry.
+    pub country: u32,
+    /// Engagement class.
+    pub class: EngagementClass,
+    /// Latent skill; surfaces as per-instance trust scores (§2.3).
+    pub skill: f64,
+    /// Personal × source speed multiplier on work time.
+    pub speed: f64,
+    /// Sampling weight when the assignment engine picks a worker — the
+    /// heavy tail here produces the 80%-of-tasks-by-10% skew (§5.2).
+    pub activity_weight: f64,
+    /// Weeks (0-based sim weeks) the worker participates in, sorted.
+    pub active_weeks: Vec<u16>,
+    /// Days of week the worker tends to work (bitmask, bit 0 = Monday).
+    pub day_mask: u8,
+}
+
+impl WorkerSpec {
+    /// The worker's working days within a given week, as day-of-week
+    /// indices (0 = Monday).
+    pub fn days_in_week(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..7).filter(move |d| self.day_mask & (1 << d) != 0)
+    }
+}
+
+/// Generates the worker population. `weekly_load` guides when workers join
+/// (the workforce grows as the marketplace does).
+pub fn generate_workers(
+    cfg: &SimConfig,
+    weekly_load: &[f64],
+    rng: &mut StdRng,
+) -> Vec<WorkerSpec> {
+    let n_workers = ((cal::FULL_WORKERS * cfg.population_scale()).round() as usize).max(300);
+    let n_weeks = weekly_load.len().max(1);
+
+    let sources = source_specs();
+    let countries = country_specs();
+    let source_cat = Categorical::new(&sources.iter().map(|s| s.worker_weight).collect::<Vec<_>>());
+    let country_cat = Categorical::new(&countries.iter().map(|c| c.weight).collect::<Vec<_>>());
+    // Join week leans toward loaded eras but keeps a floor, so the weekly
+    // active-worker count stays comparatively stable (Fig 4).
+    let join_weights: Vec<f64> = weekly_load.iter().map(|&v| 0.35 + v).collect();
+    let join_cat = Categorical::new(&join_weights);
+
+    let mut out = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let source_idx = source_cat.sample(rng);
+        let source = &sources[source_idx];
+        let country = country_cat.sample(rng) as u32;
+        let join_week = join_cat.sample(rng);
+
+        let class = {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            if u < cal::ONE_DAY_WORKER_FRACTION {
+                EngagementClass::OneDay
+            } else if u < cal::SHORT_LIFETIME_FRACTION + 0.053 {
+                // one-day (52.7%) + casual ≈ 84.3% leaves ~15.7% active —
+                // the "about one-third of multi-day workers" band (§5.3).
+                EngagementClass::Casual
+            } else {
+                EngagementClass::Active
+            }
+        };
+
+        let (active_weeks, day_mask) = schedule_for(class, join_week, n_weeks, rng);
+
+        // Skill: source mean + personal variation; active workers are the
+        // seasoned pool whose mean trust sits at ~0.91 (§5.4).
+        let class_shift = match class {
+            // Experience lifts skill toward the active-pool mean, but only
+            // within reputable sources: amt keeps its 0.75 mean trust
+            // regardless of worker tenure (Fig 27b).
+            EngagementClass::Active if source.trust_mean >= 0.84 => {
+                (cal::ACTIVE_TRUST_MEAN - source.trust_mean) * 0.6
+            }
+            EngagementClass::Active => 0.01,
+            EngagementClass::Casual => 0.0,
+            EngagementClass::OneDay => -0.01,
+        };
+        let skill = (source.trust_mean + class_shift + normal(rng, 0.0, cal::WORKER_SKILL_STD))
+            .clamp(0.15, 0.995);
+
+        let speed = source.speed_factor * normal(rng, 0.0, 0.22).exp();
+
+        // Heavy-tailed personal engagement; multiplied by the source's
+        // engagement profile (dedicated vs on-demand, Fig 26a).
+        let personal = match class {
+            EngagementClass::OneDay => 0.05,
+            EngagementClass::Casual => 0.35,
+            EngagementClass::Active => pareto(rng, 1.0, cal::ACTIVITY_WEIGHT_ALPHA).min(8_000.0),
+        };
+        let activity_weight = personal * source.engagement;
+
+        out.push(WorkerSpec {
+            source: source_idx as u32,
+            country,
+            class,
+            skill,
+            speed,
+            activity_weight,
+            active_weeks,
+            day_mask,
+        });
+    }
+    out
+}
+
+/// Builds a worker's participation schedule.
+fn schedule_for(
+    class: EngagementClass,
+    join_week: usize,
+    n_weeks: usize,
+    rng: &mut StdRng,
+) -> (Vec<u16>, u8) {
+    match class {
+        EngagementClass::OneDay => {
+            let day = rng.gen_range(0..7u8);
+            (vec![join_week as u16], 1 << day)
+        }
+        EngagementClass::Casual => {
+            // Lifetime under ~100 days (≤ 14 weeks), a few active weeks.
+            let lifetime_weeks = 1 + rng.gen_range(0..14usize);
+            let last = (join_week + lifetime_weeks).min(n_weeks - 1);
+            let k = 1 + rng.gen_range(0..4usize);
+            let mut weeks: Vec<u16> = (0..k)
+                .map(|_| rng.gen_range(join_week..=last) as u16)
+                .collect();
+            weeks.sort_unstable();
+            weeks.dedup();
+            let n_days = 1 + rng.gen_range(0..2);
+            let mask = random_day_mask(rng, n_days);
+            (weeks, mask)
+        }
+        EngagementClass::Active => {
+            // Long lifetimes, availability decaying exponentially with
+            // experience (§5.3, Fig 30b), some exceeding 350 working days.
+            let horizon = (n_weeks - join_week).max(2);
+            // Exponential lifetime in weeks, capped by the timeline.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let lifetime_weeks = ((-u.ln() * 45.0).ceil() as usize + 4).min(horizon);
+            let last = join_week + lifetime_weeks - 1;
+            // Participation rate: >43% of active workers work ≥ weekly.
+            let rate = if bernoulli(rng, 0.45) {
+                rng.gen_range(0.75..1.0)
+            } else {
+                rng.gen_range(0.15..0.75)
+            };
+            let mut weeks = Vec::new();
+            for w in join_week..=last.min(n_weeks - 1) {
+                if bernoulli(rng, rate) {
+                    weeks.push(w as u16);
+                }
+            }
+            if weeks.is_empty() {
+                weeks.push(join_week as u16);
+            }
+            let days = 1 + rng.gen_range(0..5);
+            (weeks, random_day_mask(rng, days))
+        }
+    }
+}
+
+fn random_day_mask(rng: &mut StdRng, n_days: usize) -> u8 {
+    let mut mask = 0u8;
+    let mut set = 0;
+    while set < n_days.min(7) {
+        let d = rng.gen_range(0..7u8);
+        if mask & (1 << d) == 0 {
+            mask |= 1 << d;
+            set += 1;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::weekly_volume_profile;
+    use rand::SeedableRng;
+
+    fn workers() -> (SimConfig, Vec<WorkerSpec>) {
+        let cfg = SimConfig::default_scale(13);
+        let mut rng = StdRng::seed_from_u64(13);
+        let profile = weekly_volume_profile(&cfg, &mut rng);
+        let ws = generate_workers(&cfg, &profile, &mut rng);
+        (cfg, ws)
+    }
+
+    #[test]
+    fn population_scales() {
+        let (_, ws) = workers();
+        // 69k × 0.1 = 6.9k.
+        assert!((6_400..=7_400).contains(&ws.len()), "got {}", ws.len());
+    }
+
+    #[test]
+    fn one_day_fraction_matches() {
+        let (_, ws) = workers();
+        let one_day =
+            ws.iter().filter(|w| w.class == EngagementClass::OneDay).count() as f64;
+        let frac = one_day / ws.len() as f64;
+        assert!((frac - 0.527).abs() < 0.03, "§5.3: 52.7% one-day, got {frac}");
+    }
+
+    #[test]
+    fn active_fraction_matches() {
+        let (_, ws) = workers();
+        let active =
+            ws.iter().filter(|w| w.class == EngagementClass::Active).count() as f64;
+        let frac = active / ws.len() as f64;
+        assert!((0.12..=0.20).contains(&frac), "~15% repeat workforce, got {frac}");
+    }
+
+    #[test]
+    fn one_day_workers_have_single_week_single_day() {
+        let (_, ws) = workers();
+        for w in ws.iter().filter(|w| w.class == EngagementClass::OneDay) {
+            assert_eq!(w.active_weeks.len(), 1);
+            assert_eq!(w.day_mask.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn schedules_are_sorted_in_range() {
+        let (cfg, ws) = workers();
+        for w in &ws {
+            assert!(!w.active_weeks.is_empty());
+            assert!(w.active_weeks.windows(2).all(|p| p[0] < p[1]));
+            assert!((*w.active_weeks.last().unwrap() as usize) < cfg.n_weeks());
+            assert!(w.day_mask != 0);
+        }
+    }
+
+    #[test]
+    fn activity_weights_are_heavy_tailed() {
+        let (_, ws) = workers();
+        let mut weights: Vec<f64> = ws.iter().map(|w| w.activity_weight).collect();
+        weights.sort_by(f64::total_cmp);
+        let total: f64 = weights.iter().sum();
+        let top10: f64 = weights[weights.len() * 9 / 10..].iter().sum();
+        assert!(
+            top10 / total > 0.65,
+            "top-10% of weights should dominate (→ §5.2 80% of tasks): {}",
+            top10 / total
+        );
+    }
+
+    #[test]
+    fn skill_distribution_is_high_trust() {
+        let (_, ws) = workers();
+        let active: Vec<f64> = ws
+            .iter()
+            .filter(|w| w.class == EngagementClass::Active)
+            .map(|w| w.skill)
+            .collect();
+        let mean = active.iter().sum::<f64>() / active.len() as f64;
+        assert!((0.86..=0.95).contains(&mean), "§5.4: active trust ≈ 0.91, got {mean}");
+    }
+
+    #[test]
+    fn source_and_country_indices_valid() {
+        let (_, ws) = workers();
+        let n_sources = crate::sources::source_specs().len() as u32;
+        let n_countries = crate::geography::country_specs().len() as u32;
+        for w in &ws {
+            assert!(w.source < n_sources);
+            assert!(w.country < n_countries);
+        }
+    }
+
+    #[test]
+    fn some_long_haul_workers_exist() {
+        let (_, ws) = workers();
+        let max_weeks = ws.iter().map(|w| w.active_weeks.len()).max().unwrap();
+        assert!(max_weeks > 40, "Fig 30b: some workers active for hundreds of days");
+    }
+
+    #[test]
+    fn neodev_dominates_recruitment() {
+        let (_, ws) = workers();
+        let neodev = ws.iter().filter(|w| w.source == 0).count() as f64;
+        let frac = neodev / ws.len() as f64;
+        assert!((0.33..=0.45).contains(&frac), "NeoDev ≈ 39% of workers, got {frac}");
+    }
+}

@@ -1,0 +1,171 @@
+//! The §4.2 median-split binning methodology.
+//!
+//! "We separate the clusters into two bins based on their feature value —
+//! all clusters with feature value lower than the global median feature
+//! value go into Bin-1, while the ones with feature value higher than the
+//! median go into Bin-2. Clusters with feature value exactly equal to the
+//! median are all put into either Bin-1 or Bin-2 while keeping the bins as
+//! balanced as possible."
+
+use crate::descriptive::median;
+use crate::ttest::{welch_t_test, TTestResult};
+
+/// Result of splitting `(feature, metric)` observations at the median
+/// feature value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MedianSplit {
+    /// The global median feature value the split happened at.
+    pub split_value: f64,
+    /// Metric values whose feature is below (or tied-assigned-low) the median.
+    pub bin1: Vec<f64>,
+    /// Metric values whose feature is above (or tied-assigned-high) the median.
+    pub bin2: Vec<f64>,
+    /// Whether the tied group (feature == median) was placed in bin 2.
+    pub ties_in_bin2: bool,
+}
+
+impl MedianSplit {
+    /// Median metric value of bin 1, `None` when the bin is empty.
+    pub fn median1(&self) -> Option<f64> {
+        median(&self.bin1)
+    }
+
+    /// Median metric value of bin 2, `None` when the bin is empty.
+    pub fn median2(&self) -> Option<f64> {
+        median(&self.bin2)
+    }
+
+    /// Welch t-test between the two bins' metric values (§4.2 step 3).
+    pub fn t_test(&self) -> Option<TTestResult> {
+        welch_t_test(&self.bin1, &self.bin2)
+    }
+
+    /// Bin-1 / Bin-2 sizes.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.bin1.len(), self.bin2.len())
+    }
+}
+
+/// Splits observations at the median feature value, exactly per §4.2:
+/// strictly-below goes to bin 1, strictly-above to bin 2, and the tied
+/// group goes wholesale to whichever side keeps the bins more balanced.
+/// Returns `None` on empty input or when a bin ends up empty (constant
+/// feature) — no contrast exists to analyze.
+pub fn median_split(observations: &[(f64, f64)]) -> Option<MedianSplit> {
+    if observations.is_empty() {
+        return None;
+    }
+    let features: Vec<f64> = observations.iter().map(|&(f, _)| f).collect();
+    let m = median(&features)?;
+    let mut bin1 = Vec::new();
+    let mut bin2 = Vec::new();
+    let mut tied = Vec::new();
+    for &(f, metric) in observations {
+        if f < m {
+            bin1.push(metric);
+        } else if f > m {
+            bin2.push(metric);
+        } else {
+            tied.push(metric);
+        }
+    }
+    // Place the tied group as one block on the side that minimizes imbalance.
+    let imbalance_low = (bin1.len() + tied.len()).abs_diff(bin2.len());
+    let imbalance_high = bin1.len().abs_diff(bin2.len() + tied.len());
+    let ties_in_bin2 = imbalance_high < imbalance_low;
+    if ties_in_bin2 {
+        bin2.extend(tied);
+    } else {
+        bin1.extend(tied);
+    }
+    if bin1.is_empty() || bin2.is_empty() {
+        return None;
+    }
+    Some(MedianSplit { split_value: m, bin1, bin2, ties_in_bin2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_at_median() {
+        let obs: Vec<(f64, f64)> = (1..=9).map(|i| (i as f64, i as f64 * 10.0)).collect();
+        let s = median_split(&obs).unwrap();
+        assert_eq!(s.split_value, 5.0);
+        // 1..4 strictly below (4 items), 6..9 strictly above (4), tie {5}
+        // balances either way; block goes low by default tie-break.
+        assert_eq!(s.bin1.len() + s.bin2.len(), 9);
+        assert!(s.sizes().0.abs_diff(s.sizes().1) <= 1);
+    }
+
+    #[test]
+    fn tie_block_balances_bins() {
+        // Features: many ties at the median.
+        let obs = [
+            (1.0, 1.0),
+            (2.0, 2.0),
+            (2.0, 3.0),
+            (2.0, 4.0),
+            (2.0, 5.0),
+            (3.0, 6.0),
+            (3.0, 7.0),
+        ];
+        let s = median_split(&obs).unwrap();
+        assert_eq!(s.split_value, 2.0);
+        // below = {1}, above = {6,7}, tied = {2,3,4,5}.
+        // low: |1+4 − 2| = 3 ; high: |1 − 2−4| = 5 → ties go low.
+        assert!(!s.ties_in_bin2);
+        assert_eq!(s.sizes(), (5, 2));
+    }
+
+    #[test]
+    fn tie_block_goes_high_when_that_balances() {
+        // below = {1,2,3}, tied = {4}, above = {}. high: |3-1|=2; low: |4-0|=4.
+        let obs = [(1.0, 0.0), (2.0, 0.0), (3.0, 0.0), (3.5, 0.0), (3.5, 1.0)];
+        // median of [1,2,3,3.5,3.5] = 3 → below {1,2}, tied {3}, above {3.5,3.5}
+        let s = median_split(&obs).unwrap();
+        assert_eq!(s.split_value, 3.0);
+        assert_eq!(s.sizes(), (3, 2)); // low: |3-2|=1 beats high: |2-3|=1 → low wins ties? equal → low
+    }
+
+    #[test]
+    fn constant_feature_yields_none() {
+        let obs = [(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)];
+        assert!(median_split(&obs).is_none(), "no contrast with constant feature");
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        assert!(median_split(&[]).is_none());
+    }
+
+    #[test]
+    fn medians_and_test_flow_through() {
+        // Construct a clear effect: low feature → high metric.
+        let mut obs = Vec::new();
+        for i in 0..40 {
+            let noise = (i % 7) as f64 * 0.01;
+            obs.push((1.0 + (i % 3) as f64 * 0.1, 10.0 + noise));
+            obs.push((9.0 + (i % 3) as f64 * 0.1, 1.0 + noise));
+        }
+        let s = median_split(&obs).unwrap();
+        let (m1, m2) = (s.median1().unwrap(), s.median2().unwrap());
+        assert!(m1 > m2, "low-feature bin should carry the high metric");
+        let t = s.t_test().unwrap();
+        assert!(t.significant(), "clear separation must be significant");
+    }
+
+    #[test]
+    fn binary_feature_split() {
+        // has_example ∈ {0, 1}, mostly 0 — mirrors the paper's #examples
+        // splits where bin-1 is "= 0" and bin-2 "> 0".
+        let mut obs = vec![(0.0, 5.0); 20];
+        obs.extend(vec![(1.0, 2.0); 6]);
+        let s = median_split(&obs).unwrap();
+        assert_eq!(s.split_value, 0.0);
+        assert_eq!(s.sizes(), (20, 6));
+        assert_eq!(s.median1(), Some(5.0));
+        assert_eq!(s.median2(), Some(2.0));
+    }
+}

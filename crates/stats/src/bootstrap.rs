@@ -1,0 +1,192 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Used by the A/B testing harness (`crowd-ab`) — the paper's stated
+//! future work ("with full-fledged A/B testing, we may be able to solidify
+//! our correlation and predictive claims with further causation-based
+//! evidence", §7) — to put uncertainty bands around differences of
+//! medians, which have no closed-form distribution.
+
+/// A two-sided confidence interval from a bootstrap distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (the statistic on the original sample).
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level used, e.g. 0.95.
+    pub level: f64,
+    /// Resamples drawn.
+    pub resamples: usize,
+}
+
+impl BootstrapCi {
+    /// True when the interval excludes zero — the usual significance read
+    /// for a difference statistic.
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Deterministic xorshift for resampling (keeps this crate rand-free).
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Percentile-bootstrap CI for `statistic` of one sample. `None` for empty
+/// input, `resamples == 0`, or a level outside `(0, 1)`.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if xs.is_empty() || resamples == 0 || !(0.0 < level && level < 1.0) {
+        return None;
+    }
+    let mut rng = Xs(seed | 1);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.below(xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let at = |q: f64| {
+        let idx = ((q * resamples as f64) as usize).min(resamples - 1);
+        stats[idx]
+    };
+    Some(BootstrapCi {
+        estimate: statistic(xs),
+        lo: at(alpha),
+        hi: at(1.0 - alpha),
+        level,
+        resamples,
+    })
+}
+
+/// Percentile-bootstrap CI for `statistic(a) − statistic(b)` over two
+/// independent samples (resampled independently).
+pub fn bootstrap_diff_ci(
+    a: &[f64],
+    b: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<BootstrapCi> {
+    if a.is_empty() || b.is_empty() || resamples == 0 || !(0.0 < level && level < 1.0) {
+        return None;
+    }
+    let mut rng = Xs(seed | 1);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut ba = vec![0.0; a.len()];
+    let mut bb = vec![0.0; b.len()];
+    for _ in 0..resamples {
+        for slot in ba.iter_mut() {
+            *slot = a[rng.below(a.len())];
+        }
+        for slot in bb.iter_mut() {
+            *slot = b[rng.below(b.len())];
+        }
+        stats.push(statistic(&ba) - statistic(&bb));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let at = |q: f64| {
+        let idx = ((q * resamples as f64) as usize).min(resamples - 1);
+        stats[idx]
+    };
+    Some(BootstrapCi {
+        estimate: statistic(a) - statistic(b),
+        lo: at(alpha),
+        hi: at(1.0 - alpha),
+        level,
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, median};
+
+    fn med(xs: &[f64]) -> f64 {
+        median(xs).unwrap()
+    }
+
+    #[test]
+    fn ci_brackets_the_estimate() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 37) as f64).collect();
+        let ci = bootstrap_ci(&xs, med, 500, 0.95, 42).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert_eq!(ci.resamples, 500);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 11) as f64).collect();
+        let large: Vec<f64> = (0..2_000).map(|i| (i % 11) as f64).collect();
+        let ci_s = bootstrap_ci(&small, |x| mean(x).unwrap(), 400, 0.95, 1).unwrap();
+        let ci_l = bootstrap_ci(&large, |x| mean(x).unwrap(), 400, 0.95, 1).unwrap();
+        assert!(ci_l.width() < ci_s.width(), "{} < {}", ci_l.width(), ci_s.width());
+    }
+
+    #[test]
+    fn diff_ci_detects_a_real_shift() {
+        let a: Vec<f64> = (0..150).map(|i| 10.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..150).map(|i| 4.0 + (i % 7) as f64).collect();
+        let ci = bootstrap_diff_ci(&a, &b, med, 500, 0.95, 7).unwrap();
+        assert!((ci.estimate - 6.0).abs() < 1e-9);
+        assert!(ci.excludes_zero());
+        assert!(ci.lo > 3.0 && ci.hi < 9.0, "{ci:?}");
+    }
+
+    #[test]
+    fn diff_ci_covers_zero_for_identical_populations() {
+        let a: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let ci = bootstrap_diff_ci(&a, &a, med, 500, 0.95, 9).unwrap();
+        assert!(!ci.excludes_zero(), "{ci:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs: Vec<f64> = (0..80).map(|i| (i % 9) as f64).collect();
+        let a = bootstrap_ci(&xs, med, 300, 0.9, 5).unwrap();
+        let b = bootstrap_ci(&xs, med, 300, 0.9, 5).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, med, 300, 0.9, 6).unwrap();
+        assert!(a != c || a.estimate == c.estimate);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(bootstrap_ci(&[], med, 100, 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], med, 0, 0.95, 1).is_none());
+        assert!(bootstrap_ci(&[1.0], med, 100, 1.5, 1).is_none());
+        assert!(bootstrap_diff_ci(&[], &[1.0], med, 100, 0.95, 1).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's correlation analyses are visualized as CDF plots
+//! (Figs. 14, 25): "for x = m, the corresponding y value … represents the
+//! probability that a batch will have metric value better than m" (§4.2).
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds from a sample (NaNs are rejected). `None` when empty.
+    pub fn new(xs: &[f64]) -> Option<EmpiricalCdf> {
+        if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(EmpiricalCdf { sorted })
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `F(x) = P(X ≤ x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Quantile (inverse CDF): smallest sample value `v` with `F(v) ≥ q`,
+    /// for `q ∈ (0, 1]`; `None` outside that range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let n = self.sorted.len();
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[k - 1])
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// Step points `(x, F(x))` suitable for plotting: one point per distinct
+    /// sample value, y strictly increasing to 1.0.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / n));
+            i = j;
+        }
+        out
+    }
+
+    /// Evaluates the CDF at `k` evenly spaced x positions spanning
+    /// `[lo, hi]` — the sampling used to lay CDF lines onto a shared axis
+    /// for two-bin comparison plots.
+    pub fn sampled(&self, lo: f64, hi: f64, k: usize) -> Vec<(f64, f64)> {
+        assert!(k >= 2 && hi >= lo);
+        (0..k)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (k - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Kolmogorov–Smirnov distance to another empirical CDF — a convenient
+    /// scalar for "how separated are the two bins" in tests.
+    pub fn ks_distance(&self, other: &EmpiricalCdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(2.5), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn survival_is_complement() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((cdf.survival(2.0) - (1.0 - cdf.eval(2.0))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = EmpiricalCdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(cdf.quantile(0.25), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+        assert_eq!(cdf.quantile(0.0), None);
+        assert_eq!(cdf.quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let cdf = EmpiricalCdf::new(&[5.0, 1.0, 9.0, 3.0, 7.0]).unwrap();
+        for &q in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+            let v = cdf.quantile(q).unwrap();
+            assert!(cdf.eval(v) >= q);
+        }
+    }
+
+    #[test]
+    fn points_end_at_one() {
+        let cdf = EmpiricalCdf::new(&[2.0, 2.0, 5.0]).unwrap();
+        let pts = cdf.points();
+        assert_eq!(pts, vec![(2.0, 2.0 / 3.0), (5.0, 1.0)]);
+    }
+
+    #[test]
+    fn sampled_is_monotone() {
+        let cdf = EmpiricalCdf::new(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]).unwrap();
+        let pts = cdf.sampled(0.0, 10.0, 21);
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(EmpiricalCdf::new(&[]).is_none());
+        assert!(EmpiricalCdf::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn ks_distance_zero_for_same_sample() {
+        let a = EmpiricalCdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.ks_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_supports() {
+        let a = EmpiricalCdf::new(&[1.0, 2.0]).unwrap();
+        let b = EmpiricalCdf::new(&[10.0, 20.0]).unwrap();
+        assert_eq!(a.ks_distance(&b), 1.0);
+    }
+}

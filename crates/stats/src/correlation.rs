@@ -1,0 +1,116 @@
+//! Pearson and Spearman correlation coefficients.
+//!
+//! Used by the exploratory phase of the §4.2 correlation analyses and by
+//! tests asserting the simulator's causal structure surfaces in the data.
+
+use crate::descriptive::mean;
+
+/// Pearson product-moment correlation; `None` when the inputs differ in
+/// length, have fewer than two points, or either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Average ranks (1-based) with ties sharing the mean of their positions.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..j (0-based) share rank mean of (i+1)..=j.
+        let shared = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = shared;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson over average ranks); `None` under the
+/// same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        close(pearson(&xs, &ys).unwrap(), 1.0, 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        close(pearson(&xs, &neg).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // numpy.corrcoef([1,2,3,4,5], [2,1,4,3,5])[0,1] = 0.8
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 1.0, 4.0, 3.0, 5.0]).unwrap();
+        close(r, 0.8, 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none(), "constant side");
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        // [10, 20, 20, 30] → ranks [1, 2.5, 2.5, 4]
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        // Monotone transform gives ρ = 1 even though Pearson < 1.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        close(spearman(&xs, &ys).unwrap(), 1.0, 1e-12);
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // scipy.stats.spearmanr([1,2,3,4,5], [5,6,7,8,7]).statistic = 0.8207826816681233
+        let r = spearman(&[1.0, 2.0, 3.0, 4.0, 5.0], &[5.0, 6.0, 7.0, 8.0, 7.0]).unwrap();
+        close(r, 0.820_782_681_668_123_3, 1e-12);
+    }
+}

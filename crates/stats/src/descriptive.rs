@@ -1,0 +1,187 @@
+//! Descriptive statistics: means, medians, percentiles, moments.
+//!
+//! The paper summarizes every metric by its median (robust to the heavy
+//! tails of pickup-times and task-times) and occasionally by means (e.g.
+//! mean trust per source, §5.1).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (n−1 denominator); `None` when `n < 2`.
+///
+/// Uses Welford's single-pass algorithm for numerical stability on the
+/// large, wide-ranged duration data this crate processes.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let mut m = 0.0f64;
+    let mut m2 = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - m;
+        m += delta / (i + 1) as f64;
+        m2 += delta * (x - m);
+    }
+    Some(m2 / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` when `n < 2`.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (average of the two central order statistics for even `n`);
+/// `None` for an empty slice. Does not require sorted input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// The `p`-th percentile (`0 ≤ p ≤ 100`) with linear interpolation between
+/// order statistics (the "linear" / R-7 convention); `None` when empty or
+/// `p` out of range.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// [`percentile`] over data already sorted ascending. Panics on empty input.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median of a pre-sorted slice. Panics on empty input.
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    percentile_sorted(sorted, 50.0)
+}
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `n < 2`).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes the summary; `None` for an empty slice.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            max: sorted[sorted.len() - 1],
+            mean: mean(xs).unwrap(),
+            stddev: stddev(xs).unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_matches_reference() {
+        // Sample variance of [2, 4, 4, 4, 5, 5, 7, 9] is 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let v = variance(&xs).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn variance_is_stable_under_large_offsets() {
+        let base = [1.0, 2.0, 3.0, 4.0];
+        let shifted: Vec<f64> = base.iter().map(|x| x + 1e12).collect();
+        let v1 = variance(&base).unwrap();
+        let v2 = variance(&shifted).unwrap();
+        assert!((v1 - v2).abs() < 1e-3, "Welford should survive the offset: {v1} vs {v2}");
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        // R-7: rank = 0.25 * 3 = 0.75 → 1 + 0.75*(2-1) = 1.75
+        assert_eq!(percentile(&xs, 25.0), Some(1.75));
+        assert_eq!(percentile(&xs, 101.0), None);
+        assert_eq!(percentile(&xs, -1.0), None);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 33.0), Some(7.0));
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 22.0);
+        assert!(s.q1 < s.median && s.median < s.q3);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_handles_single_value() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Linear- and log-binned histograms.
+//!
+//! The paper uses linear histograms for worker lifetimes and working days
+//! (Fig. 30) and log-log histograms for cluster sizes (Figs. 6, 7) and
+//! workload/hours distributions (Fig. 29).
+
+/// Binning scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HistogramKind {
+    /// `bins` equal-width bins spanning `[lo, hi]`.
+    Linear {
+        /// Lower edge of the first bin.
+        lo: f64,
+        /// Upper edge of the last bin.
+        hi: f64,
+    },
+    /// Bins with logarithmically spaced edges spanning `[lo, hi]`,
+    /// `lo > 0`. Bin `i` covers `[lo·r^i, lo·r^(i+1))`.
+    Log {
+        /// Lower edge (must be positive).
+        lo: f64,
+        /// Upper edge.
+        hi: f64,
+    },
+}
+
+/// A fixed-bin histogram over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    kind: HistogramKind,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` bins of the given kind.
+    ///
+    /// # Panics
+    /// If `bins == 0`, `hi ≤ lo`, or a log histogram has `lo ≤ 0`.
+    pub fn new(kind: HistogramKind, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        match kind {
+            HistogramKind::Linear { lo, hi } => assert!(hi > lo, "hi must exceed lo"),
+            HistogramKind::Log { lo, hi } => {
+                assert!(lo > 0.0 && hi > lo, "log bins need 0 < lo < hi")
+            }
+        }
+        Histogram { kind, counts: vec![0; bins], below: 0, above: 0, total: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        match self.bin_of(x) {
+            BinPos::Below => self.below += 1,
+            BinPos::Above => self.above += 1,
+            BinPos::In(i) => self.counts[i] += 1,
+        }
+    }
+
+    /// Adds every observation in a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    fn bin_of(&self, x: f64) -> BinPos {
+        let n = self.counts.len() as f64;
+        let frac = match self.kind {
+            HistogramKind::Linear { lo, hi } => (x - lo) / (hi - lo),
+            HistogramKind::Log { lo, hi } => {
+                if x <= 0.0 {
+                    return BinPos::Below;
+                }
+                (x.ln() - lo.ln()) / (hi.ln() - lo.ln())
+            }
+        };
+        if frac < 0.0 || x.is_nan() {
+            BinPos::Below
+        } else if frac >= 1.0 {
+            // The top edge itself is counted in the last bin.
+            let is_top = match self.kind {
+                HistogramKind::Linear { hi, .. } | HistogramKind::Log { hi, .. } => x == hi,
+            };
+            if is_top {
+                BinPos::In(self.counts.len() - 1)
+            } else {
+                BinPos::Above
+            }
+        } else {
+            BinPos::In(((frac * n) as usize).min(self.counts.len() - 1))
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the first bin (including NaN).
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations at or above the top edge (exclusive of the edge itself).
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Total observations offered, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let n = self.counts.len() as f64;
+        match self.kind {
+            HistogramKind::Linear { lo, hi } => {
+                let w = (hi - lo) / n;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+            HistogramKind::Log { lo, hi } => {
+                let r = (hi / lo).powf(1.0 / n);
+                (lo * r.powi(i as i32), lo * r.powi(i as i32 + 1))
+            }
+        }
+    }
+
+    /// `(bin center, count)` pairs for plotting. Log histograms use the
+    /// geometric center.
+    pub fn points(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| {
+                let (lo, hi) = self.bin_edges(i);
+                let center = match self.kind {
+                    HistogramKind::Linear { .. } => 0.5 * (lo + hi),
+                    HistogramKind::Log { .. } => (lo * hi).sqrt(),
+                };
+                (center, self.counts[i])
+            })
+            .collect()
+    }
+}
+
+enum BinPos {
+    Below,
+    In(usize),
+    Above,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(HistogramKind::Linear { lo: 0.0, hi: 10.0 }, 5);
+        h.extend(&[0.0, 1.9, 2.0, 9.9, 10.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn mass_conservation() {
+        let mut h = Histogram::new(HistogramKind::Linear { lo: 0.0, hi: 1.0 }, 7);
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.003_7) % 1.4 - 0.1).collect();
+        h.extend(&xs);
+        let binned: u64 = h.counts().iter().sum();
+        assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        assert_eq!(h.total(), 1000);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(HistogramKind::Linear { lo: 0.0, hi: 1.0 }, 2);
+        h.extend(&[-0.5, 0.5, 1.5, f64::NAN]);
+        assert_eq!(h.underflow(), 2, "negative and NaN");
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn log_binning_decades() {
+        let mut h = Histogram::new(HistogramKind::Log { lo: 1.0, hi: 1000.0 }, 3);
+        h.extend(&[1.0, 5.0, 10.0, 99.0, 100.0, 999.0, 1000.0]);
+        // Decade bins: [1,10), [10,100), [100,1000].
+        assert_eq!(h.counts(), &[2, 2, 3]);
+    }
+
+    #[test]
+    fn log_binning_rejects_nonpositive_samples() {
+        let mut h = Histogram::new(HistogramKind::Log { lo: 1.0, hi: 100.0 }, 2);
+        h.extend(&[0.0, -3.0, 50.0]);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn bin_edges_linear() {
+        let h = Histogram::new(HistogramKind::Linear { lo: 0.0, hi: 10.0 }, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 2.5));
+        assert_eq!(h.bin_edges(3), (7.5, 10.0));
+    }
+
+    #[test]
+    fn bin_edges_log() {
+        let h = Histogram::new(HistogramKind::Log { lo: 1.0, hi: 100.0 }, 2);
+        let (lo, hi) = h.bin_edges(0);
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_centers() {
+        let mut h = Histogram::new(HistogramKind::Linear { lo: 0.0, hi: 4.0 }, 2);
+        h.extend(&[1.0, 3.0, 3.5]);
+        assert_eq!(h.points(), vec![(1.0, 1), (3.0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(HistogramKind::Linear { lo: 0.0, hi: 1.0 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn log_with_zero_lo_panics() {
+        let _ = Histogram::new(HistogramKind::Log { lo: 0.0, hi: 1.0 }, 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # crowd-stats
+//!
+//! Statistics substrate for the crowdsourcing-marketplace study
+//! reproduction. Everything the paper's quantitative methodology needs is
+//! implemented here from first principles:
+//!
+//! * descriptive statistics (means, medians, percentiles) — used for every
+//!   metric summary;
+//! * Welch's t-test with an exact Student-t p-value (via the regularized
+//!   incomplete beta function) — the paper's significance test (§4.2,
+//!   threshold p < 0.01);
+//! * empirical CDFs — the paper's visualization of feature/metric
+//!   correlations (Figs. 14, 25);
+//! * linear and logarithmic histograms — Figs. 6, 7, 29, 30;
+//! * Pearson/Spearman correlation;
+//! * the §4.2 median-split binning methodology.
+//!
+//! No external dependencies; all routines are deterministic and unit-tested
+//! against published reference values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod bootstrap;
+pub mod cdf;
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod mannwhitney;
+pub mod special;
+pub mod ttest;
+
+pub use binning::{median_split, MedianSplit};
+pub use bootstrap::{bootstrap_ci, bootstrap_diff_ci, BootstrapCi};
+pub use cdf::EmpiricalCdf;
+pub use correlation::{pearson, spearman};
+pub use descriptive::{mean, median, percentile, stddev, variance, Summary};
+pub use histogram::{Histogram, HistogramKind};
+pub use mannwhitney::{mann_whitney_u, MannWhitneyResult};
+pub use ttest::{welch_t_test, TTestResult};

@@ -1,0 +1,140 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum), normal approximation with tie
+//! correction.
+//!
+//! The study's metrics are heavy-tailed (pickup times span seconds to
+//! months), where Welch's t on raw values loses power to outliers; the
+//! rank-sum test is the standard nonparametric companion. It is exposed
+//! alongside [`crate::ttest::welch_t_test`] so analyses can report both.
+
+use crate::correlation::ranks;
+use crate::special::normal_two_sided;
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyResult {
+    /// U statistic of the first sample.
+    pub u: f64,
+    /// Standardized statistic (normal approximation, tie-corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Sample sizes.
+    pub n: (usize, usize),
+}
+
+impl MannWhitneyResult {
+    /// Significant at the paper's α = 0.01.
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.01
+    }
+}
+
+/// Two-sided Mann–Whitney U test. `None` when either sample is empty or
+/// all values across both samples are identical.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitneyResult> {
+    let (na, nb) = (a.len(), b.len());
+    if na == 0 || nb == 0 {
+        return None;
+    }
+    // Joint ranking with average ranks for ties.
+    let mut joint: Vec<f64> = Vec::with_capacity(na + nb);
+    joint.extend_from_slice(a);
+    joint.extend_from_slice(b);
+    let r = ranks(&joint);
+    let ra: f64 = r[..na].iter().sum();
+    let u = ra - (na * (na + 1)) as f64 / 2.0;
+
+    let n = (na + nb) as f64;
+    let mean_u = (na as f64 * nb as f64) / 2.0;
+    // Tie correction: Σ (t³ − t) over tie groups.
+    let mut sorted = joint.clone();
+    sorted.sort_by(f64::total_cmp);
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let var_u =
+        (na as f64 * nb as f64 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        return None; // everything tied
+    }
+    // Continuity correction toward the mean.
+    let z = (u - mean_u - 0.5 * (u - mean_u).signum()) / var_u.sqrt();
+    let p_value = normal_two_sided(z);
+    Some(MannWhitneyResult { u, z, p_value, n: (na, nb) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let a: Vec<f64> = (0..60).map(|i| (i % 12) as f64).collect();
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn clear_shift_is_significant() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 20.0 + (i % 10) as f64).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.significant(), "p = {}", r.p_value);
+        assert!(r.u < 100.0, "a ranks below b: U = {}", r.u);
+    }
+
+    #[test]
+    fn u_statistics_sum_to_product() {
+        // U_a + U_b = n_a · n_b (a fundamental identity).
+        let a = [1.0, 5.0, 9.0, 13.0];
+        let b = [2.0, 6.0, 10.0];
+        let ua = mann_whitney_u(&a, &b).unwrap().u;
+        let ub = mann_whitney_u(&b, &a).unwrap().u;
+        assert!((ua + ub - 12.0).abs() < 1e-9, "{ua} + {ub}");
+    }
+
+    #[test]
+    fn known_small_example() {
+        // a = [1,2,3], b = [4,5,6]: U_a = 0 (every a below every b).
+        let r = mann_whitney_u(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(r.u, 0.0);
+        // a = [4,5,6], b = [1,2,3]: U_a = 9.
+        let r2 = mann_whitney_u(&[4.0, 5.0, 6.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r2.u, 9.0);
+    }
+
+    #[test]
+    fn robust_to_one_huge_outlier() {
+        // Welch's t gets dragged by the outlier; rank-sum should still see
+        // two similar distributions.
+        let mut a: Vec<f64> = (0..60).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..60).map(|i| (i % 10) as f64 + 0.01).collect();
+        a[0] = 1.0e9;
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(!r.significant(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+        assert!(mann_whitney_u(&[3.0, 3.0], &[3.0, 3.0]).is_none(), "all tied");
+    }
+
+    #[test]
+    fn tie_heavy_data_still_works() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0, 3.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+}

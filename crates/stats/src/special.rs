@@ -1,0 +1,279 @@
+//! Special functions needed for exact test p-values: `ln Γ`, the
+//! regularized incomplete beta function, and the Student-t CDF built on it.
+//!
+//! Implementations follow the classic Lanczos approximation and the
+//! Lentz continued-fraction evaluation of `I_x(a, b)`; accuracy is within
+//! ~1e-10 across the parameter ranges exercised by the study's t-tests.
+
+/// Natural log of the gamma function (Lanczos, g = 7, n = 9), valid for
+/// `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Coefficients from Numerical Recipes / Boost's Lanczos(7, 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885,
+        -1_259.139_216_722_403,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_312e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx)
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `0 ≤ x ≤ 1`.
+pub fn betainc_reg(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betainc requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "betainc requires x in [0, 1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction in the region where it converges fastest.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Modified Lentz evaluation of the incomplete-beta continued fraction.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p_tail = 0.5 * betainc_reg(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p_tail
+    } else {
+        p_tail
+    }
+}
+
+/// Two-sided tail probability `P(|T| ≥ |t|)` for Student's t.
+pub fn student_t_two_sided(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    betainc_reg(0.5 * df, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Complementary error function (Numerical Recipes' rational Chebyshev
+/// fit; relative error below 1.2e-7 everywhere).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t * (-z * z - 1.265_512_23
+        + t * (1.000_023_68
+            + t * (0.374_091_96
+                + t * (0.096_784_18
+                    + t * (-0.186_288_06
+                        + t * (0.278_868_07
+                            + t * (-1.135_203_98
+                                + t * (1.488_515_87
+                                    + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+    .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal CDF Φ(x), exact at 0 and symmetric by construction.
+pub fn normal_cdf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.5;
+    }
+    if x > 0.0 {
+        1.0 - 0.5 * erfc(x / std::f64::consts::SQRT_2)
+    } else {
+        0.5 * erfc(-x / std::f64::consts::SQRT_2)
+    }
+}
+
+/// Two-sided normal tail probability `P(|Z| ≥ |z|)`.
+pub fn normal_two_sided(z: f64) -> f64 {
+    erfc(z.abs() / std::f64::consts::SQRT_2).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        // Γ(n) = (n−1)!
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), (24.0f64).ln(), 1e-10);
+        close(ln_gamma(11.0), (3_628_800.0f64).ln(), 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-10);
+        // Γ(3/2) = √π / 2
+        close(ln_gamma(1.5), 0.5 * std::f64::consts::PI.ln() - std::f64::consts::LN_2, 1e-10);
+    }
+
+    #[test]
+    fn betainc_symmetry_and_bounds() {
+        close(betainc_reg(2.0, 3.0, 0.0), 0.0, 1e-15);
+        close(betainc_reg(2.0, 3.0, 1.0), 1.0, 1e-15);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        let v = betainc_reg(2.5, 4.5, 0.3);
+        let w = betainc_reg(4.5, 2.5, 0.7);
+        close(v, 1.0 - w, 1e-12);
+    }
+
+    #[test]
+    fn betainc_uniform_case() {
+        // I_x(1,1) = x
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            close(betainc_reg(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_known_values() {
+        // scipy.special.betainc(2, 3, 0.4) = 0.5248
+        close(betainc_reg(2.0, 3.0, 0.4), 0.5248, 1e-10);
+        // scipy.special.betainc(0.5, 0.5, 0.5) = 0.5 (arcsine distribution)
+        close(betainc_reg(0.5, 0.5, 0.5), 0.5, 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_symmetry() {
+        for &df in &[1.0, 5.0, 30.0] {
+            close(student_t_cdf(0.0, df), 0.5, 1e-12);
+            close(student_t_cdf(1.3, df) + student_t_cdf(-1.3, df), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_cauchy_case() {
+        // df = 1 is the Cauchy distribution: F(1) = 3/4.
+        close(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+        close(student_t_two_sided(1.0, 1.0), 0.5, 1e-10);
+    }
+
+    #[test]
+    fn t_critical_values_match_tables() {
+        // Classic table: P(|T| ≥ 2.228) = 0.05 at df = 10.
+        close(student_t_two_sided(2.228_138_85, 10.0), 0.05, 1e-6);
+        // P(|T| ≥ 2.575) ≈ 0.01 for df → large; at df = 120, t_0.005 = 2.617.
+        close(student_t_two_sided(2.617_4, 120.0), 0.01, 1e-4);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(normal_cdf(0.0), 0.5, 0.0 + 1e-15);
+        close(normal_cdf(1.96), 0.975_002, 1e-5);
+        close(normal_cdf(-1.96), 0.024_998, 1e-5);
+        close(normal_cdf(1.0), 0.841_345, 1e-5);
+        close(normal_cdf(3.0), 0.998_650, 1e-5);
+        // Symmetry.
+        for z in [0.3, 1.1, 2.7] {
+            close(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_bounds_and_known() {
+        close(erfc(0.0), 1.0, 1e-7);
+        close(erfc(1.0), 0.157_299_2, 1e-6);
+        close(erfc(-1.0), 1.842_700_8, 1e-6);
+        assert!(erfc(6.0) < 1e-15);
+    }
+
+    #[test]
+    fn normal_two_sided_matches_tables() {
+        close(normal_two_sided(1.959_964), 0.05, 1e-5);
+        close(normal_two_sided(2.575_829), 0.01, 1e-5);
+    }
+
+    #[test]
+    fn t_cdf_infinite_t() {
+        assert_eq!(student_t_cdf(f64::INFINITY, 7.0), 1.0);
+        assert_eq!(student_t_cdf(f64::NEG_INFINITY, 7.0), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Welch's unequal-variances t-test.
+//!
+//! The paper's §4.2 methodology: "We perform a t-test to check whether the
+//! metric value distribution in our two feature-value-separated bins is
+//! statistically significant. We use a threshold p-value of 0.01." Bins
+//! have different sizes and variances, so Welch's form is the right one.
+
+use crate::descriptive::{mean, variance};
+use crate::special::student_t_two_sided;
+
+/// The paper's significance threshold (§4.2).
+pub const PAPER_ALPHA: f64 = 0.01;
+
+/// Outcome of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Sample sizes.
+    pub n: (usize, usize),
+    /// Sample means.
+    pub means: (f64, f64),
+}
+
+impl TTestResult {
+    /// True when the difference is significant at the paper's α = 0.01.
+    pub fn significant(&self) -> bool {
+        self.p_value < PAPER_ALPHA
+    }
+
+    /// True when significant at a caller-chosen α.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Welch t-test between two samples.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// when both samples are constant and equal (no variance, no difference —
+/// the statistic is undefined). Two constant samples with *different*
+/// values report `p = 0` (infinitely strong evidence under this model).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    let (na, nb) = (a.len(), b.len());
+    if na < 2 || nb < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a)?, mean(b)?);
+    let (va, vb) = (variance(a)?, variance(b)?);
+    let sa = va / na as f64;
+    let sb = vb / nb as f64;
+    let se2 = sa + sb;
+    if se2 == 0.0 {
+        if ma == mb {
+            return None;
+        }
+        return Some(TTestResult {
+            t: if ma > mb { f64::INFINITY } else { f64::NEG_INFINITY },
+            df: (na + nb - 2) as f64,
+            p_value: 0.0,
+            n: (na, nb),
+            means: (ma, mb),
+        });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite approximation.
+    let df = se2 * se2
+        / (sa * sa / (na as f64 - 1.0) + sb * sb / (nb as f64 - 1.0));
+    let p_value = student_t_two_sided(t, df);
+    Some(TTestResult { t, df, p_value, n: (na, nb), means: (ma, mb) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = welch_t_test(&xs, &xs).unwrap();
+        close(r.t, 0.0, 1e-12);
+        close(r.p_value, 1.0, 1e-12);
+        assert!(!r.significant());
+    }
+
+    /// Two-sided tail of Student's t via Simpson integration of the pdf —
+    /// an implementation independent of the incomplete-beta path, used to
+    /// cross-validate p-values.
+    fn t_two_sided_by_integration(t: f64, df: f64) -> f64 {
+        use crate::special::ln_gamma;
+        let ln_norm = ln_gamma((df + 1.0) / 2.0)
+            - ln_gamma(df / 2.0)
+            - 0.5 * (df * std::f64::consts::PI).ln();
+        let pdf = |x: f64| (ln_norm - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp();
+        // Central mass on [-|t|, |t|] via Simpson with many panels.
+        let a = -t.abs();
+        let b = t.abs();
+        let n = 20_000;
+        let h = (b - a) / n as f64;
+        let mut s = pdf(a) + pdf(b);
+        for i in 1..n {
+            let x = a + h * i as f64;
+            s += pdf(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+        }
+        1.0 - s * h / 3.0
+    }
+
+    #[test]
+    fn welch_statistic_and_df_hand_derived() {
+        // a = [1..5]: mean 3, var 2.5, n 5 → sa = 0.5
+        // b = 2·a:    mean 6, var 10,  n 5 → sb = 2.0
+        // t = (3−6)/√2.5 = −1.897366…
+        // df = 2.5² / (0.5²/4 + 2²/4) = 6.25/1.0625 = 100/17
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        close(r.t, -3.0 / 2.5f64.sqrt(), 1e-12);
+        close(r.df, 100.0 / 17.0, 1e-12);
+        close(r.p_value, t_two_sided_by_integration(r.t, r.df), 1e-7);
+    }
+
+    #[test]
+    fn welch_unequal_sizes_hand_derived() {
+        // a = [10,11,9,10,10,12]: mean 31/3, var 16/15, n 6 → sa = 8/45
+        // b = [14,15,13]:         mean 14,   var 1,     n 3 → sb = 1/3
+        // se² = 8/45 + 1/3 = 23/45 ; t = (31/3 − 14)/√(23/45)
+        let a = [10.0, 11.0, 9.0, 10.0, 10.0, 12.0];
+        let b = [14.0, 15.0, 13.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        let se2: f64 = 23.0 / 45.0;
+        close(r.t, (31.0 / 3.0 - 14.0) / se2.sqrt(), 1e-12);
+        let df = se2 * se2 / ((8.0f64 / 45.0).powi(2) / 5.0 + (1.0f64 / 3.0).powi(2) / 2.0);
+        close(r.df, df, 1e-12);
+        close(r.p_value, t_two_sided_by_integration(r.t, r.df), 1e-7);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn clearly_separated_samples_are_significant() {
+        let a: Vec<f64> = (0..50).map(|i| 10.0 + (i % 5) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..50).map(|i| 20.0 + (i % 5) as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.significant());
+        assert!(r.p_value < 1e-20);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+        // Equal constants: undefined.
+        assert!(welch_t_test(&[3.0, 3.0], &[3.0, 3.0]).is_none());
+        // Different constants: p = 0.
+        let r = welch_t_test(&[3.0, 3.0], &[4.0, 4.0]).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.significant());
+        assert!(r.t.is_infinite() && r.t < 0.0);
+    }
+
+    #[test]
+    fn direction_of_t() {
+        let r = welch_t_test(&[5.0, 6.0, 7.0], &[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.t > 0.0, "first sample larger ⇒ positive t");
+        assert_eq!(r.means.0, 6.0);
+        assert_eq!(r.means.1, 2.0);
+        assert_eq!(r.n, (3, 3));
+    }
+}

@@ -1,0 +1,129 @@
+//! Aggregate functions for group-by.
+
+/// An aggregate over the numeric values of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Row count.
+    Count,
+    /// Count of distinct values.
+    CountDistinct,
+    /// Sum.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Median.
+    Median,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl Agg {
+    /// Suffix used for the output column name (`<col>_<suffix>`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Agg::Count => "count",
+            Agg::CountDistinct => "distinct",
+            Agg::Sum => "sum",
+            Agg::Mean => "mean",
+            Agg::Median => "median",
+            Agg::Min => "min",
+            Agg::Max => "max",
+        }
+    }
+
+    /// Applies the aggregate to a group's values. `values` may be reordered.
+    /// Empty groups yield `NaN` for value aggregates and `0` for counts.
+    pub fn apply(self, values: &mut [f64]) -> f64 {
+        match self {
+            Agg::Count => values.len() as f64,
+            Agg::CountDistinct => {
+                values.sort_by(f64::total_cmp);
+                let mut n = 0usize;
+                let mut prev = f64::NAN;
+                for &v in values.iter() {
+                    if v.total_cmp(&prev) != std::cmp::Ordering::Equal {
+                        n += 1;
+                        prev = v;
+                    }
+                }
+                n as f64
+            }
+            Agg::Sum => values.iter().sum(),
+            Agg::Mean => {
+                if values.is_empty() {
+                    f64::NAN
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+            Agg::Median => {
+                if values.is_empty() {
+                    f64::NAN
+                } else {
+                    values.sort_by(f64::total_cmp);
+                    let n = values.len();
+                    if n % 2 == 1 {
+                        values[n / 2]
+                    } else {
+                        0.5 * (values[n / 2 - 1] + values[n / 2])
+                    }
+                }
+            }
+            Agg::Min => values.iter().copied().fold(f64::NAN, f64::min),
+            Agg::Max => values.iter().copied().fold(f64::NAN, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_sum() {
+        assert_eq!(Agg::Count.apply(&mut [1.0, 2.0, 3.0]), 3.0);
+        assert_eq!(Agg::Sum.apply(&mut [1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(Agg::Count.apply(&mut []), 0.0);
+        assert_eq!(Agg::Sum.apply(&mut []), 0.0);
+    }
+
+    #[test]
+    fn mean_median() {
+        assert_eq!(Agg::Mean.apply(&mut [1.0, 3.0]), 2.0);
+        assert_eq!(Agg::Median.apply(&mut [5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(Agg::Median.apply(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert!(Agg::Mean.apply(&mut []).is_nan());
+        assert!(Agg::Median.apply(&mut []).is_nan());
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Agg::Min.apply(&mut [3.0, -1.0, 2.0]), -1.0);
+        assert_eq!(Agg::Max.apply(&mut [3.0, -1.0, 2.0]), 3.0);
+        assert!(Agg::Min.apply(&mut []).is_nan());
+    }
+
+    #[test]
+    fn count_distinct() {
+        assert_eq!(Agg::CountDistinct.apply(&mut [1.0, 1.0, 2.0, 2.0, 2.0, 5.0]), 3.0);
+        assert_eq!(Agg::CountDistinct.apply(&mut []), 0.0);
+        assert_eq!(Agg::CountDistinct.apply(&mut [7.0]), 1.0);
+    }
+
+    #[test]
+    fn suffixes_unique() {
+        let all = [
+            Agg::Count,
+            Agg::CountDistinct,
+            Agg::Sum,
+            Agg::Mean,
+            Agg::Median,
+            Agg::Min,
+            Agg::Max,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().map(|a| a.suffix()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

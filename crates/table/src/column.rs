@@ -1,0 +1,209 @@
+//! Typed columns and scalar values.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+/// A scalar value read out of (or written into) a table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar.
+    Float(f64),
+    /// String scalar.
+    Str(String),
+    /// Boolean scalar.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's column type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Float(_) => ColumnType::Float,
+            Value::Str(_) => ColumnType::Str,
+            Value::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Numeric view: ints and floats as `f64`, bools as 0/1.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A dense typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer data.
+    Int(Vec<i64>),
+    /// Float data.
+    Float(Vec<f64>),
+    /// String data.
+    Str(Vec<String>),
+    /// Boolean data.
+    Bool(Vec<bool>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::Int(_) => ColumnType::Int,
+            Column::Float(_) => ColumnType::Float,
+            Column::Str(_) => ColumnType::Str,
+            Column::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Value at `row` (panics out of range).
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Str(v) => Value::Str(v[row].clone()),
+            Column::Bool(v) => Value::Bool(v[row]),
+        }
+    }
+
+    /// Appends a matching-typed value; `false` on type mismatch.
+    pub fn push(&mut self, value: Value) -> bool {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(x),
+            (Column::Float(v), Value::Float(x)) => v.push(x),
+            (Column::Str(v), Value::Str(x)) => v.push(x),
+            (Column::Bool(v), Value::Bool(x)) => v.push(x),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Gathers the rows selected by `indices` into a new column.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i as usize]).collect()),
+            Column::Str(v) => {
+                Column::Str(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+
+    /// Numeric view of the whole column; `None` for string columns.
+    pub fn as_f64_vec(&self) -> Option<Vec<f64>> {
+        match self {
+            Column::Int(v) => Some(v.iter().map(|&x| x as f64).collect()),
+            Column::Float(v) => Some(v.clone()),
+            Column::Bool(v) => Some(v.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()),
+            Column::Str(_) => None,
+        }
+    }
+
+    /// Creates an empty column of the given type.
+    pub fn empty(ty: ColumnType) -> Column {
+        match ty {
+            ColumnType::Int => Column::Int(Vec::new()),
+            ColumnType::Float => Column::Float(Vec::new()),
+            ColumnType::Str => Column::Str(Vec::new()),
+            ColumnType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int(3).column_type(), ColumnType::Int);
+        assert_eq!(Value::Str("x".into()).column_type(), ColumnType::Str);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn column_push_type_safety() {
+        let mut c = Column::Int(vec![]);
+        assert!(c.push(Value::Int(1)));
+        assert!(!c.push(Value::Float(1.0)), "type mismatch rejected");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let c = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g, Column::Str(vec!["c".into(), "a".into()]));
+    }
+
+    #[test]
+    fn get_and_display() {
+        let c = Column::Float(vec![1.5]);
+        assert_eq!(c.get(0), Value::Float(1.5));
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn as_f64_vec_conversions() {
+        assert_eq!(Column::Int(vec![1, 2]).as_f64_vec(), Some(vec![1.0, 2.0]));
+        assert_eq!(Column::Bool(vec![true, false]).as_f64_vec(), Some(vec![1.0, 0.0]));
+        assert_eq!(Column::Str(vec![]).as_f64_vec(), None);
+    }
+
+    #[test]
+    fn empty_constructor() {
+        for ty in [ColumnType::Int, ColumnType::Float, ColumnType::Str, ColumnType::Bool] {
+            let c = Column::empty(ty);
+            assert!(c.is_empty());
+            assert_eq!(c.column_type(), ty);
+        }
+    }
+}

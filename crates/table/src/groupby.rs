@@ -1,0 +1,224 @@
+//! Hash group-by with chained aggregates.
+
+use std::collections::HashMap;
+
+use crate::agg::Agg;
+use crate::column::{Column, Value};
+use crate::table::{Table, TableError};
+
+/// A pending group-by: key column resolved, aggregates accumulate into the
+/// output table.
+pub struct GroupBy<'a> {
+    source: &'a Table,
+    key_name: String,
+    /// Row indices of each group, keyed insertion-ordered.
+    groups: Vec<Vec<u32>>,
+    /// Output under construction: starts with the key column.
+    out: Table,
+}
+
+impl<'a> GroupBy<'a> {
+    pub(crate) fn new(source: &'a Table, key: &str) -> Result<GroupBy<'a>, TableError> {
+        let col = source.column(key)?;
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut out_key = Column::empty(col.column_type());
+
+        match col {
+            Column::Int(v) => {
+                let mut index: HashMap<i64, usize> = HashMap::new();
+                for (row, &k) in v.iter().enumerate() {
+                    let g = *index.entry(k).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        out_key.push(Value::Int(k));
+                        groups.len() - 1
+                    });
+                    groups[g].push(row as u32);
+                }
+            }
+            Column::Str(v) => {
+                let mut index: HashMap<&str, usize> = HashMap::new();
+                for (row, k) in v.iter().enumerate() {
+                    let g = *index.entry(k.as_str()).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        out_key.push(Value::Str(k.clone()));
+                        groups.len() - 1
+                    });
+                    groups[g].push(row as u32);
+                }
+            }
+            Column::Bool(v) => {
+                let mut index: HashMap<bool, usize> = HashMap::new();
+                for (row, &k) in v.iter().enumerate() {
+                    let g = *index.entry(k).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        out_key.push(Value::Bool(k));
+                        groups.len() - 1
+                    });
+                    groups[g].push(row as u32);
+                }
+            }
+            Column::Float(_) => {
+                return Err(TableError::TypeMismatch {
+                    column: key.into(),
+                    found: col.column_type(),
+                })
+            }
+        }
+
+        let mut out = Table::new();
+        out.push_column(key, out_key)?;
+        Ok(GroupBy { source, key_name: key.into(), groups, out })
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Adds an aggregate column `<value_col>_<agg>` to the output.
+    /// `Agg::Count` may target the key column itself.
+    pub fn agg(mut self, value_col: &str, agg: Agg) -> Result<GroupBy<'a>, TableError> {
+        let col = self.source.column(value_col)?;
+        let numeric = col.as_f64_vec();
+        if numeric.is_none() && agg != Agg::Count && agg != Agg::CountDistinct {
+            return Err(TableError::TypeMismatch {
+                column: value_col.into(),
+                found: col.column_type(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.groups.len());
+        for rows in &self.groups {
+            let v = match (&numeric, agg) {
+                (_, Agg::Count) => rows.len() as f64,
+                (Some(vals), _) => {
+                    let mut group_vals: Vec<f64> =
+                        rows.iter().map(|&r| vals[r as usize]).collect();
+                    agg.apply(&mut group_vals)
+                }
+                (None, Agg::CountDistinct) => {
+                    // Distinct over strings.
+                    let mut set = std::collections::HashSet::new();
+                    if let Column::Str(sv) = col {
+                        for &r in rows {
+                            set.insert(sv[r as usize].as_str());
+                        }
+                    }
+                    set.len() as f64
+                }
+                (None, _) => unreachable!("checked above"),
+            };
+            data.push(v);
+        }
+        let name = format!("{value_col}_{}", agg.suffix());
+        self.out.push_column(name, Column::Float(data))?;
+        Ok(self)
+    }
+
+    /// Finishes: the output table, one row per group, in first-seen order.
+    pub fn finish(self) -> Table {
+        self.out
+    }
+
+    /// Name of the key column.
+    pub fn key(&self) -> &str {
+        &self.key_name
+    }
+}
+
+// Convenience: let `group_by(..)?.agg(..)?.get(...)` read like a table.
+impl GroupBy<'_> {
+    /// Scalar lookup on the output under construction.
+    pub fn get(&self, name: &str, row: usize) -> Result<Value, TableError> {
+        self.out.get(name, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new();
+        t.push_int_column("week", vec![1, 2, 1, 2, 3]).unwrap();
+        t.push_float_column("v", vec![10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        t.push_str_column(
+            "src",
+            vec!["a".into(), "a".into(), "b".into(), "b".into(), "a".into()],
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn groups_by_int_key_in_first_seen_order() {
+        let t = sample();
+        let g = t.group_by("week").unwrap();
+        assert_eq!(g.n_groups(), 3);
+        let out = g.agg("v", Agg::Sum).unwrap().finish();
+        assert_eq!(out.get("week", 0).unwrap(), Value::Int(1));
+        assert_eq!(out.floats("v_sum").unwrap(), &[40.0, 60.0, 50.0]);
+    }
+
+    #[test]
+    fn groups_by_string_key() {
+        let t = sample();
+        let out = t.group_by("src").unwrap().agg("v", Agg::Mean).unwrap().finish();
+        assert_eq!(out.get("src", 0).unwrap(), Value::Str("a".into()));
+        let means = out.floats("v_mean").unwrap();
+        assert!((means[0] - 80.0 / 3.0).abs() < 1e-12); // a: 10,20,50
+        assert_eq!(means[1], 35.0); // b: 30,40
+    }
+
+    #[test]
+    fn chained_aggregates() {
+        let t = sample();
+        let out = t
+            .group_by("week")
+            .unwrap()
+            .agg("v", Agg::Count)
+            .unwrap()
+            .agg("v", Agg::Median)
+            .unwrap()
+            .agg("v", Agg::Max)
+            .unwrap()
+            .finish();
+        assert_eq!(out.n_cols(), 4);
+        assert_eq!(out.floats("v_count").unwrap(), &[2.0, 2.0, 1.0]);
+        assert_eq!(out.floats("v_median").unwrap(), &[20.0, 30.0, 50.0]);
+        assert_eq!(out.floats("v_max").unwrap(), &[30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn count_distinct_over_strings() {
+        let t = sample();
+        let out = t
+            .group_by("week")
+            .unwrap()
+            .agg("src", Agg::CountDistinct)
+            .unwrap()
+            .finish();
+        assert_eq!(out.floats("src_distinct").unwrap(), &[2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn group_sums_equal_total() {
+        let t = sample();
+        let out = t.group_by("week").unwrap().agg("v", Agg::Sum).unwrap().finish();
+        let total: f64 = out.floats("v_sum").unwrap().iter().sum();
+        let direct: f64 = t.floats("v").unwrap().iter().sum();
+        assert_eq!(total, direct);
+    }
+
+    #[test]
+    fn float_key_rejected() {
+        let t = sample();
+        assert!(matches!(t.group_by("v"), Err(TableError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn string_value_rejected_for_numeric_agg() {
+        let t = sample();
+        let g = t.group_by("week").unwrap();
+        assert!(matches!(g.agg("src", Agg::Sum), Err(TableError::TypeMismatch { .. })));
+    }
+}

@@ -1,0 +1,32 @@
+//! # crowd-table
+//!
+//! A small typed columnar table engine used as the aggregation substrate of
+//! the analytics layer. It provides exactly the relational operations the
+//! study's analyses are built from — filter, sort, group-by with
+//! aggregates — over dense, typed columns.
+//!
+//! ```
+//! use crowd_table::{Table, Value, Agg};
+//!
+//! let mut t = Table::new();
+//! t.push_int_column("week", vec![1, 1, 2, 2, 2]).unwrap();
+//! t.push_float_column("pickup", vec![10.0, 20.0, 5.0, 15.0, 40.0]).unwrap();
+//!
+//! let by_week = t.group_by("week").unwrap()
+//!     .agg("pickup", Agg::Median).unwrap();
+//! assert_eq!(by_week.get("week", 0).unwrap(), Value::Int(1));
+//! assert_eq!(by_week.get("pickup_median", 0).unwrap(), Value::Float(15.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod column;
+pub mod groupby;
+pub mod table;
+
+pub use agg::Agg;
+pub use column::{Column, ColumnType, Value};
+pub use groupby::GroupBy;
+pub use table::{Table, TableError};

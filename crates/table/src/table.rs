@@ -1,0 +1,351 @@
+//! The table type: named typed columns of equal length.
+
+use std::fmt;
+
+use crate::column::{Column, ColumnType, Value};
+use crate::groupby::GroupBy;
+
+/// Errors from table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// No column with the requested name.
+    ColumnNotFound(String),
+    /// A column's length didn't match the table's row count.
+    LengthMismatch {
+        /// Column being added.
+        column: String,
+        /// Its length.
+        got: usize,
+        /// The table's row count.
+        expected: usize,
+    },
+    /// Operation required a different column type.
+    TypeMismatch {
+        /// Column involved.
+        column: String,
+        /// Type actually stored.
+        found: ColumnType,
+    },
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound(c) => write!(f, "column `{c}` not found"),
+            TableError::LengthMismatch { column, got, expected } => {
+                write!(f, "column `{column}` has {got} rows, table has {expected}")
+            }
+            TableError::TypeMismatch { column, found } => {
+                write!(f, "column `{column}` has unexpected type {found:?}")
+            }
+            TableError::DuplicateColumn(c) => write!(f, "column `{c}` already exists"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A columnar table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table with no columns.
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Number of rows (0 for a table with no columns).
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map(Column::len).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Adds a column; it must match the current row count (unless it is the
+    /// first column).
+    pub fn push_column(&mut self, name: impl Into<String>, col: Column) -> Result<(), TableError> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(TableError::DuplicateColumn(name));
+        }
+        if !self.columns.is_empty() && col.len() != self.n_rows() {
+            return Err(TableError::LengthMismatch {
+                column: name,
+                got: col.len(),
+                expected: self.n_rows(),
+            });
+        }
+        self.names.push(name);
+        self.columns.push(col);
+        Ok(())
+    }
+
+    /// Convenience: adds an integer column.
+    pub fn push_int_column(
+        &mut self,
+        name: impl Into<String>,
+        data: Vec<i64>,
+    ) -> Result<(), TableError> {
+        self.push_column(name, Column::Int(data))
+    }
+
+    /// Convenience: adds a float column.
+    pub fn push_float_column(
+        &mut self,
+        name: impl Into<String>,
+        data: Vec<f64>,
+    ) -> Result<(), TableError> {
+        self.push_column(name, Column::Float(data))
+    }
+
+    /// Convenience: adds a string column.
+    pub fn push_str_column(
+        &mut self,
+        name: impl Into<String>,
+        data: Vec<String>,
+    ) -> Result<(), TableError> {
+        self.push_column(name, Column::Str(data))
+    }
+
+    /// The column with the given name.
+    pub fn column(&self, name: &str) -> Result<&Column, TableError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| TableError::ColumnNotFound(name.into()))
+    }
+
+    /// Scalar at `(column, row)`.
+    pub fn get(&self, name: &str, row: usize) -> Result<Value, TableError> {
+        Ok(self.column(name)?.get(row))
+    }
+
+    /// Integer column view.
+    pub fn ints(&self, name: &str) -> Result<&[i64], TableError> {
+        match self.column(name)? {
+            Column::Int(v) => Ok(v),
+            c => Err(TableError::TypeMismatch { column: name.into(), found: c.column_type() }),
+        }
+    }
+
+    /// Float column view.
+    pub fn floats(&self, name: &str) -> Result<&[f64], TableError> {
+        match self.column(name)? {
+            Column::Float(v) => Ok(v),
+            c => Err(TableError::TypeMismatch { column: name.into(), found: c.column_type() }),
+        }
+    }
+
+    /// Keeps the rows whose `mask` entry is true.
+    pub fn filter(&self, mask: &[bool]) -> Result<Table, TableError> {
+        if mask.len() != self.n_rows() {
+            return Err(TableError::LengthMismatch {
+                column: "<mask>".into(),
+                got: mask.len(),
+                expected: self.n_rows(),
+            });
+        }
+        let indices: Vec<u32> =
+            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i as u32).collect();
+        Ok(self.gather(&indices))
+    }
+
+    /// Builds a mask from a predicate over one column, then filters.
+    pub fn filter_by(
+        &self,
+        name: &str,
+        pred: impl Fn(&Value) -> bool,
+    ) -> Result<Table, TableError> {
+        let col = self.column(name)?;
+        let mask: Vec<bool> = (0..col.len()).map(|r| pred(&col.get(r))).collect();
+        self.filter(&mask)
+    }
+
+    /// Gathers rows by index into a new table.
+    pub fn gather(&self, indices: &[u32]) -> Table {
+        Table {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
+        }
+    }
+
+    /// Sorts rows ascending by a numeric column (stable).
+    pub fn sort_by(&self, name: &str) -> Result<Table, TableError> {
+        let keys = self
+            .column(name)?
+            .as_f64_vec()
+            .ok_or_else(|| TableError::TypeMismatch {
+                column: name.into(),
+                found: ColumnType::Str,
+            })?;
+        let mut order: Vec<u32> = (0..self.n_rows() as u32).collect();
+        order.sort_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
+        Ok(self.gather(&order))
+    }
+
+    /// Starts a group-by on a key column (integer or string).
+    pub fn group_by(&self, key: &str) -> Result<GroupBy<'_>, TableError> {
+        GroupBy::new(self, key)
+    }
+
+    /// First `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let take = n.min(self.n_rows()) as u32;
+        self.gather(&(0..take).collect::<Vec<_>>())
+    }
+
+    /// Projection: a new table with only the named columns, in the given
+    /// order.
+    pub fn select(&self, names: &[&str]) -> Result<Table, TableError> {
+        let mut out = Table::new();
+        for &name in names {
+            out.push_column(name, self.column(name)?.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Serializes to CSV (header row + one line per row). String cells are
+    /// quoted when they contain separators.
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = self
+            .names
+            .iter()
+            .map(|n| quote(n))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in 0..self.n_rows() {
+            let line = self
+                .columns
+                .iter()
+                .map(|c| quote(&c.get(row).to_string()))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new();
+        t.push_int_column("id", vec![1, 2, 3, 4]).unwrap();
+        t.push_float_column("x", vec![4.0, 3.0, 2.0, 1.0]).unwrap();
+        t.push_str_column("tag", vec!["a".into(), "b".into(), "a".into(), "b".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn shape() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.names(), &["id", "x", "tag"]);
+    }
+
+    #[test]
+    fn rejects_misshapen_and_duplicate_columns() {
+        let mut t = sample();
+        assert!(matches!(
+            t.push_int_column("bad", vec![1]),
+            Err(TableError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            t.push_int_column("id", vec![1, 2, 3, 4]),
+            Err(TableError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn typed_views() {
+        let t = sample();
+        assert_eq!(t.ints("id").unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(t.floats("x").unwrap(), &[4.0, 3.0, 2.0, 1.0]);
+        assert!(matches!(t.ints("x"), Err(TableError::TypeMismatch { .. })));
+        assert!(matches!(t.ints("nope"), Err(TableError::ColumnNotFound(_))));
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let t = sample();
+        let f = t.filter_by("tag", |v| *v == Value::Str("a".into())).unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.ints("id").unwrap(), &[1, 3]);
+    }
+
+    #[test]
+    fn filter_mask_length_checked() {
+        let t = sample();
+        assert!(t.filter(&[true, false]).is_err());
+    }
+
+    #[test]
+    fn sort_by_numeric() {
+        let t = sample();
+        let s = t.sort_by("x").unwrap();
+        assert_eq!(s.ints("id").unwrap(), &[4, 3, 2, 1]);
+        assert!(t.sort_by("tag").is_err(), "cannot sort by string column numerically");
+    }
+
+    #[test]
+    fn head_truncates() {
+        let t = sample();
+        assert_eq!(t.head(2).n_rows(), 2);
+        assert_eq!(t.head(99).n_rows(), 4);
+    }
+
+    #[test]
+    fn select_projects_and_reorders() {
+        let t = sample();
+        let p = t.select(&["tag", "id"]).unwrap();
+        assert_eq!(p.names(), &["tag", "id"]);
+        assert_eq!(p.n_rows(), 4);
+        assert!(t.select(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn to_csv_quotes_when_needed() {
+        let mut t = Table::new();
+        t.push_str_column("name", vec!["plain".into(), "has,comma".into()]).unwrap();
+        t.push_int_column("v", vec![1, 2]).unwrap();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,v");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"has,comma\",2");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.n_cols(), 0);
+    }
+}

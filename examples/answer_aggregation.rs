@@ -1,0 +1,70 @@
+//! Answer aggregation over simulated marketplace batches: majority vote vs
+//! trust-weighted vote vs Dawid–Skene, compared on consensus strength and
+//! mutual agreement (§4.1 motivates exact-match aggregation; §6 situates
+//! the study in the crowd-powered data processing literature).
+//!
+//! ```sh
+//! cargo run --release --example answer_aggregation
+//! ```
+
+use crowd_marketplace::prelude::*;
+use crowd_marketplace::report::TextTable;
+use crowd_agg::{batch_judgments, dawid_skene, majority_vote, weighted_vote, DawidSkeneParams};
+
+fn main() {
+    eprintln!("simulating …");
+    let ds = simulate(&SimConfig::new(55, 0.002));
+    let index = ds.index();
+
+    // Pick the larger sampled batches (enough judgments to be interesting).
+    let mut batch_ids: Vec<BatchId> = ds
+        .batches
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.sampled)
+        .map(|(i, _)| BatchId::from_usize(i))
+        .collect();
+    batch_ids.sort_by_key(|&b| std::cmp::Reverse(index.instances_of_batch(b).count()));
+    batch_ids.truncate(12);
+
+    let mut t = TextTable::new(
+        "aggregation per batch: confidence = winning vote share / posterior",
+        &["batch", "items", "classes", "majority conf", "weighted conf", "DS conf", "MV↔DS agree"],
+    );
+    let mut mv_ds_disagreements = 0usize;
+    let mut items_total = 0usize;
+    for &batch in &batch_ids {
+        let bj = batch_judgments(&ds, &index, batch);
+        if bj.judgments.is_empty() || bj.n_classes() < 2 {
+            continue;
+        }
+        let mv = majority_vote(&bj.judgments, bj.n_classes());
+        let wv = weighted_vote(&bj.judgments, &bj.trust, bj.n_classes());
+        let Some(dsr) = dawid_skene(&bj.judgments, bj.n_classes(), &DawidSkeneParams::default())
+        else {
+            continue;
+        };
+        let agree = mv.agreement_with(&dsr.aggregation);
+        mv_ds_disagreements +=
+            ((1.0 - agree) * mv.len() as f64).round() as usize;
+        items_total += mv.len();
+        t.add_row(vec![
+            batch.to_string(),
+            bj.items.len().to_string(),
+            bj.n_classes().to_string(),
+            format!("{:.3}", mv.mean_confidence()),
+            format!("{:.3}", wv.mean_confidence()),
+            format!("{:.3}", dsr.aggregation.mean_confidence()),
+            format!("{:.1}%", agree * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "items where Dawid–Skene overturned the majority: {mv_ds_disagreements} of {items_total}"
+    );
+    println!(
+        "\nDS reweights judgments by each worker's learned confusion matrix, so a\n\
+         consistent minority of skilled workers can overturn a sloppy majority —\n\
+         the same signal the marketplace's trust system approximates (§2.3)."
+    );
+}

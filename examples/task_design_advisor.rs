@@ -1,0 +1,123 @@
+//! Task-design advisor: the paper's §4.8 recommendations as a tool.
+//!
+//! Give it a proposed task interface and it (a) measures, from simulated
+//! marketplace data, how each design choice shifts the three
+//! effectiveness metrics, and (b) scores the proposal against the study's
+//! recommendations.
+//!
+//! ```sh
+//! cargo run --release --example task_design_advisor
+//! ```
+
+use crowd_marketplace::analytics::design::methodology::{run_experiment, Feature};
+use crowd_marketplace::analytics::design::metrics::Metric;
+use crowd_marketplace::analytics::Study;
+use crowd_marketplace::html::generator::InterfaceSpec;
+use crowd_marketplace::html::extract_features;
+use crowd_marketplace::prelude::*;
+
+/// A requester's draft task, as they would describe it.
+struct Draft {
+    name: &'static str,
+    spec: InterfaceSpec,
+    items_per_batch: u32,
+}
+
+fn main() {
+    // The evidence base: a simulated marketplace history.
+    eprintln!("building evidence base …");
+    let study = Study::new(simulate(&SimConfig::new(11, 0.005)));
+
+    // Two drafts of the same task — a bare-bones version and one following
+    // the §4.8 recommendations.
+    let drafts = [
+        Draft {
+            name: "draft A (bare)",
+            spec: InterfaceSpec {
+                title: "Find the official website of each business".into(),
+                instruction_words: 25,
+                questions: 1,
+                text_boxes: 1,
+                examples: 0,
+                images: 0,
+                choice_options: 2,
+                seed: 1,
+                variant: 1,
+            },
+            items_per_batch: 5,
+        },
+        Draft {
+            name: "draft B (per §4.8)",
+            spec: InterfaceSpec {
+                title: "Find the official website of each business".into(),
+                instruction_words: 600,
+                questions: 4,
+                text_boxes: 1,
+                examples: 2,
+                images: 1,
+                choice_options: 4,
+                seed: 1,
+                variant: 1,
+            },
+            items_per_batch: 200,
+        },
+    ];
+
+    // Evidence: measured effect of each feature on each metric.
+    println!("measured feature effects (median metric in low-bin → high-bin):\n");
+    let pairs = [
+        (Feature::Words, Metric::Disagreement),
+        (Feature::Items, Metric::Disagreement),
+        (Feature::Items, Metric::TaskTime),
+        (Feature::Items, Metric::PickupTime),
+        (Feature::TextBoxes, Metric::Disagreement),
+        (Feature::TextBoxes, Metric::TaskTime),
+        (Feature::Examples, Metric::Disagreement),
+        (Feature::Examples, Metric::PickupTime),
+        (Feature::Images, Metric::TaskTime),
+        (Feature::Images, Metric::PickupTime),
+    ];
+    for (feature, metric) in pairs {
+        if let Some(e) = run_experiment(&study, feature, metric, None) {
+            println!(
+                "  {:<12} on {:<13} {:>9.3} → {:>9.3}  ({})",
+                feature.name(),
+                metric.name(),
+                e.bin1.median,
+                e.bin2.median,
+                if e.significant { "significant" } else { "weak" }
+            );
+        }
+    }
+
+    println!("\nadvice per draft:\n");
+    for d in &drafts {
+        let html = d.spec.render();
+        let f = extract_features(&html).expect("generated HTML parses");
+        println!("{} — {} words, {} text boxes, {} examples, {} images, {} items/batch",
+            d.name, f.words, f.text_boxes, f.examples, f.images, d.items_per_batch);
+        let mut score = 0;
+        let mut advise = |ok: bool, msg: &str| {
+            println!("  [{}] {}", if ok { "ok" } else { "!!" }, msg);
+            score += i32::from(ok);
+        };
+        advise(
+            f.words > 400,
+            "detailed instructions reduce disagreement (§4.3: 0.147 → 0.108)",
+        );
+        advise(
+            d.items_per_batch >= 50,
+            "batching many items cuts disagreement and task time (§4.5)",
+        );
+        advise(
+            f.examples > 0,
+            "examples cut disagreement and slash pickup time ~4.7× (§4.6)",
+        );
+        advise(f.images > 0, "images attract workers — pickup ~3× faster (§4.7)");
+        advise(
+            f.text_boxes == 0,
+            "free-text boxes raise disagreement and task time; prefer closed choices (§4.4)",
+        );
+        println!("  score: {score}/5\n");
+    }
+}

@@ -1,0 +1,93 @@
+//! Labor-sourcing report: the §5 view for someone deciding *where* to buy
+//! crowd work — source quality/latency, geography, and workforce
+//! engagement, with a concrete sourcing recommendation.
+//!
+//! ```sh
+//! cargo run --release --example worker_sources_report
+//! ```
+
+use crowd_marketplace::analytics::workers::{geography, lifetimes, sources, workload};
+use crowd_marketplace::prelude::*;
+use crowd_marketplace::report::TextTable;
+
+fn main() {
+    eprintln!("simulating …");
+    let study = Study::new(simulate(&SimConfig::new(31, 0.005)));
+
+    let stats = sources::per_source(&study);
+
+    // Rank sources like a buyer would: trust high, latency low, capacity
+    // real. Keep only sources with enough volume to judge.
+    let mut ranked: Vec<&sources::SourceStats> =
+        stats.iter().filter(|s| s.n_tasks >= 200).collect();
+    ranked.sort_by(|a, b| {
+        let score = |s: &sources::SourceStats| s.mean_trust - 0.1 * s.mean_relative_task_time;
+        score(b).total_cmp(&score(a))
+    });
+
+    let mut t = TextTable::new(
+        "source scorecard (trust − 0.1 × relative latency, min 200 tasks)",
+        &["rank", "source", "tasks", "workers", "trust", "rel time"],
+    );
+    for (i, s) in ranked.iter().take(12).enumerate() {
+        t.add_row(vec![
+            (i + 1).to_string(),
+            s.name.clone(),
+            s.n_tasks.to_string(),
+            s.n_workers.to_string(),
+            format!("{:.3}", s.mean_trust),
+            format!("{:.2}×", s.mean_relative_task_time),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let Some(amt) = stats.iter().find(|s| s.name == "amt") {
+        println!(
+            "note: amt — the best-known source — ranks poorly here: trust {:.2}, {:.1}× median task time (§5.1)\n",
+            amt.mean_trust, amt.mean_relative_task_time
+        );
+    }
+
+    // Geography: where the workforce is.
+    let geo = geography::distribution(&study);
+    println!(
+        "geography: {} countries; top-5 ({}) hold {:.0}% of workers\n",
+        geo.n_countries(),
+        geo.countries.iter().take(5).map(|(_, n, _)| n.as_str()).collect::<Vec<_>>().join(", "),
+        geo.top_share(5) * 100.0
+    );
+
+    // Engagement: how much of the workforce can you actually rely on?
+    let l = lifetimes::lifetime_stats(&study);
+    let wl = workload::distribution(&study);
+    println!(
+        "engagement: {:.0}% of workers are one-day visitors; the {:.0}% repeat \
+         workforce does {:.0}% of tasks; top-10% of workers do {:.0}%",
+        l.one_day_fraction * 100.0,
+        l.active_worker_fraction * 100.0,
+        l.active_task_share * 100.0,
+        wl.top10_share * 100.0
+    );
+    println!(
+        "most workers put in <1h per working day ({:.0}%), so peak capacity ≠ headcount (§5.4)\n",
+        wl.under_one_hour_fraction * 100.0
+    );
+
+    // Recommendation: dedicated + on-demand mix (the paper's takeaway).
+    let dedicated = ranked.first().expect("some source qualifies");
+    let burst: Option<&&sources::SourceStats> = ranked
+        .iter()
+        .find(|s| s.avg_tasks_per_worker < dedicated.avg_tasks_per_worker / 5.0);
+    println!("recommendation:");
+    println!(
+        "  primary (dedicated): {} — {:.0} tasks/worker, trust {:.2}",
+        dedicated.name, dedicated.avg_tasks_per_worker, dedicated.mean_trust
+    );
+    match burst {
+        Some(b) => println!(
+            "  burst (on-demand):   {} — shallow per-worker load ({:.0} tasks/worker) absorbs spikes (§5.1)",
+            b.name, b.avg_tasks_per_worker
+        ),
+        None => println!("  burst (on-demand):   none qualified at this scale"),
+    }
+}

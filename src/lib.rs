@@ -1,0 +1,57 @@
+//! # crowd-marketplace
+//!
+//! Facade crate for the reproduction of *"Understanding Workers, Developing
+//! Effective Tasks, and Enhancing Marketplace Dynamics: A Study of a Large
+//! Crowdsourcing Marketplace"* (Jain, Das Sarma, Parameswaran, Widom —
+//! VLDB 2017).
+//!
+//! The workspace is organized like the study itself:
+//!
+//! * [`sim`] generates the dataset (the substitution for the paper's
+//!   proprietary 27M-instance marketplace dump);
+//! * [`core`] is the relational data model;
+//! * [`analytics`] re-derives every figure and table (§3 marketplace, §4
+//!   task design, §5 workers) from raw rows;
+//! * [`html`], [`cluster`], [`stats`], [`table`], [`classify`] are the
+//!   substrates (task-interface HTML, batch clustering, statistics,
+//!   columnar aggregation, decision trees);
+//! * [`report`] renders figures and tables in the terminal.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use crowd_marketplace::prelude::*;
+//!
+//! // 1. Simulate the marketplace at 1% of the paper's volume.
+//! let dataset = simulate(&SimConfig::default_scale(42));
+//! // 2. Enrich: cluster batches, extract design features, compute metrics.
+//! let study = Study::new(dataset);
+//! // 3. Analyze — e.g. paper Table 1.
+//! let table1 = crowd_marketplace::analytics::design::summary::disagreement_table(&study);
+//! for row in &table1.rows {
+//!     println!("{}: {:.3} vs {:.3}", row.bin1_desc, row.bin1_median, row.bin2_median);
+//! }
+//! ```
+//!
+//! Run `cargo run --release --bin repro -- all` to regenerate every figure
+//! and table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use crowd_analytics as analytics;
+pub use crowd_classify as classify;
+pub use crowd_cluster as cluster;
+pub use crowd_core as core;
+pub use crowd_html as html;
+pub use crowd_report as report;
+pub use crowd_sim as sim;
+pub use crowd_stats as stats;
+pub use crowd_table as table;
+
+/// The most commonly needed items in one import.
+pub mod prelude {
+    pub use crowd_analytics::Study;
+    pub use crowd_core::prelude::*;
+    pub use crowd_sim::{simulate, SimConfig};
+}

@@ -1,0 +1,267 @@
+//! Calibration tests: does the generated data, *as re-analyzed by the
+//! analytics pipeline*, reproduce the paper's reported shapes?
+//!
+//! Each test names the paper statistic it checks. Tolerances are loose
+//! where reduced scale (default 1% volume) structurally limits fidelity —
+//! see EXPERIMENTS.md for the full paper-vs-measured accounting.
+
+use std::sync::OnceLock;
+
+use crowd_marketplace::analytics::design::methodology::{run_experiment, Feature};
+use crowd_marketplace::analytics::design::metrics::Metric;
+use crowd_marketplace::analytics::design::{prediction, summary};
+use crowd_marketplace::analytics::marketplace::{arrivals, availability, labels, load};
+use crowd_marketplace::analytics::workers::{geography, lifetimes, sources, workload};
+use crowd_marketplace::analytics::Study;
+use crowd_marketplace::prelude::*;
+
+fn study() -> &'static Study {
+    static S: OnceLock<Study> = OnceLock::new();
+    S.get_or_init(|| Study::new(simulate(&SimConfig::default_scale(20_17))))
+}
+
+#[test]
+fn sec2_2_dataset_scale() {
+    let s = study().dataset().summary();
+    // At 1% volume: ~270k instances, sqrt-scaled populations.
+    assert!((243_000..=297_000).contains(&s.instances), "instances {}", s.instances);
+    assert_eq!(s.sources, 139, "Table 4");
+    assert_eq!(s.countries, 148, "Fig 28");
+    let sample_frac = s.batches_sampled as f64 / s.batches as f64;
+    assert!((0.16..=0.26).contains(&sample_frac), "12k/58k ≈ 0.207, got {sample_frac}");
+    let coverage = s.distinct_tasks_sampled as f64 / s.distinct_tasks as f64;
+    assert!((0.68..=0.85).contains(&coverage), "76% task coverage, got {coverage}");
+}
+
+#[test]
+fn sec3_1_load_burstiness() {
+    let d = arrivals::daily_load(study(), Timestamp::from_ymd(2015, 1, 1)).unwrap();
+    assert!(d.peak_ratio > 5.0, "busiest day ≫ median (paper 30×): {}", d.peak_ratio);
+    assert!(d.trough_ratio < 0.2, "lightest day ≪ median (paper 4e-4): {}", d.trough_ratio);
+}
+
+#[test]
+fn sec3_1_weekday_vs_weekend() {
+    let by = arrivals::by_weekday(study());
+    let weekday = by[..5].iter().sum::<u64>() as f64 / 5.0;
+    let weekend = by[5..].iter().sum::<u64>() as f64 / 2.0;
+    let ratio = weekday / weekend;
+    assert!((1.2..=4.0).contains(&ratio), "weekday up to 2× weekend (Fig 3): {ratio}");
+}
+
+#[test]
+fn sec3_2_stable_workforce_absorbs_bursty_load() {
+    let s = study();
+    let workers = availability::weekly_workers(s);
+    let arrivals = arrivals::weekly(s);
+    let cut = Timestamp::from_ymd(2015, 1, 1).week();
+    let spread = |xs: &[f64]| {
+        let mut v = xs.to_vec();
+        v.sort_by(f64::total_cmp);
+        v[v.len() * 95 / 100] / v[v.len() / 2]
+    };
+    let wv: Vec<f64> = workers
+        .weeks
+        .iter()
+        .zip(&workers.active_workers)
+        .filter(|(w, &c)| **w >= cut && c > 0)
+        .map(|(_, &c)| c as f64)
+        .collect();
+    let av: Vec<f64> = arrivals
+        .weeks
+        .iter()
+        .zip(&arrivals.instances)
+        .filter(|(w, &c)| **w >= cut && c > 0)
+        .map(|(_, &c)| c as f64)
+        .collect();
+    assert!(
+        spread(&av) > 2.0 * spread(&wv),
+        "Fig 2a vs Fig 4: load p95/median {} ≫ workers {}",
+        spread(&av),
+        spread(&wv)
+    );
+}
+
+#[test]
+fn sec3_2_top_decile_carries_the_flux() {
+    let e = availability::engagement_split(study());
+    assert!(e.top10_task_share > 0.70, "§5.2/Fig 5b: >80% at full scale, got {}", e.top10_task_share);
+}
+
+#[test]
+fn sec3_3_cluster_skew() {
+    let l = load::cluster_load(study());
+    let frac_one_off = l.one_off_clusters as f64 / l.batches_per_cluster.len() as f64;
+    assert!(frac_one_off > 0.6, "most tasks are one-off (Fig 6): {frac_one_off}");
+    assert!(
+        l.batches_per_cluster.iter().filter(|&&b| b > 30).count() >= 3,
+        "heavy hitters exist (>100 batches at full scale)"
+    );
+    let max = *l.instances_per_cluster.iter().max().unwrap() as f64;
+    assert!(max / l.median_instances_per_cluster > 50.0, "Fig 7 skew");
+}
+
+#[test]
+fn sec3_4_label_shares() {
+    let s = study();
+    let g = labels::goal_distribution(s);
+    // Fig 9a: LU ≈17%, T ≈13% — the two leaders.
+    assert!(g.share("LU") > 0.12, "LU {}", g.share("LU"));
+    assert!(g.share("T") > 0.08, "T {}", g.share("T"));
+    let d = labels::data_distribution(s);
+    assert!(d.share("Text") > 0.30, "text ≈40% (Fig 9b): {}", d.share("Text"));
+    assert!(d.share("Image") > 0.15, "image ≈26%: {}", d.share("Image"));
+    let o = labels::operator_distribution(s);
+    assert!(o.share("Filt") > 0.25, "filter ≈33% (Fig 9c): {}", o.share("Filt"));
+    assert!(o.share("Rate") > 0.05, "rate ≈13%: {}", o.share("Rate"));
+}
+
+#[test]
+fn sec3_4_correlations() {
+    let s = study();
+    let og = labels::operator_given_goal(s);
+    assert!(og.percent("T", "Ext") > 30.0, "transcription is extraction-driven");
+    let dg = labels::data_given_goal(s);
+    assert!(dg.percent("SR", "Web") > 15.0, "SR leans on web data (37% in paper)");
+}
+
+#[test]
+fn sec4_1_pickup_dominates() {
+    use crowd_marketplace::analytics::design::metrics::latency_decomposition;
+    let d = latency_decomposition(study());
+    assert!(
+        d.median_pickup_to_task_ratio > 10.0,
+        "pickup orders of magnitude above task time (Fig 13): {}×",
+        d.median_pickup_to_task_ratio
+    );
+}
+
+#[test]
+fn table1_disagreement_effects() {
+    let t = summary::disagreement_table(study());
+    let row = |f: Feature| t.rows.iter().find(|r| r.feature == f).unwrap();
+    // Ratios within a factor ~2 of the paper's.
+    let words = row(Feature::Words);
+    let ratio = words.bin2_median / words.bin1_median;
+    assert!((0.5..=0.95).contains(&ratio), "#words 0.108/0.147 = 0.73, got {ratio}");
+    let tb = row(Feature::TextBoxes);
+    let ratio = tb.bin2_median / tb.bin1_median;
+    assert!((1.2..=2.6).contains(&ratio), "#text-boxes 0.160/0.102 = 1.57, got {ratio}");
+    let items = row(Feature::Items);
+    assert!(items.bin2_median < items.bin1_median, "#items cut disagreement");
+    let ex = row(Feature::Examples);
+    assert!(ex.bin2_median < ex.bin1_median, "#examples cut disagreement");
+}
+
+#[test]
+fn table2_task_time_effects() {
+    let t = summary::task_time_table(study());
+    let row = |f: Feature| t.rows.iter().find(|r| r.feature == f).unwrap();
+    let tb = row(Feature::TextBoxes);
+    let ratio = tb.bin2_median / tb.bin1_median;
+    assert!((1.5..=3.5).contains(&ratio), "285.7/119 = 2.4, got {ratio}");
+    let items = row(Feature::Items);
+    assert!(items.bin2_median < items.bin1_median, "136/230 direction");
+    let img = row(Feature::Images);
+    let ratio = img.bin2_median / img.bin1_median;
+    assert!((0.45..=0.95).contains(&ratio), "129/183.6 = 0.70, got {ratio}");
+}
+
+#[test]
+fn table3_pickup_effects() {
+    let t = summary::pickup_time_table(study());
+    let row = |f: Feature| t.rows.iter().find(|r| r.feature == f).unwrap();
+    let ex = row(Feature::Examples);
+    let ratio = ex.bin2_median / ex.bin1_median;
+    assert!(ratio < 0.45, "1353/6303 = 0.21, got {ratio}");
+    let img = row(Feature::Images);
+    let ratio = img.bin2_median / img.bin1_median;
+    assert!(ratio < 0.6, "2431/7838 = 0.31, got {ratio}");
+    let items = row(Feature::Items);
+    assert!(items.bin2_median > items.bin1_median, "8132 > 4521 direction");
+}
+
+#[test]
+fn sec4_3_drilldown_gather_vs_rate() {
+    use crowd_core::labels::Operator;
+    use crowd_marketplace::analytics::design::methodology::LabelFilter;
+    let s = study();
+    // Fig 25a/b: #words effect is pronounced for Gather, weak for Rate.
+    let gather = run_experiment(
+        s,
+        Feature::Words,
+        Metric::Disagreement,
+        Some(LabelFilter::Operator(Operator::Gather)),
+    );
+    if let Some(g) = gather {
+        assert!(g.effect() < 0.0, "words help gather tasks");
+    }
+}
+
+#[test]
+fn sec4_9_prediction_shapes() {
+    let s = study();
+    let range_pickup = prediction::predict(s, Metric::PickupTime, prediction::Scheme::ByRange, 42).unwrap();
+    // Skewed range buckets → high exact accuracy (paper 98%).
+    assert!(range_pickup.cv.accuracy > 0.55, "{}", range_pickup.cv.accuracy);
+    assert!(
+        range_pickup.bucket_counts[0] > range_pickup.n_clusters / 2,
+        "first bucket dominates: {:?}",
+        range_pickup.bucket_counts
+    );
+    let pct = prediction::predict(s, Metric::Disagreement, prediction::Scheme::ByPercentiles, 42).unwrap();
+    assert!(pct.cv.accuracy > 0.12, "percentile beats 10% chance: {}", pct.cv.accuracy);
+    assert!(pct.cv.accuracy_within_1 > pct.cv.accuracy, "±1 tolerance helps");
+}
+
+#[test]
+fn sec5_1_source_structure() {
+    let s = study();
+    let stats = sources::per_source(s);
+    let (_, share) = sources::top_by_tasks(&stats, 10);
+    assert!(share > 0.85, "top-10 sources ≈95% of tasks: {share}");
+    let q = sources::quality_stats(s, &stats);
+    assert!(q.internal_task_share < 0.08, "internal ≈2%: {}", q.internal_task_share);
+    let amt = stats.iter().find(|x| x.name == "amt");
+    if let Some(amt) = amt {
+        if amt.n_tasks > 300 {
+            assert!(amt.mean_trust < 0.83, "amt ≈0.75: {}", amt.mean_trust);
+            assert!(amt.mean_relative_task_time > 2.0, "amt >5×: {}", amt.mean_relative_task_time);
+        }
+    }
+}
+
+#[test]
+fn fig28_geography() {
+    let g = geography::distribution(study());
+    assert_eq!(g.countries[0].1, "USA");
+    assert!((0.40..=0.62).contains(&g.top_share(5)), "top-5 ≈50%: {}", g.top_share(5));
+    assert!(g.n_countries() > 100, "148 countries at full scale: {}", g.n_countries());
+}
+
+#[test]
+fn sec5_2_workload_skew() {
+    let d = workload::distribution(study());
+    assert!(d.top10_share > 0.7, ">80% by top decile: {}", d.top10_share);
+    assert!(d.under_one_hour_fraction > 0.8, ">90% under 1h/day: {}", d.under_one_hour_fraction);
+}
+
+#[test]
+fn sec5_3_lifetimes() {
+    let l = lifetimes::lifetime_stats(study());
+    assert!(
+        (0.30..=0.65).contains(&l.one_day_fraction),
+        "52.7% one-day (assignment-starved at reduced scale): {}",
+        l.one_day_fraction
+    );
+    assert!(l.one_day_task_share < 0.10, "one-day workers ≈2.4% of tasks: {}", l.one_day_task_share);
+    assert!(l.short_lifetime_fraction > 0.55, "79% under 100 days: {}", l.short_lifetime_fraction);
+    assert!(l.active_task_share > 0.6, "active workers ≈83% of tasks: {}", l.active_task_share);
+}
+
+#[test]
+fn sec5_4_active_trust() {
+    let t = lifetimes::active_trust(study()).unwrap();
+    assert!(t.mean > 0.85 && t.mean < 0.97, "≈0.91: {}", t.mean);
+    assert!(t.p10 > 0.78, "90% above 0.84: p10 = {}", t.p10);
+}

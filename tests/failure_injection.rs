@@ -1,0 +1,152 @@
+//! Failure-injection tests: malformed inputs, degenerate datasets, and
+//! boundary conditions across the pipeline.
+
+use crowd_marketplace::analytics::design::{methodology, prediction, summary};
+use crowd_marketplace::analytics::marketplace::{arrivals, labels, load, trends};
+use crowd_marketplace::analytics::workers::{geography, lifetimes, sources, workload};
+use crowd_marketplace::analytics::Study;
+use crowd_marketplace::prelude::*;
+
+/// A dataset with a single batch, single worker, single instance.
+fn minimal_dataset() -> Dataset {
+    let mut b = DatasetBuilder::new();
+    let s = b.add_source(Source::new("solo", SourceKind::OnDemand));
+    let c = b.add_country("Nowhere");
+    let w = b.add_worker(Worker::new(s, c));
+    let tt = b.add_task_type(TaskType::new("only task").with_goal(Goal::QualityAssurance));
+    let t0 = Timestamp::from_ymd(2015, 6, 1);
+    let batch = b.add_batch(Batch::new(tt, t0).with_html("<p>judge this</p>"));
+    b.add_instance(TaskInstance {
+        batch,
+        item: ItemId::new(0),
+        worker: w,
+        start: t0 + Duration::from_secs(60),
+        end: t0 + Duration::from_secs(90),
+        trust: 0.8,
+        answer: Answer::Choice(0),
+    });
+    b.finish().unwrap()
+}
+
+#[test]
+fn every_analysis_survives_an_empty_dataset() {
+    let s = Study::new(DatasetBuilder::new().finish().unwrap());
+    assert!(arrivals::weekly(&s).weeks.is_empty());
+    assert_eq!(arrivals::by_weekday(&s), [0; 7]);
+    assert!(arrivals::daily_load(&s, Timestamp::from_ymd(2015, 1, 1)).is_none());
+    assert!(load::cluster_load(&s).batches_per_cluster.is_empty());
+    assert!(load::heavy_hitters(&s, 10).is_empty());
+    assert_eq!(labels::goal_distribution(&s).total(), 0);
+    assert!(trends::goal_trend(&s).weeks.is_empty());
+    assert!(methodology::full_grid(&s).is_empty());
+    assert!(summary::disagreement_table(&s).rows.is_empty());
+    assert!(prediction::predict_all(&s, 1).is_empty());
+    assert!(sources::per_source(&s).is_empty());
+    assert_eq!(geography::distribution(&s).total_workers, 0);
+    assert!(workload::distribution(&s).tasks_by_rank.is_empty());
+    assert!(lifetimes::lifetime_stats(&s).lifetimes_days.is_empty());
+    assert!(lifetimes::active_trust(&s).is_none());
+}
+
+#[test]
+fn every_analysis_survives_a_single_instance() {
+    let s = Study::new(minimal_dataset());
+    // One instance: disagreement undefined (no pair), but nothing panics.
+    let m = s.enriched_batches().next().unwrap();
+    assert_eq!(m.disagreement, None, "one answer has no pairs");
+    assert_eq!(m.n_items, 1);
+    let w = arrivals::weekly(&s);
+    assert_eq!(w.instances.iter().sum::<u64>(), 1);
+    assert_eq!(geography::distribution(&s).total_workers, 1);
+    let l = lifetimes::lifetime_stats(&s);
+    assert_eq!(l.one_day_fraction, 1.0);
+    // Experiments need ≥8 clusters: they decline gracefully.
+    assert!(methodology::full_grid(&s).is_empty());
+}
+
+#[test]
+fn malformed_batch_html_degrades_to_default_features() {
+    let mut ds = minimal_dataset();
+    ds.batches[0].html = Some("<div <<< not html".into());
+    let s = Study::new(ds);
+    let m = s.enriched_batches().next().unwrap();
+    assert_eq!(m.features, crowd_html::ExtractedFeatures::default());
+}
+
+#[test]
+fn clock_skewed_instances_are_rejected_at_build() {
+    let mut ds = minimal_dataset();
+    ds.instances[0].end = ds.instances[0].start - Duration::from_secs(10);
+    assert!(ds.validate().is_err());
+}
+
+#[test]
+fn instance_predating_its_batch_is_tolerated_by_analytics() {
+    // Real-world logs contain clock skew; pickup time goes negative but
+    // the analyses must not panic.
+    let mut ds = minimal_dataset();
+    ds.instances[0].start = ds.batches[0].created_at - Duration::from_secs(30);
+    ds.instances[0].end = ds.instances[0].start + Duration::from_secs(10);
+    let s = Study::new(ds);
+    let m = s.enriched_batches().next().unwrap();
+    assert!(m.pickup_time.unwrap() < 0.0);
+    let _ = arrivals::weekly(&s);
+    let _ = crowd_marketplace::analytics::design::metrics::latency_decomposition(&s);
+}
+
+#[test]
+fn unlabeled_world_yields_no_design_experiments() {
+    let mut ds = simulate(&SimConfig::new(3, 0.0005));
+    for t in &mut ds.task_types {
+        t.goals = LabelSet::empty();
+        t.operators = LabelSet::empty();
+        t.data_types = LabelSet::empty();
+    }
+    let s = Study::new(ds);
+    assert_eq!(s.labeled_clusters().count(), 0);
+    assert!(methodology::full_grid(&s).is_empty());
+    assert_eq!(labels::goal_distribution(&s).total(), 0);
+}
+
+#[test]
+fn single_worker_marketplace() {
+    // All instances by one worker: engagement split and workload must not
+    // divide by zero.
+    let mut b = DatasetBuilder::new();
+    let src = b.add_source(Source::new("one", SourceKind::Dedicated));
+    let c = b.add_country("X");
+    let w = b.add_worker(Worker::new(src, c));
+    let tt = b.add_task_type(TaskType::new("t"));
+    let t0 = Timestamp::from_ymd(2015, 3, 2);
+    let batch = b.add_batch(Batch::new(tt, t0).with_html("<p>q</p>"));
+    for i in 0..10 {
+        b.add_instance(TaskInstance {
+            batch,
+            item: ItemId::new(i / 2),
+            worker: w,
+            start: t0 + Duration::from_secs(100 + i64::from(i) * 50),
+            end: t0 + Duration::from_secs(130 + i64::from(i) * 50),
+            trust: 0.9,
+            answer: Answer::Choice(0),
+        });
+    }
+    let s = Study::new(b.finish().unwrap());
+    let e = crowd_marketplace::analytics::marketplace::availability::engagement_split(&s);
+    assert_eq!(e.top10_task_share, 1.0, "the single worker is the top decile");
+    let wl = workload::distribution(&s);
+    assert_eq!(wl.tasks_by_rank, vec![10]);
+    assert_eq!(wl.top10_share, 1.0);
+}
+
+#[test]
+fn all_skipped_answers_give_full_disagreement() {
+    let mut ds = minimal_dataset();
+    // Add a second judgment on the same item, both skipped.
+    ds.instances[0].answer = Answer::Skipped;
+    let mut extra = ds.instances[0].clone();
+    extra.answer = Answer::Skipped;
+    ds.instances.push(extra);
+    let s = Study::new(ds);
+    let m = s.enriched_batches().next().unwrap();
+    assert_eq!(m.disagreement, Some(1.0), "skips never agree (§4.1)");
+}
