@@ -121,11 +121,9 @@ mod tests {
         let ds = dataset();
         let idx = ds.index();
         let bj = batch_judgments(&ds, &idx, BatchId::new(0));
-        let text_label = bj
-            .labels
-            .iter()
-            .position(|a| matches!(a, Answer::Text(t) if t == "yes"))
-            .unwrap() as u16;
+        let text_label =
+            bj.labels.iter().position(|a| matches!(a, Answer::Text(t) if t == "yes")).unwrap()
+                as u16;
         assert_eq!(bj.answer_of(text_label), &Answer::Text("yes".into()));
     }
 

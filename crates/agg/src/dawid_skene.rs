@@ -53,13 +53,7 @@ impl DawidSkeneResult {
     /// their confusion matrix. `None` for unseen workers.
     pub fn worker_accuracy(&self, worker: u32) -> Option<f64> {
         let m = self.confusion.get(&worker)?;
-        Some(
-            self.priors
-                .iter()
-                .enumerate()
-                .map(|(k, &p)| p * m[k][k])
-                .sum(),
-        )
+        Some(self.priors.iter().enumerate().map(|(k, &p)| p * m[k][k]).sum())
     }
 }
 

@@ -9,11 +9,7 @@ use crate::Judgment;
 /// Weighted vote: judgment `i` contributes `weights[i]` to its label.
 /// Weights must be non-negative and aligned with `judgments`. Ties break
 /// toward the smaller label.
-pub fn weighted_vote(
-    judgments: &[Judgment],
-    weights: &[f64],
-    n_classes: u16,
-) -> AggregationResult {
+pub fn weighted_vote(judgments: &[Judgment], weights: &[f64], n_classes: u16) -> AggregationResult {
     assert_eq!(judgments.len(), weights.len(), "weights must align with judgments");
     let mut votes: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
     for (j, &w) in judgments.iter().zip(weights) {

@@ -46,12 +46,7 @@ pub fn fig25_panels(study: &Study) -> Vec<Panel> {
         .enumerate()
         .map(|(index, &(feature, metric, filter))| Panel {
             index,
-            description: format!(
-                "{} vs {} on {:?}",
-                feature.name(),
-                metric.name(),
-                filter
-            ),
+            description: format!("{} vs {} on {:?}", feature.name(), metric.name(), filter),
             experiment: run_experiment(study, feature, metric, Some(filter)),
         })
         .collect()
@@ -60,7 +55,7 @@ pub fn fig25_panels(study: &Study) -> Vec<Panel> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }
@@ -112,13 +107,10 @@ mod tests {
     fn images_cut_pickup_within_categories() {
         // §4.7: the image effect holds within Extract and QA.
         let s = study();
-        for filter in [
-            LabelFilter::Operator(Operator::Extract),
-            LabelFilter::Goal(Goal::QualityAssurance),
-        ] {
-            if let Some(e) =
-                run_experiment(s, Feature::Images, Metric::PickupTime, Some(filter))
-            {
+        for filter in
+            [LabelFilter::Operator(Operator::Extract), LabelFilter::Goal(Goal::QualityAssurance)]
+        {
+            if let Some(e) = run_experiment(s, Feature::Images, Metric::PickupTime, Some(filter)) {
                 assert!(e.effect() < 0.0, "{filter:?}: {}", e.effect());
             }
         }

@@ -157,10 +157,7 @@ mod tests {
         // Table 3: examples cut pickup ~4.7×.
         let s = study();
         let plain = fit_pickup(s, BASELINE).unwrap();
-        let with_examples = fit_pickup(
-            s,
-            PickupProfile { has_examples: true, ..BASELINE },
-        );
+        let with_examples = fit_pickup(s, PickupProfile { has_examples: true, ..BASELINE });
         if let Some(ex) = with_examples {
             assert!(
                 ex.median_secs() < plain.median_secs(),
@@ -175,8 +172,7 @@ mod tests {
     fn images_profile_forecasts_faster_pickup() {
         let s = study();
         let plain = fit_pickup(s, BASELINE).unwrap();
-        let with_images =
-            fit_pickup(s, PickupProfile { has_images: true, ..BASELINE }).unwrap();
+        let with_images = fit_pickup(s, PickupProfile { has_images: true, ..BASELINE }).unwrap();
         assert!(with_images.median_secs() < plain.median_secs());
     }
 

@@ -162,9 +162,8 @@ pub fn run_experiment(
     let t = if metric == Metric::Disagreement {
         split.t_test()?
     } else {
-        let ln = |xs: &[f64]| -> Vec<f64> {
-            xs.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect()
-        };
+        let ln =
+            |xs: &[f64]| -> Vec<f64> { xs.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect() };
         crowd_stats::ttest::welch_t_test(&ln(&split.bin1), &ln(&split.bin2))?
     };
     let cdf1 = EmpiricalCdf::new(&split.bin1)?;
@@ -211,7 +210,7 @@ pub fn full_grid(study: &Study) -> Vec<Experiment> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }
@@ -314,8 +313,7 @@ mod tests {
     fn filter_restricts_population() {
         let s = study();
         let all = eligible_clusters(s, None).count();
-        let gathers =
-            eligible_clusters(s, Some(LabelFilter::Operator(Operator::Gather))).count();
+        let gathers = eligible_clusters(s, Some(LabelFilter::Operator(Operator::Gather))).count();
         assert!(gathers < all);
         assert!(gathers > 0);
         for c in eligible_clusters(s, Some(LabelFilter::Goal(Goal::SentimentAnalysis))) {

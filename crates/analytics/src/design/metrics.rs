@@ -97,11 +97,7 @@ pub fn latency_decomposition(study: &Study) -> LatencyDecomposition {
         .into_iter()
         .filter_map(|(splice, (pickups, tasks))| {
             let e2e = 10f64.powf(f64::from(splice) / 2.0 + 0.25);
-            Some(LatencyPoint {
-                end_to_end: e2e,
-                pickup: median(&pickups)?,
-                task: median(&tasks)?,
-            })
+            Some(LatencyPoint { end_to_end: e2e, pickup: median(&pickups)?, task: median(&tasks)? })
         })
         .collect();
 
@@ -115,7 +111,7 @@ pub fn latency_decomposition(study: &Study) -> LatencyDecomposition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }
@@ -126,11 +122,7 @@ mod tests {
         // magnitude higher than the task-time".
         let s = study();
         let d = latency_decomposition(s);
-        assert!(
-            d.median_pickup_to_task_ratio > 5.0,
-            "ratio {}",
-            d.median_pickup_to_task_ratio
-        );
+        assert!(d.median_pickup_to_task_ratio > 5.0, "ratio {}", d.median_pickup_to_task_ratio);
     }
 
     #[test]

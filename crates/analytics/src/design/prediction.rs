@@ -57,10 +57,14 @@ pub fn feature_vector(metric: Metric, c: &ClusterInfo) -> Vec<f64> {
 
 /// Runs one §4.9 experiment. Returns `None` when there are too few
 /// clusters or the metric is constant.
-pub fn predict(study: &Study, metric: Metric, scheme: Scheme, seed: u64) -> Option<PredictionResult> {
-    let clusters: Vec<&ClusterInfo> = eligible_clusters(study, None)
-        .filter(|c| metric.of_cluster(c).is_some())
-        .collect();
+pub fn predict(
+    study: &Study,
+    metric: Metric,
+    scheme: Scheme,
+    seed: u64,
+) -> Option<PredictionResult> {
+    let clusters: Vec<&ClusterInfo> =
+        eligible_clusters(study, None).filter(|c| metric.of_cluster(c).is_some()).collect();
     if clusters.len() < N_FOLDS * 4 {
         return None;
     }
@@ -99,7 +103,7 @@ pub fn predict_all(study: &Study, seed: u64) -> Vec<PredictionResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }

@@ -38,8 +38,7 @@ pub fn redundancy(study: &Study) -> Option<RedundancyStats> {
         *per_item.entry((inst.batch.raw(), inst.item.raw())).or_insert(0) += 1;
     }
     let counts: Vec<f64> = per_item.values().map(|&c| f64::from(c)).collect();
-    let pairable =
-        per_item.values().filter(|&&c| c >= 2).count() as f64 / per_item.len() as f64;
+    let pairable = per_item.values().filter(|&&c| c >= 2).count() as f64 / per_item.len() as f64;
 
     // Per-cluster medians.
     let mut batch_cluster: HashMap<u32, u32> = HashMap::new();
@@ -54,10 +53,8 @@ pub fn redundancy(study: &Study) -> Option<RedundancyStats> {
     }
     let mut cluster_ids: Vec<u32> = by_cluster.keys().copied().collect();
     cluster_ids.sort_unstable();
-    let per_cluster_median = cluster_ids
-        .iter()
-        .map(|c| median(&by_cluster[c]).expect("non-empty cluster"))
-        .collect();
+    let per_cluster_median =
+        cluster_ids.iter().map(|c| median(&by_cluster[c]).expect("non-empty cluster")).collect();
 
     Some(RedundancyStats {
         per_item: Summary::of(&counts)?,
@@ -80,11 +77,7 @@ mod tests {
         let r = redundancy(study()).unwrap();
         // The marketplace collects multiple judgments per item for
         // majority-vote aggregation (§4.1) — mean ≈ 3.
-        assert!(
-            (2.0..=5.0).contains(&r.per_item.mean),
-            "mean redundancy {}",
-            r.per_item.mean
-        );
+        assert!((2.0..=5.0).contains(&r.per_item.mean), "mean redundancy {}", r.per_item.mean);
         assert!(r.per_item.min >= 1.0);
         assert!(r.pairable_fraction > 0.98, "{}", r.pairable_fraction);
     }

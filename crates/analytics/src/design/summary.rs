@@ -95,7 +95,7 @@ pub fn pickup_time_table(study: &Study) -> SummaryTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }

@@ -33,8 +33,7 @@ impl WeeklyArrivals {
     /// post-Jan-2015 views of Figs 2b and 5a).
     pub fn since(&self, cutoff: Timestamp) -> WeeklyArrivals {
         let cut = cutoff.week();
-        let keep: Vec<usize> =
-            (0..self.weeks.len()).filter(|&i| self.weeks[i] >= cut).collect();
+        let keep: Vec<usize> = (0..self.weeks.len()).filter(|&i| self.weeks[i] >= cut).collect();
         WeeklyArrivals {
             weeks: keep.iter().map(|&i| self.weeks[i]).collect(),
             instances: keep.iter().map(|&i| self.instances[i]).collect(),
@@ -185,7 +184,7 @@ pub fn daily_load(study: &Study, since: Timestamp) -> Option<DailyLoad> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }
@@ -252,10 +251,7 @@ mod tests {
         let by = by_weekday(s);
         let weekday_avg = by[..5].iter().sum::<u64>() as f64 / 5.0;
         let weekend_avg = by[5..].iter().sum::<u64>() as f64 / 2.0;
-        assert!(
-            weekday_avg > weekend_avg * 1.3,
-            "Fig 3: weekdays up to 2× weekends: {by:?}"
-        );
+        assert!(weekday_avg > weekend_avg * 1.3, "Fig 3: weekdays up to 2× weekends: {by:?}");
         // The Mon > … > Fri decline is asserted on the generator weights
         // (crowd-sim calibration tests); instance totals at reduced scale
         // are too lumpy (a single bulk batch moves a whole weekday).

@@ -65,8 +65,7 @@ pub fn engagement_split(study: &Study) -> EngagementSplit {
     for inst in &ds.instances {
         totals[inst.worker.index()] += 1;
     }
-    let mut active: Vec<usize> =
-        (0..ds.workers.len()).filter(|&i| totals[i] > 0).collect();
+    let mut active: Vec<usize> = (0..ds.workers.len()).filter(|&i| totals[i] > 0).collect();
     active.sort_by_key(|&i| std::cmp::Reverse(totals[i]));
     let cut = (active.len() / 10).max(1);
     let mut is_top = vec![false; ds.workers.len()];
@@ -102,7 +101,7 @@ pub fn engagement_split(study: &Study) -> EngagementSplit {
 #[cfg(test)]
 mod tests {
     use super::*;
-        use crowd_stats::descriptive::median;
+    use crowd_stats::descriptive::median;
 
     fn study() -> &'static Study {
         crate::testutil::default_study()

@@ -166,7 +166,7 @@ pub fn operator_given_data(study: &Study) -> CrossMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }

@@ -74,10 +74,7 @@ pub fn heavy_hitters(study: &Study, n: usize) -> Vec<HeavyHitter> {
                 std::collections::BTreeMap::new();
             for &b in &c.batches {
                 let week = ds.batch(b).created_at.week().0;
-                let count = study
-                    .batch_metrics(b)
-                    .map(|m| u64::from(m.n_instances))
-                    .unwrap_or(0);
+                let count = study.batch_metrics(b).map(|m| u64::from(m.n_instances)).unwrap_or(0);
                 *per_week.entry(week).or_insert(0) += count;
             }
             let mut cumulative = Vec::with_capacity(per_week.len());
@@ -94,7 +91,7 @@ pub fn heavy_hitters(study: &Study, n: usize) -> Vec<HeavyHitter> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }

@@ -25,10 +25,7 @@ pub struct ComplexityTrend {
 impl ComplexityTrend {
     /// Final totals `(simple, complex)`.
     pub fn totals(&self) -> (u64, u64) {
-        (
-            self.simple.last().copied().unwrap_or(0),
-            self.complex.last().copied().unwrap_or(0),
-        )
+        (self.simple.last().copied().unwrap_or(0), self.complex.last().copied().unwrap_or(0))
     }
 }
 
@@ -37,10 +34,8 @@ fn trend(
     category: &'static str,
     class: impl Fn(&ClusterInfo) -> Option<Complexity>,
 ) -> ComplexityTrend {
-    let clusters: Vec<(&ClusterInfo, Complexity)> = study
-        .labeled_clusters()
-        .filter_map(|c| class(c).map(|cx| (c, cx)))
-        .collect();
+    let clusters: Vec<(&ClusterInfo, Complexity)> =
+        study.labeled_clusters().filter_map(|c| class(c).map(|cx| (c, cx))).collect();
     if clusters.is_empty() {
         return ComplexityTrend { category, ..Default::default() };
     }
@@ -91,7 +86,7 @@ pub fn data_trend(study: &Study) -> ComplexityTrend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }

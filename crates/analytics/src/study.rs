@@ -1,13 +1,14 @@
 //! The enriched study context (paper §2.4): clustering, design-parameter
 //! extraction, and effectiveness metrics over a raw dataset.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crowd_cluster::{ClusterParams, Clusterer};
-use crowd_core::answer::item_disagreement;
+use crowd_core::answer::item_disagreement_ref;
 use crowd_core::prelude::*;
 use crowd_html::{extract_features, ExtractedFeatures};
 use crowd_stats::descriptive::median;
+use rayon::prelude::*;
 
 /// Per-batch enrichment: extracted design features plus the three §4.1
 /// effectiveness metrics.
@@ -96,22 +97,25 @@ impl Study {
             .filter(|(_, b)| b.sampled)
             .map(|(i, _)| BatchId::from_usize(i))
             .collect();
-        let docs: Vec<&str> = sampled
-            .iter()
-            .map(|&b| ds.batch(b).html.as_deref().unwrap_or(""))
-            .collect();
+        let docs: Vec<&str> =
+            sampled.iter().map(|&b| ds.batch(b).html.as_deref().unwrap_or("")).collect();
         let clustering = Clusterer::new(params).cluster(&docs);
 
         // ---- §2.4 + §4.1: per-batch features and metrics ----------------
+        // Enrichment is independent per batch: fan it out across threads,
+        // then scatter into the batch-indexed vec in sampled order — the
+        // result is position-determined, hence thread-count-invariant.
+        let indexed: Vec<(usize, BatchId)> = sampled.iter().copied().enumerate().collect();
+        let enriched: Vec<BatchMetrics> = indexed
+            .par_iter()
+            .map(|&(pos, batch)| {
+                compute_batch_metrics(&ds, &index, batch, clustering.cluster_of(pos))
+            })
+            .collect();
         let mut batch_metrics: Vec<Option<BatchMetrics>> = vec![None; ds.batches.len()];
-        for (pos, &batch) in sampled.iter().enumerate() {
-            let metrics = compute_batch_metrics(
-                &ds,
-                &index,
-                batch,
-                clustering.cluster_of(pos),
-            );
-            batch_metrics[batch.index()] = Some(metrics);
+        for metrics in enriched {
+            let slot = metrics.batch.index();
+            batch_metrics[slot] = Some(metrics);
         }
 
         // ---- cluster aggregates ----------------------------------------
@@ -165,7 +169,12 @@ fn compute_batch_metrics(
     let created = ds.batch(batch).created_at;
     let mut pickups = Vec::new();
     let mut times = Vec::new();
-    let mut by_item: HashMap<u32, Vec<&Answer>> = HashMap::new();
+    // BTreeMap, not HashMap: the disagreement average below sums floats in
+    // map-iteration order, and f64 addition rounding depends on that order.
+    // A randomized hash order would make the last ulp of the score vary
+    // from run to run (and thread pool to thread pool); item-id order fixes
+    // the sum bit-for-bit.
+    let mut by_item: BTreeMap<u32, Vec<&Answer>> = BTreeMap::new();
     let mut n_instances = 0u32;
     for inst_id in index.instances_of_batch(batch) {
         let inst = &ds.instances[inst_id.index()];
@@ -179,8 +188,7 @@ fn compute_batch_metrics(
     // §4.1: average item-level pairwise disagreement.
     let mut item_scores = Vec::with_capacity(by_item.len());
     for answers in by_item.values() {
-        let owned: Vec<Answer> = answers.iter().map(|&a| a.clone()).collect();
-        if let Some(score) = item_disagreement(&owned) {
+        if let Some(score) = item_disagreement_ref(answers) {
             item_scores.push(score);
         }
     }
@@ -190,12 +198,8 @@ fn compute_batch_metrics(
         Some(item_scores.iter().sum::<f64>() / item_scores.len() as f64)
     };
 
-    let features = ds
-        .batch(batch)
-        .html
-        .as_deref()
-        .and_then(|h| extract_features(h).ok())
-        .unwrap_or_default();
+    let features =
+        ds.batch(batch).html.as_deref().and_then(|h| extract_features(h).ok()).unwrap_or_default();
 
     BatchMetrics {
         batch,
@@ -219,11 +223,14 @@ fn aggregate_clusters(
         members[m.cluster as usize].push(m);
     }
 
-    members
-        .iter()
-        .enumerate()
-        .filter(|(_, ms)| !ms.is_empty())
-        .map(|(id, ms)| {
+    // Per-cluster medians are independent; compute them across threads in
+    // cluster-id order (the nonempty list is ordered, and the parallel map
+    // preserves input order, so output is thread-count-invariant).
+    let nonempty: Vec<(usize, &Vec<&BatchMetrics>)> =
+        members.iter().enumerate().filter(|(_, ms)| !ms.is_empty()).collect();
+    nonempty
+        .par_iter()
+        .map(|&(id, ms)| {
             // Majority task type supplies the cluster's manual labels
             // (the paper labels one task per cluster, §3.4).
             let mut type_votes: HashMap<TaskTypeId, usize> = HashMap::new();
@@ -275,7 +282,7 @@ fn aggregate_clusters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }
@@ -342,8 +349,7 @@ mod tests {
             let tt = s.dataset().batch(m.batch).task_type.raw();
             type_to_clusters.entry(tt).or_default().insert(m.cluster);
         }
-        let split_types =
-            type_to_clusters.values().filter(|set| set.len() > 1).count();
+        let split_types = type_to_clusters.values().filter(|set| set.len() > 1).count();
         let frac = split_types as f64 / type_to_clusters.len() as f64;
         assert!(frac < 0.12, "few types split across clusters: {frac}");
         // And the number of clusters is near the number of observed types.

@@ -86,11 +86,8 @@ pub fn monthly_cohorts(study: &Study) -> Vec<Cohort> {
 pub fn mean_retention(cohorts: &[Cohort], max_months: usize) -> Vec<f64> {
     (0..max_months)
         .map(|k| {
-            let with_horizon: Vec<f64> = cohorts
-                .iter()
-                .filter(|c| c.retention.len() > k)
-                .map(|c| c.retention[k])
-                .collect();
+            let with_horizon: Vec<f64> =
+                cohorts.iter().filter(|c| c.retention.len() > k).map(|c| c.retention[k]).collect();
             if with_horizon.is_empty() {
                 0.0
             } else {

@@ -55,7 +55,7 @@ pub fn distribution(study: &Study) -> GeoDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }

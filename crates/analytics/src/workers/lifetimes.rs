@@ -41,8 +41,7 @@ pub fn lifetime_stats(study: &Study) -> LifetimeStats {
     let n = ds.workers.len();
     let mut first = vec![i64::MAX; n];
     let mut last = vec![i64::MIN; n];
-    let mut days: Vec<std::collections::HashSet<i64>> =
-        vec![std::collections::HashSet::new(); n];
+    let mut days: Vec<std::collections::HashSet<i64>> = vec![std::collections::HashSet::new(); n];
     let mut tasks = vec![0u64; n];
     for inst in &ds.instances {
         let w = inst.worker.index();
@@ -110,8 +109,7 @@ pub struct ActiveTrust {
 pub fn active_trust(study: &Study) -> Option<ActiveTrust> {
     let ds = study.dataset();
     let n = ds.workers.len();
-    let mut days: Vec<std::collections::HashSet<i64>> =
-        vec![std::collections::HashSet::new(); n];
+    let mut days: Vec<std::collections::HashSet<i64>> = vec![std::collections::HashSet::new(); n];
     let mut trust_sum = vec![0f64; n];
     let mut count = vec![0u64; n];
     for inst in &ds.instances {
@@ -120,10 +118,8 @@ pub fn active_trust(study: &Study) -> Option<ActiveTrust> {
         trust_sum[w] += f64::from(inst.trust);
         count[w] += 1;
     }
-    let avgs: Vec<f64> = (0..n)
-        .filter(|&i| days[i].len() > 10)
-        .map(|i| trust_sum[i] / count[i] as f64)
-        .collect();
+    let avgs: Vec<f64> =
+        (0..n).filter(|&i| days[i].len() > 10).map(|i| trust_sum[i] / count[i] as f64).collect();
     if avgs.is_empty() {
         return None;
     }
@@ -138,7 +134,7 @@ pub fn active_trust(study: &Study) -> Option<ActiveTrust> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }
@@ -165,11 +161,7 @@ mod tests {
     fn short_lifetimes_dominate() {
         // §5.3: 79% of lifetimes under 100 days.
         let l = lifetime_stats(study());
-        assert!(
-            l.short_lifetime_fraction > 0.6,
-            "short fraction {}",
-            l.short_lifetime_fraction
-        );
+        assert!(l.short_lifetime_fraction > 0.6, "short fraction {}", l.short_lifetime_fraction);
     }
 
     #[test]

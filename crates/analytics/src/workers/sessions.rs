@@ -98,8 +98,7 @@ pub fn sessions(study: &Study, gap: Duration) -> SessionStats {
     out.median_instances = counts[counts.len() / 2];
     out.mean_sessions_per_worker = out.sessions.len() as f64 / active_workers.max(1) as f64;
     out.single_instance_fraction =
-        out.sessions.iter().filter(|s| s.instances == 1).count() as f64
-            / out.sessions.len() as f64;
+        out.sessions.iter().filter(|s| s.instances == 1).count() as f64 / out.sessions.len() as f64;
     out
 }
 
@@ -173,11 +172,7 @@ mod tests {
         assert!(stats.mean_sessions_per_worker >= 1.0);
         // §5.4: most workers put in < 1h per working day, so sessions are
         // typically short.
-        assert!(
-            stats.median_span_mins < 120.0,
-            "median session {} mins",
-            stats.median_span_mins
-        );
+        assert!(stats.median_span_mins < 120.0, "median session {} mins", stats.median_span_mins);
         // Total instances across sessions equals the dataset.
         let total: u32 = stats.sessions.iter().map(|s| s.instances).sum();
         assert_eq!(total as usize, study().dataset().instances.len());

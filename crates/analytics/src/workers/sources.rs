@@ -111,8 +111,7 @@ pub fn active_sources_weekly(study: &Study) -> ActiveSources {
     };
     let w0 = t0.week().0;
     let n = (t1.week().0 - w0 + 1).max(0) as usize;
-    let mut sets: Vec<std::collections::HashSet<u32>> =
-        vec![std::collections::HashSet::new(); n];
+    let mut sets: Vec<std::collections::HashSet<u32>> = vec![std::collections::HashSet::new(); n];
     for inst in &ds.instances {
         let w = ((inst.start.week().0 - w0).max(0) as usize).min(n - 1);
         sets[w].insert(ds.worker(inst.worker).source.raw());
@@ -141,16 +140,10 @@ pub fn quality_stats(study: &Study, stats: &[SourceStats]) -> SourceQualityStats
     let ds = study.dataset();
     let n = stats.len().max(1) as f64;
     let low_trust = stats.iter().filter(|s| s.mean_trust < 0.8).count() as f64;
-    let slow = stats
-        .iter()
-        .filter(|s| s.mean_relative_task_time >= 3.0)
-        .count() as f64;
+    let slow = stats.iter().filter(|s| s.mean_relative_task_time >= 3.0).count() as f64;
     let total: u64 = stats.iter().map(|s| s.n_tasks).sum();
-    let internal: u64 = stats
-        .iter()
-        .filter(|s| ds.source(s.source).is_internal())
-        .map(|s| s.n_tasks)
-        .sum();
+    let internal: u64 =
+        stats.iter().filter(|s| ds.source(s.source).is_internal()).map(|s| s.n_tasks).sum();
     let rels: Vec<f64> = stats.iter().map(|s| s.mean_relative_task_time).collect();
     SourceQualityStats {
         low_trust_fraction: low_trust / n,
@@ -163,7 +156,7 @@ pub fn quality_stats(study: &Study, stats: &[SourceStats]) -> SourceQualityStats
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::default_study()
     }
@@ -208,7 +201,11 @@ mod tests {
         let stats = per_source(s);
         let q = quality_stats(s, &stats);
         assert!(q.internal_task_share < 0.10, "internal ≈2%: {}", q.internal_task_share);
-        assert!((0.5..=2.0).contains(&q.median_relative_time), "most sources ≈1×: {}", q.median_relative_time);
+        assert!(
+            (0.5..=2.0).contains(&q.median_relative_time),
+            "most sources ≈1×: {}",
+            q.median_relative_time
+        );
         assert!(q.low_trust_fraction < 0.35);
     }
 
@@ -219,10 +216,7 @@ mod tests {
         let s = study();
         let stats = per_source(s);
         let max = stats.iter().map(|x| x.avg_tasks_per_worker).fold(0.0, f64::max);
-        let min = stats
-            .iter()
-            .map(|x| x.avg_tasks_per_worker)
-            .fold(f64::INFINITY, f64::min);
+        let min = stats.iter().map(|x| x.avg_tasks_per_worker).fold(f64::INFINITY, f64::min);
         assert!(max / min > 10.0, "spread {max} / {min}");
     }
 

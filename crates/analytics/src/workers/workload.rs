@@ -23,8 +23,7 @@ pub fn distribution(study: &Study) -> WorkloadDistribution {
     let n = ds.workers.len();
     let mut tasks = vec![0u64; n];
     let mut secs = vec![0f64; n];
-    let mut days: Vec<std::collections::HashSet<i64>> =
-        vec![std::collections::HashSet::new(); n];
+    let mut days: Vec<std::collections::HashSet<i64>> = vec![std::collections::HashSet::new(); n];
     for inst in &ds.instances {
         let w = inst.worker.index();
         tasks[w] += 1;
@@ -41,12 +40,9 @@ pub fn distribution(study: &Study) -> WorkloadDistribution {
     let top: u64 = tasks_by_rank.iter().take(cut).sum();
 
     let total_hours: Vec<f64> = active.iter().map(|&i| secs[i] / 3_600.0).collect();
-    let hours_per_active_day: Vec<f64> = active
-        .iter()
-        .map(|&i| secs[i] / 3_600.0 / days[i].len().max(1) as f64)
-        .collect();
-    let under_one_hour =
-        hours_per_active_day.iter().filter(|&&h| h < 1.0).count() as f64;
+    let hours_per_active_day: Vec<f64> =
+        active.iter().map(|&i| secs[i] / 3_600.0 / days[i].len().max(1) as f64).collect();
+    let under_one_hour = hours_per_active_day.iter().filter(|&&h| h < 1.0).count() as f64;
 
     WorkloadDistribution {
         top10_share: top as f64 / total.max(1) as f64,
@@ -60,7 +56,7 @@ pub fn distribution(study: &Study) -> WorkloadDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     fn study() -> &'static Study {
         crate::testutil::tiny_study()
     }

@@ -60,11 +60,7 @@ fn ablate_signature_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_signature_size");
     g.sample_size(10);
     for &n_hashes in &[32usize, 64, 128, 256] {
-        let params = ClusterParams {
-            n_hashes,
-            bands: n_hashes / 4,
-            ..ClusterParams::default()
-        };
+        let params = ClusterParams { n_hashes, bands: n_hashes / 4, ..ClusterParams::default() };
         let clusterer = Clusterer::new(params);
         let clustering = clusterer.cluster(&docs);
         eprintln!(
@@ -89,17 +85,15 @@ fn ablate_tree_depth(c: &mut Criterion) {
     let values: Vec<f64> = clusters.iter().map(|cl| cl.pickup_time.unwrap()).collect();
     let buckets = Bucketization::by_percentiles(&values, 10).expect("non-constant");
     let y: Vec<usize> = values.iter().map(|&v| buckets.bucket_of(v)).collect();
-    let x: Vec<Vec<f64>> = clusters.iter().map(|cl| feature_vector(Metric::PickupTime, cl)).collect();
+    let x: Vec<Vec<f64>> =
+        clusters.iter().map(|cl| feature_vector(Metric::PickupTime, cl)).collect();
 
     let mut g = c.benchmark_group("ablation_tree_depth");
     for &depth in &[2usize, 4, 8, 16] {
         let params = TreeParams { max_depth: depth, ..TreeParams::default() };
         let tree = DecisionTree::fit(&x, &y, 10, &params);
-        let train_acc = x
-            .iter()
-            .zip(&y)
-            .filter(|(row, &label)| tree.predict(row) == label)
-            .count() as f64
+        let train_acc = x.iter().zip(&y).filter(|(row, &label)| tree.predict(row) == label).count()
+            as f64
             / x.len() as f64;
         eprintln!(
             "[ablation] depth {depth}: {} nodes, train accuracy {:.3}",

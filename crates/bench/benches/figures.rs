@@ -16,9 +16,7 @@ fn bench_marketplace(c: &mut Criterion) {
     let mut g = c.benchmark_group("marketplace");
     g.sample_size(20);
     // Fig 1, 2a, 2b: weekly arrivals with pickup overlay.
-    g.bench_function("fig01_02_arrivals_weekly", |b| {
-        b.iter(|| black_box(arrivals::weekly(study)))
-    });
+    g.bench_function("fig01_02_arrivals_weekly", |b| b.iter(|| black_box(arrivals::weekly(study))));
     // Fig 3: day-of-week distribution.
     g.bench_function("fig03_weekday", |b| b.iter(|| black_box(arrivals::by_weekday(study))));
     // §3.1 takeaway: daily load statistics.
@@ -34,9 +32,7 @@ fn bench_marketplace(c: &mut Criterion) {
         b.iter(|| black_box(availability::engagement_split(study)))
     });
     // Figs 6, 7: cluster size/instance distributions.
-    g.bench_function("fig06_07_cluster_load", |b| {
-        b.iter(|| black_box(load::cluster_load(study)))
-    });
+    g.bench_function("fig06_07_cluster_load", |b| b.iter(|| black_box(load::cluster_load(study))));
     // Fig 8: heavy hitters.
     g.bench_function("fig08_heavy_hitters", |b| {
         b.iter(|| black_box(load::heavy_hitters(study, 10)))

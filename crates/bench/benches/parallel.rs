@@ -1,0 +1,46 @@
+//! Parallel-pipeline speedup: the full `Study::new` build (simulation is
+//! excluded; the dataset is prepared once per iteration batch) and the
+//! end-to-end simulate+enrich run, each under a 1-thread pool and a pool
+//! sized to the host. The two configurations must produce identical
+//! results — see `tests/parallel_determinism.rs` — so this measures the
+//! pure scheduling win. Numbers land in `BENCH_parallel.json` by hand.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crowd_analytics::Study;
+use crowd_sim::{simulate, SimConfig};
+use rayon::ThreadPoolBuilder;
+
+fn cfg() -> SimConfig {
+    SimConfig::new(2017, 0.05)
+}
+
+fn bench_study_build(c: &mut Criterion) {
+    // `CROWD_THREADS` overrides the host core count, matching the bins'
+    // knob; it also lets a single-core host exercise the multi-thread path
+    // (measuring pure scheduling overhead rather than speedup).
+    let host_threads = std::env::var("CROWD_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for threads in [1, host_threads] {
+        let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        g.bench_function(format!("study_new/threads={threads}"), |b| {
+            b.iter_batched(
+                || simulate(&cfg()),
+                |ds| pool.install(|| black_box(Study::new(ds))),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("simulate/threads={threads}"), |b| {
+            b.iter(|| pool.install(|| black_box(simulate(&cfg()))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_study_build);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use crowd_agg::{dawid_skene, majority_vote, DawidSkeneParams, Judgment};
 use crowd_analytics::Study;
 use crowd_bench::{bench_sim_config, bench_study};
 use crowd_classify::tree::{DecisionTree, TreeParams};
@@ -14,7 +15,6 @@ use crowd_html::extract_features;
 use crowd_sim::simulate;
 use crowd_stats::{welch_t_test, EmpiricalCdf};
 use crowd_table::{Agg, Table};
-use crowd_agg::{dawid_skene, majority_vote, DawidSkeneParams, Judgment};
 
 fn bench_simulator(c: &mut Criterion) {
     let cfg = bench_sim_config();
@@ -38,12 +38,7 @@ fn bench_enrichment(c: &mut Criterion) {
     });
     // Clustering alone.
     let study = bench_study();
-    let docs: Vec<String> = study
-        .dataset()
-        .batches
-        .iter()
-        .filter_map(|b| b.html.clone())
-        .collect();
+    let docs: Vec<String> = study.dataset().batches.iter().filter_map(|b| b.html.clone()).collect();
     g.throughput(Throughput::Elements(docs.len() as u64));
     g.bench_function("cluster_batches", |b| {
         let clusterer = Clusterer::new(ClusterParams::default());
@@ -63,9 +58,7 @@ fn bench_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("primitives");
     // Disagreement over a typical item answer set.
     let answers: Vec<Answer> = (0..5).map(|i| Answer::Choice(i % 3)).collect();
-    g.bench_function("item_disagreement_k5", |b| {
-        b.iter(|| black_box(item_disagreement(&answers)))
-    });
+    g.bench_function("item_disagreement_k5", |b| b.iter(|| black_box(item_disagreement(&answers))));
     // Welch t-test on bin-sized samples.
     let a: Vec<f64> = (0..1_000).map(|i| (i % 97) as f64).collect();
     let bvals: Vec<f64> = (0..1_200).map(|i| (i % 89) as f64 + 3.0).collect();
@@ -77,15 +70,7 @@ fn bench_primitives(c: &mut Criterion) {
     t.push_int_column("week", (0..100_000).map(|i| i % 200).collect()).unwrap();
     t.push_float_column("v", (0..100_000).map(|i| i as f64).collect()).unwrap();
     g.bench_function("groupby_100k", |b| {
-        b.iter(|| {
-            black_box(
-                t.group_by("week")
-                    .unwrap()
-                    .agg("v", Agg::Median)
-                    .unwrap()
-                    .finish(),
-            )
-        })
+        b.iter(|| black_box(t.group_by("week").unwrap().agg("v", Agg::Median).unwrap().finish()))
     });
     // Decision tree fit on §4.9-sized data.
     let x: Vec<Vec<f64>> = (0..3_000)
@@ -119,11 +104,5 @@ fn bench_aggregation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    substrate,
-    bench_simulator,
-    bench_enrichment,
-    bench_primitives,
-    bench_aggregation
-);
+criterion_group!(substrate, bench_simulator, bench_enrichment, bench_primitives, bench_aggregation);
 criterion_main!(substrate);

@@ -23,9 +23,8 @@ impl Bucketization {
             return None;
         }
         let width = (hi - lo) / n as f64;
-        let upper_bounds = (1..=n)
-            .map(|i| if i == n { hi } else { lo + width * i as f64 })
-            .collect();
+        let upper_bounds =
+            (1..=n).map(|i| if i == n { hi } else { lo + width * i as f64 }).collect();
         Some(Bucketization { upper_bounds, lo })
     }
 
@@ -62,9 +61,7 @@ impl Bucketization {
     /// The bucket index of a value: the first bucket whose upper bound is
     /// ≥ `v`. Values beyond the top bound land in the last bucket.
     pub fn bucket_of(&self, v: f64) -> usize {
-        self.upper_bounds
-            .partition_point(|&ub| ub < v)
-            .min(self.upper_bounds.len() - 1)
+        self.upper_bounds.partition_point(|&ub| ub < v).min(self.upper_bounds.len() - 1)
     }
 
     /// Number of observations per bucket.

@@ -47,8 +47,7 @@ pub fn k_fold(
     let mut folds = 0usize;
 
     for fold in 0..k {
-        let test_set: Vec<usize> =
-            order.iter().copied().skip(fold).step_by(k).collect();
+        let test_set: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
         if test_set.is_empty() {
             continue;
         }
@@ -59,13 +58,9 @@ pub fn k_fold(
             }
             mask
         };
-        let train_x: Vec<Vec<f64>> = order
-            .iter()
-            .filter(|&&i| !in_test[i])
-            .map(|&i| x[i].clone())
-            .collect();
-        let train_y: Vec<usize> =
-            order.iter().filter(|&&i| !in_test[i]).map(|&i| y[i]).collect();
+        let train_x: Vec<Vec<f64>> =
+            order.iter().filter(|&&i| !in_test[i]).map(|&i| x[i].clone()).collect();
+        let train_y: Vec<usize> = order.iter().filter(|&&i| !in_test[i]).map(|&i| y[i]).collect();
         if train_x.is_empty() {
             continue;
         }

@@ -20,15 +20,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        class: usize,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { class: usize },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A fitted decision tree.
@@ -89,12 +82,7 @@ fn majority(y: &[usize], idx: &[u32], n_classes: usize) -> usize {
     for &i in idx {
         counts[y[i as usize]] += 1;
     }
-    counts
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &c)| c)
-        .map(|(cls, _)| cls)
-        .unwrap_or(0)
+    counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(cls, _)| cls).unwrap_or(0)
 }
 
 fn gini(counts: &[usize], total: usize) -> f64 {
@@ -132,9 +120,7 @@ fn build(
     for feature in 0..n_features {
         order.clear();
         order.extend_from_slice(idx);
-        order.sort_by(|&a, &b| {
-            x[a as usize][feature].total_cmp(&x[b as usize][feature])
-        });
+        order.sort_by(|&a, &b| x[a as usize][feature].total_cmp(&x[b as usize][feature]));
         // Sweep split points between distinct adjacent values.
         let mut left_counts = vec![0usize; n_classes];
         let mut right_counts = vec![0usize; n_classes];
@@ -211,11 +197,7 @@ mod tests {
     fn learns_xor() {
         let (x, y) = xor_data();
         let tree = DecisionTree::fit(&x, &y, 2, &TreeParams::default());
-        let correct = x
-            .iter()
-            .zip(&y)
-            .filter(|(row, &label)| tree.predict(row) == label)
-            .count();
+        let correct = x.iter().zip(&y).filter(|(row, &label)| tree.predict(row) == label).count();
         assert!(correct as f64 / x.len() as f64 > 0.98, "xor is tree-learnable");
     }
 
@@ -242,12 +224,8 @@ mod tests {
     #[test]
     fn depth_limit_bounds_tree() {
         let (x, y) = xor_data();
-        let stump = DecisionTree::fit(
-            &x,
-            &y,
-            2,
-            &TreeParams { max_depth: 1, ..TreeParams::default() },
-        );
+        let stump =
+            DecisionTree::fit(&x, &y, 2, &TreeParams { max_depth: 1, ..TreeParams::default() });
         assert!(stump.node_count() <= 3, "a depth-1 tree has at most 3 nodes");
     }
 
@@ -280,8 +258,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn wrong_arity_at_predict_panics() {
-        let tree =
-            DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], 2, &TreeParams::default());
+        let tree = DecisionTree::fit(&[vec![1.0], vec![2.0]], &[0, 1], 2, &TreeParams::default());
         let _ = tree.predict(&[1.0, 2.0]);
     }
 }

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
+
 use crate::minhash::{MinHasher, Signature};
 use crate::shingle::{fnv1a, shingles};
 use crate::unionfind::UnionFind;
@@ -104,11 +106,7 @@ impl Clusterer {
     /// If `n_hashes` is not divisible by `bands`, or a parameter is zero.
     pub fn new(params: ClusterParams) -> Clusterer {
         assert!(params.bands > 0 && params.n_hashes > 0 && params.shingle_k > 0);
-        assert_eq!(
-            params.n_hashes % params.bands,
-            0,
-            "n_hashes must be a multiple of bands"
-        );
+        assert_eq!(params.n_hashes % params.bands, 0, "n_hashes must be a multiple of bands");
         assert!((0.0..=1.0).contains(&params.threshold));
         Clusterer { hasher: MinHasher::new(params.n_hashes, params.seed), params }
     }
@@ -118,57 +116,77 @@ impl Clusterer {
         &self.params
     }
 
-    /// Computes MinHash signatures for a document set.
-    pub fn signatures<S: AsRef<str>>(&self, docs: &[S]) -> Vec<Signature> {
-        docs.iter()
+    /// Computes MinHash signatures for a document set. Shingling and
+    /// hashing are independent per document, so the work fans out across
+    /// threads; output order matches input order exactly.
+    pub fn signatures<S: AsRef<str> + Sync>(&self, docs: &[S]) -> Vec<Signature> {
+        docs.par_iter()
             .map(|d| self.hasher.signature(&shingles(d.as_ref(), self.params.shingle_k)))
             .collect()
     }
 
     /// Clusters documents: LSH candidates, threshold confirmation,
     /// union-find components.
-    pub fn cluster<S: AsRef<str>>(&self, docs: &[S]) -> Clustering {
+    pub fn cluster<S: AsRef<str> + Sync>(&self, docs: &[S]) -> Clustering {
         let sigs = self.signatures(docs);
         self.cluster_signatures(&sigs)
     }
 
     /// Clusters from precomputed signatures (must come from
     /// [`Clusterer::signatures`] with the same parameters).
+    ///
+    /// The expensive part — LSH banding and candidate-pair emission — runs
+    /// one band per task across threads. The merge phase is sequential and
+    /// consumes the deduplicated pairs in sorted order, so the clustering
+    /// (components *and* label numbering) is identical at any thread count;
+    /// this also removes the hash-map iteration order the merge previously
+    /// depended on.
     pub fn cluster_signatures(&self, sigs: &[Signature]) -> Clustering {
         let n = sigs.len();
         let mut uf = UnionFind::new(n);
         let rows = self.params.n_hashes / self.params.bands;
 
         // LSH banding: documents agreeing on all rows of any band become
-        // candidate pairs. Buckets are per-band hash maps.
-        let mut band_key = Vec::with_capacity(rows * 8);
-        for band in 0..self.params.bands {
-            let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-            for (doc, sig) in sigs.iter().enumerate() {
-                band_key.clear();
-                for r in 0..rows {
-                    band_key.extend_from_slice(&sig.0[band * rows + r].to_le_bytes());
+        // candidate pairs (each member vs. the bucket's first document —
+        // the cheap representative scheme that avoids O(|bucket|²) on
+        // giant buckets; transitive merging covers the rest across bands).
+        let bands: Vec<usize> = (0..self.params.bands).collect();
+        let per_band: Vec<Vec<(u32, u32)>> = bands
+            .par_iter()
+            .map(|&band| {
+                let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+                let mut band_key = Vec::with_capacity(rows * 8);
+                for (doc, sig) in sigs.iter().enumerate() {
+                    band_key.clear();
+                    for r in 0..rows {
+                        band_key.extend_from_slice(&sig.0[band * rows + r].to_le_bytes());
+                    }
+                    buckets.entry(fnv1a(&band_key)).or_default().push(doc as u32);
                 }
-                buckets.entry(fnv1a(&band_key)).or_default().push(doc as u32);
+                let mut pairs = Vec::new();
+                for bucket in buckets.values() {
+                    // Bucket members are in document order, so `first` is
+                    // the lowest id and every pair is already normalized.
+                    let first = bucket[0];
+                    for &other in &bucket[1..] {
+                        pairs.push((first, other));
+                    }
+                }
+                pairs
+            })
+            .collect();
+
+        let mut candidates: Vec<(u32, u32)> = per_band.into_iter().flatten().collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        for (first, other) in candidates {
+            let (first, other) = (first as usize, other as usize);
+            if uf.connected(first, other) {
+                continue;
             }
-            for bucket in buckets.values() {
-                if bucket.len() < 2 {
-                    continue;
-                }
-                // Confirm each member against the bucket's first unmerged
-                // representative to avoid O(|bucket|²) on giant buckets;
-                // transitive merging covers the rest across bands.
-                let first = bucket[0] as usize;
-                for &other in &bucket[1..] {
-                    let other = other as usize;
-                    if uf.connected(first, other) {
-                        continue;
-                    }
-                    let est = sigs[first].estimate_jaccard(&sigs[other]);
-                    if est >= self.params.threshold {
-                        uf.union(first, other);
-                    }
-                }
+            if sigs[first].estimate_jaccard(&sigs[other]) >= self.params.threshold {
+                uf.union(first, other);
             }
         }
         let labels = uf.labels();
@@ -246,8 +264,7 @@ mod tests {
     #[test]
     fn threshold_one_only_merges_identical() {
         let params = ClusterParams { threshold: 1.0, ..ClusterParams::default() };
-        let docs =
-            vec!["same exact words here", "same exact words here", "same exact words there"];
+        let docs = vec!["same exact words here", "same exact words here", "same exact words there"];
         let clustering = Clusterer::new(params).cluster(&docs);
         assert_eq!(clustering.cluster_of(0), clustering.cluster_of(1));
         assert_ne!(clustering.cluster_of(0), clustering.cluster_of(2));
@@ -270,11 +287,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of bands")]
     fn bad_band_split_panics() {
-        let _ = Clusterer::new(ClusterParams {
-            n_hashes: 100,
-            bands: 33,
-            ..ClusterParams::default()
-        });
+        let _ =
+            Clusterer::new(ClusterParams { n_hashes: 100, bands: 33, ..ClusterParams::default() });
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::collections::HashSet;
 
+use rayon::prelude::*;
+
 /// A MinHash signature: position `i` holds the minimum of hash function
 /// `h_i` over the document's shingles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +93,14 @@ impl MinHasher {
             }
         }
         Signature(sig)
+    }
+
+    /// Computes signatures for many shingle sets at once, fanning the
+    /// (embarrassingly parallel) per-document work out across threads.
+    /// Output order matches input order exactly, so results are identical
+    /// to mapping [`MinHasher::signature`] sequentially.
+    pub fn signatures(&self, docs: &[HashSet<u64>]) -> Vec<Signature> {
+        docs.par_iter().map(|s| self.signature(s)).collect()
     }
 }
 

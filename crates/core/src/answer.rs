@@ -67,6 +67,17 @@ impl fmt::Display for Answer {
 /// differing answers 1. Returns `None` when fewer than two answers exist —
 /// disagreement is undefined without a pair.
 pub fn item_disagreement(answers: &[Answer]) -> Option<f64> {
+    item_disagreement_impl(answers.iter())
+}
+
+/// [`item_disagreement`] over borrowed answers, for callers that index
+/// answers by item without owning them (the enrichment hot loop) — avoids
+/// cloning each answer just to build a contiguous slice.
+pub fn item_disagreement_ref(answers: &[&Answer]) -> Option<f64> {
+    item_disagreement_impl(answers.iter().copied())
+}
+
+fn item_disagreement_impl<'a>(answers: impl ExactSizeIterator<Item = &'a Answer>) -> Option<f64> {
     let n = answers.len();
     if n < 2 {
         return None;
@@ -144,6 +155,21 @@ mod tests {
         assert_eq!(item_disagreement(&answers), Some(1.0));
         let mixed = vec![Answer::Choice(1), Answer::Skipped];
         assert_eq!(item_disagreement(&mixed), Some(1.0));
+    }
+
+    #[test]
+    fn ref_variant_matches_owned() {
+        let answers = vec![
+            Answer::Choice(0),
+            Answer::Choice(0),
+            Answer::Choice(1),
+            Answer::Text("x".into()),
+            Answer::Skipped,
+        ];
+        let refs: Vec<&Answer> = answers.iter().collect();
+        assert_eq!(item_disagreement_ref(&refs), item_disagreement(&answers));
+        assert_eq!(item_disagreement_ref(&refs[..1]), None);
+        assert_eq!(item_disagreement_ref(&[]), None);
     }
 
     #[test]

@@ -342,10 +342,9 @@ pub fn import_dir(dir: &Path) -> Result<Dataset> {
             CountryId::new(parse_num(&f[1], line, "country id")?),
         ));
     }
-    for rec in TableReader::new(
-        &read("task_types.csv")?,
-        "title,goals,operators,data_types,choice_arity",
-    )? {
+    for rec in
+        TableReader::new(&read("task_types.csv")?, "title,goals,operators,data_types,choice_arity")?
+    {
         let (line, f) = rec?;
         let mut tt = TaskType::new(&f[0]);
         tt.goals = LabelSet::from_bits(parse_num(&f[1], line, "goal bits")?)?;

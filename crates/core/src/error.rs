@@ -62,7 +62,9 @@ impl fmt::Display for CoreError {
             CoreError::SampledBatchWithoutHtml { batch } => {
                 write!(f, "batch {batch} is in the sample but has no task HTML")
             }
-            CoreError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            CoreError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             CoreError::InvalidTime(s) => write!(f, "invalid time: {s}"),
             CoreError::UnknownLabel(s) => write!(f, "unknown label: {s}"),
         }

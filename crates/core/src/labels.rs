@@ -428,10 +428,7 @@ mod tests {
                 .into_iter()
                 .collect();
         let got: Vec<_> = s.iter().collect();
-        assert_eq!(
-            got,
-            vec![Goal::EntityResolution, Goal::SentimentAnalysis, Goal::Transcription]
-        );
+        assert_eq!(got, vec![Goal::EntityResolution, Goal::SentimentAnalysis, Goal::Transcription]);
     }
 
     #[test]
@@ -454,8 +451,7 @@ mod tests {
 
     #[test]
     fn set_display() {
-        let s: LabelSet<Goal> =
-            [Goal::EntityResolution, Goal::Transcription].into_iter().collect();
+        let s: LabelSet<Goal> = [Goal::EntityResolution, Goal::Transcription].into_iter().collect();
         assert_eq!(s.to_string(), "ER+T");
         assert_eq!(LabelSet::<Goal>::empty().to_string(), "-");
     }

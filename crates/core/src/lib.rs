@@ -51,6 +51,7 @@ pub mod dataset;
 pub mod error;
 pub mod id;
 pub mod labels;
+pub mod rng;
 pub mod task;
 pub mod time;
 pub mod worker;
@@ -60,6 +61,7 @@ pub use dataset::{Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, TaskIns
 pub use error::{CoreError, Result};
 pub use id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
 pub use labels::{Complexity, DataType, Goal, LabelSet, Operator};
+pub use rng::stream_seed;
 pub use task::{Batch, DesignFeatures, TaskType};
 pub use time::{Duration, Timestamp, WeekIndex, Weekday};
 pub use worker::{Country, Source, SourceKind, Worker};
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use crate::error::{CoreError, Result};
     pub use crate::id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
     pub use crate::labels::{Complexity, DataType, Goal, LabelSet, Operator};
+    pub use crate::rng::stream_seed;
     pub use crate::task::{Batch, DesignFeatures, TaskType};
     pub use crate::time::{Duration, Timestamp, WeekIndex, Weekday};
     pub use crate::worker::{Country, Source, SourceKind, Worker};

@@ -1,0 +1,83 @@
+//! Collision-resistant derivation of per-stream RNG seeds.
+//!
+//! The simulator and analytics fan work out over batches, types, and
+//! clusters; to keep results bit-identical at any thread count, each unit
+//! of work draws from its own RNG stream derived from `(root seed, stream
+//! index)` instead of sharing one sequential generator. The derivation
+//! must be collision-resistant: ad-hoc mixes like `seed ^ (i << 20) | tag`
+//! collide for many `(seed, i, tag)` combinations and silently correlate
+//! streams.
+
+/// One step of the splitmix64 output function (Steele, Lea, Flood 2014).
+///
+/// A bijective finalizer on `u64` with full avalanche: every input bit
+/// flips every output bit with probability ~1/2.
+#[inline]
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of stream `stream` from `root`.
+///
+/// Equivalent to advancing a splitmix64 generator seeded at `root` by
+/// `stream + 1` golden-ratio increments and taking one output: distinct
+/// `(root, stream)` pairs map to distinct internal states before the
+/// bijective mix, so streams never coincide for a fixed root, and nearby
+/// roots/streams decorrelate fully.
+///
+/// Chain calls for domain separation: derive one seed per subsystem from
+/// the run's root seed, then one per work unit from the subsystem seed —
+/// `stream_seed(stream_seed(root, DOMAIN), index)`.
+#[must_use]
+#[inline]
+pub fn stream_seed(root: u64, stream: u64) -> u64 {
+    splitmix64_mix(root.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn streams_are_distinct_for_fixed_root() {
+        let mut seen = HashSet::new();
+        for s in 0..100_000u64 {
+            assert!(seen.insert(stream_seed(2017, s)), "collision at stream {s}");
+        }
+    }
+
+    #[test]
+    fn nearby_roots_decorrelate() {
+        // The old `seed ^ (i << 20) | tag` mix collided trivially for
+        // nearby seeds; the mixed derivation must not.
+        let mut seen = HashSet::new();
+        for root in 0..1_000u64 {
+            for s in 0..100u64 {
+                assert!(seen.insert(stream_seed(root, s)), "collision at ({root}, {s})");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_domains_do_not_collide() {
+        let root = 42;
+        let a = stream_seed(root, 0);
+        let b = stream_seed(root, 1);
+        let mut seen = HashSet::new();
+        for s in 0..10_000u64 {
+            seen.insert(stream_seed(a, s));
+            seen.insert(stream_seed(b, s));
+        }
+        assert_eq!(seen.len(), 20_000, "domain chains overlap");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(stream_seed(7, 3), stream_seed(7, 3));
+        assert_ne!(stream_seed(7, 3), stream_seed(7, 4));
+        assert_ne!(stream_seed(7, 3), stream_seed(8, 3));
+    }
+}

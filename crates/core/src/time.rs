@@ -258,7 +258,10 @@ impl Timestamp {
         let year: i32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let month: u32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let day: u32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
-        if !(1..=12).contains(&month) || !(1..=31).contains(&day) || day > days_in_month(year, month) {
+        if !(1..=12).contains(&month)
+            || !(1..=31).contains(&day)
+            || day > days_in_month(year, month)
+        {
             return Err(bad());
         }
         let (mut h, mut m, mut sec) = (0u32, 0u32, 0u32);
@@ -382,9 +385,8 @@ impl fmt::Display for Timestamp {
     }
 }
 
-const MONTH_ABBREV: [&str; 12] = [
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-];
+const MONTH_ABBREV: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
 
 /// True for Gregorian leap years.
 pub fn is_leap_year(year: i32) -> bool {

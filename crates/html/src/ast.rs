@@ -198,11 +198,7 @@ mod tests {
     #[test]
     fn walk_visits_depth_first() {
         let doc = sample();
-        let tags: Vec<_> = doc
-            .walk()
-            .filter_map(Node::as_element)
-            .map(|e| e.tag.clone())
-            .collect();
+        let tags: Vec<_> = doc.walk().filter_map(Node::as_element).map(|e| e.tag.clone()).collect();
         assert_eq!(tags, vec!["div", "h1", "p"]);
     }
 

@@ -154,9 +154,9 @@ mod tests {
         assert!(extract_features(r#"<div class="instructions">x</div>"#).unwrap().has_instructions);
         assert!(extract_features("<h2>Instructions</h2>").unwrap().has_instructions);
         assert!(extract_features("<h2>INSTRUCTIONS</h2>").unwrap().has_instructions);
-        assert!(!extract_features("<p>follow the instructions above</p>")
-            .unwrap()
-            .has_instructions);
+        assert!(
+            !extract_features("<p>follow the instructions above</p>").unwrap().has_instructions
+        );
     }
 
     #[test]

@@ -58,17 +58,110 @@ impl Default for InterfaceSpec {
 /// Word bank for generated instructions — vocabulary typical of microtask
 /// guidelines, so generated pages tokenize like real ones.
 const WORDS: &[&str] = &[
-    "please", "read", "the", "following", "carefully", "before", "answering", "each", "question",
-    "select", "option", "that", "best", "describes", "item", "shown", "below", "if", "you", "are",
-    "unsure", "choose", "closest", "match", "do", "not", "use", "external", "tools", "unless",
-    "instructed", "otherwise", "search", "for", "official", "website", "of", "business", "and",
-    "copy", "its", "address", "into", "box", "provided", "make", "sure", "your", "answer", "is",
-    "complete", "sentence", "avoid", "abbreviations", "when", "possible", "check", "spelling",
-    "submit", "only", "after", "reviewing", "all", "responses", "work", "will", "be", "reviewed",
-    "by", "other", "contributors", "accuracy", "matters", "more", "than", "speed", "thank",
-    "this", "task", "should", "take", "about", "two", "minutes", "to", "image", "text", "page",
-    "profile", "record", "listing", "screenshot", "document", "label", "category", "relevant",
-    "irrelevant", "positive", "negative", "neutral", "same", "different", "matches", "contains",
+    "please",
+    "read",
+    "the",
+    "following",
+    "carefully",
+    "before",
+    "answering",
+    "each",
+    "question",
+    "select",
+    "option",
+    "that",
+    "best",
+    "describes",
+    "item",
+    "shown",
+    "below",
+    "if",
+    "you",
+    "are",
+    "unsure",
+    "choose",
+    "closest",
+    "match",
+    "do",
+    "not",
+    "use",
+    "external",
+    "tools",
+    "unless",
+    "instructed",
+    "otherwise",
+    "search",
+    "for",
+    "official",
+    "website",
+    "of",
+    "business",
+    "and",
+    "copy",
+    "its",
+    "address",
+    "into",
+    "box",
+    "provided",
+    "make",
+    "sure",
+    "your",
+    "answer",
+    "is",
+    "complete",
+    "sentence",
+    "avoid",
+    "abbreviations",
+    "when",
+    "possible",
+    "check",
+    "spelling",
+    "submit",
+    "only",
+    "after",
+    "reviewing",
+    "all",
+    "responses",
+    "work",
+    "will",
+    "be",
+    "reviewed",
+    "by",
+    "other",
+    "contributors",
+    "accuracy",
+    "matters",
+    "more",
+    "than",
+    "speed",
+    "thank",
+    "this",
+    "task",
+    "should",
+    "take",
+    "about",
+    "two",
+    "minutes",
+    "to",
+    "image",
+    "text",
+    "page",
+    "profile",
+    "record",
+    "listing",
+    "screenshot",
+    "document",
+    "label",
+    "category",
+    "relevant",
+    "irrelevant",
+    "positive",
+    "negative",
+    "neutral",
+    "same",
+    "different",
+    "matches",
+    "contains",
 ];
 
 /// Minimal xorshift64* generator — deterministic, dependency-free.
@@ -121,15 +214,12 @@ impl InterfaceSpec {
 
         if self.instruction_words > 0 {
             let mut instr = Element::new("div").attr("class", "instructions");
-            instr = instr.child(Node::Element(
-                Element::new("h2").text("Instructions"),
-            ));
+            instr = instr.child(Node::Element(Element::new("h2").text("Instructions")));
             // Split the instruction words across a few paragraphs.
             let mut remaining = self.instruction_words;
             while remaining > 0 {
                 let take = remaining.min(40);
-                instr = instr
-                    .child(Node::Element(Element::new("p").text(rng.sentence(take))));
+                instr = instr.child(Node::Element(Element::new("p").text(rng.sentence(take))));
                 remaining -= take;
             }
             task = task.child(Node::Element(instr));
@@ -148,25 +238,27 @@ impl InterfaceSpec {
         let text_boxes_in_questions = self.text_boxes.min(self.questions);
 
         for q in 0..self.questions.max(1) {
-            let mut qdiv = Element::new("div")
-                .attr("class", "question")
-                .attr("data-q", (q + 1).to_string());
-            qdiv = qdiv.child(Node::Element(
-                Element::new("p").text(format!("{}?", rng.sentence(9))),
-            ));
+            let mut qdiv =
+                Element::new("div").attr("class", "question").attr("data-q", (q + 1).to_string());
+            qdiv =
+                qdiv.child(Node::Element(Element::new("p").text(format!("{}?", rng.sentence(9)))));
             if images_left > 0 {
                 qdiv = qdiv.child(Node::Element(
                     Element::new("img")
-                        .attr("src", format!("https://cdn.example.org/item_{}.png", item_rng.below(1_000_000)))
+                        .attr(
+                            "src",
+                            format!(
+                                "https://cdn.example.org/item_{}.png",
+                                item_rng.below(1_000_000)
+                            ),
+                        )
                         .attr("alt", "item"),
                 ));
                 images_left -= 1;
             }
             if q < text_boxes_in_questions {
                 qdiv = qdiv.child(Node::Element(
-                    Element::new("input")
-                        .attr("type", "text")
-                        .attr("name", format!("q{}", q + 1)),
+                    Element::new("input").attr("type", "text").attr("name", format!("q{}", q + 1)),
                 ));
             } else {
                 for opt in 0..self.choice_options.max(2) {
@@ -201,14 +293,16 @@ impl InterfaceSpec {
         for _ in 0..images_left {
             task = task.child(Node::Element(
                 Element::new("img")
-                    .attr("src", format!("https://cdn.example.org/item_{}.png", item_rng.below(1_000_000)))
+                    .attr(
+                        "src",
+                        format!("https://cdn.example.org/item_{}.png", item_rng.below(1_000_000)),
+                    )
                     .attr("alt", "item"),
             ));
         }
 
-        task = task.child(Node::Element(
-            Element::new("button").attr("type", "submit").text("Submit"),
-        ));
+        task =
+            task.child(Node::Element(Element::new("button").attr("type", "submit").text("Submit")));
 
         Document { nodes: vec![Node::Element(task)] }
     }
@@ -265,8 +359,10 @@ mod tests {
         let text_a: Vec<&str> = a.split("cdn.example.org").collect();
         let text_b: Vec<&str> = b.split("cdn.example.org").collect();
         assert_eq!(text_a.len(), text_b.len());
-        assert_eq!(text_a[0].split("data-batch").next().unwrap().len(),
-                   text_b[0].split("data-batch").next().unwrap().len());
+        assert_eq!(
+            text_a[0].split("data-batch").next().unwrap().len(),
+            text_b[0].split("data-batch").next().unwrap().len()
+        );
     }
 
     #[test]

@@ -272,11 +272,7 @@ mod tests {
         let toks = lex("a<!-- note -->b").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Text("a".into()),
-                Token::Comment(" note ".into()),
-                Token::Text("b".into()),
-            ]
+            vec![Token::Text("a".into()), Token::Comment(" note ".into()), Token::Text("b".into()),]
         );
     }
 

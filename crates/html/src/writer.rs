@@ -57,9 +57,7 @@ mod tests {
     #[test]
     fn writes_simple_tree() {
         let doc = Document {
-            nodes: vec![Node::Element(
-                Element::new("p").attr("class", "x").text("hello"),
-            )],
+            nodes: vec![Node::Element(Element::new("p").attr("class", "x").text("hello"))],
         };
         assert_eq!(write_document(&doc), "<p class=\"x\">hello</p>");
     }
@@ -80,17 +78,14 @@ mod tests {
 
     #[test]
     fn void_elements_have_no_close_tag() {
-        let doc = Document {
-            nodes: vec![Node::Element(Element::new("img").attr("src", "x.png"))],
-        };
+        let doc = Document { nodes: vec![Node::Element(Element::new("img").attr("src", "x.png"))] };
         assert_eq!(write_document(&doc), "<img src=\"x.png\">");
     }
 
     #[test]
     fn boolean_attributes_render_bare() {
-        let doc = Document {
-            nodes: vec![Node::Element(Element::new("input").attr("checked", ""))],
-        };
+        let doc =
+            Document { nodes: vec![Node::Element(Element::new("input").attr("checked", ""))] };
         assert_eq!(write_document(&doc), "<input checked>");
     }
 

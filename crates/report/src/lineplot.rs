@@ -188,11 +188,7 @@ impl LinePlot {
         }
         out.push('\n');
         for (si, s) in self.series.iter().enumerate() {
-            out.push_str(&format!(
-                "  {} {}\n",
-                MARKERS[si % MARKERS.len()],
-                s.name
-            ));
+            out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.name));
         }
         if !self.y_label.is_empty() {
             out.push_str(&format!("  y: {}\n", self.y_label));
@@ -252,10 +248,9 @@ mod tests {
 
     #[test]
     fn marker_positions_reflect_values() {
-        let p = LinePlot::new("t").with_size(11, 5).add(Series::new(
-            "s",
-            vec![(0.0, 0.0), (10.0, 10.0)],
-        ));
+        let p = LinePlot::new("t")
+            .with_size(11, 5)
+            .add(Series::new("s", vec![(0.0, 0.0), (10.0, 10.0)]));
         let rendered = p.render();
         let lines: Vec<&str> = rendered.lines().collect();
         // Row 1 (top grid row) should have the high point at the right.

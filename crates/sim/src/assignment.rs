@@ -2,9 +2,11 @@
 //! generates timings, trust scores, and answers (paper §2.1, §4).
 
 use crowd_core::answer::Answer;
+use crowd_core::rng::stream_seed;
 use crowd_core::time::{Duration, Timestamp, SECS_PER_DAY};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::calibration as cal;
 use crate::config::SimConfig;
@@ -117,13 +119,22 @@ impl WeekPools {
     }
 }
 
+/// Domain tag separating the assignment engine's per-batch RNG streams
+/// from every other consumer of the run seed.
+const STREAM_ASSIGNMENT: u64 = 0xA551;
+
 /// Runs assignment for every sampled batch of the schedule.
+///
+/// Each batch draws from its own RNG stream derived from
+/// `(cfg.seed, batch index)` via [`stream_seed`], so batches are
+/// independent units of work: they fan out across threads and the drafts
+/// are concatenated in schedule order, making the output bit-identical at
+/// any thread count (and to the sequential run).
 pub fn assign_all(
     cfg: &SimConfig,
     types: &[TaskTypeSpec],
     schedule: &Schedule,
     workers: &[WorkerSpec],
-    rng: &mut StdRng,
 ) -> Vec<InstanceDraft> {
     let n_weeks = cfg.n_weeks();
     let pools = WeekPools::build(n_weeks, workers);
@@ -136,30 +147,38 @@ pub fn assign_all(
     }
     let load_factor = load_factors(&weekly_volume, cfg);
 
-    // Expected volume: pre-reserve.
-    let expected: usize = schedule
+    let sampled: Vec<(u32, &BatchPlan)> = schedule
         .batches
         .iter()
-        .filter(|b| b.sampled)
-        .map(|b| b.items as usize * 3)
-        .sum();
-    let mut out = Vec::with_capacity(expected);
+        .enumerate()
+        .filter(|(_, b)| b.sampled)
+        .map(|(i, b)| (i as u32, b))
+        .collect();
 
-    for (batch_idx, plan) in schedule.batches.iter().enumerate() {
-        if !plan.sampled {
-            continue;
-        }
-        assign_batch(
-            cfg,
-            batch_idx as u32,
-            plan,
-            &types[plan.type_idx as usize],
-            &pools,
-            workers,
-            &load_factor,
-            rng,
-            &mut out,
-        );
+    let domain = stream_seed(cfg.seed, STREAM_ASSIGNMENT);
+    let per_batch: Vec<Vec<InstanceDraft>> = sampled
+        .par_iter()
+        .map(|&(batch_idx, plan)| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(domain, u64::from(batch_idx)));
+            let mut drafts = Vec::with_capacity(plan.items as usize * 3);
+            assign_batch(
+                cfg,
+                batch_idx,
+                plan,
+                &types[plan.type_idx as usize],
+                &pools,
+                workers,
+                &load_factor,
+                &mut rng,
+                &mut drafts,
+            );
+            drafts
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(per_batch.iter().map(Vec::len).sum());
+    for drafts in per_batch {
+        out.extend(drafts);
     }
     out
 }
@@ -167,8 +186,11 @@ pub fn assign_all(
 /// Relative pickup-speed multiplier per week: busy weeks move faster
 /// (Fig 5a), via `(load / median_load)^PICKUP_LOAD_EXPONENT`.
 fn load_factors(weekly_load: &[f64], cfg: &SimConfig) -> Vec<f64> {
-    let mut post: Vec<f64> =
-        weekly_load[cfg.regime_week().min(weekly_load.len())..].iter().copied().filter(|&v| v > 0.0).collect();
+    let mut post: Vec<f64> = weekly_load[cfg.regime_week().min(weekly_load.len())..]
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .collect();
     post.sort_by(f64::total_cmp);
     let median = if post.is_empty() { 1.0 } else { post[post.len() / 2] };
     weekly_load
@@ -204,9 +226,8 @@ fn assign_batch(
         // Latent truth for this item.
         let truth = item_truth(batch_idx, item, t.choice_arity);
         // Redundancy: ≥2 judgments so pairwise disagreement is defined.
-        let r = (t.redundancy.floor() as u32
-            + u32::from(bernoulli(rng, t.redundancy.fract())))
-        .max(2);
+        let r =
+            (t.redundancy.floor() as u32 + u32::from(bernoulli(rng, t.redundancy.fract()))).max(2);
 
         for _ in 0..r {
             // §2.1/§3.1 push routing: a configurable fraction of judgments
@@ -225,16 +246,12 @@ fn assign_batch(
             let w = &workers[worker_idx as usize];
 
             let start = snap_to_worker_day(cfg, w, week, tentative, plan.created_at, rng);
-            let work_secs = lognormal_median(
-                rng,
-                t.task_time_median * w.speed,
-                cal::TASK_TIME_SIGMA,
-            )
-            .clamp(3.0, 6.0 * 3_600.0);
+            let work_secs =
+                lognormal_median(rng, t.task_time_median * w.speed, cal::TASK_TIME_SIGMA)
+                    .clamp(3.0, 6.0 * 3_600.0);
             let end = start + Duration::from_secs(work_secs as i64);
 
-            let trust =
-                (w.skill + normal(rng, 0.0, cal::TRUST_NOISE_STD)).clamp(0.0, 1.0) as f32;
+            let trust = (w.skill + normal(rng, 0.0, cal::TRUST_NOISE_STD)).clamp(0.0, 1.0) as f32;
 
             let answer = draw_answer(t, w, truth, textual, rng);
             out.push(InstanceDraft {
@@ -336,7 +353,7 @@ mod tests {
         let types = generate_task_types(&cfg, &mut rng);
         let schedule = plan_batches(&cfg, &types, &mut rng);
         let workers = generate_workers(&cfg, &schedule.weekly_load, &mut rng);
-        let drafts = assign_all(&cfg, &types, &schedule, &workers, &mut rng);
+        let drafts = assign_all(&cfg, &types, &schedule, &workers);
         (cfg, types, schedule, workers, drafts)
     }
 
@@ -354,10 +371,7 @@ mod tests {
         let (cfg, _, _, _, drafts) = run();
         let target = cal::FULL_SAMPLED_INSTANCES * cfg.scale;
         let got = drafts.len() as f64;
-        assert!(
-            (got / target - 1.0).abs() < 0.30,
-            "instances {got} vs target {target}"
-        );
+        assert!((got / target - 1.0).abs() < 0.30, "instances {got} vs target {target}");
     }
 
     #[test]
@@ -500,10 +514,7 @@ mod tests {
             v[v.len() / 2]
         };
         let (p0, p1) = (med_pickup(&pull), med_pickup(&push));
-        assert!(
-            p1 < p0 / 2,
-            "push routing collapses pickup latency (§3.1): {p1} vs {p0}"
-        );
+        assert!(p1 < p0 / 2, "push routing collapses pickup latency (§3.1): {p1} vs {p0}");
         // Pushed work lands on the engaged elite, concentrating load.
         let top_share = |ds: &crowd_core::Dataset| {
             let mut counts = vec![0u64; ds.workers.len()];

@@ -133,8 +133,7 @@ mod tests {
     #[test]
     fn lognormal_median_is_the_median() {
         let mut r = rng();
-        let mut xs: Vec<f64> =
-            (0..20_001).map(|_| lognormal_median(&mut r, 100.0, 1.5)).collect();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| lognormal_median(&mut r, 100.0, 1.5)).collect();
         xs.sort_by(f64::total_cmp);
         let med = xs[xs.len() / 2];
         assert!((med / 100.0 - 1.0).abs() < 0.1, "median {med}");

@@ -46,77 +46,148 @@ const HEAD: [(&str, f64, Region); 5] = [
 /// decay by rank within the tail; regions chosen so South America + Africa
 /// land near the paper's 17% (Venezuela included).
 const TAIL: [(&str, Region); 143] = [
-    ("Brazil", Region::SouthAmerica), ("Philippines", Region::Asia),
-    ("Nigeria", Region::Africa), ("Egypt", Region::Africa),
-    ("Serbia", Region::Europe), ("Romania", Region::Europe),
-    ("Germany", Region::Europe), ("Indonesia", Region::Asia),
-    ("Colombia", Region::SouthAmerica), ("Kenya", Region::Africa),
-    ("Pakistan", Region::Asia), ("Bangladesh", Region::Asia),
-    ("Mexico", Region::NorthAmerica), ("Spain", Region::Europe),
-    ("Italy", Region::Europe), ("Argentina", Region::SouthAmerica),
-    ("Morocco", Region::Africa), ("Peru", Region::SouthAmerica),
-    ("France", Region::Europe), ("Poland", Region::Europe),
-    ("Ukraine", Region::Europe), ("Vietnam", Region::Asia),
-    ("Turkey", Region::Asia), ("Greece", Region::Europe),
-    ("Portugal", Region::Europe), ("Netherlands", Region::Europe),
-    ("Australia", Region::Oceania), ("South Africa", Region::Africa),
-    ("Algeria", Region::Africa), ("Tunisia", Region::Africa),
-    ("Ecuador", Region::SouthAmerica), ("Chile", Region::SouthAmerica),
-    ("Bolivia", Region::SouthAmerica), ("Ghana", Region::Africa),
-    ("Jamaica", Region::NorthAmerica), ("Sri Lanka", Region::Asia),
-    ("Nepal", Region::Asia), ("Malaysia", Region::Asia),
-    ("Thailand", Region::Asia), ("Hungary", Region::Europe),
-    ("Bulgaria", Region::Europe), ("Croatia", Region::Europe),
-    ("Bosnia", Region::Europe), ("Macedonia", Region::Europe),
-    ("Albania", Region::Europe), ("Lithuania", Region::Europe),
-    ("Latvia", Region::Europe), ("Estonia", Region::Europe),
-    ("Czech Republic", Region::Europe), ("Slovakia", Region::Europe),
-    ("Slovenia", Region::Europe), ("Austria", Region::Europe),
-    ("Switzerland", Region::Europe), ("Belgium", Region::Europe),
-    ("Ireland", Region::Europe), ("Sweden", Region::Europe),
-    ("Norway", Region::Europe), ("Denmark", Region::Europe),
-    ("Finland", Region::Europe), ("Russia", Region::Europe),
-    ("Belarus", Region::Europe), ("Moldova", Region::Europe),
-    ("Georgia", Region::Asia), ("Armenia", Region::Asia),
-    ("Azerbaijan", Region::Asia), ("Kazakhstan", Region::Asia),
-    ("Uzbekistan", Region::Asia), ("China", Region::Asia),
-    ("Japan", Region::Asia), ("South Korea", Region::Asia),
-    ("Taiwan", Region::Asia), ("Hong Kong", Region::Asia),
-    ("Singapore", Region::Asia), ("Cambodia", Region::Asia),
-    ("Laos", Region::Asia), ("Myanmar", Region::Asia),
-    ("Mongolia", Region::Asia), ("Afghanistan", Region::Asia),
-    ("Iraq", Region::Asia), ("Jordan", Region::Asia),
-    ("Lebanon", Region::Asia), ("Israel", Region::Asia),
-    ("Saudi Arabia", Region::Asia), ("UAE", Region::Asia),
-    ("Qatar", Region::Asia), ("Kuwait", Region::Asia),
-    ("Oman", Region::Asia), ("Yemen", Region::Asia),
-    ("Iran", Region::Asia), ("Syria", Region::Asia),
-    ("Palestine", Region::Asia), ("Uruguay", Region::SouthAmerica),
-    ("Paraguay", Region::SouthAmerica), ("Guyana", Region::SouthAmerica),
-    ("Suriname", Region::SouthAmerica), ("Costa Rica", Region::NorthAmerica),
-    ("Panama", Region::NorthAmerica), ("Nicaragua", Region::NorthAmerica),
-    ("Honduras", Region::NorthAmerica), ("El Salvador", Region::NorthAmerica),
-    ("Guatemala", Region::NorthAmerica), ("Belize", Region::NorthAmerica),
-    ("Cuba", Region::NorthAmerica), ("Haiti", Region::NorthAmerica),
-    ("Dominican Republic", Region::NorthAmerica), ("Trinidad", Region::NorthAmerica),
-    ("Barbados", Region::NorthAmerica), ("Bahamas", Region::NorthAmerica),
-    ("Ethiopia", Region::Africa), ("Tanzania", Region::Africa),
-    ("Uganda", Region::Africa), ("Rwanda", Region::Africa),
-    ("Zambia", Region::Africa), ("Zimbabwe", Region::Africa),
-    ("Botswana", Region::Africa), ("Namibia", Region::Africa),
-    ("Mozambique", Region::Africa), ("Angola", Region::Africa),
-    ("Cameroon", Region::Africa), ("Senegal", Region::Africa),
-    ("Ivory Coast", Region::Africa), ("Mali", Region::Africa),
-    ("Burkina Faso", Region::Africa), ("Niger", Region::Africa),
-    ("Chad", Region::Africa), ("Sudan", Region::Africa),
-    ("Libya", Region::Africa), ("Mauritius", Region::Africa),
-    ("Madagascar", Region::Africa), ("Malawi", Region::Africa),
-    ("Benin", Region::Africa), ("Togo", Region::Africa),
-    ("Sierra Leone", Region::Africa), ("Liberia", Region::Africa),
-    ("Gambia", Region::Africa), ("Guinea", Region::Africa),
-    ("New Zealand", Region::Oceania), ("Fiji", Region::Oceania),
-    ("Papua New Guinea", Region::Oceania), ("Samoa", Region::Oceania),
-    ("Iceland", Region::Europe), ("Luxembourg", Region::Europe),
+    ("Brazil", Region::SouthAmerica),
+    ("Philippines", Region::Asia),
+    ("Nigeria", Region::Africa),
+    ("Egypt", Region::Africa),
+    ("Serbia", Region::Europe),
+    ("Romania", Region::Europe),
+    ("Germany", Region::Europe),
+    ("Indonesia", Region::Asia),
+    ("Colombia", Region::SouthAmerica),
+    ("Kenya", Region::Africa),
+    ("Pakistan", Region::Asia),
+    ("Bangladesh", Region::Asia),
+    ("Mexico", Region::NorthAmerica),
+    ("Spain", Region::Europe),
+    ("Italy", Region::Europe),
+    ("Argentina", Region::SouthAmerica),
+    ("Morocco", Region::Africa),
+    ("Peru", Region::SouthAmerica),
+    ("France", Region::Europe),
+    ("Poland", Region::Europe),
+    ("Ukraine", Region::Europe),
+    ("Vietnam", Region::Asia),
+    ("Turkey", Region::Asia),
+    ("Greece", Region::Europe),
+    ("Portugal", Region::Europe),
+    ("Netherlands", Region::Europe),
+    ("Australia", Region::Oceania),
+    ("South Africa", Region::Africa),
+    ("Algeria", Region::Africa),
+    ("Tunisia", Region::Africa),
+    ("Ecuador", Region::SouthAmerica),
+    ("Chile", Region::SouthAmerica),
+    ("Bolivia", Region::SouthAmerica),
+    ("Ghana", Region::Africa),
+    ("Jamaica", Region::NorthAmerica),
+    ("Sri Lanka", Region::Asia),
+    ("Nepal", Region::Asia),
+    ("Malaysia", Region::Asia),
+    ("Thailand", Region::Asia),
+    ("Hungary", Region::Europe),
+    ("Bulgaria", Region::Europe),
+    ("Croatia", Region::Europe),
+    ("Bosnia", Region::Europe),
+    ("Macedonia", Region::Europe),
+    ("Albania", Region::Europe),
+    ("Lithuania", Region::Europe),
+    ("Latvia", Region::Europe),
+    ("Estonia", Region::Europe),
+    ("Czech Republic", Region::Europe),
+    ("Slovakia", Region::Europe),
+    ("Slovenia", Region::Europe),
+    ("Austria", Region::Europe),
+    ("Switzerland", Region::Europe),
+    ("Belgium", Region::Europe),
+    ("Ireland", Region::Europe),
+    ("Sweden", Region::Europe),
+    ("Norway", Region::Europe),
+    ("Denmark", Region::Europe),
+    ("Finland", Region::Europe),
+    ("Russia", Region::Europe),
+    ("Belarus", Region::Europe),
+    ("Moldova", Region::Europe),
+    ("Georgia", Region::Asia),
+    ("Armenia", Region::Asia),
+    ("Azerbaijan", Region::Asia),
+    ("Kazakhstan", Region::Asia),
+    ("Uzbekistan", Region::Asia),
+    ("China", Region::Asia),
+    ("Japan", Region::Asia),
+    ("South Korea", Region::Asia),
+    ("Taiwan", Region::Asia),
+    ("Hong Kong", Region::Asia),
+    ("Singapore", Region::Asia),
+    ("Cambodia", Region::Asia),
+    ("Laos", Region::Asia),
+    ("Myanmar", Region::Asia),
+    ("Mongolia", Region::Asia),
+    ("Afghanistan", Region::Asia),
+    ("Iraq", Region::Asia),
+    ("Jordan", Region::Asia),
+    ("Lebanon", Region::Asia),
+    ("Israel", Region::Asia),
+    ("Saudi Arabia", Region::Asia),
+    ("UAE", Region::Asia),
+    ("Qatar", Region::Asia),
+    ("Kuwait", Region::Asia),
+    ("Oman", Region::Asia),
+    ("Yemen", Region::Asia),
+    ("Iran", Region::Asia),
+    ("Syria", Region::Asia),
+    ("Palestine", Region::Asia),
+    ("Uruguay", Region::SouthAmerica),
+    ("Paraguay", Region::SouthAmerica),
+    ("Guyana", Region::SouthAmerica),
+    ("Suriname", Region::SouthAmerica),
+    ("Costa Rica", Region::NorthAmerica),
+    ("Panama", Region::NorthAmerica),
+    ("Nicaragua", Region::NorthAmerica),
+    ("Honduras", Region::NorthAmerica),
+    ("El Salvador", Region::NorthAmerica),
+    ("Guatemala", Region::NorthAmerica),
+    ("Belize", Region::NorthAmerica),
+    ("Cuba", Region::NorthAmerica),
+    ("Haiti", Region::NorthAmerica),
+    ("Dominican Republic", Region::NorthAmerica),
+    ("Trinidad", Region::NorthAmerica),
+    ("Barbados", Region::NorthAmerica),
+    ("Bahamas", Region::NorthAmerica),
+    ("Ethiopia", Region::Africa),
+    ("Tanzania", Region::Africa),
+    ("Uganda", Region::Africa),
+    ("Rwanda", Region::Africa),
+    ("Zambia", Region::Africa),
+    ("Zimbabwe", Region::Africa),
+    ("Botswana", Region::Africa),
+    ("Namibia", Region::Africa),
+    ("Mozambique", Region::Africa),
+    ("Angola", Region::Africa),
+    ("Cameroon", Region::Africa),
+    ("Senegal", Region::Africa),
+    ("Ivory Coast", Region::Africa),
+    ("Mali", Region::Africa),
+    ("Burkina Faso", Region::Africa),
+    ("Niger", Region::Africa),
+    ("Chad", Region::Africa),
+    ("Sudan", Region::Africa),
+    ("Libya", Region::Africa),
+    ("Mauritius", Region::Africa),
+    ("Madagascar", Region::Africa),
+    ("Malawi", Region::Africa),
+    ("Benin", Region::Africa),
+    ("Togo", Region::Africa),
+    ("Sierra Leone", Region::Africa),
+    ("Liberia", Region::Africa),
+    ("Gambia", Region::Africa),
+    ("Guinea", Region::Africa),
+    ("New Zealand", Region::Oceania),
+    ("Fiji", Region::Oceania),
+    ("Papua New Guinea", Region::Oceania),
+    ("Samoa", Region::Oceania),
+    ("Iceland", Region::Europe),
+    ("Luxembourg", Region::Europe),
     ("Malta", Region::Europe),
 ];
 
@@ -137,10 +208,8 @@ pub fn country_specs() -> Vec<CountrySpec> {
         .map(|(i, &(_, region))| region_factor(region) / (i as f64 + 2.0))
         .collect();
     let denom: f64 = raw.iter().sum();
-    let mut out: Vec<CountrySpec> = HEAD
-        .iter()
-        .map(|&(name, weight, region)| CountrySpec { name, weight, region })
-        .collect();
+    let mut out: Vec<CountrySpec> =
+        HEAD.iter().map(|&(name, weight, region)| CountrySpec { name, weight, region }).collect();
     out.extend(TAIL.iter().enumerate().map(|(i, &(name, region))| CountrySpec {
         name,
         weight: tail_mass * raw[i] / denom,

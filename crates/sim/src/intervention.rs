@@ -104,8 +104,7 @@ impl Intervention {
                 }
                 t.text_boxes = 0;
                 t.ambiguity = (t.ambiguity / cal::AMBIGUITY_TEXTBOX_FACTOR).clamp(0.002, 0.97);
-                t.task_time_median =
-                    (t.task_time_median / cal::TASK_TIME_TEXTBOX_FACTOR).max(8.0);
+                t.task_time_median = (t.task_time_median / cal::TASK_TIME_TEXTBOX_FACTOR).max(8.0);
                 // A closed interface also de-subjectivizes the task.
                 if t.subjective {
                     t.subjective = false;
@@ -131,12 +130,10 @@ impl Intervention {
                 let after = f64::from(t.words) > cal::WORDS_MEDIAN;
                 match (before, after) {
                     (false, true) => {
-                        t.ambiguity =
-                            (t.ambiguity * cal::AMBIGUITY_WORDS_FACTOR).clamp(0.002, 0.97)
+                        t.ambiguity = (t.ambiguity * cal::AMBIGUITY_WORDS_FACTOR).clamp(0.002, 0.97)
                     }
                     (true, false) => {
-                        t.ambiguity =
-                            (t.ambiguity / cal::AMBIGUITY_WORDS_FACTOR).clamp(0.002, 0.97)
+                        t.ambiguity = (t.ambiguity / cal::AMBIGUITY_WORDS_FACTOR).clamp(0.002, 0.97)
                     }
                     _ => {}
                 }
@@ -239,10 +236,8 @@ mod tests {
     #[test]
     fn selectors_match_labels() {
         let types = some_types();
-        let by_goal = types
-            .iter()
-            .filter(|t| TargetSelector::Goal(Goal::Transcription).matches(t))
-            .count();
+        let by_goal =
+            types.iter().filter(|t| TargetSelector::Goal(Goal::Transcription).matches(t)).count();
         assert!(by_goal > 0);
         for t in &types {
             if TargetSelector::Operator(Operator::Filter).matches(t) {

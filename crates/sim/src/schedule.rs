@@ -65,11 +65,7 @@ pub fn weekly_volume_profile(cfg: &SimConfig, rng: &mut StdRng) -> Vec<f64> {
 }
 
 /// Plans every batch of the run.
-pub fn plan_batches(
-    cfg: &SimConfig,
-    types: &[TaskTypeSpec],
-    rng: &mut StdRng,
-) -> Schedule {
+pub fn plan_batches(cfg: &SimConfig, types: &[TaskTypeSpec], rng: &mut StdRng) -> Schedule {
     let weekly = weekly_volume_profile(cfg, rng);
     let weekday = Categorical::new(&cal::WEEKDAY_WEIGHTS);
     let head_weekday = Categorical::new(&cal::HEAD_WEEKDAY_WEIGHTS);
@@ -116,7 +112,12 @@ pub fn plan_batches(
                 .round()
                 .clamp(1.0, 5.0e6) as u32;
 
-            batches.push(BatchPlan { type_idx: type_idx as u32, created_at, items, sampled: false });
+            batches.push(BatchPlan {
+                type_idx: type_idx as u32,
+                created_at,
+                items,
+                sampled: false,
+            });
         }
     }
 
@@ -180,26 +181,32 @@ fn mark_sample(
 /// Rescales item counts so the expected number of instances in sampled
 /// batches matches the configured scale of the paper's 27M (§2.2).
 ///
-/// The three bulk heavy hitters are normalized separately to a fixed
+/// The bulk heavy hitters are normalized separately to a fixed
 /// [`cal::BULK_INSTANCE_SHARE`] of the budget: without the split, their
 /// enormous per-batch item counts would absorb nearly the whole budget and
 /// starve ordinary batches of items (destroying every per-batch metric).
+/// The bulk share is further split *evenly across the bulk types* — the
+/// paper reports the bulky clusters at comparable magnitudes (§3.3: each
+/// over 1M instances, "close to 80k tasks/batch") — so one type's small
+/// `items_median` draw cannot collapse its pinned label mass.
 fn normalize_instance_budget(cfg: &SimConfig, types: &[TaskTypeSpec], batches: &mut [BatchPlan]) {
-    let is_bulk = |b: &BatchPlan| types[b.type_idx as usize].bulk;
-    let planned_of = |bulk: bool, batches: &[BatchPlan]| -> f64 {
-        batches
-            .iter()
-            .filter(|b| b.sampled && is_bulk(b) == bulk)
-            .map(|b| f64::from(b.items) * types[b.type_idx as usize].redundancy)
-            .sum()
+    let planned_per_type = |batches: &[BatchPlan]| -> Vec<f64> {
+        let mut planned = vec![0.0; types.len()];
+        for b in batches.iter().filter(|b| b.sampled) {
+            planned[b.type_idx as usize] +=
+                f64::from(b.items) * types[b.type_idx as usize].redundancy;
+        }
+        planned
     };
     let target = cal::FULL_SAMPLED_INSTANCES * cfg.scale;
-    let planned_bulk = planned_of(true, batches);
-    let planned_rest = planned_of(false, batches);
-    let k_bulk = if planned_bulk > 0.0 {
-        target * cal::BULK_INSTANCE_SHARE / planned_bulk
+    let planned = planned_per_type(batches);
+    let bulk_types: Vec<usize> =
+        (0..types.len()).filter(|&i| types[i].bulk && planned[i] > 0.0).collect();
+    let planned_rest: f64 = (0..types.len()).filter(|&i| !types[i].bulk).map(|i| planned[i]).sum();
+    let bulk_target_each = if bulk_types.is_empty() {
+        0.0
     } else {
-        1.0
+        target * cal::BULK_INSTANCE_SHARE / bulk_types.len() as f64
     };
     let k_rest = if planned_rest > 0.0 {
         target * (1.0 - cal::BULK_INSTANCE_SHARE) / planned_rest
@@ -207,7 +214,16 @@ fn normalize_instance_budget(cfg: &SimConfig, types: &[TaskTypeSpec], batches: &
         1.0
     };
     for b in batches.iter_mut() {
-        let k = if is_bulk(b) { k_bulk } else { k_rest };
+        let t = b.type_idx as usize;
+        let k = if types[t].bulk {
+            if planned[t] > 0.0 {
+                bulk_target_each / planned[t]
+            } else {
+                1.0
+            }
+        } else {
+            k_rest
+        };
         b.items = ((f64::from(b.items) * k).round() as u32).max(1);
     }
 }
@@ -277,21 +293,14 @@ mod tests {
             .map(|b| f64::from(b.items) * types[b.type_idx as usize].redundancy)
             .sum();
         let target = cal::FULL_SAMPLED_INSTANCES * cfg.scale;
-        assert!(
-            (planned / target - 1.0).abs() < 0.15,
-            "planned {planned} vs target {target}"
-        );
+        assert!((planned / target - 1.0).abs() < 0.15, "planned {planned} vs target {target}");
     }
 
     #[test]
     fn pre_regime_is_sparse() {
         let (cfg, _, sched) = schedule();
         let regime_day = cfg.day_of(cfg.regime_change);
-        let pre = sched
-            .batches
-            .iter()
-            .filter(|b| cfg.day_of(b.created_at) < regime_day)
-            .count();
+        let pre = sched.batches.iter().filter(|b| cfg.day_of(b.created_at) < regime_day).count();
         let frac = pre as f64 / sched.batches.len() as f64;
         assert!(frac < 0.35, "most batches post-2015 (§3.1): pre share {frac}");
     }

@@ -3,6 +3,7 @@
 use crowd_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::assignment::assign_all;
 use crate::config::SimConfig;
@@ -11,6 +12,9 @@ use crate::schedule::plan_batches;
 use crate::sources::source_specs;
 use crate::tasktypes::generate_task_types;
 use crate::workers::generate_workers;
+
+/// Domain tag for the per-batch HTML-variation streams.
+const STREAM_HTML: u64 = 0x11B4;
 
 /// Runs the full generative pipeline:
 ///
@@ -41,7 +45,26 @@ pub fn simulate_with(
     let types = types;
     let schedule = plan_batches(cfg, &types, &mut rng);
     let worker_specs = generate_workers(cfg, &schedule.weekly_load, &mut rng);
-    let drafts = assign_all(cfg, &types, &schedule, &worker_specs, &mut rng);
+    let drafts = assign_all(cfg, &types, &schedule, &worker_specs);
+
+    // Batch HTML: the type's interface with per-batch incidental variation
+    // (what makes §3.3 clustering non-trivial). The variation seed is a
+    // dedicated per-batch stream: collision-resistant in `(seed, batch)`
+    // — unlike an ad-hoc xor/shift mix — and independent of every other
+    // consumer of the run seed. Rendering is pure per batch, so it fans
+    // out across threads with output order fixed by the schedule.
+    let html_domain = stream_seed(cfg.seed, STREAM_HTML);
+    let indexed: Vec<(u64, &crate::schedule::BatchPlan)> =
+        schedule.batches.iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
+    let rendered: Vec<Option<String>> = indexed
+        .par_iter()
+        .map(|&(i, plan)| {
+            plan.sampled.then(|| {
+                let t = &types[plan.type_idx as usize];
+                t.interface(stream_seed(html_domain, i)).render()
+            })
+        })
+        .collect();
 
     let mut b = DatasetBuilder::new();
 
@@ -63,18 +86,12 @@ pub fn simulate_with(
         }
         b.add_task_type(tt);
     }
-    for (i, plan) in schedule.batches.iter().enumerate() {
-        let mut batch =
-            Batch::new(TaskTypeId::new(plan.type_idx), plan.created_at);
-        if plan.sampled {
-            // Batch HTML: the type's interface with per-batch incidental
-            // variation (what makes §3.3 clustering non-trivial).
-            let t = &types[plan.type_idx as usize];
-            let seed = (cfg.seed ^ (i as u64) << 20) | u64::from(plan.type_idx);
-            batch = batch.with_html(t.interface(seed).render());
-        } else {
-            batch = batch.unsampled();
-        }
+    for (plan, html) in schedule.batches.iter().zip(rendered) {
+        let mut batch = Batch::new(TaskTypeId::new(plan.type_idx), plan.created_at);
+        batch = match html {
+            Some(html) => batch.with_html(html),
+            None => batch.unsampled(),
+        };
         b.add_batch(batch);
     }
     b.reserve_instances(drafts.len());

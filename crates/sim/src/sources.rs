@@ -26,37 +26,156 @@ pub struct SourceSpec {
 /// All 139 source names, in Table 4's order. The first ten are the "major"
 /// sources of Fig 27 (≈86% of workers, ≈95% of tasks).
 pub const SOURCE_NAMES: [&str; 139] = [
-    "neodev", "clixsense", "prodege", "elite", "instagc", "tremorgames", "internal", "bitcoinget",
-    "amt", "superrewards", "eup_slw", "gifthunterclub", "taskhunter", "prizerebel", "hiving",
-    "fusioncash", "points2shop", "clicksfx", "getpaid", "cotter", "coinworker", "vivatic",
-    "piyanstantrewards", "inboxpounds", "imerit_india", "personaly", "stuffpoint", "errtopc",
-    "taskspay", "zoombucks", "crowdgur", "gifthulk", "tasks4dollars", "dollarsignup",
-    "indivillagetest", "cbf", "mycashtasks", "sendearnings", "treasuretrooper", "pokerowned",
-    "diamondtask", "pforads", "quickrewards", "uniquerewards", "extralunchmoney", "cashcrate",
-    "wannads", "gptbanks", "listia", "gradible", "dailyrewardsca", "clickfair", "superpayme",
-    "memolink", "rewardok", "snowcirrustechbpo", "pedtoclick", "rewardingways", "callmemoney",
-    "pocketmoneygpt", "goldtasks", "dollarrewardz", "surveymad", "sharecashgpt", "irazoo",
-    "zapbux", "ptcsolution", "ptc123", "content_runner", "jetbux", "qpr", "cointasker",
-    "point_dollars", "meprizescf", "keeprewarding", "gptking", "dollarsgpt", "prizeplank",
-    "yute_jamaica", "onestopgpt", "gptway", "trial_pay", "task_ph", "golddiggergpt",
-    "prizezombie", "daproimafrica", "aceinnovations", "getpaidto", "globalactioncash",
-    "piyoogle", "supersonicads", "poin_web", "rewardsspot", "giftgpt", "giftcardgpt",
-    "northclicks", "fastcashgpt", "dealbarbiepays", "dailysurveypanel", "points4rewards",
-    "gptpal", "rewards1", "new_rules", "surewardsgpt", "zorbor", "steamgameswap", "buxense",
-    "surveywage", "offernation", "probux", "freeride", "ojooo", "luckytaskz", "medievaleurope",
-    "proudclick", "steampowers", "paiddailysurveys", "wrkshop", "simplegpt", "realworld",
-    "surveytokens", "bemybux", "onestop", "plusdollars", "gptbucks", "fepcrowdflower", "embee",
-    "makethatdollar", "ayuwage", "luckykoin", "pointst", "sedgroup", "easycashclicks",
-    "candy_ph", "piggybankgpt", "peoplesgpt", "matomy", "earnthemost", "fsprizes",
+    "neodev",
+    "clixsense",
+    "prodege",
+    "elite",
+    "instagc",
+    "tremorgames",
+    "internal",
+    "bitcoinget",
+    "amt",
+    "superrewards",
+    "eup_slw",
+    "gifthunterclub",
+    "taskhunter",
+    "prizerebel",
+    "hiving",
+    "fusioncash",
+    "points2shop",
+    "clicksfx",
+    "getpaid",
+    "cotter",
+    "coinworker",
+    "vivatic",
+    "piyanstantrewards",
+    "inboxpounds",
+    "imerit_india",
+    "personaly",
+    "stuffpoint",
+    "errtopc",
+    "taskspay",
+    "zoombucks",
+    "crowdgur",
+    "gifthulk",
+    "tasks4dollars",
+    "dollarsignup",
+    "indivillagetest",
+    "cbf",
+    "mycashtasks",
+    "sendearnings",
+    "treasuretrooper",
+    "pokerowned",
+    "diamondtask",
+    "pforads",
+    "quickrewards",
+    "uniquerewards",
+    "extralunchmoney",
+    "cashcrate",
+    "wannads",
+    "gptbanks",
+    "listia",
+    "gradible",
+    "dailyrewardsca",
+    "clickfair",
+    "superpayme",
+    "memolink",
+    "rewardok",
+    "snowcirrustechbpo",
+    "pedtoclick",
+    "rewardingways",
+    "callmemoney",
+    "pocketmoneygpt",
+    "goldtasks",
+    "dollarrewardz",
+    "surveymad",
+    "sharecashgpt",
+    "irazoo",
+    "zapbux",
+    "ptcsolution",
+    "ptc123",
+    "content_runner",
+    "jetbux",
+    "qpr",
+    "cointasker",
+    "point_dollars",
+    "meprizescf",
+    "keeprewarding",
+    "gptking",
+    "dollarsgpt",
+    "prizeplank",
+    "yute_jamaica",
+    "onestopgpt",
+    "gptway",
+    "trial_pay",
+    "task_ph",
+    "golddiggergpt",
+    "prizezombie",
+    "daproimafrica",
+    "aceinnovations",
+    "getpaidto",
+    "globalactioncash",
+    "piyoogle",
+    "supersonicads",
+    "poin_web",
+    "rewardsspot",
+    "giftgpt",
+    "giftcardgpt",
+    "northclicks",
+    "fastcashgpt",
+    "dealbarbiepays",
+    "dailysurveypanel",
+    "points4rewards",
+    "gptpal",
+    "rewards1",
+    "new_rules",
+    "surewardsgpt",
+    "zorbor",
+    "steamgameswap",
+    "buxense",
+    "surveywage",
+    "offernation",
+    "probux",
+    "freeride",
+    "ojooo",
+    "luckytaskz",
+    "medievaleurope",
+    "proudclick",
+    "steampowers",
+    "paiddailysurveys",
+    "wrkshop",
+    "simplegpt",
+    "realworld",
+    "surveytokens",
+    "bemybux",
+    "onestop",
+    "plusdollars",
+    "gptbucks",
+    "fepcrowdflower",
+    "embee",
+    "makethatdollar",
+    "ayuwage",
+    "luckykoin",
+    "pointst",
+    "sedgroup",
+    "easycashclicks",
+    "candy_ph",
+    "piggybankgpt",
+    "peoplesgpt",
+    "matomy",
+    "earnthemost",
+    "fsprizes",
 ];
 
 /// Sources with a geographically specialized workforce (§5.1 names
 /// imerit_india, yute_jamaica, taskhunter as location-specific).
-const REGIONAL: &[&str] = &["imerit_india", "yute_jamaica", "taskhunter", "task_ph", "candy_ph", "daproimafrica"];
+const REGIONAL: &[&str] =
+    &["imerit_india", "yute_jamaica", "taskhunter", "task_ph", "candy_ph", "daproimafrica"];
 
 /// Sources specialized by task domain (§5.1 cites ojooo for
 /// advertising/marketing).
-const DOMAIN_SPECIFIC: &[&str] = &["ojooo", "content_runner", "fepcrowdflower", "steamgameswap", "steampowers"];
+const DOMAIN_SPECIFIC: &[&str] =
+    &["ojooo", "content_runner", "fepcrowdflower", "steamgameswap", "steampowers"];
 
 /// Worker-share weights of the ten major sources (Fig 27a): NeoDev alone
 /// contributed ~27k of the ~69k workers; amt ~1.5%; internal ~2.5%.

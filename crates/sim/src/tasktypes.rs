@@ -158,42 +158,113 @@ const DATA_GIVEN_GOAL: [[f64; 7]; 7] = [
 /// `(goal index, operator indices, data-type indices)` in enum order.
 /// Filter and text/image dominate, matching the paper's aggregate shares.
 const HEAD_ARCHETYPES: [(usize, &[usize], &[usize]); 6] = [
-    (5, &[0], &[0]),        // LU · Filter · Text
-    (6, &[6], &[1, 0]),     // T  · Extract · Image+Text
-    (3, &[0], &[1]),        // QA · Filter · Image
-    (2, &[1, 0], &[6, 0]),  // SR · Rate+Filter · Web+Text
-    (5, &[0, 7], &[0, 5]),  // LU · Filter+Generate · Text+Social
-    (3, &[0], &[0, 1]),     // QA · Filter · Text+Image
+    (5, &[0], &[0]),       // LU · Filter · Text
+    (6, &[6], &[1, 0]),    // T  · Extract · Image+Text
+    (3, &[0], &[1]),       // QA · Filter · Image
+    (2, &[1, 0], &[6, 0]), // SR · Rate+Filter · Web+Text
+    (5, &[0, 7], &[0, 5]), // LU · Filter+Generate · Text+Social
+    (3, &[0], &[0, 1]),    // QA · Filter · Text+Image
 ];
 
 /// Title fragments per goal, used to synthesize plausible batch titles.
 const TITLE_TEMPLATES: [&[&str]; 7] = [
-    &["match duplicate business listings", "are these two profiles the same person",
-      "deduplicate product records", "link store entries across sites"],
-    &["short opinion survey", "answer questions about your habits",
-      "political leaning of this post", "psychology study session"],
-    &["rate search result relevance", "is this result relevant to the query",
-      "judge query document match", "rank results for the search"],
-    &["flag inappropriate content", "moderate uploaded photos",
-      "spot spam comments", "verify data entry quality"],
-    &["sentiment of this tweet", "is this review positive or negative",
-      "classify customer feedback tone", "label emotion of message"],
-    &["identify grammatical elements", "paraphrase this sentence",
-      "extract entities from text", "judge sentence fluency"],
-    &["transcribe the receipt", "type the text in this image",
-      "caption this audio clip", "extract fields from scanned form"],
+    &[
+        "match duplicate business listings",
+        "are these two profiles the same person",
+        "deduplicate product records",
+        "link store entries across sites",
+    ],
+    &[
+        "short opinion survey",
+        "answer questions about your habits",
+        "political leaning of this post",
+        "psychology study session",
+    ],
+    &[
+        "rate search result relevance",
+        "is this result relevant to the query",
+        "judge query document match",
+        "rank results for the search",
+    ],
+    &[
+        "flag inappropriate content",
+        "moderate uploaded photos",
+        "spot spam comments",
+        "verify data entry quality",
+    ],
+    &[
+        "sentiment of this tweet",
+        "is this review positive or negative",
+        "classify customer feedback tone",
+        "label emotion of message",
+    ],
+    &[
+        "identify grammatical elements",
+        "paraphrase this sentence",
+        "extract entities from text",
+        "judge sentence fluency",
+    ],
+    &[
+        "transcribe the receipt",
+        "type the text in this image",
+        "caption this audio clip",
+        "extract fields from scanned form",
+    ],
 ];
 
-/// Draws a label set with one primary (from `cond`) and an occasional
-/// secondary label.
+/// Deterministic largest-remainder allocator: successive [`Self::next`]
+/// calls return label indices whose running counts track `weights` at
+/// every prefix (systematic/stratified sampling).
+///
+/// Tail-type instance mass concentrates in the first few tail ranks
+/// (Zipf batch counts × lognormal batch sizes), so drawing primary
+/// labels i.i.d. lets a handful of draws decide every conditional share
+/// of Figs 9–10. Stratification pins those shares to the generative
+/// matrices regardless of the RNG stream.
+struct WeightedRoundRobin {
+    weights: Vec<f64>,
+    assigned: Vec<u64>,
+    total: u64,
+}
+
+impl WeightedRoundRobin {
+    fn new(weights: &[f64]) -> WeightedRoundRobin {
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+        WeightedRoundRobin {
+            weights: weights.iter().map(|w| w / sum).collect(),
+            assigned: vec![0; weights.len()],
+            total: 0,
+        }
+    }
+
+    /// Index with the largest deficit vs. its target share; ties break to
+    /// the lowest index, so the sequence is fully deterministic.
+    fn next(&mut self) -> usize {
+        self.total += 1;
+        let mut best = 0;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for (i, &w) in self.weights.iter().enumerate() {
+            let deficit = self.total as f64 * w - self.assigned[i] as f64;
+            if w > 0.0 && deficit > best_deficit {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        self.assigned[best] += 1;
+        best
+    }
+}
+
+/// Builds a label set around the stratified `primary` index, plus an
+/// occasional random secondary label drawn from `cond`.
 fn sample_labels<L: Label>(
     rng: &mut StdRng,
+    primary: usize,
     cond: &Categorical,
     secondary_prob: f64,
 ) -> LabelSet<L> {
-    let mut set = LabelSet::empty();
-    let primary = L::from_index(cond.sample(rng)).expect("weights align with enum");
-    set.insert(primary);
+    let mut set = LabelSet::only(L::from_index(primary).expect("index aligns with enum"));
     if bernoulli(rng, secondary_prob) {
         if let Some(second) = L::from_index(cond.sample(rng)) {
             set.insert(second);
@@ -204,16 +275,23 @@ fn sample_labels<L: Label>(
 
 /// Generates the full task-type population for a run.
 pub fn generate_task_types(cfg: &SimConfig, rng: &mut StdRng) -> Vec<TaskTypeSpec> {
-    let n_types =
-        ((cal::FULL_DISTINCT_TASKS * cfg.population_scale()).round() as usize).max(60);
+    let n_types = ((cal::FULL_DISTINCT_TASKS * cfg.population_scale()).round() as usize).max(60);
     let n_weeks = cfg.n_weeks() as u32;
     let regime_week = cfg.regime_week() as u32;
 
     let goal_cat = Categorical::new(&GOAL_WEIGHTS);
-    let op_cats: Vec<Categorical> =
-        OP_GIVEN_GOAL.iter().map(|row| Categorical::new(row)).collect();
+    let op_cats: Vec<Categorical> = OP_GIVEN_GOAL.iter().map(|row| Categorical::new(row)).collect();
     let data_cats: Vec<Categorical> =
         DATA_GIVEN_GOAL.iter().map(|row| Categorical::new(row)).collect();
+
+    // Primary labels for tail types are allocated by largest remainder so
+    // their proportions track the calibration matrices at every rank
+    // prefix; only secondary labels stay random.
+    let mut goal_rr = WeightedRoundRobin::new(&GOAL_WEIGHTS);
+    let mut op_rrs: Vec<WeightedRoundRobin> =
+        OP_GIVEN_GOAL.iter().map(|row| WeightedRoundRobin::new(row)).collect();
+    let mut data_rrs: Vec<WeightedRoundRobin> =
+        DATA_GIVEN_GOAL.iter().map(|row| WeightedRoundRobin::new(row)).collect();
 
     // Batches per type: Zipf over ranks, scaled to the batch budget.
     let batch_budget = (cal::FULL_BATCHES * cfg.scale.sqrt()).max(400.0);
@@ -228,7 +306,7 @@ pub fn generate_task_types(cfg: &SimConfig, rng: &mut StdRng) -> Vec<TaskTypeSpe
     let mut types = Vec::with_capacity(n_types);
     for rank in 0..n_types {
         let goal_idx =
-            if rank < HEAD_ARCHETYPES.len() { HEAD_ARCHETYPES[rank].0 } else { goal_cat.sample(rng) };
+            if rank < HEAD_ARCHETYPES.len() { HEAD_ARCHETYPES[rank].0 } else { goal_rr.next() };
         let (goals, operators, data_types) = if rank < HEAD_ARCHETYPES.len() {
             // The head ranks (batch-heavy + bulk) dominate instance mass,
             // so their full label profiles are pinned to the workloads the
@@ -251,8 +329,8 @@ pub fn generate_task_types(cfg: &SimConfig, rng: &mut StdRng) -> Vec<TaskTypeSpe
             };
             (
                 goals,
-                sample_labels(rng, &op_cats[goal_idx], 0.25),
-                sample_labels(rng, &data_cats[goal_idx], 0.20),
+                sample_labels(rng, op_rrs[goal_idx].next(), &op_cats[goal_idx], 0.25),
+                sample_labels(rng, data_rrs[goal_idx].next(), &data_cats[goal_idx], 0.20),
             )
         };
 
@@ -270,8 +348,7 @@ pub fn generate_task_types(cfg: &SimConfig, rng: &mut StdRng) -> Vec<TaskTypeSpe
         // median split lands at the "=0 vs >0" boundary, as in Table 1
         // (1283 clusters with none vs 1014 with some).
         let textbox_prob = if open_ended { 0.80 } else { 0.16 };
-        let text_boxes =
-            if bernoulli(rng, textbox_prob) { 1 + rng.gen_range(0..3) } else { 0 };
+        let text_boxes = if bernoulli(rng, textbox_prob) { 1 + rng.gen_range(0..3) } else { 0 };
 
         let examples =
             if bernoulli(rng, cal::EXAMPLES_PREVALENCE) { 1 + rng.gen_range(0..3) } else { 0 };
@@ -363,10 +440,7 @@ pub fn generate_task_types(cfg: &SimConfig, rng: &mut StdRng) -> Vec<TaskTypeSpe
             * normal(rng, 0.0, 0.35).exp();
 
         let template = TITLE_TEMPLATES[goal_idx];
-        let title = format!(
-            "{} #{rank}",
-            template[rng.gen_range(0..template.len())]
-        );
+        let title = format!("{} #{rank}", template[rng.gen_range(0..template.len())]);
 
         types.push(TaskTypeSpec {
             title,
@@ -461,10 +535,7 @@ mod tests {
             }
         }
         let filt = counts[Operator::Filter.index()];
-        assert!(
-            filt > counts[Operator::Sort.index()] * 3,
-            "filter dominates (Fig 9c)"
-        );
+        assert!(filt > counts[Operator::Sort.index()] * 3, "filter dominates (Fig 9c)");
         assert!(counts[Operator::Rate.index()] > counts[Operator::Count.index()]);
     }
 
@@ -527,21 +598,15 @@ mod tests {
         let mut without_ex: Vec<f64> =
             tt.iter().filter(|t| t.examples == 0).map(|t| t.pickup_median).collect();
         if with_ex.len() >= 5 {
-            assert!(
-                med(&mut with_ex) < med(&mut without_ex),
-                "examples reduce pickup (Table 3)"
-            );
+            assert!(med(&mut with_ex) < med(&mut without_ex), "examples reduce pickup (Table 3)");
         }
         let mut with_tb: Vec<f64> = tt
             .iter()
             .filter(|t| t.text_boxes > 0 && !t.subjective)
             .map(|t| t.task_time_median)
             .collect();
-        let mut without_tb: Vec<f64> = tt
-            .iter()
-            .filter(|t| t.text_boxes == 0)
-            .map(|t| t.task_time_median)
-            .collect();
+        let mut without_tb: Vec<f64> =
+            tt.iter().filter(|t| t.text_boxes == 0).map(|t| t.task_time_median).collect();
         assert!(med(&mut with_tb) > med(&mut without_tb), "text boxes raise task time");
     }
 

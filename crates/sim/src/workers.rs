@@ -54,11 +54,7 @@ impl WorkerSpec {
 
 /// Generates the worker population. `weekly_load` guides when workers join
 /// (the workforce grows as the marketplace does).
-pub fn generate_workers(
-    cfg: &SimConfig,
-    weekly_load: &[f64],
-    rng: &mut StdRng,
-) -> Vec<WorkerSpec> {
+pub fn generate_workers(cfg: &SimConfig, weekly_load: &[f64], rng: &mut StdRng) -> Vec<WorkerSpec> {
     let n_workers = ((cal::FULL_WORKERS * cfg.population_scale()).round() as usize).max(300);
     let n_weeks = weekly_load.len().max(1);
 
@@ -151,9 +147,8 @@ fn schedule_for(
             let lifetime_weeks = 1 + rng.gen_range(0..14usize);
             let last = (join_week + lifetime_weeks).min(n_weeks - 1);
             let k = 1 + rng.gen_range(0..4usize);
-            let mut weeks: Vec<u16> = (0..k)
-                .map(|_| rng.gen_range(join_week..=last) as u16)
-                .collect();
+            let mut weeks: Vec<u16> =
+                (0..k).map(|_| rng.gen_range(join_week..=last) as u16).collect();
             weeks.sort_unstable();
             weeks.dedup();
             let n_days = 1 + rng.gen_range(0..2);
@@ -226,8 +221,7 @@ mod tests {
     #[test]
     fn one_day_fraction_matches() {
         let (_, ws) = workers();
-        let one_day =
-            ws.iter().filter(|w| w.class == EngagementClass::OneDay).count() as f64;
+        let one_day = ws.iter().filter(|w| w.class == EngagementClass::OneDay).count() as f64;
         let frac = one_day / ws.len() as f64;
         assert!((frac - 0.527).abs() < 0.03, "§5.3: 52.7% one-day, got {frac}");
     }
@@ -235,8 +229,7 @@ mod tests {
     #[test]
     fn active_fraction_matches() {
         let (_, ws) = workers();
-        let active =
-            ws.iter().filter(|w| w.class == EngagementClass::Active).count() as f64;
+        let active = ws.iter().filter(|w| w.class == EngagementClass::Active).count() as f64;
         let frac = active / ws.len() as f64;
         assert!((0.12..=0.20).contains(&frac), "~15% repeat workforce, got {frac}");
     }
@@ -278,11 +271,8 @@ mod tests {
     #[test]
     fn skill_distribution_is_high_trust() {
         let (_, ws) = workers();
-        let active: Vec<f64> = ws
-            .iter()
-            .filter(|w| w.class == EngagementClass::Active)
-            .map(|w| w.skill)
-            .collect();
+        let active: Vec<f64> =
+            ws.iter().filter(|w| w.class == EngagementClass::Active).map(|w| w.skill).collect();
         let mean = active.iter().sum::<f64>() / active.len() as f64;
         assert!((0.86..=0.95).contains(&mean), "§5.4: active trust ≈ 0.91, got {mean}");
     }

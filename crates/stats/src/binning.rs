@@ -102,15 +102,8 @@ mod tests {
     #[test]
     fn tie_block_balances_bins() {
         // Features: many ties at the median.
-        let obs = [
-            (1.0, 1.0),
-            (2.0, 2.0),
-            (2.0, 3.0),
-            (2.0, 4.0),
-            (2.0, 5.0),
-            (3.0, 6.0),
-            (3.0, 7.0),
-        ];
+        let obs =
+            [(1.0, 1.0), (2.0, 2.0), (2.0, 3.0), (2.0, 4.0), (2.0, 5.0), (3.0, 6.0), (3.0, 7.0)];
         let s = median_split(&obs).unwrap();
         assert_eq!(s.split_value, 2.0);
         // below = {1}, above = {6,7}, tied = {2,3,4,5}.

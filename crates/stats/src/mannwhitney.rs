@@ -60,8 +60,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitneyResult> {
         tie_term += t * t * t - t;
         i = j;
     }
-    let var_u =
-        (na as f64 * nb as f64 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    let var_u = (na as f64 * nb as f64 / 12.0) * ((n + 1.0) - tie_term / (n * (n - 1.0)));
     if var_u <= 0.0 {
         return None; // everything tied
     }

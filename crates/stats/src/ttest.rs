@@ -68,8 +68,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite approximation.
-    let df = se2 * se2
-        / (sa * sa / (na as f64 - 1.0) + sb * sb / (nb as f64 - 1.0));
+    let df = se2 * se2 / (sa * sa / (na as f64 - 1.0) + sb * sb / (nb as f64 - 1.0));
     let p_value = student_t_two_sided(t, df);
     Some(TTestResult { t, df, p_value, n: (na, nb), means: (ma, mb) })
 }

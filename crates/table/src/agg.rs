@@ -114,15 +114,8 @@ mod tests {
 
     #[test]
     fn suffixes_unique() {
-        let all = [
-            Agg::Count,
-            Agg::CountDistinct,
-            Agg::Sum,
-            Agg::Mean,
-            Agg::Median,
-            Agg::Min,
-            Agg::Max,
-        ];
+        let all =
+            [Agg::Count, Agg::CountDistinct, Agg::Sum, Agg::Mean, Agg::Median, Agg::Min, Agg::Max];
         let set: std::collections::HashSet<_> = all.iter().map(|a| a.suffix()).collect();
         assert_eq!(set.len(), all.len());
     }

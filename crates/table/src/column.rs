@@ -127,9 +127,7 @@ impl Column {
         match self {
             Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i as usize]).collect()),
             Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i as usize]).collect()),
-            Column::Str(v) => {
-                Column::Str(indices.iter().map(|&i| v[i as usize].clone()).collect())
-            }
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i as usize].clone()).collect()),
             Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i as usize]).collect()),
         }
     }

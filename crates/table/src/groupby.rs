@@ -91,8 +91,7 @@ impl<'a> GroupBy<'a> {
             let v = match (&numeric, agg) {
                 (_, Agg::Count) => rows.len() as f64,
                 (Some(vals), _) => {
-                    let mut group_vals: Vec<f64> =
-                        rows.iter().map(|&r| vals[r as usize]).collect();
+                    let mut group_vals: Vec<f64> = rows.iter().map(|&r| vals[r as usize]).collect();
                     agg.apply(&mut group_vals)
                 }
                 (None, Agg::CountDistinct) => {
@@ -141,11 +140,8 @@ mod tests {
         let mut t = Table::new();
         t.push_int_column("week", vec![1, 2, 1, 2, 3]).unwrap();
         t.push_float_column("v", vec![10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
-        t.push_str_column(
-            "src",
-            vec!["a".into(), "a".into(), "b".into(), "b".into(), "a".into()],
-        )
-        .unwrap();
+        t.push_str_column("src", vec!["a".into(), "a".into(), "b".into(), "b".into(), "a".into()])
+            .unwrap();
         t
     }
 
@@ -191,12 +187,7 @@ mod tests {
     #[test]
     fn count_distinct_over_strings() {
         let t = sample();
-        let out = t
-            .group_by("week")
-            .unwrap()
-            .agg("src", Agg::CountDistinct)
-            .unwrap()
-            .finish();
+        let out = t.group_by("week").unwrap().agg("src", Agg::CountDistinct).unwrap().finish();
         assert_eq!(out.floats("src_distinct").unwrap(), &[2.0, 2.0, 1.0]);
     }
 

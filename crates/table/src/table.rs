@@ -186,13 +186,10 @@ impl Table {
 
     /// Sorts rows ascending by a numeric column (stable).
     pub fn sort_by(&self, name: &str) -> Result<Table, TableError> {
-        let keys = self
-            .column(name)?
-            .as_f64_vec()
-            .ok_or_else(|| TableError::TypeMismatch {
-                column: name.into(),
-                found: ColumnType::Str,
-            })?;
+        let keys = self.column(name)?.as_f64_vec().ok_or_else(|| TableError::TypeMismatch {
+            column: name.into(),
+            found: ColumnType::Str,
+        })?;
         let mut order: Vec<u32> = (0..self.n_rows() as u32).collect();
         order.sort_by(|&a, &b| keys[a as usize].total_cmp(&keys[b as usize]));
         Ok(self.gather(&order))
@@ -229,12 +226,7 @@ impl Table {
                 cell.to_owned()
             }
         };
-        let mut out = self
-            .names
-            .iter()
-            .map(|n| quote(n))
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = self.names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(",");
         out.push('\n');
         for row in 0..self.n_rows() {
             let line = self

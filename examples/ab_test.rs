@@ -28,11 +28,7 @@ fn main() {
             Intervention::AddExamples { count: 2 },
             Metric::Disagreement,
         ),
-        (
-            "§4.4: remove text boxes → task time",
-            Intervention::RemoveTextBoxes,
-            Metric::TaskTime,
-        ),
+        ("§4.4: remove text boxes → task time", Intervention::RemoveTextBoxes, Metric::TaskTime),
         (
             "§4.7: add an image → pickup time",
             Intervention::AddImages { count: 1 },
@@ -67,7 +63,11 @@ fn main() {
                 println!(
                     "{label}\n    control median {:>10.2}   treated {:>10.2}   Δ {:+.2} \
                      [{:+.2}, {:+.2}]   ({} types treated){stars}",
-                    o.medians.0, o.medians.1, o.diff_ci.estimate, o.diff_ci.lo, o.diff_ci.hi,
+                    o.medians.0,
+                    o.medians.1,
+                    o.diff_ci.estimate,
+                    o.diff_ci.lo,
+                    o.diff_ci.hi,
                     o.treated_types
                 );
                 if let Some(rs) = o.rank_sum {

@@ -7,9 +7,9 @@
 //! cargo run --release --example answer_aggregation
 //! ```
 
+use crowd_agg::{batch_judgments, dawid_skene, majority_vote, weighted_vote, DawidSkeneParams};
 use crowd_marketplace::prelude::*;
 use crowd_marketplace::report::TextTable;
-use crowd_agg::{batch_judgments, dawid_skene, majority_vote, weighted_vote, DawidSkeneParams};
 
 fn main() {
     eprintln!("simulating …");
@@ -45,8 +45,7 @@ fn main() {
             continue;
         };
         let agree = mv.agreement_with(&dsr.aggregation);
-        mv_ds_disagreements +=
-            ((1.0 - agree) * mv.len() as f64).round() as usize;
+        mv_ds_disagreements += ((1.0 - agree) * mv.len() as f64).round() as usize;
         items_total += mv.len();
         t.add_row(vec![
             batch.to_string(),

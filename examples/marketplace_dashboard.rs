@@ -21,7 +21,11 @@ fn main() {
     let _ = to_pts;
     let load_series = Series::new(
         "instances issued",
-        w.weeks.iter().zip(&w.instances).map(|(wk, &v)| (f64::from(wk.0), v as f64 + 1.0)).collect(),
+        w.weeks
+            .iter()
+            .zip(&w.instances)
+            .map(|(wk, &v)| (f64::from(wk.0), v as f64 + 1.0))
+            .collect(),
     );
     let worker_series = Series::new(
         "active workers",

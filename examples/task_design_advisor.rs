@@ -12,8 +12,8 @@
 use crowd_marketplace::analytics::design::methodology::{run_experiment, Feature};
 use crowd_marketplace::analytics::design::metrics::Metric;
 use crowd_marketplace::analytics::Study;
-use crowd_marketplace::html::generator::InterfaceSpec;
 use crowd_marketplace::html::extract_features;
+use crowd_marketplace::html::generator::InterfaceSpec;
 use crowd_marketplace::prelude::*;
 
 /// A requester's draft task, as they would describe it.
@@ -94,25 +94,21 @@ fn main() {
     for d in &drafts {
         let html = d.spec.render();
         let f = extract_features(&html).expect("generated HTML parses");
-        println!("{} — {} words, {} text boxes, {} examples, {} images, {} items/batch",
-            d.name, f.words, f.text_boxes, f.examples, f.images, d.items_per_batch);
+        println!(
+            "{} — {} words, {} text boxes, {} examples, {} images, {} items/batch",
+            d.name, f.words, f.text_boxes, f.examples, f.images, d.items_per_batch
+        );
         let mut score = 0;
         let mut advise = |ok: bool, msg: &str| {
             println!("  [{}] {}", if ok { "ok" } else { "!!" }, msg);
             score += i32::from(ok);
         };
-        advise(
-            f.words > 400,
-            "detailed instructions reduce disagreement (§4.3: 0.147 → 0.108)",
-        );
+        advise(f.words > 400, "detailed instructions reduce disagreement (§4.3: 0.147 → 0.108)");
         advise(
             d.items_per_batch >= 50,
             "batching many items cuts disagreement and task time (§4.5)",
         );
-        advise(
-            f.examples > 0,
-            "examples cut disagreement and slash pickup time ~4.7× (§4.6)",
-        );
+        advise(f.examples > 0, "examples cut disagreement and slash pickup time ~4.7× (§4.6)");
         advise(f.images > 0, "images attract workers — pickup ~3× faster (§4.7)");
         advise(
             f.text_boxes == 0,

@@ -75,9 +75,8 @@ fn main() {
 
     // Recommendation: dedicated + on-demand mix (the paper's takeaway).
     let dedicated = ranked.first().expect("some source qualifies");
-    let burst: Option<&&sources::SourceStats> = ranked
-        .iter()
-        .find(|s| s.avg_tasks_per_worker < dedicated.avg_tasks_per_worker / 5.0);
+    let burst: Option<&&sources::SourceStats> =
+        ranked.iter().find(|s| s.avg_tasks_per_worker < dedicated.avg_tasks_per_worker / 5.0);
     println!("recommendation:");
     println!(
         "  primary (dedicated): {} — {:.0} tasks/worker, trust {:.2}",

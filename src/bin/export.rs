@@ -2,7 +2,7 @@
 //! re-plotting the figures with external tooling (gnuplot, matplotlib, R).
 //!
 //! ```text
-//! export [--scale S] [--seed N] [--out DIR]
+//! export [--scale S] [--seed N] [--out DIR] [--threads T]
 //! ```
 //!
 //! Files written into `DIR` (default `./export`):
@@ -30,9 +30,23 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
+            "--scale" => {
+                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N");
+                assert!(
+                    scale.is_finite() && scale > 0.0 && scale <= 1.0,
+                    "--scale must be in (0, 1]"
+                );
+            }
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
             "--out" => out = PathBuf::from(args.next().expect("--out DIR")),
+            "--threads" => {
+                let n: usize = args.next().and_then(|v| v.parse().ok()).expect("--threads T (≥1)");
+                assert!(n >= 1, "--threads must be at least 1");
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build_global()
+                    .expect("configure thread pool");
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -57,14 +71,65 @@ fn main() {
     write(
         "weekly.csv",
         series_to_csv(&[
-            Series::new("instances", w.weeks.iter().zip(&w.instances).map(|(k, &v)| (wk(k), v as f64)).collect()),
-            Series::new("batches", w.weeks.iter().zip(&w.batches).map(|(k, &v)| (wk(k), v as f64)).collect()),
-            Series::new("distinct_all", w.weeks.iter().zip(&w.distinct_tasks_all).map(|(k, &v)| (wk(k), v as f64)).collect()),
-            Series::new("distinct_sampled", w.weeks.iter().zip(&w.distinct_tasks_sampled).map(|(k, &v)| (wk(k), v as f64)).collect()),
-            Series::new("median_pickup_s", w.weeks.iter().zip(&w.median_pickup).filter_map(|(k, p)| p.map(|p| (wk(k), p))).collect()),
-            Series::new("active_workers", workers.weeks.iter().zip(&workers.active_workers).map(|(k, &v)| (wk(k), v as f64)).collect()),
-            Series::new("tasks_top10", engagement.weeks.iter().zip(&engagement.tasks_top10).map(|(k, &v)| (wk(k), v as f64)).collect()),
-            Series::new("tasks_bot90", engagement.weeks.iter().zip(&engagement.tasks_bot90).map(|(k, &v)| (wk(k), v as f64)).collect()),
+            Series::new(
+                "instances",
+                w.weeks.iter().zip(&w.instances).map(|(k, &v)| (wk(k), v as f64)).collect(),
+            ),
+            Series::new(
+                "batches",
+                w.weeks.iter().zip(&w.batches).map(|(k, &v)| (wk(k), v as f64)).collect(),
+            ),
+            Series::new(
+                "distinct_all",
+                w.weeks
+                    .iter()
+                    .zip(&w.distinct_tasks_all)
+                    .map(|(k, &v)| (wk(k), v as f64))
+                    .collect(),
+            ),
+            Series::new(
+                "distinct_sampled",
+                w.weeks
+                    .iter()
+                    .zip(&w.distinct_tasks_sampled)
+                    .map(|(k, &v)| (wk(k), v as f64))
+                    .collect(),
+            ),
+            Series::new(
+                "median_pickup_s",
+                w.weeks
+                    .iter()
+                    .zip(&w.median_pickup)
+                    .filter_map(|(k, p)| p.map(|p| (wk(k), p)))
+                    .collect(),
+            ),
+            Series::new(
+                "active_workers",
+                workers
+                    .weeks
+                    .iter()
+                    .zip(&workers.active_workers)
+                    .map(|(k, &v)| (wk(k), v as f64))
+                    .collect(),
+            ),
+            Series::new(
+                "tasks_top10",
+                engagement
+                    .weeks
+                    .iter()
+                    .zip(&engagement.tasks_top10)
+                    .map(|(k, &v)| (wk(k), v as f64))
+                    .collect(),
+            ),
+            Series::new(
+                "tasks_bot90",
+                engagement
+                    .weeks
+                    .iter()
+                    .zip(&engagement.tasks_bot90)
+                    .map(|(k, &v)| (wk(k), v as f64))
+                    .collect(),
+            ),
         ]),
     );
 
@@ -115,7 +180,9 @@ fn main() {
 
     // Fig 12.
     let mut all = Vec::new();
-    for t in [trends::goal_trend(&study), trends::operator_trend(&study), trends::data_trend(&study)] {
+    for t in
+        [trends::goal_trend(&study), trends::operator_trend(&study), trends::data_trend(&study)]
+    {
         all.push(Series::new(
             format!("{}_simple", t.category),
             t.weeks.iter().zip(&t.simple).map(|(k, &v)| (wk(k), v as f64)).collect(),
@@ -163,12 +230,18 @@ fn main() {
 
     // Figs 26/27.
     let st = sources::per_source(&study);
-    let mut s = String::from("source,workers,tasks,avg_tasks_per_worker,mean_trust,rel_task_time\n");
+    let mut s =
+        String::from("source,workers,tasks,avg_tasks_per_worker,mean_trust,rel_task_time\n");
     for x in &st {
         let _ = writeln!(
             s,
             "{},{},{},{},{},{}",
-            x.name, x.n_workers, x.n_tasks, x.avg_tasks_per_worker, x.mean_trust, x.mean_relative_task_time
+            x.name,
+            x.n_workers,
+            x.n_tasks,
+            x.avg_tasks_per_worker,
+            x.mean_trust,
+            x.mean_relative_task_time
         );
     }
     write("sources.csv", s);

@@ -2,7 +2,7 @@
 //! crowdsourcing-marketplace study from a simulated dataset.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [TARGET...]
+//! repro [--scale S] [--seed N] [--threads T] [TARGET...]
 //!
 //! TARGETS (default: all)
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -30,45 +30,119 @@ use crowd_report::{BarChart, LinePlot, Series, StackedBars, TextTable};
 use crowd_sim::{simulate, SimConfig};
 
 const ALL_TARGETS: [&str; 30] = [
-    "summary", "fig1", "fig2", "fig3", "load", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "tables", "fig25", "predict", "table4", "fig26",
-    "fig27", "fig28", "fig29", "fig30", "trust", "sessions", "cohorts", "forecast", "redundancy",
+    "summary",
+    "fig1",
+    "fig2",
+    "fig3",
+    "load",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "tables",
+    "fig25",
+    "predict",
+    "table4",
+    "fig26",
+    "fig27",
+    "fig28",
+    "fig29",
+    "fig30",
+    "trust",
+    "sessions",
+    "cohorts",
+    "forecast",
+    "redundancy",
 ];
 
-fn main() {
-    let mut scale = 0.01f64;
-    let mut seed = 2017u64;
-    let mut targets: BTreeSet<String> = BTreeSet::new();
-    let mut args = std::env::args().skip(1);
+/// Parsed command line. Separated from `main` so the parsing and
+/// validation rules are unit-testable without spawning the binary.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    scale: f64,
+    seed: u64,
+    /// Worker threads for the parallel pipeline stages; `None` defers to
+    /// the `CROWD_THREADS` environment variable, then the host CPU count.
+    threads: Option<usize>,
+    targets: BTreeSet<String>,
+    help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args { scale: 0.01, seed: 2017, threads: None, targets: BTreeSet::new(), help: false }
+    }
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                scale = args
+                let scale: f64 = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--scale needs a number in (0, 1]"));
+                    .ok_or("--scale needs a number in (0, 1]")?;
+                // Scales outside (0, 1] either produce an empty marketplace
+                // or extrapolate beyond the paper's population; reject both.
+                if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+                    return Err(format!("--scale must be in (0, 1], got {scale}"));
+                }
+                out.scale = scale;
             }
             "--seed" => {
-                seed = args
+                out.seed =
+                    args.next().and_then(|v| v.parse().ok()).ok_or("--seed needs an integer")?;
+            }
+            "--threads" => {
+                let threads: usize = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
+                    .ok_or("--threads needs a positive integer")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                out.threads = Some(threads);
             }
-            "--help" | "-h" => {
-                println!("usage: repro [--scale S] [--seed N] [TARGET...]");
-                println!("targets: all {}", ALL_TARGETS.join(" "));
-                return;
-            }
+            "--help" | "-h" => out.help = true,
             t => {
-                targets.insert(t.to_string());
+                out.targets.insert(t.to_string());
             }
         }
     }
-    if targets.is_empty() || targets.contains("all") {
-        targets = ALL_TARGETS.iter().map(|s| s.to_string()).collect();
+    if out.targets.is_empty() || out.targets.contains("all") {
+        out.targets = ALL_TARGETS.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
+    if args.help {
+        println!("usage: repro [--scale S] [--seed N] [--threads T] [TARGET...]");
+        println!("targets: all {}", ALL_TARGETS.join(" "));
+        return;
+    }
+    let Args { scale, seed, threads, targets, .. } = args;
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .unwrap_or_else(|_| die("failed to configure the thread pool"));
     }
 
-    eprintln!("simulating marketplace (scale {scale}, seed {seed}) …");
+    eprintln!(
+        "simulating marketplace (scale {scale}, seed {seed}, {} threads) …",
+        rayon::current_num_threads()
+    );
     let cfg = SimConfig::new(seed, scale);
     let study = Study::new(simulate(&cfg));
     eprintln!(
@@ -127,7 +201,10 @@ fn die(msg: &str) -> ! {
     std::process::exit(2)
 }
 
-fn week_series(weeks: &[crowd_core::time::WeekIndex], ys: impl Iterator<Item = f64>) -> Vec<(f64, f64)> {
+fn week_series(
+    weeks: &[crowd_core::time::WeekIndex],
+    ys: impl Iterator<Item = f64>,
+) -> Vec<(f64, f64)> {
     weeks.iter().zip(ys).map(|(w, y)| (f64::from(w.0), y)).collect()
 }
 
@@ -160,7 +237,10 @@ fn fig1(study: &Study) {
     let w = arrivals::weekly(study);
     let plot = LinePlot::new("Fig 1: distinct tasks per week — all vs sampled")
         .with_labels("week", "# distinct tasks")
-        .add(Series::new("all", week_series(&w.weeks, w.distinct_tasks_all.iter().map(|&v| v as f64))))
+        .add(Series::new(
+            "all",
+            week_series(&w.weeks, w.distinct_tasks_all.iter().map(|&v| v as f64)),
+        ))
         .add(Series::new(
             "sampled",
             week_series(&w.weeks, w.distinct_tasks_sampled.iter().map(|&v| v as f64)),
@@ -184,15 +264,22 @@ fn fig2(study: &Study) {
         ));
     println!("{}", plot.render());
     let post = w.since(Timestamp::from_ymd(2015, 1, 1));
-    let plot2 = LinePlot::new("Fig 2b: instances vs batches vs distinct tasks (post Jan'15, log y)")
-        .log_y()
-        .with_labels("week", "count")
-        .add(Series::new("instances", week_series(&post.weeks, post.instances.iter().map(|&v| v as f64))))
-        .add(Series::new("batches", week_series(&post.weeks, post.batches.iter().map(|&v| v as f64))))
-        .add(Series::new(
-            "distinct tasks",
-            week_series(&post.weeks, post.distinct_tasks_all.iter().map(|&v| v as f64)),
-        ));
+    let plot2 =
+        LinePlot::new("Fig 2b: instances vs batches vs distinct tasks (post Jan'15, log y)")
+            .log_y()
+            .with_labels("week", "count")
+            .add(Series::new(
+                "instances",
+                week_series(&post.weeks, post.instances.iter().map(|&v| v as f64)),
+            ))
+            .add(Series::new(
+                "batches",
+                week_series(&post.weeks, post.batches.iter().map(|&v| v as f64)),
+            ))
+            .add(Series::new(
+                "distinct tasks",
+                week_series(&post.weeks, post.distinct_tasks_all.iter().map(|&v| v as f64)),
+            ));
     println!("{}", plot2.render());
 }
 
@@ -212,7 +299,11 @@ fn print_load(study: &Study, x: f64) {
             "§3.1 Daily load, post Jan'15 (paper: median 30k, max 30×, min 0.0004×)",
             &["statistic", "value", "extrapolated"],
         );
-        t.add_row(vec!["median instances/day".into(), format!("{:.0}", d.median), format!("{:.0}", d.median * x)]);
+        t.add_row(vec![
+            "median instances/day".into(),
+            format!("{:.0}", d.median),
+            format!("{:.0}", d.median * x),
+        ]);
         t.add_row(vec!["peak/median".into(), format!("{:.1}×", d.peak_ratio), "-".into()]);
         t.add_row(vec!["trough/median".into(), format!("{:.4}×", d.trough_ratio), "-".into()]);
         t.add_row(vec!["active days".into(), d.days.to_string(), "-".into()]);
@@ -237,12 +328,12 @@ fn fig5(study: &Study) {
         .log_y()
         .with_labels("week", "# tasks")
         .add(Series::new("top-10%", week_series(&e.weeks, e.tasks_top10.iter().map(|&v| v as f64))))
-        .add(Series::new("bottom-90%", week_series(&e.weeks, e.tasks_bot90.iter().map(|&v| v as f64))));
+        .add(Series::new(
+            "bottom-90%",
+            week_series(&e.weeks, e.tasks_bot90.iter().map(|&v| v as f64)),
+        ));
     println!("{}", plot.render());
-    println!(
-        "top-10% task share: {:.1}% (paper: >80%)\n",
-        e.top10_task_share * 100.0
-    );
+    println!("top-10% task share: {:.1}% (paper: >80%)\n", e.top10_task_share * 100.0);
     let hours = LinePlot::new("Fig 5b (2): weekly active hours — top-10% vs bottom-90%")
         .with_labels("week", "hours")
         .add(Series::new("top-10%", week_series(&e.weeks, e.hours_top10.iter().copied())))
@@ -289,9 +380,10 @@ fn fig7(study: &Study) {
 
 fn fig8(study: &Study) {
     let hh = load::heavy_hitters(study, 10);
-    let mut plot = LinePlot::new("Fig 8: cumulative instances of the top-10 heavy-hitter clusters (log y)")
-        .log_y()
-        .with_labels("week", "cumulative instances");
+    let mut plot =
+        LinePlot::new("Fig 8: cumulative instances of the top-10 heavy-hitter clusters (log y)")
+            .log_y()
+            .with_labels("week", "cumulative instances");
     for h in &hh {
         plot = plot.add(Series::new(
             format!("cluster {} ({} batches)", h.cluster, h.n_batches),
@@ -314,10 +406,8 @@ fn fig9(study: &Study) {
 }
 
 fn stacked(m: &labels::CrossMatrix, title: &str) -> String {
-    let mut chart = StackedBars::new(
-        title.to_string(),
-        m.col_labels.iter().map(|s| s.to_string()).collect(),
-    );
+    let mut chart =
+        StackedBars::new(title.to_string(), m.col_labels.iter().map(|s| s.to_string()).collect());
     let pct = m.row_percentages();
     for (r, label) in m.row_labels.iter().enumerate() {
         chart = chart.row(label.to_string(), pct[r].clone());
@@ -328,21 +418,46 @@ fn stacked(m: &labels::CrossMatrix, title: &str) -> String {
 fn fig10(study: &Study) {
     println!("{}", stacked(&labels::data_given_goal(study), "Fig 10a: data types per goal (%)"));
     println!("{}", stacked(&labels::operator_given_goal(study), "Fig 10b: operators per goal (%)"));
-    println!("{}", stacked(&labels::operator_given_data(study), "Fig 10c: operators per data type (%)"));
+    println!(
+        "{}",
+        stacked(&labels::operator_given_data(study), "Fig 10c: operators per data type (%)")
+    );
 }
 
 fn fig11(study: &Study) {
-    println!("{}", stacked(&labels::data_given_goal(study).transposed(), "Fig 11a: goals per data type (%)"));
-    println!("{}", stacked(&labels::operator_given_goal(study).transposed(), "Fig 11b: goals per operator (%)"));
-    println!("{}", stacked(&labels::operator_given_data(study).transposed(), "Fig 11c: data types per operator (%)"));
+    println!(
+        "{}",
+        stacked(&labels::data_given_goal(study).transposed(), "Fig 11a: goals per data type (%)")
+    );
+    println!(
+        "{}",
+        stacked(
+            &labels::operator_given_goal(study).transposed(),
+            "Fig 11b: goals per operator (%)"
+        )
+    );
+    println!(
+        "{}",
+        stacked(
+            &labels::operator_given_data(study).transposed(),
+            "Fig 11c: data types per operator (%)"
+        )
+    );
 }
 
 fn fig12(study: &Study) {
     for t in [trends::goal_trend(study), trends::operator_trend(study), trends::data_trend(study)] {
-        let plot = LinePlot::new(format!("Fig 12: cumulative clusters, simple vs complex {}", t.category))
-            .with_labels("week", "cumulative clusters")
-            .add(Series::new("simple", week_series(&t.weeks, t.simple.iter().map(|&v| v as f64))))
-            .add(Series::new("complex", week_series(&t.weeks, t.complex.iter().map(|&v| v as f64))));
+        let plot =
+            LinePlot::new(format!("Fig 12: cumulative clusters, simple vs complex {}", t.category))
+                .with_labels("week", "cumulative clusters")
+                .add(Series::new(
+                    "simple",
+                    week_series(&t.weeks, t.simple.iter().map(|&v| v as f64)),
+                ))
+                .add(Series::new(
+                    "complex",
+                    week_series(&t.weeks, t.complex.iter().map(|&v| v as f64)),
+                ));
         println!("{}", plot.render());
         let (s, c) = t.totals();
         println!("totals — simple: {s}, complex: {c}");
@@ -355,8 +470,14 @@ fn fig13(study: &Study) {
         .log_x()
         .log_y()
         .with_labels("end-to-end secs", "secs")
-        .add(Series::new("pickup-time", d.instance_level.iter().map(|p| (p.end_to_end, p.pickup)).collect()))
-        .add(Series::new("task-time", d.instance_level.iter().map(|p| (p.end_to_end, p.task)).collect()));
+        .add(Series::new(
+            "pickup-time",
+            d.instance_level.iter().map(|p| (p.end_to_end, p.pickup)).collect(),
+        ))
+        .add(Series::new(
+            "task-time",
+            d.instance_level.iter().map(|p| (p.end_to_end, p.task)).collect(),
+        ));
     println!("{}", plot.render());
     println!(
         "median pickup/task ratio: {:.1}× (paper: orders of magnitude)",
@@ -386,7 +507,16 @@ fn fig14(study: &Study) {
 fn summary_table_text(t: &summary::SummaryTable, title: &str, unit: &str) -> String {
     let mut out = TextTable::new(
         title.to_string(),
-        &["bin-1", "n1", "bin-2", "n2", &format!("m1 ({unit})"), &format!("m2 ({unit})"), "p", "sig"],
+        &[
+            "bin-1",
+            "n1",
+            "bin-2",
+            "n2",
+            &format!("m1 ({unit})"),
+            &format!("m2 ({unit})"),
+            "p",
+            "sig",
+        ],
     );
     for r in &t.rows {
         out.add_row(vec![
@@ -561,12 +691,8 @@ fn fig28(study: &Study) {
 
 fn fig29(study: &Study) {
     let d = workload::distribution(study);
-    let rank_points: Vec<(f64, f64)> = d
-        .tasks_by_rank
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| ((i + 1) as f64, c as f64))
-        .collect();
+    let rank_points: Vec<(f64, f64)> =
+        d.tasks_by_rank.iter().enumerate().map(|(i, &c)| ((i + 1) as f64, c as f64)).collect();
     let plot = LinePlot::new("Fig 29a: tasks per worker by rank (log-log)")
         .log_x()
         .log_y()
@@ -590,18 +716,39 @@ fn fig30(study: &Study) {
     let plot = LinePlot::new("Fig 30a: worker lifetimes (days, log y)")
         .log_y()
         .with_labels("lifetime (days)", "# workers")
-        .add(Series::new(
-            "workers",
-            hist.points().iter().map(|&(x, c)| (x, c as f64)).collect(),
-        ));
+        .add(Series::new("workers", hist.points().iter().map(|&(x, c)| (x, c as f64)).collect()));
     println!("{}", plot.render());
     let mut t = TextTable::new("§5.3 lifetime statistics", &["statistic", "value", "paper"]);
-    t.add_row(vec!["one-day workers".into(), format!("{:.1}%", l.one_day_fraction * 100.0), "52.7%".into()]);
-    t.add_row(vec!["their task share".into(), format!("{:.1}%", l.one_day_task_share * 100.0), "2.4%".into()]);
-    t.add_row(vec!["lifetime <100 days".into(), format!("{:.1}%", l.short_lifetime_fraction * 100.0), "79%".into()]);
-    t.add_row(vec!["active (>10 days) workers".into(), format!("{:.1}%", l.active_worker_fraction * 100.0), "~15%".into()]);
-    t.add_row(vec!["active task share".into(), format!("{:.1}%", l.active_task_share * 100.0), "83%".into()]);
-    t.add_row(vec!["active working ≥weekly".into(), format!("{:.1}%", l.weekly_active_fraction * 100.0), ">43%".into()]);
+    t.add_row(vec![
+        "one-day workers".into(),
+        format!("{:.1}%", l.one_day_fraction * 100.0),
+        "52.7%".into(),
+    ]);
+    t.add_row(vec![
+        "their task share".into(),
+        format!("{:.1}%", l.one_day_task_share * 100.0),
+        "2.4%".into(),
+    ]);
+    t.add_row(vec![
+        "lifetime <100 days".into(),
+        format!("{:.1}%", l.short_lifetime_fraction * 100.0),
+        "79%".into(),
+    ]);
+    t.add_row(vec![
+        "active (>10 days) workers".into(),
+        format!("{:.1}%", l.active_worker_fraction * 100.0),
+        "~15%".into(),
+    ]);
+    t.add_row(vec![
+        "active task share".into(),
+        format!("{:.1}%", l.active_task_share * 100.0),
+        "83%".into(),
+    ]);
+    t.add_row(vec![
+        "active working ≥weekly".into(),
+        format!("{:.1}%", l.weekly_active_fraction * 100.0),
+        ">43%".into(),
+    ]);
     println!("{}", t.render());
 }
 
@@ -671,5 +818,73 @@ fn print_trust(study: &Study) {
             t.mean, t.median, t.p10, t.n
         ),
         None => println!("§5.4: no active workers at this scale"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        parse_args(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_select_all_targets() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.scale, 0.01);
+        assert_eq!(args.seed, 2017);
+        assert_eq!(args.threads, None);
+        assert_eq!(args.targets.len(), ALL_TARGETS.len());
+        assert!(!args.help);
+    }
+
+    #[test]
+    fn explicit_flags_parse() {
+        let args = parse(&["--scale", "0.5", "--seed", "7", "--threads", "4", "fig1"]).unwrap();
+        assert_eq!(args.scale, 0.5);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.targets.iter().collect::<Vec<_>>(), ["fig1"]);
+    }
+
+    #[test]
+    fn scale_bounds_are_enforced() {
+        assert!(parse(&["--scale", "0"]).is_err(), "zero scale is an empty marketplace");
+        assert!(parse(&["--scale", "-0.1"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err(), "above paper scale");
+        assert!(parse(&["--scale", "NaN"]).is_err());
+        assert!(parse(&["--scale", "inf"]).is_err());
+        assert!(parse(&["--scale"]).is_err(), "missing value");
+        assert!(parse(&["--scale", "abc"]).is_err(), "non-numeric");
+        assert!(parse(&["--scale", "1"]).is_ok(), "paper scale itself is valid");
+        assert!(parse(&["--scale", "0.001"]).is_ok());
+    }
+
+    #[test]
+    fn threads_must_be_positive() {
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "-1"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
+        assert_eq!(parse(&["--threads", "1"]).unwrap().threads, Some(1));
+    }
+
+    #[test]
+    fn seed_requires_integer() {
+        assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert_eq!(parse(&["--seed", "42"]).unwrap().seed, 42);
+    }
+
+    #[test]
+    fn all_keyword_expands() {
+        let args = parse(&["all", "fig1"]).unwrap();
+        assert_eq!(args.targets.len(), ALL_TARGETS.len());
+    }
+
+    #[test]
+    fn help_flag() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
     }
 }

@@ -85,7 +85,11 @@ fn sec3_2_stable_workforce_absorbs_bursty_load() {
 #[test]
 fn sec3_2_top_decile_carries_the_flux() {
     let e = availability::engagement_split(study());
-    assert!(e.top10_task_share > 0.70, "§5.2/Fig 5b: >80% at full scale, got {}", e.top10_task_share);
+    assert!(
+        e.top10_task_share > 0.70,
+        "§5.2/Fig 5b: >80% at full scale, got {}",
+        e.top10_task_share
+    );
 }
 
 #[test]
@@ -201,7 +205,8 @@ fn sec4_3_drilldown_gather_vs_rate() {
 #[test]
 fn sec4_9_prediction_shapes() {
     let s = study();
-    let range_pickup = prediction::predict(s, Metric::PickupTime, prediction::Scheme::ByRange, 42).unwrap();
+    let range_pickup =
+        prediction::predict(s, Metric::PickupTime, prediction::Scheme::ByRange, 42).unwrap();
     // Skewed range buckets → high exact accuracy (paper 98%).
     assert!(range_pickup.cv.accuracy > 0.55, "{}", range_pickup.cv.accuracy);
     assert!(
@@ -209,7 +214,8 @@ fn sec4_9_prediction_shapes() {
         "first bucket dominates: {:?}",
         range_pickup.bucket_counts
     );
-    let pct = prediction::predict(s, Metric::Disagreement, prediction::Scheme::ByPercentiles, 42).unwrap();
+    let pct = prediction::predict(s, Metric::Disagreement, prediction::Scheme::ByPercentiles, 42)
+        .unwrap();
     assert!(pct.cv.accuracy > 0.12, "percentile beats 10% chance: {}", pct.cv.accuracy);
     assert!(pct.cv.accuracy_within_1 > pct.cv.accuracy, "±1 tolerance helps");
 }
@@ -254,7 +260,11 @@ fn sec5_3_lifetimes() {
         "52.7% one-day (assignment-starved at reduced scale): {}",
         l.one_day_fraction
     );
-    assert!(l.one_day_task_share < 0.10, "one-day workers ≈2.4% of tasks: {}", l.one_day_task_share);
+    assert!(
+        l.one_day_task_share < 0.10,
+        "one-day workers ≈2.4% of tasks: {}",
+        l.one_day_task_share
+    );
     assert!(l.short_lifetime_fraction > 0.55, "79% under 100 days: {}", l.short_lifetime_fraction);
     assert!(l.active_task_share > 0.6, "active workers ≈83% of tasks: {}", l.active_task_share);
 }

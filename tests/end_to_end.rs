@@ -47,7 +47,9 @@ fn enrichment_covers_the_sample() {
 
 #[test]
 fn every_analysis_runs_on_the_same_study() {
-    use crowd_marketplace::analytics::design::{drilldown, methodology, metrics, prediction, summary};
+    use crowd_marketplace::analytics::design::{
+        drilldown, methodology, metrics, prediction, summary,
+    };
     use crowd_marketplace::analytics::marketplace::{arrivals, availability, labels, load, trends};
     use crowd_marketplace::analytics::workers::{geography, lifetimes, sources, workload};
 

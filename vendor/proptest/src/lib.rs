@@ -1,0 +1,305 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses: the [`proptest!`] macro over `name in strategy` arguments,
+//! `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! `prop::collection::{vec, hash_set}`, and string-pattern strategies.
+//!
+//! The registry is unreachable in the build environment, so the real crate
+//! cannot be fetched. This stand-in keeps call sites source-compatible but
+//! simplifies the engine: each test draws a fixed number of random cases
+//! from a deterministic per-case seed, and failures panic immediately
+//! (no shrinking). That preserves the tests' role as randomized invariant
+//! checks while staying dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: u32 = 96;
+
+/// Deterministic splitmix64 generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one test case, keyed by test seed and case index.
+    pub fn new(seed: u64, case: u64) -> TestRng {
+        TestRng { state: seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, span)`, `span > 0`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = self.start as f64
+                    + (self.end as f64 - self.start as f64) * rng.unit();
+                let v = v as $t;
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// String pattern strategy. Only the `{lo,hi}` length suffix of the
+/// pattern is honoured; characters are drawn from a printable pool
+/// (ASCII incl. quotes/commas/separators plus a few multi-byte
+/// code points), which deliberately exercises CSV-escaping paths.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '9', ' ', '\t', ',', ';', '"', '\'', '\\',
+            '/', '.', '-', '_', '(', ')', '{', '}', '<', '>', '=', '+', '*', '&', '%', 'é', 'ß',
+            '中', '🦀',
+        ];
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 32));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| POOL[rng.below(POOL.len() as u64) as usize]).collect()
+    }
+}
+
+/// Extracts `lo`/`hi` from a trailing `{lo,hi}` regex repetition.
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let inner = pattern.strip_suffix('}')?.rsplit_once('{')?.1;
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// The `prop` namespace (`prop::collection::…` at call sites).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec<T>` with element strategy `element` and a
+        /// size range.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy for `HashSet<T>`; sizes below `size.start` may occur
+        /// when the element domain is too small, matching real proptest's
+        /// best-effort behaviour loosely.
+        pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// See [`hash_set`].
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let target = self.size.start + rng.below(span) as usize;
+                let mut out = HashSet::with_capacity(target);
+                // Bounded attempts: small element domains cannot always
+                // reach `target` distinct values.
+                for _ in 0..target.saturating_mul(8).max(8) {
+                    if out.len() >= target {
+                        break;
+                    }
+                    out.insert(self.element.sample(rng));
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` call site needs.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::Strategy;
+    pub use super::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$meta:meta] fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[$meta]
+            fn $name() {
+                // Per-test seed: stable across runs, distinct across tests.
+                let seed = {
+                    let name = stringify!($name);
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for b in name.bytes() {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    h
+                };
+                for case in 0..$crate::CASES {
+                    let mut __proptest_rng =
+                        $crate::TestRng::new(seed, u64::from(case));
+                    $(
+                        let $arg = $crate::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside `proptest!`; panics with the case inputs'
+/// message on failure (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1, 0);
+        for _ in 0..1_000 {
+            let v = (5i64..10).sample(&mut rng);
+            assert!((5..10).contains(&v));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_hash_set_sizes() {
+        let mut rng = TestRng::new(2, 0);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u32..100, 3..7).sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            let s = prop::collection::hash_set(0u64..1_000, 10..20).sample(&mut rng);
+            assert!(s.len() < 20);
+        }
+    }
+
+    #[test]
+    fn string_pattern_honours_length_suffix() {
+        let mut rng = TestRng::new(3, 0);
+        for _ in 0..200 {
+            let s = "\\PC{0,60}".sample(&mut rng);
+            assert!(s.chars().count() <= 60);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, (a, b) in (0i64..5, 0.0f64..1.0)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5 && b < 1.0);
+            prop_assert_eq!(x, x, "identity");
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`Rng::gen_range`] over integer/float ranges, [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom::shuffle`].
+//!
+//! The registry is unreachable in the build environment, so the real crate
+//! cannot be fetched; this crate keeps the same module paths and call-site
+//! syntax. `StdRng` here is xoshiro256++ seeded via splitmix64 — a
+//! different (but high-quality) stream than upstream's ChaCha12, which is
+//! fine because the workspace never pins golden values of the raw stream,
+//! only statistical and self-consistency properties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// One step of the splitmix64 sequence (also used to expand seeds).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let s3n = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3n;
+            s2 ^= t;
+            self.s = [s0, s1, s2, s3n.rotate_left(45)];
+            result
+        }
+    }
+}
+
+/// Uniform-range sampling machinery (`rand::distributions::uniform`).
+pub mod distributions {
+    /// The `SampleRange` trait that powers [`crate::Rng::gen_range`].
+    pub mod uniform {
+        use super::super::*;
+
+        /// A range that can produce uniform samples of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Types [`crate::Rng::gen_range`] can sample uniformly.
+        ///
+        /// Mirrors upstream's shape: the *blanket* range impls below defer
+        /// to this per-type trait, which is what lets type inference unify
+        /// an un-suffixed range literal with the use site's type.
+        pub trait SampleUniform: Sized + PartialOrd {
+            /// Samples `[lo, hi)` when `inclusive` is false, `[lo, hi]`
+            /// otherwise.
+            fn sample_uniform<R: Rng + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_uniform(self.start, self.end, false, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                T::sample_uniform(lo, hi, true, rng)
+            }
+        }
+
+        /// Multiply-shift bounded sampling of `[0, span)`, span > 0.
+        pub(crate) fn bounded(rng: &mut (impl Rng + ?Sized), span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+
+        macro_rules! impl_int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: Rng + ?Sized>(
+                        lo: $t,
+                        hi: $t,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> $t {
+                        let span = (hi as i128 - lo as i128) + i128::from(inclusive);
+                        assert!(span > 0, "cannot sample empty range");
+                        if span > i128::from(u64::MAX) {
+                            // Full 64-bit range: every output is valid.
+                            return (lo as i128 + rng.next_u64() as i128) as $t;
+                        }
+                        (lo as i128 + bounded(rng, span as u64) as i128) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_float_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_uniform<R: Rng + ?Sized>(
+                        lo: $t,
+                        hi: $t,
+                        inclusive: bool,
+                        rng: &mut R,
+                    ) -> $t {
+                        let _ = inclusive; // [lo, hi] and [lo, hi) coincide a.e.
+                        assert!(lo < hi, "cannot sample empty range");
+                        // 53 uniform mantissa bits in [0, 1).
+                        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        let v = (lo as f64 + (hi as f64 - lo as f64) * unit) as $t;
+                        // Guard against FP rounding landing exactly on `hi`.
+                        if v < hi { v } else { lo }
+                    }
+                }
+            )*};
+        }
+        impl_float_uniform!(f32, f64);
+    }
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait for slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen_range(0..u64::MAX)).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5..3_600);
+            assert!((5..3_600).contains(&v));
+            let w: i64 = rng.gen_range(-10..=10);
+            assert!((-10..=10).contains(&w));
+            let u: u16 = rng.gen_range(0..1u16);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7u8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn epsilon_range_is_strictly_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline data-parallelism shim exposing the subset of the `rayon` API
+//! this workspace uses, implemented on `std::thread::scope`.
+//!
+//! The registry is unreachable in the build environment, so the real crate
+//! cannot be fetched. Call sites (`par_iter().map(..).collect()`,
+//! `ThreadPoolBuilder`, `current_num_threads`) keep rayon's syntax, so the
+//! shim can be swapped for the real crate by flipping one workspace
+//! dependency line.
+//!
+//! Semantics guaranteed by this shim (and relied on for determinism):
+//!
+//! * `par_iter().map(f).collect::<Vec<_>>()` preserves input order
+//!   bit-exactly, regardless of thread count — items are split into
+//!   contiguous chunks, each chunk is mapped on its own thread, and chunk
+//!   results are concatenated in chunk order.
+//! * With one thread (or one item) the computation runs inline on the
+//!   calling thread; output is identical either way.
+//!
+//! Thread count resolution, most specific first: the innermost active
+//! [`ThreadPool::install`] scope, then a pool configured via
+//! [`ThreadPoolBuilder::build_global`], then the `CROWD_THREADS`
+//! environment variable, then `std::thread::available_parallelism`.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread count configured via [`ThreadPoolBuilder::build_global`];
+/// 0 means "not configured".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel iterators will use right now.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(v) = std::env::var("CROWD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; this shim never fails to
+/// build, the type exists for call-site compatibility.
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ThreadPoolBuildError")
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (or the global default).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (auto-detected) thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count; 0 restores auto-detection.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle. The shim spawns scoped threads per operation,
+    /// so the "pool" only records the configured width.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+
+    /// Configures the process-wide default thread count.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A configured parallelism width; see [`ThreadPoolBuilder`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count active for every parallel
+    /// iterator invoked (transitively) inside it on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The pool's configured width (0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// Order-preserving parallel map: contiguous chunks, one thread per chunk,
+/// results concatenated in chunk order.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// A pending parallel iteration over a slice.
+pub struct ParIter<'a, T: Sync> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f, _out: std::marker::PhantomData }
+    }
+
+    /// Runs `f` on every element for its side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _ = par_map_slice(self.items, f);
+    }
+}
+
+/// A mapped parallel iteration, ready to collect.
+pub struct ParMap<'a, T: Sync, R, F> {
+    items: &'a [T],
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<'a, T: Sync, R, F> ParMap<'a, T, R, F>
+where
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_slice(self.items, self.f))
+    }
+}
+
+/// Types that expose [`ParIter`] over their elements by reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+
+    /// Starts a parallel iteration over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The traits needed at `par_iter` call sites, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let par: Vec<u64> =
+                pool.install(|| items.par_iter().map(|&x| x * x).collect::<Vec<_>>());
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let three = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        one.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            three.install(|| assert_eq!(current_num_threads(), 3));
+            assert_eq!(current_num_threads(), 1);
+        });
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect::<Vec<_>>();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect::<Vec<_>>();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let items: Vec<u64> = (1..=100).collect();
+        let sum = AtomicU64::new(0);
+        items.par_iter().for_each(|&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5_050);
+    }
+
+    #[test]
+    fn build_global_sets_default_width() {
+        // Runs in its own test, but installs still take precedence.
+        ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        one.install(|| assert_eq!(current_num_threads(), 1));
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+}

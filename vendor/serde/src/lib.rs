@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` surface this workspace names.
+//!
+//! `crowd-core` exposes an *optional* `serde` feature that no in-tree
+//! consumer enables; the registry is unreachable in the build environment,
+//! so this stand-in exists to keep the dependency graph resolvable (and
+//! `--all-features` compilable). The traits are markers and the derives
+//! expand to nothing — wire in the real crate before relying on actual
+//! serialization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

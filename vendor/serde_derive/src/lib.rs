@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace only gates serialization behind an *optional* `serde`
+//! feature that no in-tree consumer enables; these derives exist so the
+//! feature still compiles (e.g. under `--all-features`). They expand to
+//! nothing and accept (ignore) `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
