@@ -48,7 +48,7 @@ pub fn batch_judgments(ds: &Dataset, index: &DatasetIndex, batch: BatchId) -> Ba
     let mut label_ids: HashMap<Answer, u16> = HashMap::new();
 
     for inst_id in index.instances_of_batch(batch) {
-        let inst = &ds.instances[inst_id.index()];
+        let inst = ds.instance(inst_id);
         if matches!(inst.answer, Answer::Skipped) {
             continue;
         }

@@ -68,8 +68,6 @@ pub struct LatencyDecomposition {
 
 /// Computes the Fig 13 decomposition.
 pub fn latency_decomposition(study: &Study) -> LatencyDecomposition {
-    let ds = study.dataset();
-
     let mut batch_level = Vec::new();
     let mut ratios = Vec::new();
     for m in study.enriched_batches() {
@@ -80,26 +78,9 @@ pub fn latency_decomposition(study: &Study) -> LatencyDecomposition {
         }
     }
 
-    // Instance-level: bucket end-to-end times into half-decade log splices
-    // and take medians per splice (the paper's per-splice medians).
-    let mut buckets: std::collections::BTreeMap<i32, (Vec<f64>, Vec<f64>)> =
-        std::collections::BTreeMap::new();
-    for inst in &ds.instances {
-        let pickup = study.pickup_secs(inst).max(1.0);
-        let task = inst.work_time().as_secs().max(1) as f64;
-        let e2e = pickup + task;
-        let splice = (2.0 * e2e.log10()).floor() as i32;
-        let entry = buckets.entry(splice).or_default();
-        entry.0.push(pickup);
-        entry.1.push(task);
-    }
-    let instance_level = buckets
-        .into_iter()
-        .filter_map(|(splice, (pickups, tasks))| {
-            let e2e = 10f64.powf(f64::from(splice) / 2.0 + 0.25);
-            Some(LatencyPoint { end_to_end: e2e, pickup: median(&pickups)?, task: median(&tasks)? })
-        })
-        .collect();
+    // Instance-level: end-to-end times bucketed into half-decade log
+    // splices with medians per splice — precomputed by the fused scan.
+    let instance_level = study.fused().instance_latency.clone();
 
     LatencyDecomposition {
         batch_level,

@@ -6,7 +6,7 @@
 //! questions)". This module measures the realized redundancy from the
 //! instance rows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crowd_stats::descriptive::{median, Summary};
 
@@ -32,27 +32,26 @@ pub fn redundancy(study: &Study) -> Option<RedundancyStats> {
     if ds.instances.is_empty() {
         return None;
     }
-    // Judgments per (batch, item).
-    let mut per_item: HashMap<(u32, u32), u32> = HashMap::new();
-    for inst in &ds.instances {
-        *per_item.entry((inst.batch.raw(), inst.item.raw())).or_insert(0) += 1;
-    }
+    // Judgments per (batch, item), from the fused scan. BTreeMap order
+    // matters: `Summary::of` folds the counts in iteration order, and a
+    // hash map's per-process random seed would wobble the mean/stddev in
+    // the last ulp across processes.
+    let per_item = &study.fused().per_item;
     let counts: Vec<f64> = per_item.values().map(|&c| f64::from(c)).collect();
     let pairable = per_item.values().filter(|&&c| c >= 2).count() as f64 / per_item.len() as f64;
 
     // Per-cluster medians.
-    let mut batch_cluster: HashMap<u32, u32> = HashMap::new();
+    let mut batch_cluster: BTreeMap<u32, u32> = BTreeMap::new();
     for m in study.enriched_batches() {
         batch_cluster.insert(m.batch.raw(), m.cluster);
     }
-    let mut by_cluster: HashMap<u32, Vec<f64>> = HashMap::new();
-    for (&(batch, _), &count) in &per_item {
+    let mut by_cluster: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    for (&(batch, _), &count) in per_item {
         if let Some(&cluster) = batch_cluster.get(&batch) {
             by_cluster.entry(cluster).or_default().push(f64::from(count));
         }
     }
-    let mut cluster_ids: Vec<u32> = by_cluster.keys().copied().collect();
-    cluster_ids.sort_unstable();
+    let cluster_ids: Vec<u32> = by_cluster.keys().copied().collect();
     let per_cluster_median =
         cluster_ids.iter().map(|c| median(&by_cluster[c]).expect("non-empty cluster")).collect();
 

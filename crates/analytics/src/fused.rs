@@ -1,0 +1,378 @@
+//! The fused analytics pass: every instance-table aggregate the paper's
+//! figures need, computed in **one** deterministic [`ScanPass`].
+//!
+//! Before this module each analytics function re-walked `ds.instances`
+//! on its own (~28 full-table scans for a full reproduction run). Now a
+//! single composite accumulator ([`FusedAcc`]) gathers the raw per-worker,
+//! per-source, per-week, per-day, per-splice and per-item aggregates in
+//! one pass, and the public functions in [`crate::marketplace`],
+//! [`crate::workers`] and [`crate::design`] *shape* their outputs from the
+//! cached [`Fused`] result (held in a `OnceLock` on [`Study`]).
+//!
+//! ## Determinism
+//!
+//! The engine inherits the `ScanPass` contract: fixed-size chunks folded
+//! in row order, merged sequentially in chunk order — so every float sum
+//! here is bit-identical at any thread count. All keyed state uses
+//! `BTreeMap`/`BTreeSet` so shaping iterates in a process-independent
+//! order (a `HashMap`'s random seed must never decide the order in which
+//! floats are added or rows are exported).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crowd_core::prelude::*;
+use crowd_stats::descriptive::median;
+
+use crate::design::metrics::LatencyPoint;
+use crate::study::Study;
+
+/// Months since year 0, for cohort bucketing.
+pub(crate) fn month_index(t: Timestamp) -> i32 {
+    let (y, m, _) = t.ymd();
+    y * 12 + (m as i32 - 1)
+}
+
+/// Tasks and active hours of one worker inside one week.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WeekCell {
+    /// Instances started this week.
+    pub tasks: u64,
+    /// Work-time hours clocked this week.
+    pub hours: f64,
+}
+
+/// Raw per-worker aggregates (only workers with ≥ 1 instance appear).
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerAgg {
+    /// Instances performed.
+    pub tasks: u64,
+    /// Total work time in seconds (integer-valued, so order-exact).
+    pub work_secs: f64,
+    /// Sum of trust scores.
+    pub trust_sum: f64,
+    /// Day number of the first activity.
+    pub first_day: i64,
+    /// Day number of the last activity.
+    pub last_day: i64,
+    /// Distinct active day numbers.
+    pub days: BTreeSet<i64>,
+    /// Distinct active months (see [`month_index`]).
+    pub months: BTreeSet<i32>,
+    /// `(start, end)` of every instance, in row order (for sessions).
+    pub intervals: Vec<(Timestamp, Timestamp)>,
+    /// Per-week activity, keyed by week offset from the dataset's first
+    /// week (clamped like the availability figures).
+    pub weeks: BTreeMap<usize, WeekCell>,
+}
+
+impl WorkerAgg {
+    fn new() -> WorkerAgg {
+        WorkerAgg {
+            tasks: 0,
+            work_secs: 0.0,
+            trust_sum: 0.0,
+            first_day: i64::MAX,
+            last_day: i64::MIN,
+            days: BTreeSet::new(),
+            months: BTreeSet::new(),
+            intervals: Vec::new(),
+            weeks: BTreeMap::new(),
+        }
+    }
+
+    fn absorb(&mut self, o: WorkerAgg) {
+        self.tasks += o.tasks;
+        self.work_secs += o.work_secs;
+        self.trust_sum += o.trust_sum;
+        self.first_day = self.first_day.min(o.first_day);
+        self.last_day = self.last_day.max(o.last_day);
+        self.days.extend(o.days);
+        self.months.extend(o.months);
+        self.intervals.extend(o.intervals);
+        for (wk, cell) in o.weeks {
+            let mine = self.weeks.entry(wk).or_default();
+            mine.tasks += cell.tasks;
+            mine.hours += cell.hours;
+        }
+    }
+}
+
+/// Raw per-source aggregates (only sources with ≥ 1 instance appear).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SourceAgg {
+    /// Instances performed by the source's workers.
+    pub n_tasks: u64,
+    /// Sum of trust scores.
+    pub trust_sum: f64,
+    /// Sum of work-time / batch-median-task-time ratios.
+    pub rel_time_sum: f64,
+    /// Instances contributing to `rel_time_sum`.
+    pub rel_time_n: u64,
+}
+
+/// Everything the analytics layer needs from the instance table, gathered
+/// in one scan and cached on the [`Study`].
+#[derive(Debug, Clone)]
+pub(crate) struct Fused {
+    /// First week index of the dataset (0 when empty).
+    pub w0: i32,
+    /// Number of weeks covered (0 when empty).
+    pub n_weeks: usize,
+    /// Per-worker aggregates, keyed by raw worker id (ascending).
+    pub workers: BTreeMap<u32, WorkerAgg>,
+    /// Per-source aggregates, keyed by raw source id (ascending).
+    pub sources: BTreeMap<u32, SourceAgg>,
+    /// Instances issued per week (attributed to the batch-creation week).
+    pub issued: Vec<u64>,
+    /// Instances completed per week (by instance end time).
+    pub completed: Vec<u64>,
+    /// Median pickup seconds of instances issued per week.
+    pub median_pickup: Vec<Option<f64>>,
+    /// Instances issued per day of week (of the batch creation time).
+    pub weekday: [u64; 7],
+    /// Instances issued per day number (of the batch creation time).
+    pub per_day: BTreeMap<i64, u64>,
+    /// Fig 13b instance-level latency points, one per end-to-end splice.
+    pub instance_latency: Vec<LatencyPoint>,
+    /// Judgments per `(batch, item)`.
+    pub per_item: BTreeMap<(u32, u32), u32>,
+}
+
+/// The composite accumulator feeding [`Fused`] from one [`ScanPass`].
+struct FusedAcc {
+    // -- configuration (copied into every chunk's working copy) ----------
+    w0: i32,
+    n_weeks: usize,
+    /// Median task time per batch (`None` for unsampled batches), indexed
+    /// by batch id.
+    batch_median: Arc<Vec<Option<f64>>>,
+    // -- state -----------------------------------------------------------
+    workers: BTreeMap<u32, WorkerAgg>,
+    sources: BTreeMap<u32, SourceAgg>,
+    issued: Vec<u64>,
+    completed: Vec<u64>,
+    pickups: Vec<Vec<f64>>,
+    weekday: [u64; 7],
+    per_day: BTreeMap<i64, u64>,
+    /// Per half-decade log-splice: (pickup secs, task secs) piles.
+    buckets: BTreeMap<i32, (Vec<f64>, Vec<f64>)>,
+    per_item: BTreeMap<(u32, u32), u32>,
+}
+
+impl FusedAcc {
+    fn proto(w0: i32, n_weeks: usize, batch_median: Arc<Vec<Option<f64>>>) -> FusedAcc {
+        FusedAcc {
+            w0,
+            n_weeks,
+            batch_median,
+            workers: BTreeMap::new(),
+            sources: BTreeMap::new(),
+            issued: vec![0; n_weeks],
+            completed: vec![0; n_weeks],
+            pickups: vec![Vec::new(); n_weeks],
+            weekday: [0; 7],
+            per_day: BTreeMap::new(),
+            buckets: BTreeMap::new(),
+            per_item: BTreeMap::new(),
+        }
+    }
+
+    fn week_of(&self, t: Timestamp) -> usize {
+        ((t.week().0 - self.w0).max(0) as usize).min(self.n_weeks - 1)
+    }
+}
+
+impl Accumulator for FusedAcc {
+    type Output = Fused;
+
+    fn init(&self) -> Self {
+        FusedAcc::proto(self.w0, self.n_weeks, Arc::clone(&self.batch_median))
+    }
+
+    fn accept(&mut self, ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        let created = ds.batch(row.batch).created_at;
+        let work_secs = row.work_time().as_secs() as f64;
+        let pickup = (row.start - created).as_secs() as f64;
+        let day = row.start.day_number();
+
+        // ---- per worker -------------------------------------------------
+        let w = self.workers.entry(row.worker.raw()).or_insert_with(WorkerAgg::new);
+        w.tasks += 1;
+        w.work_secs += work_secs;
+        w.trust_sum += f64::from(row.trust);
+        w.first_day = w.first_day.min(day);
+        w.last_day = w.last_day.max(day);
+        w.days.insert(day);
+        w.months.insert(month_index(row.start));
+        w.intervals.push((row.start, row.end));
+        if self.n_weeks > 0 {
+            let wk = ((row.start.week().0 - self.w0).max(0) as usize).min(self.n_weeks - 1);
+            let cell = w.weeks.entry(wk).or_default();
+            cell.tasks += 1;
+            cell.hours += row.work_time().as_hours_f64();
+        }
+
+        // ---- per source -------------------------------------------------
+        let src = ds.worker(row.worker).source;
+        let s = self.sources.entry(src.raw()).or_default();
+        s.n_tasks += 1;
+        s.trust_sum += f64::from(row.trust);
+        if let Some(med) = self.batch_median[row.batch.index()] {
+            if med > 0.0 {
+                s.rel_time_sum += work_secs / med;
+                s.rel_time_n += 1;
+            }
+        }
+
+        // ---- arrival / load series --------------------------------------
+        if self.n_weeks > 0 {
+            let wi = self.week_of(created);
+            let wc = self.week_of(row.end);
+            self.issued[wi] += 1;
+            self.completed[wc] += 1;
+            self.pickups[wi].push(pickup);
+        }
+        self.weekday[created.weekday().index()] += 1;
+        *self.per_day.entry(created.day_number()).or_insert(0) += 1;
+
+        // ---- latency decomposition (Fig 13b) ----------------------------
+        let p = pickup.max(1.0);
+        let task = row.work_time().as_secs().max(1) as f64;
+        let splice = (2.0 * (p + task).log10()).floor() as i32;
+        let bucket = self.buckets.entry(splice).or_default();
+        bucket.0.push(p);
+        bucket.1.push(task);
+
+        // ---- redundancy -------------------------------------------------
+        *self.per_item.entry((row.batch.raw(), row.item.raw())).or_insert(0) += 1;
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (k, v) in other.workers {
+            match self.workers.entry(k) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().absorb(v),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+        for (k, v) in other.sources {
+            let mine = self.sources.entry(k).or_default();
+            mine.n_tasks += v.n_tasks;
+            mine.trust_sum += v.trust_sum;
+            mine.rel_time_sum += v.rel_time_sum;
+            mine.rel_time_n += v.rel_time_n;
+        }
+        for (mine, theirs) in self.issued.iter_mut().zip(other.issued) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.completed.iter_mut().zip(other.completed) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.pickups.iter_mut().zip(other.pickups) {
+            mine.extend(theirs);
+        }
+        for (mine, theirs) in self.weekday.iter_mut().zip(other.weekday) {
+            *mine += theirs;
+        }
+        for (d, c) in other.per_day {
+            *self.per_day.entry(d).or_insert(0) += c;
+        }
+        for (splice, (pickups, tasks)) in other.buckets {
+            let mine = self.buckets.entry(splice).or_default();
+            mine.0.extend(pickups);
+            mine.1.extend(tasks);
+        }
+        for (key, c) in other.per_item {
+            *self.per_item.entry(key).or_insert(0) += c;
+        }
+    }
+
+    fn finish(self, _ds: &Dataset) -> Fused {
+        let median_pickup = self.pickups.iter().map(|pile| median(pile)).collect();
+        let instance_latency = self
+            .buckets
+            .into_iter()
+            .filter_map(|(splice, (pickups, tasks))| {
+                let e2e = 10f64.powf(f64::from(splice) / 2.0 + 0.25);
+                Some(LatencyPoint {
+                    end_to_end: e2e,
+                    pickup: median(&pickups)?,
+                    task: median(&tasks)?,
+                })
+            })
+            .collect();
+        Fused {
+            w0: self.w0,
+            n_weeks: self.n_weeks,
+            workers: self.workers,
+            sources: self.sources,
+            issued: self.issued,
+            completed: self.completed,
+            median_pickup,
+            weekday: self.weekday,
+            per_day: self.per_day,
+            instance_latency,
+            per_item: self.per_item,
+        }
+    }
+}
+
+/// Runs the fused pass for a study. Called once per `Study` (memoized).
+pub(crate) fn compute(study: &Study) -> Fused {
+    let ds = study.dataset();
+    let (w0, n_weeks) = match (ds.time_min(), ds.time_max()) {
+        (Some(t0), Some(t1)) => (t0.week().0, (t1.week().0 - t0.week().0 + 1).max(0) as usize),
+        _ => (0, 0),
+    };
+    let mut batch_median: Vec<Option<f64>> = vec![None; ds.batches.len()];
+    for m in study.enriched_batches() {
+        if let Some(t) = m.task_time {
+            batch_median[m.batch.index()] = Some(t);
+        }
+    }
+    let proto = FusedAcc::proto(w0, n_weeks, Arc::new(batch_median));
+    ScanPass::run(ds, &proto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_is_computed_once_and_totals_match() {
+        let s = crate::testutil::tiny_study();
+        let ds = s.dataset();
+        let before = ScanPass::full_scan_count();
+        let f = s.fused();
+        let g = s.fused();
+        assert!(ScanPass::full_scan_count() - before <= 1, "memoized");
+        assert_eq!(f.workers.len(), g.workers.len());
+
+        let n = ds.instances.len() as u64;
+        assert_eq!(f.workers.values().map(|w| w.tasks).sum::<u64>(), n);
+        assert_eq!(f.sources.values().map(|s| s.n_tasks).sum::<u64>(), n);
+        assert_eq!(f.issued.iter().sum::<u64>(), n);
+        assert_eq!(f.completed.iter().sum::<u64>(), n);
+        assert_eq!(f.weekday.iter().sum::<u64>(), n);
+        assert_eq!(f.per_day.values().sum::<u64>(), n);
+        assert_eq!(f.per_item.values().map(|&c| u64::from(c)).sum::<u64>(), n);
+        let intervals: usize = f.workers.values().map(|w| w.intervals.len()).sum();
+        assert_eq!(intervals, ds.instances.len());
+    }
+
+    #[test]
+    fn worker_aggregates_are_internally_consistent() {
+        let s = crate::testutil::tiny_study();
+        for agg in s.fused().workers.values() {
+            assert!(agg.tasks > 0);
+            assert!(agg.first_day <= agg.last_day);
+            assert!(!agg.days.is_empty());
+            assert!(agg.days.len() as u64 <= agg.tasks);
+            assert!(!agg.months.is_empty());
+            assert_eq!(agg.intervals.len() as u64, agg.tasks);
+            assert_eq!(agg.weeks.values().map(|c| c.tasks).sum::<u64>(), agg.tasks);
+        }
+    }
+}

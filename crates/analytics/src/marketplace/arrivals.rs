@@ -6,6 +6,10 @@ use crowd_table::{Agg, Table};
 
 use crate::study::Study;
 
+// Instance-level series (issued/completed/pickup/weekday/daily counts)
+// come from the study's fused scan cache; only the *batch* table — orders
+// of magnitude smaller — is walked here.
+
 /// Weekly arrival series (Figs 1, 2a, 2b): instances, batches, distinct
 /// tasks (sampled and all), completions, and the median pickup overlay.
 #[derive(Debug, Clone, Default)]
@@ -108,31 +112,18 @@ pub fn weekly(study: &Study) -> WeeklyArrivals {
     }
 
     // Instances: issued (batch week) and completed (end week), plus pickup
-    // overlay.
-    let mut pickups_per_week: Vec<Vec<f64>> = vec![Vec::new(); n];
-    for inst in &ds.instances {
-        let created = ds.batch(inst.batch).created_at;
-        let wi = (created.week().0 - w0) as usize;
-        out.instances[wi] += 1;
-        let wc = ((inst.end.week().0 - w0).max(0) as usize).min(n - 1);
-        out.completed[wc] += 1;
-        pickups_per_week[wi].push((inst.start - created).as_secs() as f64);
-    }
-    for (i, pile) in pickups_per_week.iter().enumerate() {
-        out.median_pickup[i] = median(pile);
-    }
+    // overlay — all shaped from the fused scan.
+    let fused = study.fused();
+    debug_assert_eq!(fused.n_weeks, n);
+    out.instances.copy_from_slice(&fused.issued);
+    out.completed.copy_from_slice(&fused.completed);
+    out.median_pickup.copy_from_slice(&fused.median_pickup);
     out
 }
 
 /// Fig 3: task instances issued per day of week.
 pub fn by_weekday(study: &Study) -> [u64; 7] {
-    let ds = study.dataset();
-    let mut counts = [0u64; 7];
-    for inst in &ds.instances {
-        let wd = ds.batch(inst.batch).created_at.weekday();
-        counts[wd.index()] += 1;
-    }
-    counts
+    study.fused().weekday
 }
 
 /// §3.1 takeaway: daily load statistics after a cutoff (paper: Jan 2015).
@@ -153,20 +144,20 @@ pub struct DailyLoad {
 }
 
 /// Computes daily load statistics for instances issued at or after
-/// `since`. Returns `None` when no instances qualify.
+/// `since` (cutoff applied at day granularity — callers pass midnights).
+/// Returns `None` when no instances qualify.
 pub fn daily_load(study: &Study, since: Timestamp) -> Option<DailyLoad> {
-    let ds = study.dataset();
-    let mut per_day: std::collections::HashMap<i64, u64> = std::collections::HashMap::new();
-    for inst in &ds.instances {
-        let created = ds.batch(inst.batch).created_at;
-        if created >= since {
-            *per_day.entry(created.day_number()).or_insert(0) += 1;
-        }
-    }
-    if per_day.is_empty() {
+    let cutoff = since.day_number();
+    let counts: Vec<f64> = study
+        .fused()
+        .per_day
+        .iter()
+        .filter(|&(&day, _)| day >= cutoff)
+        .map(|(_, &c)| c as f64)
+        .collect();
+    if counts.is_empty() {
         return None;
     }
-    let counts: Vec<f64> = per_day.values().map(|&c| c as f64).collect();
     let med = median(&counts)?;
     let max = counts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min = counts.iter().copied().fold(f64::INFINITY, f64::min);

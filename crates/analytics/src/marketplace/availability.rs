@@ -1,7 +1,6 @@
 //! Worker availability and engagement splits (paper §3.2; Figs 4, 5b).
 
 use crowd_core::prelude::*;
-use std::collections::HashSet;
 
 use crate::study::Study;
 
@@ -16,20 +15,20 @@ pub struct WeeklyWorkers {
 
 /// Computes distinct active workers per week.
 pub fn weekly_workers(study: &Study) -> WeeklyWorkers {
-    let ds = study.dataset();
-    let (Some(t0), Some(t1)) = (ds.time_min(), ds.time_max()) else {
+    let fused = study.fused();
+    if fused.n_weeks == 0 {
         return WeeklyWorkers::default();
-    };
-    let w0 = t0.week().0;
-    let n = (t1.week().0 - w0 + 1).max(0) as usize;
-    let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); n];
-    for inst in &ds.instances {
-        let w = ((inst.start.week().0 - w0).max(0) as usize).min(n - 1);
-        sets[w].insert(inst.worker.raw());
+    }
+    // A worker is active in every week its per-week cells cover.
+    let mut counts = vec![0u64; fused.n_weeks];
+    for agg in fused.workers.values() {
+        for &wk in agg.weeks.keys() {
+            counts[wk] += 1;
+        }
     }
     WeeklyWorkers {
-        weeks: (0..n).map(|i| WeekIndex(w0 + i as i32)).collect(),
-        active_workers: sets.iter().map(|s| s.len() as u64).collect(),
+        weeks: (0..fused.n_weeks).map(|i| WeekIndex(fused.w0 + i as i32)).collect(),
+        active_workers: counts,
     }
 }
 
@@ -54,27 +53,20 @@ pub struct EngagementSplit {
 /// Computes the engagement split.
 pub fn engagement_split(study: &Study) -> EngagementSplit {
     let ds = study.dataset();
-    let (Some(t0), Some(t1)) = (ds.time_min(), ds.time_max()) else {
+    let fused = study.fused();
+    let n = fused.n_weeks;
+    if n == 0 {
         return EngagementSplit::default();
-    };
-    let w0 = t0.week().0;
-    let n = (t1.week().0 - w0 + 1).max(0) as usize;
+    }
 
-    // Rank workers by total tasks.
-    let mut totals = vec![0u64; ds.workers.len()];
-    for inst in &ds.instances {
-        totals[inst.worker.index()] += 1;
-    }
-    let mut active: Vec<usize> = (0..ds.workers.len()).filter(|&i| totals[i] > 0).collect();
-    active.sort_by_key(|&i| std::cmp::Reverse(totals[i]));
-    let cut = (active.len() / 10).max(1);
-    let mut is_top = vec![false; ds.workers.len()];
-    for &i in &active[..cut.min(active.len())] {
-        is_top[i] = true;
-    }
+    // Rank active workers by total tasks (stable sort: ties stay in
+    // ascending worker-id order, as the BTreeMap iterates).
+    let mut active: Vec<(u32, u64)> = fused.workers.iter().map(|(&w, a)| (w, a.tasks)).collect();
+    active.sort_by_key(|&(_, tasks)| std::cmp::Reverse(tasks));
+    let cut = (active.len() / 10).max(1).min(active.len());
 
     let mut out = EngagementSplit {
-        weeks: (0..n).map(|i| WeekIndex(w0 + i as i32)).collect(),
+        weeks: (0..n).map(|i| WeekIndex(fused.w0 + i as i32)).collect(),
         tasks_top10: vec![0; n],
         tasks_bot90: vec![0; n],
         hours_top10: vec![0.0; n],
@@ -82,16 +74,19 @@ pub fn engagement_split(study: &Study) -> EngagementSplit {
         top10_task_share: 0.0,
     };
     let mut top_total = 0u64;
-    for inst in &ds.instances {
-        let w = ((inst.start.week().0 - w0).max(0) as usize).min(n - 1);
-        let hours = inst.work_time().as_hours_f64();
-        if is_top[inst.worker.index()] {
-            out.tasks_top10[w] += 1;
-            out.hours_top10[w] += hours;
-            top_total += 1;
-        } else {
-            out.tasks_bot90[w] += 1;
-            out.hours_bot90[w] += hours;
+    for (rank, &(worker, tasks)) in active.iter().enumerate() {
+        let top = rank < cut;
+        if top {
+            top_total += tasks;
+        }
+        for (&wk, cell) in &fused.workers[&worker].weeks {
+            if top {
+                out.tasks_top10[wk] += cell.tasks;
+                out.hours_top10[wk] += cell.hours;
+            } else {
+                out.tasks_bot90[wk] += cell.tasks;
+                out.hours_bot90[wk] += cell.hours;
+            }
         }
     }
     out.top10_task_share = top_total as f64 / ds.instances.len().max(1) as f64;

@@ -2,13 +2,16 @@
 //! extraction, and effectiveness metrics over a raw dataset.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
 
 use crowd_cluster::{ClusterParams, Clusterer};
 use crowd_core::answer::item_disagreement_ref;
 use crowd_core::prelude::*;
 use crowd_html::{extract_features, ExtractedFeatures};
-use crowd_stats::descriptive::median;
+use crowd_stats::descriptive::{median, median_inplace};
 use rayon::prelude::*;
+
+use crate::fused::Fused;
 
 /// Per-batch enrichment: extracted design features plus the three §4.1
 /// effectiveness metrics.
@@ -76,6 +79,9 @@ pub struct Study {
     /// Parallel to `ds.batches`; `None` for unsampled batches.
     batch_metrics: Vec<Option<BatchMetrics>>,
     clusters: Vec<ClusterInfo>,
+    /// Raw instance-table aggregates from the one fused scan, computed on
+    /// first use (most analytics functions only shape this cache).
+    fused: OnceLock<Fused>,
 }
 
 impl Study {
@@ -121,7 +127,12 @@ impl Study {
         // ---- cluster aggregates ----------------------------------------
         let clusters = aggregate_clusters(&ds, &batch_metrics, clustering.n_clusters());
 
-        Study { ds, index, batch_metrics, clusters }
+        Study { ds, index, batch_metrics, clusters, fused: OnceLock::new() }
+    }
+
+    /// The fused instance-table aggregates (one [`ScanPass`] run, cached).
+    pub(crate) fn fused(&self) -> &Fused {
+        self.fused.get_or_init(|| crate::fused::compute(self))
     }
 
     /// The underlying dataset.
@@ -155,7 +166,7 @@ impl Study {
     }
 
     /// Pickup latency of an instance (start − batch creation).
-    pub fn pickup_secs(&self, inst: &TaskInstance) -> f64 {
+    pub fn pickup_secs(&self, inst: InstanceRef<'_>) -> f64 {
         self.ds.pickup_time(inst).as_secs() as f64
     }
 }
@@ -177,11 +188,11 @@ fn compute_batch_metrics(
     let mut by_item: BTreeMap<u32, Vec<&Answer>> = BTreeMap::new();
     let mut n_instances = 0u32;
     for inst_id in index.instances_of_batch(batch) {
-        let inst = &ds.instances[inst_id.index()];
+        let inst = ds.instance(inst_id);
         n_instances += 1;
         pickups.push((inst.start - created).as_secs() as f64);
         times.push(inst.work_time().as_secs() as f64);
-        by_item.entry(inst.item.raw()).or_default().push(&inst.answer);
+        by_item.entry(inst.item.raw()).or_default().push(inst.answer);
     }
     let n_items = by_item.len() as u32;
 
@@ -244,13 +255,16 @@ fn aggregate_clusters(
                 .expect("non-empty cluster");
             let tt = ds.task_type(majority);
 
+            // Selection, not a full sort: these scratch vectors are
+            // rebuilt per cluster, so the O(n log n) sort inside `median`
+            // was pure overhead.
             let med = |f: &dyn Fn(&BatchMetrics) -> Option<f64>| {
-                let vals: Vec<f64> = ms.iter().filter_map(|m| f(m)).collect();
-                median(&vals)
+                let mut vals: Vec<f64> = ms.iter().filter_map(|m| f(m)).collect();
+                median_inplace(&mut vals)
             };
             let medf = |f: &dyn Fn(&BatchMetrics) -> f64| {
-                let vals: Vec<f64> = ms.iter().map(|m| f(m)).collect();
-                median(&vals).unwrap_or(0.0)
+                let mut vals: Vec<f64> = ms.iter().map(|m| f(m)).collect();
+                median_inplace(&mut vals).unwrap_or(0.0)
             };
 
             ClusterInfo {

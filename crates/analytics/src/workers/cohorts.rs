@@ -23,11 +23,8 @@ pub struct Cohort {
     pub retention: Vec<f64>,
 }
 
-/// Months since year 0 for bucketing.
-fn month_index(t: Timestamp) -> i32 {
-    let (y, m, _) = t.ymd();
-    y * 12 + (m as i32 - 1)
-}
+#[cfg(test)]
+use crate::fused::month_index;
 
 fn month_start(index: i32) -> Timestamp {
     Timestamp::from_ymd(index.div_euclid(12), (index.rem_euclid(12) + 1) as u32, 1)
@@ -36,30 +33,17 @@ fn month_start(index: i32) -> Timestamp {
 /// Computes monthly cohorts with retention horizons up to the end of the
 /// dataset. Workers with zero instances are excluded (unobservable).
 pub fn monthly_cohorts(study: &Study) -> Vec<Cohort> {
-    let ds = study.dataset();
-    let n = ds.workers.len();
-    let mut first = vec![i32::MAX; n];
-    let mut active_months: Vec<std::collections::BTreeSet<i32>> =
-        vec![std::collections::BTreeSet::new(); n];
-    let mut max_month = i32::MIN;
-    for inst in &ds.instances {
-        let w = inst.worker.index();
-        let m = month_index(inst.start);
-        first[w] = first[w].min(m);
-        active_months[w].insert(m);
-        max_month = max_month.max(m);
-    }
-    if max_month == i32::MIN {
+    let fused = study.fused();
+    let Some(max_month) = fused.workers.values().filter_map(|a| a.months.last().copied()).max()
+    else {
         return Vec::new();
-    }
+    };
 
-    // Group workers by join month.
-    let mut cohorts: std::collections::BTreeMap<i32, Vec<usize>> =
-        std::collections::BTreeMap::new();
-    for (w, &join) in first.iter().enumerate() {
-        if join != i32::MAX {
-            cohorts.entry(join).or_default().push(w);
-        }
+    // Group workers by join month (= their earliest active month).
+    let mut cohorts: std::collections::BTreeMap<i32, Vec<u32>> = std::collections::BTreeMap::new();
+    for (&w, agg) in &fused.workers {
+        let join = *agg.months.first().expect("active worker has months");
+        cohorts.entry(join).or_default().push(w);
     }
 
     cohorts
@@ -68,7 +52,7 @@ pub fn monthly_cohorts(study: &Study) -> Vec<Cohort> {
             let horizon = (max_month - join_month) as usize + 1;
             let mut retention = vec![0.0; horizon];
             for &w in &members {
-                for &m in &active_months[w] {
+                for &m in &fused.workers[&w].months {
                     retention[(m - join_month) as usize] += 1.0;
                 }
             }

@@ -30,17 +30,11 @@ impl GeoDistribution {
 /// Computes the country distribution over workers who performed ≥1 task.
 pub fn distribution(study: &Study) -> GeoDistribution {
     let ds = study.dataset();
-    let mut seen = vec![false; ds.workers.len()];
-    for inst in &ds.instances {
-        seen[inst.worker.index()] = true;
-    }
     let mut per_country = vec![0u64; ds.countries.len()];
     let mut total = 0u64;
-    for (i, w) in ds.workers.iter().enumerate() {
-        if seen[i] {
-            per_country[w.country.index()] += 1;
-            total += 1;
-        }
+    for &w in study.fused().workers.keys() {
+        per_country[ds.worker(WorkerId::new(w)).country.index()] += 1;
+        total += 1;
     }
     let mut countries: Vec<(CountryId, String, u64)> = per_country
         .iter()

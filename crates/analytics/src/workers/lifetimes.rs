@@ -37,48 +37,33 @@ pub struct LifetimeStats {
 
 /// Computes lifetime statistics.
 pub fn lifetime_stats(study: &Study) -> LifetimeStats {
-    let ds = study.dataset();
-    let n = ds.workers.len();
-    let mut first = vec![i64::MAX; n];
-    let mut last = vec![i64::MIN; n];
-    let mut days: Vec<std::collections::HashSet<i64>> = vec![std::collections::HashSet::new(); n];
-    let mut tasks = vec![0u64; n];
-    for inst in &ds.instances {
-        let w = inst.worker.index();
-        let d = inst.start.day_number();
-        first[w] = first[w].min(d);
-        last[w] = last[w].max(d);
-        days[w].insert(d);
-        tasks[w] += 1;
-    }
-
-    let active_workers: Vec<usize> = (0..n).filter(|&i| tasks[i] > 0).collect();
+    let fused = study.fused();
     let mut out = LifetimeStats::default();
-    let total_tasks: u64 = tasks.iter().sum();
+    let total_tasks: u64 = fused.workers.values().map(|a| a.tasks).sum();
     let mut one_day_tasks = 0u64;
     let mut active_tasks = 0u64;
     let mut n_active = 0usize;
     let mut weekly_active = 0usize;
 
-    for &i in &active_workers {
-        let lifetime = (last[i] - first[i] + 1) as u32;
-        let wd = days[i].len() as u32;
+    for agg in fused.workers.values() {
+        let lifetime = (agg.last_day - agg.first_day + 1) as u32;
+        let wd = agg.days.len() as u32;
         out.lifetimes_days.push(lifetime);
         out.working_days.push(wd);
         out.active_fraction.push(f64::from(wd) / f64::from(lifetime));
-        out.tasks.push(tasks[i]);
+        out.tasks.push(agg.tasks);
         if lifetime == 1 {
-            one_day_tasks += tasks[i];
+            one_day_tasks += agg.tasks;
         }
         if wd > 10 {
             n_active += 1;
-            active_tasks += tasks[i];
+            active_tasks += agg.tasks;
             if f64::from(wd) >= f64::from(lifetime) / 7.0 {
                 weekly_active += 1;
             }
         }
     }
-    let n_workers = active_workers.len().max(1) as f64;
+    let n_workers = fused.workers.len().max(1) as f64;
     out.one_day_fraction =
         out.lifetimes_days.iter().filter(|&&l| l == 1).count() as f64 / n_workers;
     out.one_day_task_share = one_day_tasks as f64 / total_tasks.max(1) as f64;
@@ -107,19 +92,13 @@ pub struct ActiveTrust {
 /// Computes the active-worker trust distribution; `None` when no worker
 /// has more than 10 working days.
 pub fn active_trust(study: &Study) -> Option<ActiveTrust> {
-    let ds = study.dataset();
-    let n = ds.workers.len();
-    let mut days: Vec<std::collections::HashSet<i64>> = vec![std::collections::HashSet::new(); n];
-    let mut trust_sum = vec![0f64; n];
-    let mut count = vec![0u64; n];
-    for inst in &ds.instances {
-        let w = inst.worker.index();
-        days[w].insert(inst.start.day_number());
-        trust_sum[w] += f64::from(inst.trust);
-        count[w] += 1;
-    }
-    let avgs: Vec<f64> =
-        (0..n).filter(|&i| days[i].len() > 10).map(|i| trust_sum[i] / count[i] as f64).collect();
+    let avgs: Vec<f64> = study
+        .fused()
+        .workers
+        .values()
+        .filter(|a| a.days.len() > 10)
+        .map(|a| a.trust_sum / a.tasks as f64)
+        .collect();
     if avgs.is_empty() {
         return None;
     }

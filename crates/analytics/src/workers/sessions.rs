@@ -43,45 +43,41 @@ pub struct SessionStats {
 }
 
 /// Segments every worker's instances into sessions.
+///
+/// Interval lists come from the fused scan cache; only the sort and the
+/// gap-dependent segmentation happen per call, so varying `gap` never
+/// re-reads the instance table.
 pub fn sessions(study: &Study, gap: Duration) -> SessionStats {
-    let ds = study.dataset();
-    // Group instance indices per worker, then sort by start time.
-    let mut per_worker: Vec<Vec<u32>> = vec![Vec::new(); ds.workers.len()];
-    for (i, inst) in ds.instances.iter().enumerate() {
-        per_worker[inst.worker.index()].push(i as u32);
-    }
-
+    let fused = study.fused();
     let mut out = SessionStats::default();
     let mut active_workers = 0usize;
-    for (worker, idxs) in per_worker.iter_mut().enumerate() {
-        if idxs.is_empty() {
-            continue;
-        }
+    for (&worker, agg) in &fused.workers {
         active_workers += 1;
-        idxs.sort_by_key(|&i| ds.instances[i as usize].start);
-        let mut start = ds.instances[idxs[0] as usize].start;
-        let mut end = ds.instances[idxs[0] as usize].end;
+        // Stable sort: ties keep row order, like the index sort this
+        // replaced.
+        let mut intervals = agg.intervals.clone();
+        intervals.sort_by_key(|&(start, _)| start);
+        let (mut start, mut end) = intervals[0];
         let mut count = 1u32;
-        for &i in idxs.iter().skip(1) {
-            let inst = &ds.instances[i as usize];
-            if inst.start - end <= gap {
+        for &(s, e) in intervals.iter().skip(1) {
+            if s - end <= gap {
                 count += 1;
-                if inst.end > end {
-                    end = inst.end;
+                if e > end {
+                    end = e;
                 }
             } else {
                 out.sessions.push(Session {
-                    worker: worker as u32,
+                    worker,
                     instances: count,
                     span_secs: (end - start).as_secs() as f64,
                 });
-                start = inst.start;
-                end = inst.end;
+                start = s;
+                end = e;
                 count = 1;
             }
         }
         out.sessions.push(Session {
-            worker: worker as u32,
+            worker,
             instances: count,
             span_secs: (end - start).as_secs() as f64,
         });

@@ -28,49 +28,33 @@ pub struct SourceStats {
 /// Computes per-source statistics over all sources with ≥1 task.
 pub fn per_source(study: &Study) -> Vec<SourceStats> {
     let ds = study.dataset();
-    let n_sources = ds.sources.len();
-    let mut n_tasks = vec![0u64; n_sources];
-    let mut trust_sum = vec![0f64; n_sources];
-    let mut rel_time_sum = vec![0f64; n_sources];
-    let mut rel_time_n = vec![0u64; n_sources];
-    let mut workers_seen: Vec<std::collections::HashSet<u32>> =
-        vec![std::collections::HashSet::new(); n_sources];
+    let fused = study.fused();
 
-    // Per-batch median task time for normalization.
-    let mut batch_median: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
-    for m in study.enriched_batches() {
-        if let Some(t) = m.task_time {
-            batch_median.insert(m.batch.raw(), t);
-        }
+    // Each worker belongs to exactly one source, so "distinct workers
+    // seen per source" is a count over the fused per-worker aggregates.
+    let mut active_workers = vec![0u64; ds.sources.len()];
+    for &w in fused.workers.keys() {
+        active_workers[ds.worker(WorkerId::new(w)).source.index()] += 1;
     }
 
-    for inst in &ds.instances {
-        let src = ds.worker(inst.worker).source.index();
-        n_tasks[src] += 1;
-        trust_sum[src] += f64::from(inst.trust);
-        workers_seen[src].insert(inst.worker.raw());
-        if let Some(&med) = batch_median.get(&inst.batch.raw()) {
-            if med > 0.0 {
-                rel_time_sum[src] += inst.work_time().as_secs() as f64 / med;
-                rel_time_n[src] += 1;
+    fused
+        .sources
+        .iter()
+        .map(|(&s, agg)| {
+            let workers = active_workers[s as usize];
+            SourceStats {
+                source: SourceId::new(s),
+                name: ds.source(SourceId::new(s)).name.clone(),
+                n_workers: workers,
+                n_tasks: agg.n_tasks,
+                avg_tasks_per_worker: agg.n_tasks as f64 / workers.max(1) as f64,
+                mean_trust: agg.trust_sum / agg.n_tasks as f64,
+                mean_relative_task_time: if agg.rel_time_n > 0 {
+                    agg.rel_time_sum / agg.rel_time_n as f64
+                } else {
+                    0.0
+                },
             }
-        }
-    }
-
-    (0..n_sources)
-        .filter(|&s| n_tasks[s] > 0)
-        .map(|s| SourceStats {
-            source: SourceId::from_usize(s),
-            name: ds.sources[s].name.clone(),
-            n_workers: workers_seen[s].len() as u64,
-            n_tasks: n_tasks[s],
-            avg_tasks_per_worker: n_tasks[s] as f64 / workers_seen[s].len().max(1) as f64,
-            mean_trust: trust_sum[s] / n_tasks[s] as f64,
-            mean_relative_task_time: if rel_time_n[s] > 0 {
-                rel_time_sum[s] / rel_time_n[s] as f64
-            } else {
-                0.0
-            },
         })
         .collect()
 }
@@ -106,18 +90,20 @@ pub struct ActiveSources {
 /// Computes the weekly active-source counts.
 pub fn active_sources_weekly(study: &Study) -> ActiveSources {
     let ds = study.dataset();
-    let (Some(t0), Some(t1)) = (ds.time_min(), ds.time_max()) else {
+    let fused = study.fused();
+    let n = fused.n_weeks;
+    if n == 0 {
         return ActiveSources::default();
-    };
-    let w0 = t0.week().0;
-    let n = (t1.week().0 - w0 + 1).max(0) as usize;
-    let mut sets: Vec<std::collections::HashSet<u32>> = vec![std::collections::HashSet::new(); n];
-    for inst in &ds.instances {
-        let w = ((inst.start.week().0 - w0).max(0) as usize).min(n - 1);
-        sets[w].insert(ds.worker(inst.worker).source.raw());
+    }
+    let mut sets: Vec<std::collections::BTreeSet<u32>> = vec![std::collections::BTreeSet::new(); n];
+    for (&w, agg) in &fused.workers {
+        let src = ds.worker(WorkerId::new(w)).source.raw();
+        for &wk in agg.weeks.keys() {
+            sets[wk].insert(src);
+        }
     }
     ActiveSources {
-        weeks: (0..n).map(|i| WeekIndex(w0 + i as i32)).collect(),
+        weeks: (0..n).map(|i| WeekIndex(fused.w0 + i as i32)).collect(),
         active_sources: sets.iter().map(|s| s.len() as u32).collect(),
     }
 }

@@ -19,34 +19,24 @@ pub struct WorkloadDistribution {
 
 /// Computes the workload distribution.
 pub fn distribution(study: &Study) -> WorkloadDistribution {
-    let ds = study.dataset();
-    let n = ds.workers.len();
-    let mut tasks = vec![0u64; n];
-    let mut secs = vec![0f64; n];
-    let mut days: Vec<std::collections::HashSet<i64>> = vec![std::collections::HashSet::new(); n];
-    for inst in &ds.instances {
-        let w = inst.worker.index();
-        tasks[w] += 1;
-        secs[w] += inst.work_time().as_secs() as f64;
-        days[w].insert(inst.start.day_number());
-    }
+    let fused = study.fused();
+    let aggs: Vec<_> = fused.workers.values().collect();
 
-    let active: Vec<usize> = (0..n).filter(|&i| tasks[i] > 0).collect();
-    let mut tasks_by_rank: Vec<u64> = active.iter().map(|&i| tasks[i]).collect();
+    let mut tasks_by_rank: Vec<u64> = aggs.iter().map(|a| a.tasks).collect();
     tasks_by_rank.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
 
     let total: u64 = tasks_by_rank.iter().sum();
     let cut = (tasks_by_rank.len() / 10).max(1);
     let top: u64 = tasks_by_rank.iter().take(cut).sum();
 
-    let total_hours: Vec<f64> = active.iter().map(|&i| secs[i] / 3_600.0).collect();
+    let total_hours: Vec<f64> = aggs.iter().map(|a| a.work_secs / 3_600.0).collect();
     let hours_per_active_day: Vec<f64> =
-        active.iter().map(|&i| secs[i] / 3_600.0 / days[i].len().max(1) as f64).collect();
+        aggs.iter().map(|a| a.work_secs / 3_600.0 / a.days.len().max(1) as f64).collect();
     let under_one_hour = hours_per_active_day.iter().filter(|&&h| h < 1.0).count() as f64;
 
     WorkloadDistribution {
         top10_share: top as f64 / total.max(1) as f64,
-        under_one_hour_fraction: under_one_hour / active.len().max(1) as f64,
+        under_one_hour_fraction: under_one_hour / aggs.len().max(1) as f64,
         tasks_by_rank,
         total_hours,
         hours_per_active_day,

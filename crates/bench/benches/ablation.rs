@@ -6,12 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use crowd_bench::bench_study;
 use crowd_classify::tree::{DecisionTree, TreeParams};
 use crowd_cluster::{ClusterParams, Clusterer};
 
-fn corpus() -> (Vec<String>, Vec<u32>) {
+fn corpus() -> (Vec<Arc<str>>, Vec<u32>) {
     let study = bench_study();
     let ds = study.dataset();
     let mut docs = Vec::new();

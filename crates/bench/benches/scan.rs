@@ -1,0 +1,233 @@
+//! Scan-engine bench: one fused [`ScanPass`] carrying several
+//! accumulators versus the pre-refactor shape of one full-table pass per
+//! analytics module. The six accumulators mirror the state the analytics
+//! layer actually folds (daily arrival counts, weekday histogram, trust
+//! and work-time sums, per-worker and per-item tallies).
+//!
+//! Besides the criterion timings, the run measures rows-scanned/sec for
+//! both shapes directly and writes them to `BENCH_scan.json` at the
+//! workspace root, next to `BENCH_parallel.json`.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crowd_bench::bench_study;
+use crowd_core::dataset::{Dataset, InstanceRef};
+use crowd_core::{Accumulator, InstanceId, ScanPass};
+
+/// Instances issued per day — `arrivals::daily_load` shape.
+#[derive(Debug, Default)]
+struct DailyIssued(BTreeMap<i64, u64>);
+
+impl Accumulator for DailyIssued {
+    type Output = BTreeMap<i64, u64>;
+    fn init(&self) -> Self {
+        DailyIssued::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        *self.0.entry(row.start.day_number()).or_insert(0) += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (day, n) in other.0 {
+            *self.0.entry(day).or_insert(0) += n;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Instances by day of week — `arrivals::by_weekday` shape.
+#[derive(Debug, Default)]
+struct WeekdayHist([u64; 7]);
+
+impl Accumulator for WeekdayHist {
+    type Output = [u64; 7];
+    fn init(&self) -> Self {
+        WeekdayHist::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        self.0[row.start.weekday().index()] += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a += b;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Order-sensitive float fold — `sources`/`lifetimes` trust shape.
+#[derive(Debug, Default)]
+struct TrustSum(f64);
+
+impl Accumulator for TrustSum {
+    type Output = f64;
+    fn init(&self) -> Self {
+        TrustSum::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        self.0 += f64::from(row.trust);
+    }
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Total seconds worked — `availability::engagement_split` hours shape.
+#[derive(Debug, Default)]
+struct WorkSecs(f64);
+
+impl Accumulator for WorkSecs {
+    type Output = f64;
+    fn init(&self) -> Self {
+        WorkSecs::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        self.0 += row.work_time().as_secs() as f64;
+    }
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Tasks per worker — `workload::distribution` shape.
+#[derive(Debug, Default)]
+struct PerWorkerTasks(BTreeMap<u32, u64>);
+
+impl Accumulator for PerWorkerTasks {
+    type Output = BTreeMap<u32, u64>;
+    fn init(&self) -> Self {
+        PerWorkerTasks::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        *self.0.entry(row.worker.raw()).or_insert(0) += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (w, n) in other.0 {
+            *self.0.entry(w).or_insert(0) += n;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Judgments per item — `redundancy` shape.
+#[derive(Debug, Default)]
+struct PerItemJudgments(BTreeMap<(u32, u32), u32>);
+
+impl Accumulator for PerItemJudgments {
+    type Output = BTreeMap<(u32, u32), u32>;
+    fn init(&self) -> Self {
+        PerItemJudgments::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        *self.0.entry((row.batch.raw(), row.item.raw())).or_insert(0) += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (k, n) in other.0 {
+            *self.0.entry(k).or_insert(0) += n;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+const MODULES: u64 = 6;
+
+fn run_fused(ds: &Dataset) -> u64 {
+    let proto = (
+        DailyIssued::default(),
+        WeekdayHist::default(),
+        TrustSum::default(),
+        WorkSecs::default(),
+        PerWorkerTasks::default(),
+        PerItemJudgments::default(),
+    );
+    let out = ScanPass::run(ds, &proto);
+    black_box(&out);
+    ds.instances.len() as u64
+}
+
+fn run_per_module(ds: &Dataset) -> u64 {
+    black_box(ScanPass::run(ds, &DailyIssued::default()));
+    black_box(ScanPass::run(ds, &WeekdayHist::default()));
+    black_box(ScanPass::run(ds, &TrustSum::default()));
+    black_box(ScanPass::run(ds, &WorkSecs::default()));
+    black_box(ScanPass::run(ds, &PerWorkerTasks::default()));
+    black_box(ScanPass::run(ds, &PerItemJudgments::default()));
+    MODULES * ds.instances.len() as u64
+}
+
+/// Median wall-clock of `runs` calls to `f`, with the rows it scanned.
+fn measure(runs: usize, f: impl Fn() -> u64) -> (f64, u64) {
+    let mut times: Vec<f64> = Vec::with_capacity(runs);
+    let mut rows = 0;
+    for _ in 0..runs {
+        let t = Instant::now();
+        rows = f();
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], rows)
+}
+
+fn write_report(ds: &Dataset) {
+    let (fused_s, fused_rows) = measure(5, || run_fused(ds));
+    let (seq_s, seq_rows) = measure(5, || run_per_module(ds));
+    let json = format!(
+        r#"{{
+  "benchmark": "crates/bench/benches/scan.rs",
+  "command": "cargo bench -p crowd-bench --bench scan",
+  "workload": "SimConfig::tiny(BENCH_SEED), {n} instances, {modules} analytics-shaped accumulators",
+  "results": {{
+    "fused_one_pass": {{ "median_ms": {fused_ms:.1}, "rows_scanned": {fused_rows}, "rows_per_sec": {fused_rps:.0} }},
+    "per_module_passes": {{ "median_ms": {seq_ms:.1}, "rows_scanned": {seq_rows}, "rows_per_sec": {seq_rps:.0} }}
+  }},
+  "speedup_to_same_outputs": {speedup:.2},
+  "note": "rows_per_sec is raw scan throughput; the fused pass reaches the same {modules} outputs having scanned {modules}x fewer rows. repro/export fuse all instance-level analytics into one such pass (tests/scan_fusion.rs)."
+}}
+"#,
+        n = ds.instances.len(),
+        modules = MODULES,
+        fused_ms = fused_s * 1e3,
+        fused_rps = fused_rows as f64 / fused_s,
+        seq_ms = seq_s * 1e3,
+        seq_rows = seq_rows,
+        seq_rps = seq_rows as f64 / seq_s,
+        speedup = seq_s / fused_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[scan] wrote {path}"),
+        Err(e) => eprintln!("[scan] could not write {path}: {e}"),
+    }
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let ds = bench_study().dataset();
+    let n = ds.instances.len() as u64;
+    let mut g = c.benchmark_group("scan");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("fused_one_pass", |b| b.iter(|| run_fused(ds)));
+    g.throughput(Throughput::Elements(MODULES * n));
+    g.bench_function("per_module_passes", |b| b.iter(|| run_per_module(ds)));
+    g.finish();
+    write_report(ds);
+}
+
+criterion_group!(scan, bench_scan);
+criterion_main!(scan);

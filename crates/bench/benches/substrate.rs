@@ -38,7 +38,8 @@ fn bench_enrichment(c: &mut Criterion) {
     });
     // Clustering alone.
     let study = bench_study();
-    let docs: Vec<String> = study.dataset().batches.iter().filter_map(|b| b.html.clone()).collect();
+    let docs: Vec<std::sync::Arc<str>> =
+        study.dataset().batches.iter().filter_map(|b| b.html.clone()).collect();
     g.throughput(Throughput::Elements(docs.len() as u64));
     g.bench_function("cluster_batches", |b| {
         let clusterer = Clusterer::new(ClusterParams::default());

@@ -251,7 +251,7 @@ pub fn instances_to_csv(ds: &Dataset) -> String {
                 &i.start.as_secs().to_string(),
                 &i.end.as_secs().to_string(),
                 &trust_buf,
-                &answer_to_field(&i.answer),
+                &answer_to_field(i.answer),
             ],
         );
     }
@@ -361,7 +361,7 @@ pub fn import_dir(dir: &Path) -> Result<Dataset> {
         );
         batch.sampled = &f[2] == "1";
         if !f[3].is_empty() {
-            batch.html = Some(f[3].clone());
+            batch.html = Some(f[3].as_str().into());
         }
         b.add_batch(batch);
     }

@@ -1,4 +1,12 @@
 //! The dataset container: all entity tables plus derived indexes.
+//!
+//! The instance table — by far the hottest and largest — is stored as a
+//! struct-of-arrays [`InstanceColumns`] so analytical scans touch only the
+//! columns they read and vectorize naturally; [`InstanceRef`] row views keep
+//! the ergonomic row-at-a-time API at call sites.
+
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use crate::answer::Answer;
 use crate::error::{CoreError, Result};
@@ -9,6 +17,10 @@ use crate::worker::{Country, Source, Worker};
 
 /// One completed task instance: a single worker's unit of work on one item
 /// (paper §2, §2.3 "Task instance attributes").
+///
+/// This owned row form is the construction/interchange currency; at rest the
+/// instance table is columnar ([`InstanceColumns`]) and reads hand out
+/// [`InstanceRef`] views instead.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaskInstance {
@@ -38,6 +50,291 @@ impl TaskInstance {
     }
 }
 
+/// A borrowed row view over one instance in [`InstanceColumns`].
+///
+/// The hot fixed-width fields are copied out (they are each ≤ 8 bytes, so a
+/// copy is cheaper than a pointer chase); the variable-width answer stays
+/// borrowed. Field access syntax is identical to [`TaskInstance`], which is
+/// what lets call sites migrate incrementally.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceRef<'a> {
+    /// The batch this instance belongs to.
+    pub batch: BatchId,
+    /// The item the instance operates on (scoped to the batch's task type).
+    pub item: ItemId,
+    /// The worker who performed the instance.
+    pub worker: WorkerId,
+    /// When the worker started the instance.
+    pub start: Timestamp,
+    /// When the worker submitted the instance.
+    pub end: Timestamp,
+    /// Marketplace-assigned trust score in `[0, 1]`.
+    pub trust: f32,
+    /// The worker's answer.
+    pub answer: &'a Answer,
+}
+
+impl InstanceRef<'_> {
+    /// Time the worker spent on the instance.
+    #[inline]
+    pub fn work_time(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Materializes an owned [`TaskInstance`] (clones the answer).
+    pub fn to_owned(&self) -> TaskInstance {
+        TaskInstance {
+            batch: self.batch,
+            item: self.item,
+            worker: self.worker,
+            start: self.start,
+            end: self.end,
+            trust: self.trust,
+            answer: self.answer.clone(),
+        }
+    }
+}
+
+/// Struct-of-arrays instance store: one dense column per [`TaskInstance`]
+/// field, all the same length.
+///
+/// Scans that read a subset of fields (most analytics do) touch only those
+/// columns; [`InstanceColumns::row`] / [`Dataset::instance`] reassemble a
+/// full row view when row-at-a-time access is clearer.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InstanceColumns {
+    batch: Vec<BatchId>,
+    item: Vec<ItemId>,
+    worker: Vec<WorkerId>,
+    start: Vec<Timestamp>,
+    end: Vec<Timestamp>,
+    trust: Vec<f32>,
+    answer: Vec<Answer>,
+}
+
+impl InstanceColumns {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instances.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// True when there are no instances.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Reserves capacity for `additional` more instances in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        self.batch.reserve(additional);
+        self.item.reserve(additional);
+        self.worker.reserve(additional);
+        self.start.reserve(additional);
+        self.end.reserve(additional);
+        self.trust.reserve(additional);
+        self.answer.reserve(additional);
+    }
+
+    /// Appends one instance, decomposing it into the columns.
+    pub fn push(&mut self, inst: TaskInstance) {
+        self.batch.push(inst.batch);
+        self.item.push(inst.item);
+        self.worker.push(inst.worker);
+        self.start.push(inst.start);
+        self.end.push(inst.end);
+        self.trust.push(inst.trust);
+        self.answer.push(inst.answer);
+    }
+
+    /// Row view at position `i`. Panics when out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> InstanceRef<'_> {
+        InstanceRef {
+            batch: self.batch[i],
+            item: self.item[i],
+            worker: self.worker[i],
+            start: self.start[i],
+            end: self.end[i],
+            trust: self.trust[i],
+            answer: &self.answer[i],
+        }
+    }
+
+    /// Row view at position `i`, or `None` when out of bounds.
+    pub fn get(&self, i: usize) -> Option<InstanceRef<'_>> {
+        (i < self.len()).then(|| self.row(i))
+    }
+
+    /// Iterates row views in storage order.
+    pub fn iter(&self) -> InstanceIter<'_> {
+        InstanceIter { cols: self, next: 0 }
+    }
+
+    /// The batch-id column.
+    #[inline]
+    pub fn batch_col(&self) -> &[BatchId] {
+        &self.batch
+    }
+
+    /// The item-id column.
+    #[inline]
+    pub fn item_col(&self) -> &[ItemId] {
+        &self.item
+    }
+
+    /// The worker-id column.
+    #[inline]
+    pub fn worker_col(&self) -> &[WorkerId] {
+        &self.worker
+    }
+
+    /// The start-timestamp column.
+    #[inline]
+    pub fn start_col(&self) -> &[Timestamp] {
+        &self.start
+    }
+
+    /// The end-timestamp column.
+    #[inline]
+    pub fn end_col(&self) -> &[Timestamp] {
+        &self.end
+    }
+
+    /// The trust column.
+    #[inline]
+    pub fn trust_col(&self) -> &[f32] {
+        &self.trust
+    }
+
+    /// The answer column.
+    #[inline]
+    pub fn answer_col(&self) -> &[Answer] {
+        &self.answer
+    }
+
+    /// Overwrites the batch id of row `i` (test/repair surgery; analytics
+    /// never mutate).
+    pub fn set_batch(&mut self, i: usize, batch: BatchId) {
+        self.batch[i] = batch;
+    }
+
+    /// Overwrites the worker id of row `i`.
+    pub fn set_worker(&mut self, i: usize, worker: WorkerId) {
+        self.worker[i] = worker;
+    }
+
+    /// Overwrites the start timestamp of row `i`.
+    pub fn set_start(&mut self, i: usize, start: Timestamp) {
+        self.start[i] = start;
+    }
+
+    /// Overwrites the end timestamp of row `i`.
+    pub fn set_end(&mut self, i: usize, end: Timestamp) {
+        self.end[i] = end;
+    }
+
+    /// Overwrites the trust score of row `i`.
+    pub fn set_trust(&mut self, i: usize, trust: f32) {
+        self.trust[i] = trust;
+    }
+
+    /// Overwrites the answer of row `i`.
+    pub fn set_answer(&mut self, i: usize, answer: Answer) {
+        self.answer[i] = answer;
+    }
+}
+
+impl FromIterator<TaskInstance> for InstanceColumns {
+    fn from_iter<I: IntoIterator<Item = TaskInstance>>(iter: I) -> Self {
+        let mut cols = InstanceColumns::new();
+        for inst in iter {
+            cols.push(inst);
+        }
+        cols
+    }
+}
+
+/// Iterator over [`InstanceRef`] row views; see [`InstanceColumns::iter`].
+#[derive(Debug, Clone)]
+pub struct InstanceIter<'a> {
+    cols: &'a InstanceColumns,
+    next: usize,
+}
+
+impl<'a> Iterator for InstanceIter<'a> {
+    type Item = InstanceRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let row = self.cols.get(self.next)?;
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.cols.len() - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for InstanceIter<'_> {}
+
+impl<'a> IntoIterator for &'a InstanceColumns {
+    type Item = InstanceRef<'a>;
+    type IntoIter = InstanceIter<'a>;
+
+    fn into_iter(self) -> InstanceIter<'a> {
+        self.iter()
+    }
+}
+
+/// Interning arena for batch HTML: identical pages share one allocation.
+///
+/// The 12k-batch sample re-issues the same rendered task page across many
+/// batches of a task type; storing each copy separately multiplied resident
+/// memory by the re-issue factor. The builder routes every
+/// [`Batch::html`] through this arena, so equal strings collapse to one
+/// refcounted `Arc<str>` and dataset slices/clones share it.
+#[derive(Debug, Clone, Default)]
+pub struct HtmlArena {
+    set: HashSet<Arc<str>>,
+}
+
+impl HtmlArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the canonical shared handle for `html`, inserting on first
+    /// sight.
+    pub fn intern(&mut self, html: Arc<str>) -> Arc<str> {
+        match self.set.get(&html) {
+            Some(existing) => existing.clone(),
+            None => {
+                self.set.insert(html.clone());
+                html
+            }
+        }
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
 /// The full relational dataset: dense entity tables linked by typed ids.
 ///
 /// Construct through [`DatasetBuilder`], which validates referential
@@ -55,8 +352,8 @@ pub struct Dataset {
     pub task_types: Vec<TaskType>,
     /// Batches, in creation-time order.
     pub batches: Vec<Batch>,
-    /// Task instances.
-    pub instances: Vec<TaskInstance>,
+    /// Task instances, stored column-wise.
+    pub instances: InstanceColumns,
 }
 
 impl Dataset {
@@ -90,16 +387,22 @@ impl Dataset {
         &self.countries[id.index()]
     }
 
+    /// Row view of an instance by id.
+    #[inline]
+    pub fn instance(&self, id: InstanceId) -> InstanceRef<'_> {
+        self.instances.row(id.index())
+    }
+
     /// The task type behind an instance (via its batch).
     #[inline]
-    pub fn instance_task_type(&self, inst: &TaskInstance) -> TaskTypeId {
+    pub fn instance_task_type(&self, inst: InstanceRef<'_>) -> TaskTypeId {
         self.batch(inst.batch).task_type
     }
 
     /// Pickup latency of an instance: time from batch creation to the
     /// worker starting the instance (paper §4.1 "Median Pickup Time").
     #[inline]
-    pub fn pickup_time(&self, inst: &TaskInstance) -> Duration {
+    pub fn pickup_time(&self, inst: InstanceRef<'_>) -> Duration {
         inst.start - self.batch(inst.batch).created_at
     }
 
@@ -110,7 +413,7 @@ impl Dataset {
 
     /// Latest instance end time (falling back to batch creation times).
     pub fn time_max(&self) -> Option<Timestamp> {
-        let inst_max = self.instances.iter().map(|i| i.end).max();
+        let inst_max = self.instances.end_col().iter().copied().max();
         let batch_max = self.batches.iter().map(|b| b.created_at).max();
         inst_max.into_iter().chain(batch_max).max()
     }
@@ -118,12 +421,12 @@ impl Dataset {
     /// Builds the derived navigation indexes (CSR adjacency per batch,
     /// task type, and worker). O(instances + batches).
     pub fn index(&self) -> DatasetIndex {
-        let by_batch = Csr::build(self.batches.len(), self.instances.len(), |i| {
-            self.instances[i].batch.index()
-        });
-        let by_worker = Csr::build(self.workers.len(), self.instances.len(), |i| {
-            self.instances[i].worker.index()
-        });
+        let batch_col = self.instances.batch_col();
+        let worker_col = self.instances.worker_col();
+        let by_batch =
+            Csr::build(self.batches.len(), self.instances.len(), |i| batch_col[i].index());
+        let by_worker =
+            Csr::build(self.workers.len(), self.instances.len(), |i| worker_col[i].index());
         let batches_by_type = Csr::build(self.task_types.len(), self.batches.len(), |b| {
             self.batches[b].task_type.index()
         });
@@ -158,7 +461,7 @@ impl Dataset {
     /// Validates referential integrity and value ranges; returns the first
     /// violation found. [`DatasetBuilder::finish`] runs this automatically.
     pub fn validate(&self) -> Result<()> {
-        for (i, w) in self.workers.iter().enumerate() {
+        for w in &self.workers {
             if w.source.index() >= self.sources.len() {
                 return Err(CoreError::DanglingReference {
                     table: "sources",
@@ -173,7 +476,6 @@ impl Dataset {
                     len: self.countries.len(),
                 });
             }
-            let _ = i;
         }
         for (bi, b) in self.batches.iter().enumerate() {
             if b.task_type.index() >= self.task_types.len() {
@@ -324,6 +626,7 @@ pub struct DatasetSummary {
 #[derive(Debug, Default)]
 pub struct DatasetBuilder {
     ds: Dataset,
+    arena: HtmlArena,
 }
 
 impl DatasetBuilder {
@@ -356,8 +659,12 @@ impl DatasetBuilder {
         TaskTypeId::from_usize(self.ds.task_types.len() - 1)
     }
 
-    /// Appends a batch, returning its id.
-    pub fn add_batch(&mut self, batch: Batch) -> BatchId {
+    /// Appends a batch, returning its id. Batch HTML is routed through the
+    /// builder's [`HtmlArena`], so re-issued identical pages share storage.
+    pub fn add_batch(&mut self, mut batch: Batch) -> BatchId {
+        if let Some(html) = batch.html.take() {
+            batch.html = Some(self.arena.intern(html));
+        }
         self.ds.batches.push(batch);
         BatchId::from_usize(self.ds.batches.len() - 1)
     }
@@ -371,6 +678,11 @@ impl DatasetBuilder {
     /// Reserves capacity in the instance table (the hot one).
     pub fn reserve_instances(&mut self, additional: usize) {
         self.ds.instances.reserve(additional);
+    }
+
+    /// Distinct HTML pages interned so far (diagnostics).
+    pub fn distinct_html(&self) -> usize {
+        self.arena.len()
     }
 
     /// Validates and returns the dataset.
@@ -423,9 +735,30 @@ mod tests {
     }
 
     #[test]
+    fn row_views_match_pushed_rows() {
+        let ds = tiny();
+        let first = ds.instances.row(0);
+        assert_eq!(first.worker, WorkerId::new(0));
+        assert_eq!(first.answer, &Answer::Choice(0));
+        assert_eq!(first.to_owned().work_time(), Duration::from_secs(30));
+        assert_eq!(ds.instance(InstanceId::new(2)).item, ItemId::new(1));
+        assert!(ds.instances.get(3).is_none());
+        let via_iter: Vec<_> = ds.instances.iter().map(|r| r.worker).collect();
+        assert_eq!(via_iter, ds.instances.worker_col());
+    }
+
+    #[test]
+    fn columns_roundtrip_through_from_iterator() {
+        let ds = tiny();
+        let rows: Vec<TaskInstance> = ds.instances.iter().map(|r| r.to_owned()).collect();
+        let rebuilt: InstanceColumns = rows.into_iter().collect();
+        assert_eq!(rebuilt, ds.instances);
+    }
+
+    #[test]
     fn validation_catches_dangling_worker() {
         let mut ds = tiny();
-        ds.instances[0].worker = WorkerId::new(99);
+        ds.instances.set_worker(0, WorkerId::new(99));
         assert!(matches!(
             ds.validate(),
             Err(CoreError::DanglingReference { table: "workers", .. })
@@ -435,16 +768,17 @@ mod tests {
     #[test]
     fn validation_catches_negative_duration() {
         let mut ds = tiny();
-        ds.instances[1].end = ds.instances[1].start - Duration::from_secs(1);
+        let start = ds.instances.row(1).start;
+        ds.instances.set_end(1, start - Duration::from_secs(1));
         assert_eq!(ds.validate(), Err(CoreError::NegativeDuration { instance: 1 }));
     }
 
     #[test]
     fn validation_catches_bad_trust() {
         let mut ds = tiny();
-        ds.instances[2].trust = 1.5;
+        ds.instances.set_trust(2, 1.5);
         assert!(matches!(ds.validate(), Err(CoreError::TrustOutOfRange { instance: 2, .. })));
-        ds.instances[2].trust = f32::NAN;
+        ds.instances.set_trust(2, f32::NAN);
         assert!(matches!(ds.validate(), Err(CoreError::TrustOutOfRange { .. })));
     }
 
@@ -458,9 +792,27 @@ mod tests {
     #[test]
     fn pickup_and_work_time() {
         let ds = tiny();
-        let inst = &ds.instances[0];
+        let inst = ds.instances.row(0);
         assert_eq!(ds.pickup_time(inst), Duration::from_secs(60));
         assert_eq!(inst.work_time(), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn html_is_interned_across_batches() {
+        let mut b = DatasetBuilder::new();
+        let tt = b.add_task_type(TaskType::new("t"));
+        let t0 = Timestamp::from_ymd(2015, 2, 1);
+        let page = "<p>same page</p>".repeat(10);
+        let b1 = b.add_batch(Batch::new(tt, t0).with_html(page.clone()));
+        let b2 = b.add_batch(Batch::new(tt, t0).with_html(page.clone()));
+        let b3 = b.add_batch(Batch::new(tt, t0).with_html("<p>other</p>"));
+        assert_eq!(b.distinct_html(), 2, "two distinct pages across three batches");
+        let ds = b.finish().unwrap();
+        let h1 = ds.batch(b1).html.clone().unwrap();
+        let h2 = ds.batch(b2).html.clone().unwrap();
+        let h3 = ds.batch(b3).html.clone().unwrap();
+        assert!(Arc::ptr_eq(&h1, &h2), "identical pages share one allocation");
+        assert!(!Arc::ptr_eq(&h1, &h3));
     }
 
     #[test]
@@ -484,6 +836,40 @@ mod tests {
         assert_eq!(csr.get(1), &[] as &[u32]);
         assert_eq!(csr.get(2), &[1]);
         assert_eq!(csr.len(), 3);
+    }
+
+    #[test]
+    fn index_handles_empty_batch_and_idle_worker_and_bare_type() {
+        // Boundaries the columnar swap must not break: a batch with zero
+        // instances, a worker who never worked, a task type with no batches.
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source(Source::new("s", crate::worker::SourceKind::Dedicated));
+        let c = b.add_country("X");
+        let worked = b.add_worker(Worker::new(s, c));
+        let idle = b.add_worker(Worker::new(s, c));
+        let tt_used = b.add_task_type(TaskType::new("used"));
+        let tt_bare = b.add_task_type(TaskType::new("bare"));
+        let t0 = Timestamp::from_ymd(2015, 3, 1);
+        let full = b.add_batch(Batch::new(tt_used, t0).with_html("<p/>"));
+        let empty = b.add_batch(Batch::new(tt_used, t0).with_html("<p/>"));
+        b.add_instance(TaskInstance {
+            batch: full,
+            item: ItemId::new(0),
+            worker: worked,
+            start: t0,
+            end: t0 + Duration::from_secs(10),
+            trust: 1.0,
+            answer: Answer::Choice(0),
+        });
+        let ds = b.finish().unwrap();
+        let idx = ds.index();
+        assert_eq!(idx.batch_size(empty), 0);
+        assert_eq!(idx.instances_of_batch(empty).count(), 0);
+        assert_eq!(idx.worker_load(idle), 0);
+        assert_eq!(idx.instances_of_worker(idle).count(), 0);
+        assert_eq!(idx.batches_of_type(tt_bare).count(), 0);
+        assert_eq!(idx.batches_of_type(tt_used).count(), 2);
+        assert_eq!(idx.worker_load(worked), 1);
     }
 
     #[test]

@@ -51,16 +51,21 @@ pub mod dataset;
 pub mod error;
 pub mod id;
 pub mod labels;
+pub mod query;
 pub mod rng;
 pub mod task;
 pub mod time;
 pub mod worker;
 
 pub use answer::Answer;
-pub use dataset::{Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, TaskInstance};
+pub use dataset::{
+    Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, HtmlArena, InstanceColumns, InstanceRef,
+    TaskInstance,
+};
 pub use error::{CoreError, Result};
 pub use id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
 pub use labels::{Complexity, DataType, Goal, LabelSet, Operator};
+pub use query::{Accumulator, ScanPass};
 pub use rng::stream_seed;
 pub use task::{Batch, DesignFeatures, TaskType};
 pub use time::{Duration, Timestamp, WeekIndex, Weekday};
@@ -69,10 +74,14 @@ pub use worker::{Country, Source, SourceKind, Worker};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::answer::Answer;
-    pub use crate::dataset::{Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, TaskInstance};
+    pub use crate::dataset::{
+        Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, HtmlArena, InstanceColumns,
+        InstanceRef, TaskInstance,
+    };
     pub use crate::error::{CoreError, Result};
     pub use crate::id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
     pub use crate::labels::{Complexity, DataType, Goal, LabelSet, Operator};
+    pub use crate::query::{Accumulator, ScanPass};
     pub use crate::rng::stream_seed;
     pub use crate::task::{Batch, DesignFeatures, TaskType};
     pub use crate::time::{Duration, Timestamp, WeekIndex, Weekday};

@@ -1,13 +1,16 @@
-//! Dataset slicing: restrict a dataset to a time window or a labor source
-//! while preserving referential integrity.
+//! Dataset querying: slicing to sub-populations and the fused scan engine.
 //!
-//! The study repeatedly analyzes sub-populations — post-Jan-2015 activity
-//! (§3.1), single sources (§5.1), individual eras of the marketplace.
-//! These helpers materialize such views as standalone [`Dataset`]s so any
-//! analysis can run on them unchanged. Entity tables (sources, countries,
-//! workers, task types) are carried over whole, so worker/task ids remain
-//! comparable across slices; batches and instances are filtered and
-//! re-indexed.
+//! Two access patterns cover the study's needs:
+//!
+//! * **Slicing** materializes a sub-dataset (a time window, a labor source)
+//!   as a standalone [`Dataset`] so any analysis runs on it unchanged.
+//! * **Scanning** ([`scan`]) streams the instance table once through any
+//!   number of registered [`scan::Accumulator`]s, so producing N analytics
+//!   outputs costs one deterministic parallel pass instead of N.
+
+pub mod scan;
+
+pub use scan::{Accumulator, ScanPass};
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::id::{BatchId, SourceId};
@@ -43,7 +46,7 @@ impl Dataset {
         }
         for inst in &filtered.instances {
             if filtered.worker(inst.worker).source == source {
-                b.add_instance(inst.clone());
+                b.add_instance(inst.to_owned());
             }
         }
         b.finish_unchecked()
@@ -62,9 +65,9 @@ impl Dataset {
         }
         for inst in &self.instances {
             if let Some(new_batch) = remap[inst.batch.index()] {
-                let mut inst = inst.clone();
-                inst.batch = new_batch;
-                b.add_instance(inst);
+                let mut owned = inst.to_owned();
+                owned.batch = new_batch;
+                b.add_instance(owned);
             }
         }
         b.finish_unchecked()
@@ -91,7 +94,7 @@ mod tests {
     use super::*;
     use crate::answer::Answer;
     use crate::dataset::TaskInstance;
-    use crate::id::{CountryId, ItemId, WorkerId};
+    use crate::id::ItemId;
     use crate::task::{Batch, TaskType};
     use crate::time::Duration;
     use crate::worker::{Source, SourceKind, Worker};

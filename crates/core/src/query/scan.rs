@@ -1,0 +1,296 @@
+//! Fused, deterministic, parallel scans over the instance table.
+//!
+//! Analytics historically re-walked `Dataset.instances` once per figure
+//! (~28 full-table scans for a full reproduction run). The scan engine
+//! inverts that: any number of [`Accumulator`]s are registered on a
+//! [`ScanPass`] and all of them are fed from **one** pass over the columns.
+//!
+//! ## Determinism contract
+//!
+//! The pipeline guarantees bit-identical results at any thread count
+//! (see `DESIGN.md` §10). Floating-point accumulation is order-sensitive,
+//! so the engine never lets the thread count influence evaluation order:
+//!
+//! 1. The table is split into **fixed-size** chunks of [`ScanPass::CHUNK`]
+//!    rows — chunk boundaries depend only on the table length, never on
+//!    the number of worker threads.
+//! 2. Each chunk folds rows in ascending row order into a fresh
+//!    accumulator cloned from the registered prototype
+//!    ([`Accumulator::init`]).
+//! 3. Chunk results are merged **sequentially, in chunk order**
+//!    ([`Accumulator::merge`]), exactly as if the chunks had been
+//!    processed one after another on a single thread.
+//!
+//! Threads only decide *who* computes a chunk, not *what* is computed or
+//! *in which order* results combine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use crate::dataset::{Dataset, InstanceRef};
+use crate::id::InstanceId;
+
+/// Counts completed full-table scans ([`ScanPass::run`] calls) in this
+/// process; a debug/diagnostic aid for asserting scan-fusion budgets.
+static FULL_SCANS: AtomicU64 = AtomicU64::new(0);
+
+/// A streaming aggregate computed in one pass over the instance table.
+///
+/// Implementations are *prototypes*: the value registered on a
+/// [`ScanPass`] carries configuration (cutoffs, lookup tables, …) and
+/// [`Accumulator::init`] clones a blank working copy of it per chunk, so
+/// parallel workers never share mutable state.
+///
+/// `merge` must be associative with `init()` as identity in the sense that
+/// folding chunk results left-to-right equals a single sequential fold —
+/// the engine relies on nothing stronger (float addition is fine).
+pub trait Accumulator: Send + Sync {
+    /// The shaped result extracted once the scan completes.
+    type Output;
+
+    /// A blank working copy carrying this prototype's configuration.
+    fn init(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Folds one row into the running state. Rows arrive in ascending row
+    /// order within a chunk.
+    fn accept(&mut self, ds: &Dataset, id: InstanceId, row: InstanceRef<'_>);
+
+    /// Absorbs the state of `other`, which covers the rows immediately
+    /// after this accumulator's rows.
+    fn merge(&mut self, other: Self)
+    where
+        Self: Sized;
+
+    /// Shapes the merged state into the final output.
+    fn finish(self, ds: &Dataset) -> Self::Output
+    where
+        Self: Sized;
+}
+
+/// Executes [`Accumulator`]s over a dataset's instance table in one fused,
+/// chunked, deterministic parallel pass.
+///
+/// To fuse several heterogeneous accumulators into a single pass, register
+/// them as a tuple (arities 2–8 implement [`Accumulator`] element-wise) or
+/// as one struct delegating to per-field accumulators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanPass;
+
+impl ScanPass {
+    /// Rows per chunk. Fixed (thread-count independent) so float merges
+    /// happen in the same order no matter how wide the pool is.
+    pub const CHUNK: usize = 8192;
+
+    /// Runs `proto` over every instance of `ds` and returns its output.
+    pub fn run<A: Accumulator>(ds: &Dataset, proto: &A) -> A::Output {
+        let n = ds.instances.len();
+        FULL_SCANS.fetch_add(1, Ordering::Relaxed);
+        let chunks: Vec<(usize, usize)> = (0..n.div_ceil(Self::CHUNK))
+            .map(|c| (c * Self::CHUNK, ((c + 1) * Self::CHUNK).min(n)))
+            .collect();
+        let parts: Vec<A> = chunks
+            .par_iter()
+            .map(|&(lo, hi)| {
+                let mut acc = proto.init();
+                for i in lo..hi {
+                    acc.accept(ds, InstanceId::from_usize(i), ds.instances.row(i));
+                }
+                acc
+            })
+            .collect();
+        let mut total = proto.init();
+        for part in parts {
+            total.merge(part);
+        }
+        total.finish(ds)
+    }
+
+    /// Number of full-table scans performed by this process so far.
+    pub fn full_scan_count() -> u64 {
+        FULL_SCANS.load(Ordering::Relaxed)
+    }
+
+    /// Resets the scan counter (test isolation).
+    pub fn reset_scan_count() {
+        FULL_SCANS.store(0, Ordering::Relaxed);
+    }
+}
+
+macro_rules! impl_accumulator_tuple {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Accumulator),+> Accumulator for ($($name,)+) {
+            type Output = ($($name::Output,)+);
+
+            fn init(&self) -> Self {
+                ($(self.$idx.init(),)+)
+            }
+
+            fn accept(&mut self, ds: &Dataset, id: InstanceId, row: InstanceRef<'_>) {
+                $(self.$idx.accept(ds, id, row);)+
+            }
+
+            fn merge(&mut self, other: Self) {
+                $(self.$idx.merge(other.$idx);)+
+            }
+
+            fn finish(self, ds: &Dataset) -> Self::Output {
+                ($(self.$idx.finish(ds),)+)
+            }
+        }
+    };
+}
+
+impl_accumulator_tuple!(A.0, B.1);
+impl_accumulator_tuple!(A.0, B.1, C.2);
+impl_accumulator_tuple!(A.0, B.1, C.2, D.3);
+impl_accumulator_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_accumulator_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_accumulator_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_accumulator_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Answer;
+    use crate::dataset::{DatasetBuilder, TaskInstance};
+    use crate::id::ItemId;
+    use crate::task::{Batch, TaskType};
+    use crate::time::{Duration, Timestamp};
+    use crate::worker::{Source, SourceKind, Worker};
+    use rayon::ThreadPoolBuilder;
+
+    /// Order-sensitive float sum: catches any merge-order wobble.
+    #[derive(Debug, Default)]
+    struct TrustSum {
+        sum: f64,
+    }
+
+    impl Accumulator for TrustSum {
+        type Output = f64;
+
+        fn init(&self) -> Self {
+            TrustSum::default()
+        }
+
+        fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+            self.sum += f64::from(row.trust);
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.sum += other.sum;
+        }
+
+        fn finish(self, _ds: &Dataset) -> f64 {
+            self.sum
+        }
+    }
+
+    /// Config-carrying prototype: counts rows at or after a cutoff.
+    #[derive(Debug, Clone)]
+    struct CountSince {
+        cutoff: Timestamp,
+        n: u64,
+    }
+
+    impl Accumulator for CountSince {
+        type Output = u64;
+
+        fn init(&self) -> Self {
+            CountSince { cutoff: self.cutoff, n: 0 }
+        }
+
+        fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+            if row.start >= self.cutoff {
+                self.n += 1;
+            }
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.n += other.n;
+        }
+
+        fn finish(self, _ds: &Dataset) -> u64 {
+            self.n
+        }
+    }
+
+    fn dataset(rows: usize) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.add_source(Source::new("s", SourceKind::Dedicated));
+        let c = b.add_country("X");
+        let w = b.add_worker(Worker::new(s, c));
+        let tt = b.add_task_type(TaskType::new("t"));
+        let t0 = Timestamp::from_ymd(2015, 1, 1);
+        let batch = b.add_batch(Batch::new(tt, t0).with_html("<p/>"));
+        b.reserve_instances(rows);
+        for i in 0..rows {
+            let start = t0 + Duration::from_secs(i as i64);
+            b.add_instance(TaskInstance {
+                batch,
+                item: ItemId::new(0),
+                worker: w,
+                start,
+                end: start + Duration::from_secs(30),
+                // Varied magnitudes make float addition order-sensitive.
+                trust: if i % 3 == 0 { 1.0e-4 } else { 0.875 },
+                answer: Answer::Choice((i % 2) as u16),
+            });
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_fold() {
+        let ds = dataset(20_001); // several chunks plus a remainder
+        let expected: f64 = ds.instances.trust_col().iter().map(|&t| f64::from(t)).sum();
+        // Same chunking as the engine, folded sequentially.
+        let got = ScanPass::run(&ds, &TrustSum::default());
+        let mut manual = 0.0;
+        for lo in (0..ds.instances.len()).step_by(ScanPass::CHUNK) {
+            let hi = (lo + ScanPass::CHUNK).min(ds.instances.len());
+            let mut part = 0.0;
+            for i in lo..hi {
+                part += f64::from(ds.instances.trust_col()[i]);
+            }
+            manual += part;
+        }
+        assert_eq!(got.to_bits(), manual.to_bits());
+        assert!((got - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let ds = dataset(50_000);
+        let mut baseline = None;
+        for threads in [1, 2, 3, 4, 7] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let sum = pool.install(|| ScanPass::run(&ds, &TrustSum::default()));
+            let bits = sum.to_bits();
+            match baseline {
+                None => baseline = Some(bits),
+                Some(b) => assert_eq!(bits, b, "threads = {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_fusion_runs_one_pass() {
+        let ds = dataset(10_000);
+        let before = ScanPass::full_scan_count();
+        let cutoff = Timestamp::from_ymd(2015, 1, 1) + Duration::from_secs(5_000);
+        let proto = (TrustSum::default(), CountSince { cutoff, n: 0 });
+        let (sum, since) = ScanPass::run(&ds, &proto);
+        assert_eq!(ScanPass::full_scan_count() - before, 1, "fused = one pass");
+        assert!(sum > 0.0);
+        assert_eq!(since, 5_000);
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        let ds = DatasetBuilder::new().finish().unwrap();
+        assert_eq!(ScanPass::run(&ds, &TrustSum::default()), 0.0);
+    }
+}

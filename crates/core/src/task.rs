@@ -1,5 +1,7 @@
 //! Tasks, batches, and the design parameters extracted from task HTML.
 
+use std::sync::Arc;
+
 use crate::id::TaskTypeId;
 use crate::labels::{DataType, Goal, LabelSet, Operator};
 use crate::time::Timestamp;
@@ -145,7 +147,10 @@ pub struct Batch {
     /// When the batch was created / posted to the marketplace.
     pub created_at: Timestamp,
     /// HTML source of a sample task instance; `None` outside the sample.
-    pub html: Option<String>,
+    /// Stored as a shared `Arc<str>` so identical pages (the common case
+    /// when a task is re-issued across batches) are interned once by
+    /// [`crate::dataset::DatasetBuilder`] instead of duplicated per batch.
+    pub html: Option<Arc<str>>,
     /// Whether this batch is inside the fully-observed 12k sample (§2.2).
     pub sampled: bool,
 }
@@ -158,7 +163,7 @@ impl Batch {
 
     /// Attaches sample-task HTML (builder style).
     #[must_use]
-    pub fn with_html(mut self, html: impl Into<String>) -> Self {
+    pub fn with_html(mut self, html: impl Into<Arc<str>>) -> Self {
         self.html = Some(html.into());
         self
     }

@@ -129,7 +129,7 @@ mod tests {
         let a = simulate(&SimConfig::tiny(99));
         let b = simulate(&SimConfig::tiny(99));
         assert_eq!(a.instances.len(), b.instances.len());
-        assert_eq!(a.instances[0], b.instances[0]);
+        assert_eq!(a.instances.row(0).to_owned(), b.instances.row(0).to_owned());
         assert_eq!(a.batches[5], b.batches[5]);
         let c = simulate(&SimConfig::tiny(100));
         assert_ne!(a.instances.len(), c.instances.len());

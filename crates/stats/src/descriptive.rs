@@ -72,6 +72,36 @@ pub fn median_sorted(sorted: &[f64]) -> f64 {
     percentile_sorted(sorted, 50.0)
 }
 
+/// Median via selection (expected O(n), no full sort), reordering `xs` in
+/// place; `None` for an empty slice.
+///
+/// Bit-identical to [`median`]: both central order statistics are located
+/// with `select_nth_unstable_by` and interpolated with the same R-7
+/// expression `lo + (hi − lo) · frac` the sorting path uses. Prefer this
+/// over [`median`] when the caller owns a scratch buffer — `median` clones
+/// and fully sorts its input on every call.
+pub fn median_inplace(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    if n == 1 {
+        return Some(xs[0]);
+    }
+    let mid = n / 2;
+    if n % 2 == 1 {
+        let (_, m, _) = xs.select_nth_unstable_by(mid, f64::total_cmp);
+        Some(*m)
+    } else {
+        // Even n: the upper central statistic via selection, the lower one
+        // as the max of the left partition.
+        let (below, hi, _) = xs.select_nth_unstable_by(mid, f64::total_cmp);
+        let hi = *hi;
+        let lo = below.iter().copied().max_by(f64::total_cmp).expect("n ≥ 2");
+        Some(lo + (hi - lo) * 0.5)
+    }
+}
+
 /// Five-number-plus summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
@@ -158,6 +188,29 @@ mod tests {
         assert_eq!(percentile(&xs, 25.0), Some(1.75));
         assert_eq!(percentile(&xs, 101.0), None);
         assert_eq!(percentile(&xs, -1.0), None);
+    }
+
+    #[test]
+    fn median_inplace_matches_median_bit_for_bit() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![7.5],
+            vec![3.0, 1.0, 2.0],
+            vec![4.0, 1.0, 2.0, 3.0],
+            vec![0.1, 0.2, 0.30000000000000004, 0.4, 1e-12, 1e12],
+            (0..101).map(|i| ((i * 37) % 101) as f64 / 7.0).collect(),
+            (0..100).map(|i| ((i * 61) % 100) as f64 * 1.5e-3).collect(),
+        ];
+        for xs in cases {
+            let expected = median(&xs);
+            let mut scratch = xs.clone();
+            let got = median_inplace(&mut scratch);
+            match (expected, got) {
+                (None, None) => {}
+                (Some(e), Some(g)) => assert_eq!(e.to_bits(), g.to_bits(), "{xs:?}"),
+                other => panic!("mismatch {other:?}"),
+            }
+        }
     }
 
     #[test]

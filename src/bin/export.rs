@@ -20,41 +20,35 @@ use crowd_analytics::design::{methodology, prediction};
 use crowd_analytics::marketplace::{arrivals, availability, labels, load, trends};
 use crowd_analytics::workers::{cohorts, geography, lifetimes, sources};
 use crowd_analytics::Study;
+use crowd_marketplace::cli::CommonOpts;
 use crowd_report::{series_to_csv, Series};
 use crowd_sim::{simulate, SimConfig};
 
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
 fn main() {
-    let mut scale = 0.01f64;
-    let mut seed = 2017u64;
+    let mut opts = CommonOpts::default();
     let mut out = PathBuf::from("export");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scale" => {
-                scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N");
-                assert!(
-                    scale.is_finite() && scale > 0.0 && scale <= 1.0,
-                    "--scale must be in (0, 1]"
-                );
-            }
-            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
-            "--out" => out = PathBuf::from(args.next().expect("--out DIR")),
-            "--threads" => {
-                let n: usize = args.next().and_then(|v| v.parse().ok()).expect("--threads T (≥1)");
-                assert!(n >= 1, "--threads must be at least 1");
-                rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build_global()
-                    .expect("configure thread pool");
-            }
-            other => {
-                eprintln!("unknown argument `{other}`");
-                std::process::exit(2);
-            }
+        match opts.accept(&arg, &mut args) {
+            Ok(true) => {}
+            Ok(false) => match arg.as_str() {
+                "--out" => {
+                    out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs DIR")));
+                }
+                other => die(&format!("unknown argument `{other}`")),
+            },
+            Err(e) => die(&e),
         }
     }
+    opts.install_thread_pool().unwrap_or_else(|e| die(&e));
     std::fs::create_dir_all(&out).expect("create output dir");
 
+    let CommonOpts { scale, seed, .. } = opts;
     eprintln!("simulating (scale {scale}, seed {seed}) …");
     let study = Study::new(simulate(&SimConfig::new(seed, scale)));
     let write = |name: &str, content: String| {

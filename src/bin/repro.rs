@@ -26,6 +26,7 @@ use crowd_analytics::marketplace::{arrivals, availability, labels, load, trends}
 use crowd_analytics::workers::{geography, lifetimes, sources, workload};
 use crowd_analytics::Study;
 use crowd_core::time::Timestamp;
+use crowd_marketplace::cli::CommonOpts;
 use crowd_report::{BarChart, LinePlot, Series, StackedBars, TextTable};
 use crowd_sim::{simulate, SimConfig};
 
@@ -63,55 +64,24 @@ const ALL_TARGETS: [&str; 30] = [
 ];
 
 /// Parsed command line. Separated from `main` so the parsing and
-/// validation rules are unit-testable without spawning the binary.
-#[derive(Debug, Clone, PartialEq)]
+/// validation rules are unit-testable without spawning the binary. The
+/// `--scale`/`--seed`/`--threads` rules live in [`CommonOpts`], shared
+/// with `export`.
+#[derive(Debug, Clone, PartialEq, Default)]
 struct Args {
-    scale: f64,
-    seed: u64,
-    /// Worker threads for the parallel pipeline stages; `None` defers to
-    /// the `CROWD_THREADS` environment variable, then the host CPU count.
-    threads: Option<usize>,
+    opts: CommonOpts,
     targets: BTreeSet<String>,
     help: bool,
-}
-
-impl Default for Args {
-    fn default() -> Args {
-        Args { scale: 0.01, seed: 2017, threads: None, targets: BTreeSet::new(), help: false }
-    }
 }
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut out = Args::default();
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
+        if out.opts.accept(&arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
-            "--scale" => {
-                let scale: f64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--scale needs a number in (0, 1]")?;
-                // Scales outside (0, 1] either produce an empty marketplace
-                // or extrapolate beyond the paper's population; reject both.
-                if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
-                    return Err(format!("--scale must be in (0, 1], got {scale}"));
-                }
-                out.scale = scale;
-            }
-            "--seed" => {
-                out.seed =
-                    args.next().and_then(|v| v.parse().ok()).ok_or("--seed needs an integer")?;
-            }
-            "--threads" => {
-                let threads: usize = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--threads needs a positive integer")?;
-                if threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
-                out.threads = Some(threads);
-            }
             "--help" | "-h" => out.help = true,
             t => {
                 out.targets.insert(t.to_string());
@@ -131,13 +101,9 @@ fn main() {
         println!("targets: all {}", ALL_TARGETS.join(" "));
         return;
     }
-    let Args { scale, seed, threads, targets, .. } = args;
-    if let Some(n) = threads {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .unwrap_or_else(|_| die("failed to configure the thread pool"));
-    }
+    let Args { opts, targets, .. } = args;
+    opts.install_thread_pool().unwrap_or_else(|e| die(&e));
+    let CommonOpts { scale, seed, .. } = opts;
 
     eprintln!(
         "simulating marketplace (scale {scale}, seed {seed}, {} threads) …",
@@ -832,9 +798,7 @@ mod tests {
     #[test]
     fn defaults_select_all_targets() {
         let args = parse(&[]).unwrap();
-        assert_eq!(args.scale, 0.01);
-        assert_eq!(args.seed, 2017);
-        assert_eq!(args.threads, None);
+        assert_eq!(args.opts, CommonOpts::default());
         assert_eq!(args.targets.len(), ALL_TARGETS.len());
         assert!(!args.help);
     }
@@ -842,9 +806,7 @@ mod tests {
     #[test]
     fn explicit_flags_parse() {
         let args = parse(&["--scale", "0.5", "--seed", "7", "--threads", "4", "fig1"]).unwrap();
-        assert_eq!(args.scale, 0.5);
-        assert_eq!(args.seed, 7);
-        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.opts, CommonOpts { scale: 0.5, seed: 7, threads: Some(4) });
         assert_eq!(args.targets.iter().collect::<Vec<_>>(), ["fig1"]);
     }
 
@@ -866,14 +828,14 @@ mod tests {
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "-1"]).is_err());
         assert!(parse(&["--threads"]).is_err());
-        assert_eq!(parse(&["--threads", "1"]).unwrap().threads, Some(1));
+        assert_eq!(parse(&["--threads", "1"]).unwrap().opts.threads, Some(1));
     }
 
     #[test]
     fn seed_requires_integer() {
         assert!(parse(&["--seed", "x"]).is_err());
         assert!(parse(&["--seed"]).is_err());
-        assert_eq!(parse(&["--seed", "42"]).unwrap().seed, 42);
+        assert_eq!(parse(&["--seed", "42"]).unwrap().opts.seed, 42);
     }
 
     #[test]

@@ -55,3 +55,143 @@ pub mod prelude {
     pub use crowd_core::prelude::*;
     pub use crowd_sim::{simulate, SimConfig};
 }
+
+/// Command-line handling shared by the workspace binaries.
+///
+/// `repro` and `export` accept the same simulation knobs — `--scale`,
+/// `--seed`, `--threads` — with the same defaults, bounds, and error
+/// messages. [`cli::CommonOpts`] owns that contract in one place; each
+/// binary keeps its own loop only for its private flags (`--out`,
+/// targets, `--help`).
+pub mod cli {
+    /// Options every binary understands: `--scale`, `--seed`, `--threads`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct CommonOpts {
+        /// Fraction of the paper's marketplace volume to simulate, in
+        /// `(0, 1]`.
+        pub scale: f64,
+        /// Master seed for the generative pipeline.
+        pub seed: u64,
+        /// Worker threads for the parallel pipeline stages; `None` defers
+        /// to the `CROWD_THREADS` environment variable, then the host CPU
+        /// count.
+        pub threads: Option<usize>,
+    }
+
+    impl Default for CommonOpts {
+        fn default() -> CommonOpts {
+            CommonOpts { scale: 0.01, seed: 2017, threads: None }
+        }
+    }
+
+    impl CommonOpts {
+        /// Tries to consume `arg` (taking its value from `rest`).
+        ///
+        /// Returns `Ok(true)` when the flag belongs to the shared set,
+        /// `Ok(false)` when the caller should handle it itself, and `Err`
+        /// with a user-facing message on a missing or invalid value.
+        pub fn accept(
+            &mut self,
+            arg: &str,
+            rest: &mut dyn Iterator<Item = String>,
+        ) -> Result<bool, String> {
+            match arg {
+                "--scale" => {
+                    let scale: f64 = rest
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--scale needs a number in (0, 1]")?;
+                    // Scales outside (0, 1] either produce an empty
+                    // marketplace or extrapolate beyond the paper's
+                    // population; reject both.
+                    if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+                        return Err(format!("--scale must be in (0, 1], got {scale}"));
+                    }
+                    self.scale = scale;
+                    Ok(true)
+                }
+                "--seed" => {
+                    self.seed = rest
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs an integer")?;
+                    Ok(true)
+                }
+                "--threads" => {
+                    let threads: usize = rest
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads needs a positive integer")?;
+                    if threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    self.threads = Some(threads);
+                    Ok(true)
+                }
+                _ => Ok(false),
+            }
+        }
+
+        /// Installs the global thread pool when `--threads` was given.
+        /// Call once, before any parallel work.
+        pub fn install_thread_pool(&self) -> Result<(), String> {
+            if let Some(n) = self.threads {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build_global()
+                    .map_err(|_| String::from("failed to configure the thread pool"))?;
+            }
+            Ok(())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn parse(argv: &[&str]) -> Result<CommonOpts, String> {
+            let mut opts = CommonOpts::default();
+            let mut rest = argv.iter().map(|s| s.to_string());
+            while let Some(arg) = rest.next() {
+                if !opts.accept(&arg, &mut rest)? {
+                    return Err(format!("unknown argument `{arg}`"));
+                }
+            }
+            Ok(opts)
+        }
+
+        #[test]
+        fn defaults_match_the_paper_repro() {
+            let opts = CommonOpts::default();
+            assert_eq!(opts.scale, 0.01);
+            assert_eq!(opts.seed, 2017);
+            assert_eq!(opts.threads, None);
+        }
+
+        #[test]
+        fn flags_parse_and_validate() {
+            let opts = parse(&["--scale", "0.5", "--seed", "7", "--threads", "4"]).unwrap();
+            assert_eq!(opts, CommonOpts { scale: 0.5, seed: 7, threads: Some(4) });
+            // Validation path: the (0, 1] scale bound.
+            for bad in [["--scale", "0"], ["--scale", "1.5"], ["--scale", "NaN"]] {
+                assert!(parse(&bad).is_err(), "{bad:?} must be rejected");
+            }
+            assert!(parse(&["--threads", "0"]).is_err());
+        }
+
+        #[test]
+        fn error_messages_name_the_flag() {
+            assert_eq!(parse(&["--scale", "2"]).unwrap_err(), "--scale must be in (0, 1], got 2");
+            assert_eq!(parse(&["--seed", "x"]).unwrap_err(), "--seed needs an integer");
+            assert_eq!(parse(&["--threads"]).unwrap_err(), "--threads needs a positive integer");
+        }
+
+        #[test]
+        fn unknown_flags_fall_through_to_the_caller() {
+            let mut opts = CommonOpts::default();
+            let mut rest = std::iter::empty();
+            assert_eq!(opts.accept("--out", &mut rest), Ok(false));
+            assert_eq!(opts, CommonOpts::default());
+        }
+    }
+}

@@ -137,6 +137,6 @@ fn repro_pipeline_is_seed_sensitive() {
 fn validation_rejects_corrupted_dataset() {
     let mut ds = simulate(&SimConfig::new(9, 0.0005));
     assert!(ds.validate().is_ok());
-    ds.instances[0].trust = 7.0;
+    ds.instances.set_trust(0, 7.0);
     assert!(ds.validate().is_err());
 }

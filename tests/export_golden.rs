@@ -1,0 +1,54 @@
+//! Golden determinism for the `export` binary: repeated runs — and runs
+//! under different thread counts — must write byte-identical CSV files.
+//! This is the end-user face of the determinism contract (DESIGN.md §10):
+//! the fixed-chunk fused scan and the deterministic parallel pipeline
+//! guarantee that parallelism never leaks into published numbers.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Every file `export` writes, per its module docs.
+const FILES: [&str; 12] = [
+    "weekly.csv",
+    "weekday.csv",
+    "cluster_sizes.csv",
+    "heavy_hitters.csv",
+    "labels.csv",
+    "trends.csv",
+    "experiments.csv",
+    "prediction.csv",
+    "sources.csv",
+    "geography.csv",
+    "lifetimes.csv",
+    "cohorts.csv",
+];
+
+fn run_export(dir: &Path, threads: usize) {
+    let status = Command::new(env!("CARGO_BIN_EXE_export"))
+        .args(["--scale", "0.0005", "--seed", "11", "--threads"])
+        .arg(threads.to_string())
+        .arg("--out")
+        .arg(dir)
+        .status()
+        .expect("spawn export binary");
+    assert!(status.success(), "export --threads {threads} failed");
+}
+
+#[test]
+fn export_is_byte_identical_across_runs_and_thread_counts() {
+    let base = std::env::temp_dir().join(format!("crowd_export_golden_{}", std::process::id()));
+    let repeat_a = base.join("repeat_a");
+    let repeat_b = base.join("repeat_b");
+    let wide = base.join("threads_4");
+    run_export(&repeat_a, 1);
+    run_export(&repeat_b, 1);
+    run_export(&wide, 4);
+
+    for f in FILES {
+        let golden = std::fs::read(repeat_a.join(f)).unwrap_or_else(|e| panic!("{f}: {e}"));
+        assert!(!golden.is_empty(), "{f} is empty");
+        assert_eq!(golden, std::fs::read(repeat_b.join(f)).unwrap(), "repeated run changed {f}");
+        assert_eq!(golden, std::fs::read(wide.join(f)).unwrap(), "thread count leaked into {f}");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -76,7 +76,8 @@ fn malformed_batch_html_degrades_to_default_features() {
 #[test]
 fn clock_skewed_instances_are_rejected_at_build() {
     let mut ds = minimal_dataset();
-    ds.instances[0].end = ds.instances[0].start - Duration::from_secs(10);
+    let skewed_end = ds.instances.row(0).start - Duration::from_secs(10);
+    ds.instances.set_end(0, skewed_end);
     assert!(ds.validate().is_err());
 }
 
@@ -85,8 +86,9 @@ fn instance_predating_its_batch_is_tolerated_by_analytics() {
     // Real-world logs contain clock skew; pickup time goes negative but
     // the analyses must not panic.
     let mut ds = minimal_dataset();
-    ds.instances[0].start = ds.batches[0].created_at - Duration::from_secs(30);
-    ds.instances[0].end = ds.instances[0].start + Duration::from_secs(10);
+    let skewed_start = ds.batches[0].created_at - Duration::from_secs(30);
+    ds.instances.set_start(0, skewed_start);
+    ds.instances.set_end(0, skewed_start + Duration::from_secs(10));
     let s = Study::new(ds);
     let m = s.enriched_batches().next().unwrap();
     assert!(m.pickup_time.unwrap() < 0.0);
@@ -142,8 +144,8 @@ fn single_worker_marketplace() {
 fn all_skipped_answers_give_full_disagreement() {
     let mut ds = minimal_dataset();
     // Add a second judgment on the same item, both skipped.
-    ds.instances[0].answer = Answer::Skipped;
-    let mut extra = ds.instances[0].clone();
+    ds.instances.set_answer(0, Answer::Skipped);
+    let mut extra = ds.instances.row(0).to_owned();
     extra.answer = Answer::Skipped;
     ds.instances.push(extra);
     let s = Study::new(ds);

@@ -1,0 +1,69 @@
+//! Scan-fusion budget: a full reproduction run (every analytics entry
+//! point the `repro` and `export` binaries touch) must read the instance
+//! table through the fused scan engine at most twice. Before the
+//! columnar refactor the same surface performed ~28 independent
+//! full-table walks; the fused accumulator in `crowd_analytics` folds
+//! them into one [`ScanPass`], memoized on the `Study`.
+
+use crowd_marketplace::analytics::design::{
+    drilldown, forecast, methodology, metrics, prediction, redundancy, summary,
+};
+use crowd_marketplace::analytics::marketplace::{arrivals, availability, labels, load, trends};
+use crowd_marketplace::analytics::workers::{
+    cohorts, geography, lifetimes, sessions, sources, workload,
+};
+use crowd_marketplace::core::query::ScanPass;
+use crowd_marketplace::prelude::*;
+
+#[test]
+fn full_analytics_run_does_at_most_two_fused_passes() {
+    let before = ScanPass::full_scan_count();
+    let study = Study::new(simulate(&SimConfig::tiny(2017)));
+
+    // Everything `repro -- all` and `export` compute, in one process.
+    let _ = study.dataset().summary();
+    let w = arrivals::weekly(&study);
+    assert!(!w.weeks.is_empty());
+    let _ = w.since(Timestamp::from_ymd(2015, 1, 1));
+    let _ = arrivals::by_weekday(&study);
+    let _ = arrivals::daily_load(&study, Timestamp::from_ymd(2015, 1, 1));
+    let _ = availability::weekly_workers(&study);
+    let _ = availability::engagement_split(&study);
+    let _ = load::cluster_load(&study);
+    let _ = load::heavy_hitters(&study, 10);
+    let _ = labels::goal_distribution(&study);
+    let _ = labels::data_distribution(&study);
+    let _ = labels::operator_distribution(&study);
+    let _ = labels::data_given_goal(&study);
+    let _ = labels::operator_given_goal(&study);
+    let _ = labels::operator_given_data(&study);
+    let _ = trends::goal_trend(&study);
+    let _ = trends::operator_trend(&study);
+    let _ = trends::data_trend(&study);
+    let _ = metrics::latency_decomposition(&study);
+    let _ = methodology::full_grid(&study);
+    let _ = summary::disagreement_table(&study);
+    let _ = summary::task_time_table(&study);
+    let _ = summary::pickup_time_table(&study);
+    let _ = drilldown::fig25_panels(&study);
+    let _ = prediction::predict_all(&study, 0xC0DE);
+    let st = sources::per_source(&study);
+    let _ = sources::active_sources_weekly(&study);
+    let _ = sources::quality_stats(&study, &st);
+    let _ = geography::distribution(&study);
+    let _ = workload::distribution(&study);
+    let _ = lifetimes::lifetime_stats(&study);
+    let _ = lifetimes::active_trust(&study);
+    let _ = sessions::sessions(&study, sessions::DEFAULT_GAP);
+    // Re-segmenting with a different gap must reuse the cached intervals.
+    let _ = sessions::sessions(&study, Duration::from_secs(5 * 60));
+    let _ = cohorts::monthly_cohorts(&study);
+    for profile in forecast::PickupProfile::all() {
+        let _ = forecast::fit_pickup(&study, profile);
+    }
+    let _ = redundancy::redundancy(&study);
+
+    let passes = ScanPass::full_scan_count() - before;
+    assert!(passes >= 1, "the fused accumulator must actually run");
+    assert!(passes <= 2, "scan-fusion budget blown: {passes} full instance-table passes");
+}
