@@ -17,6 +17,12 @@
 //! `BTreeMap`/`BTreeSet` so shaping iterates in a process-independent
 //! order (a `HashMap`'s random seed must never decide the order in which
 //! floats are added or rows are exported).
+//!
+//! The raw aggregate types here are public so that `crowd-testkit` can
+//! compare the fused engine field-by-field against straight-line oracle
+//! re-implementations (differential testing); analytics callers should
+//! keep consuming the shaped outputs in [`crate::marketplace`],
+//! [`crate::workers`] and [`crate::design`] instead.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -28,14 +34,14 @@ use crate::design::metrics::LatencyPoint;
 use crate::study::Study;
 
 /// Months since year 0, for cohort bucketing.
-pub(crate) fn month_index(t: Timestamp) -> i32 {
+pub fn month_index(t: Timestamp) -> i32 {
     let (y, m, _) = t.ymd();
     y * 12 + (m as i32 - 1)
 }
 
 /// Tasks and active hours of one worker inside one week.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct WeekCell {
+pub struct WeekCell {
     /// Instances started this week.
     pub tasks: u64,
     /// Work-time hours clocked this week.
@@ -44,7 +50,7 @@ pub(crate) struct WeekCell {
 
 /// Raw per-worker aggregates (only workers with ≥ 1 instance appear).
 #[derive(Debug, Clone)]
-pub(crate) struct WorkerAgg {
+pub struct WorkerAgg {
     /// Instances performed.
     pub tasks: u64,
     /// Total work time in seconds (integer-valued, so order-exact).
@@ -100,7 +106,7 @@ impl WorkerAgg {
 
 /// Raw per-source aggregates (only sources with ≥ 1 instance appear).
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct SourceAgg {
+pub struct SourceAgg {
     /// Instances performed by the source's workers.
     pub n_tasks: u64,
     /// Sum of trust scores.
@@ -114,7 +120,7 @@ pub(crate) struct SourceAgg {
 /// Everything the analytics layer needs from the instance table, gathered
 /// in one scan and cached on the [`Study`].
 #[derive(Debug, Clone)]
-pub(crate) struct Fused {
+pub struct Fused {
     /// First week index of the dataset (0 when empty).
     pub w0: i32,
     /// Number of weeks covered (0 when empty).
@@ -320,7 +326,7 @@ impl Accumulator for FusedAcc {
 }
 
 /// Runs the fused pass for a study. Called once per `Study` (memoized).
-pub(crate) fn compute(study: &Study) -> Fused {
+pub fn compute(study: &Study) -> Fused {
     let ds = study.dataset();
     let (w0, n_weeks) = match (ds.time_min(), ds.time_max()) {
         (Some(t0), Some(t1)) => (t0.week().0, (t1.week().0 - t0.week().0 + 1).max(0) as usize),

@@ -32,7 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod design;
-pub(crate) mod fused;
+pub mod fused;
 pub mod marketplace;
 pub mod study;
 #[cfg(test)]

@@ -131,7 +131,11 @@ impl Study {
     }
 
     /// The fused instance-table aggregates (one [`ScanPass`] run, cached).
-    pub(crate) fn fused(&self) -> &Fused {
+    ///
+    /// Public so `crowd-testkit` can differential-test the fused engine
+    /// against its straight-line oracles; analytics callers should prefer
+    /// the shaped module functions.
+    pub fn fused(&self) -> &Fused {
         self.fused.get_or_init(|| crate::fused::compute(self))
     }
 

@@ -680,6 +680,13 @@ impl DatasetBuilder {
         self.ds.instances.reserve(additional);
     }
 
+    /// Creation time of an already-added batch. Panics when `batch` was not
+    /// produced by this builder (used by [`crate::fixture`] to express
+    /// instance times as batch-relative offsets).
+    pub fn batch_created_at(&self, batch: BatchId) -> Timestamp {
+        self.ds.batches[batch.index()].created_at
+    }
+
     /// Distinct HTML pages interned so far (diagnostics).
     pub fn distinct_html(&self) -> usize {
         self.arena.len()

@@ -1,0 +1,245 @@
+//! Compact dataset fixtures for tests.
+//!
+//! [`DatasetBuilder`] is deliberately explicit: every entity is added by
+//! hand and every [`TaskInstance`] field spelled out. Tests across the
+//! workspace (and especially the `crowd-testkit` generators) want the
+//! opposite trade-off — tiny adversarial datasets in a few lines, with the
+//! boilerplate entities defaulted. This module provides that layer.
+//!
+//! The API is test support: it exists so unit, property, and differential
+//! tests can construct valid datasets tersely. Production ingestion paths
+//! should keep using [`DatasetBuilder`] directly.
+//!
+//! ```
+//! use crowd_core::fixture::Fixture;
+//! use crowd_core::prelude::*;
+//!
+//! let mut f = Fixture::new();
+//! let w = f.add_worker();
+//! let b = f.add_batch(Duration::ZERO);
+//! f.instance(b, 0, w, 60, 30); // item 0, picked up at +60 s, 30 s of work
+//! let ds = f.finish();
+//! assert_eq!(ds.instances.len(), 1);
+//! ```
+
+use crate::answer::Answer;
+use crate::dataset::{Dataset, DatasetBuilder, TaskInstance};
+use crate::id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
+use crate::task::{Batch, TaskType};
+use crate::time::{Duration, Timestamp};
+use crate::worker::{Source, SourceKind, Worker};
+
+/// A terse, validating dataset fixture builder.
+///
+/// One default source, country, and task type are created up front; every
+/// other entity is added on demand. Instance times are expressed as offsets
+/// from the batch creation time, so fixtures read like event timelines.
+#[derive(Debug)]
+pub struct Fixture {
+    b: DatasetBuilder,
+    t0: Timestamp,
+    default_source: SourceId,
+    default_country: CountryId,
+    default_type: TaskTypeId,
+}
+
+impl Fixture {
+    /// A fixture anchored at Monday 2015-01-05 (inside the paper's
+    /// high-activity regime).
+    pub fn new() -> Fixture {
+        Fixture::at(Timestamp::from_ymd(2015, 1, 5))
+    }
+
+    /// A fixture anchored at an explicit origin timestamp.
+    pub fn at(t0: Timestamp) -> Fixture {
+        let mut b = DatasetBuilder::new();
+        let default_source = b.add_source(Source::new("fixture", SourceKind::Dedicated));
+        let default_country = b.add_country("Fixtureland");
+        let default_type = b.add_task_type(TaskType::new("fixture task"));
+        Fixture { b, t0, default_source, default_country, default_type }
+    }
+
+    /// The fixture's origin timestamp.
+    pub fn t0(&self) -> Timestamp {
+        self.t0
+    }
+
+    /// The default source every [`Fixture::add_worker`] worker belongs to.
+    pub fn default_source(&self) -> SourceId {
+        self.default_source
+    }
+
+    /// The default country every [`Fixture::add_worker`] worker lives in.
+    pub fn default_country(&self) -> CountryId {
+        self.default_country
+    }
+
+    /// Adds a source of the given kind.
+    pub fn add_source(&mut self, name: &str, kind: SourceKind) -> SourceId {
+        self.b.add_source(Source::new(name, kind))
+    }
+
+    /// Adds a country.
+    pub fn add_country(&mut self, name: &str) -> CountryId {
+        self.b.add_country(name)
+    }
+
+    /// Adds a task type with the given choice arity.
+    pub fn add_task_type(&mut self, title: &str, arity: u16) -> TaskTypeId {
+        self.b.add_task_type(TaskType::new(title).with_choice_arity(arity))
+    }
+
+    /// Adds a worker under the default source and country.
+    pub fn add_worker(&mut self) -> WorkerId {
+        let (s, c) = (self.default_source, self.default_country);
+        self.add_worker_from(s, c)
+    }
+
+    /// Adds `n` workers under the default source and country.
+    pub fn add_workers(&mut self, n: usize) -> Vec<WorkerId> {
+        (0..n).map(|_| self.add_worker()).collect()
+    }
+
+    /// Adds a worker under an explicit source and country.
+    pub fn add_worker_from(&mut self, source: SourceId, country: CountryId) -> WorkerId {
+        self.b.add_worker(Worker::new(source, country))
+    }
+
+    /// Adds a sampled batch of the default task type, created `offset`
+    /// after the fixture origin, with a minimal valid HTML page.
+    pub fn add_batch(&mut self, offset: Duration) -> BatchId {
+        let tt = self.default_type;
+        self.add_batch_of(tt, offset, "<p>fixture</p>")
+    }
+
+    /// Adds a sampled batch with explicit task type and HTML.
+    pub fn add_batch_of(&mut self, tt: TaskTypeId, offset: Duration, html: &str) -> BatchId {
+        self.b.add_batch(Batch::new(tt, self.t0 + offset).with_html(html))
+    }
+
+    /// Adds a batch outside the observed sample (no HTML, `sampled =
+    /// false`) — these exist in the batch table but carry no instances in
+    /// the paper's dataset. Fixtures may still attach instances to them to
+    /// probe the "unsampled batch with activity" edge case.
+    pub fn add_unsampled_batch(&mut self, offset: Duration) -> BatchId {
+        let tt = self.default_type;
+        self.b.add_batch(Batch::new(tt, self.t0 + offset).unsampled())
+    }
+
+    /// Adds one instance: `worker` picks `item` of `batch` up
+    /// `pickup_secs` after the batch creation and works for `work_secs`.
+    /// Trust defaults to 0.9 and the answer to `Choice(0)`.
+    pub fn instance(
+        &mut self,
+        batch: BatchId,
+        item: u32,
+        worker: WorkerId,
+        pickup_secs: i64,
+        work_secs: i64,
+    ) -> InstanceId {
+        self.instance_full(batch, item, worker, pickup_secs, work_secs, 0.9, Answer::Choice(0))
+    }
+
+    /// Adds one instance with every field explicit. Offsets are relative
+    /// to the instance's batch creation time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instance_full(
+        &mut self,
+        batch: BatchId,
+        item: u32,
+        worker: WorkerId,
+        pickup_secs: i64,
+        work_secs: i64,
+        trust: f32,
+        answer: Answer,
+    ) -> InstanceId {
+        let created = self.b.batch_created_at(batch);
+        let start = created + Duration::from_secs(pickup_secs);
+        self.b.add_instance(TaskInstance {
+            batch,
+            item: ItemId::new(item),
+            worker,
+            start,
+            end: start + Duration::from_secs(work_secs),
+            trust,
+            answer,
+        })
+    }
+
+    /// Validates and returns the dataset.
+    pub fn finish(self) -> Dataset {
+        self.b.finish().expect("fixture datasets are constructed valid")
+    }
+}
+
+impl Default for Fixture {
+    fn default() -> Self {
+        Fixture::new()
+    }
+}
+
+/// A single-batch, single-worker dataset with `rows` instances whose trust
+/// scores alternate between magnitudes (1e-4 vs 0.875), making any float
+/// accumulation over them order-sensitive. The workhorse of the
+/// chunk-boundary and merge-order regression tests.
+pub fn order_sensitive(rows: usize) -> Dataset {
+    let mut f = Fixture::new();
+    let w = f.add_worker();
+    let b = f.add_batch(Duration::ZERO);
+    f.b.reserve_instances(rows);
+    for i in 0..rows {
+        f.instance_full(
+            b,
+            (i % 7) as u32,
+            w,
+            i as i64,
+            30,
+            if i % 3 == 0 { 1.0e-4 } else { 0.875 },
+            Answer::Choice((i % 2) as u16),
+        );
+    }
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_valid_datasets() {
+        let mut f = Fixture::new();
+        let w = f.add_worker();
+        let ws = f.add_workers(2);
+        let b = f.add_batch(Duration::from_days(1));
+        let u = f.add_unsampled_batch(Duration::ZERO);
+        f.instance(b, 0, w, 60, 30);
+        f.instance(b, 0, ws[0], 120, 45);
+        f.instance(u, 0, ws[1], 10, 5);
+        let ds = f.finish();
+        assert_eq!(ds.instances.len(), 3);
+        assert_eq!(ds.workers.len(), 3);
+        assert_eq!(ds.summary().batches_sampled, 1);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn instance_offsets_are_batch_relative() {
+        let mut f = Fixture::new();
+        let w = f.add_worker();
+        let b = f.add_batch(Duration::from_days(2));
+        f.instance(b, 0, w, 90, 30);
+        let ds = f.finish();
+        let row = ds.instances.row(0);
+        assert_eq!(row.start - ds.batch(b).created_at, Duration::from_secs(90));
+        assert_eq!(row.work_time(), Duration::from_secs(30));
+    }
+
+    #[test]
+    fn order_sensitive_has_varied_trust() {
+        let ds = order_sensitive(10);
+        assert_eq!(ds.instances.len(), 10);
+        let distinct: std::collections::HashSet<u32> =
+            ds.instances.trust_col().iter().map(|t| t.to_bits()).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+}

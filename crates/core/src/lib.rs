@@ -49,6 +49,7 @@ pub mod answer;
 pub mod csv;
 pub mod dataset;
 pub mod error;
+pub mod fixture;
 pub mod id;
 pub mod labels;
 pub mod query;

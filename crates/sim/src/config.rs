@@ -65,6 +65,14 @@ impl SimConfig {
         SimConfig::new(seed, 0.001)
     }
 
+    /// Conformance scale: 5% of the paper's volume (~1.4M instances).
+    /// The `crowd-testkit` paper-invariant suite runs at this scale across
+    /// several seeds, so effect directions are measured with enough power
+    /// to be stable, deterministically per seed.
+    pub fn conformance(seed: u64) -> SimConfig {
+        SimConfig::new(seed, 0.05)
+    }
+
     /// Full paper scale (27M instances; needs several GB of memory).
     pub fn full(seed: u64) -> SimConfig {
         SimConfig::new(seed, 1.0)

@@ -50,25 +50,28 @@ pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
-    Some(percentile_sorted(&sorted, p))
+    percentile_sorted(&sorted, p)
 }
 
-/// [`percentile`] over data already sorted ascending. Panics on empty input.
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
+/// [`percentile`] over data already sorted ascending; `None` when empty or
+/// `p` out of range.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
     let n = sorted.len();
     if n == 1 {
-        return sorted[0];
+        return Some(sorted[0]);
     }
     let rank = p / 100.0 * (n - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
-/// Median of a pre-sorted slice. Panics on empty input.
-pub fn median_sorted(sorted: &[f64]) -> f64 {
+/// Median of a pre-sorted slice; `None` for an empty slice.
+pub fn median_sorted(sorted: &[f64]) -> Option<f64> {
     percentile_sorted(sorted, 50.0)
 }
 
@@ -134,9 +137,9 @@ impl Summary {
         Some(Summary {
             n: sorted.len(),
             min: sorted[0],
-            q1: percentile_sorted(&sorted, 25.0),
-            median: percentile_sorted(&sorted, 50.0),
-            q3: percentile_sorted(&sorted, 75.0),
+            q1: percentile_sorted(&sorted, 25.0)?,
+            median: percentile_sorted(&sorted, 50.0)?,
+            q3: percentile_sorted(&sorted, 75.0)?,
             max: sorted[sorted.len() - 1],
             mean: mean(xs).unwrap(),
             stddev: stddev(xs).unwrap_or(0.0),
@@ -216,6 +219,28 @@ mod tests {
     #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[7.0], 33.0), Some(7.0));
+    }
+
+    #[test]
+    fn sorted_variants_handle_empty_and_degenerate_input() {
+        // These used to assert (and abort the process) on empty slices;
+        // the analytics layer feeds them filtered piles that can
+        // legitimately come out empty, so they must degrade to None.
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        assert_eq!(median_sorted(&[]), None);
+        assert_eq!(percentile_sorted(&[1.0, 2.0], -0.5), None);
+        assert_eq!(percentile_sorted(&[1.0, 2.0], 100.5), None);
+        assert_eq!(percentile_sorted(&[4.0], 99.0), Some(4.0));
+        assert_eq!(median_sorted(&[1.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn sorted_variants_match_unsorted_on_sorted_input() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        for p in [0.0, 12.5, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&sorted, p), percentile(&sorted, p), "p = {p}");
+        }
+        assert_eq!(median_sorted(&sorted), median(&sorted));
     }
 
     #[test]

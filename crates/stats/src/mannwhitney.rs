@@ -64,8 +64,12 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitneyResult> {
     if var_u <= 0.0 {
         return None; // everything tied
     }
-    // Continuity correction toward the mean.
-    let z = (u - mean_u - 0.5 * (u - mean_u).signum()) / var_u.sqrt();
+    // Continuity correction toward the mean. At the mean itself there is
+    // nothing to correct (f64::signum(0.0) is 1.0, which would push both
+    // swap directions to the same side and break z's antisymmetry).
+    let d = u - mean_u;
+    let correction = if d == 0.0 { 0.0 } else { 0.5 * d.signum() };
+    let z = (d - correction) / var_u.sqrt();
     let p_value = normal_two_sided(z);
     Some(MannWhitneyResult { u, z, p_value, n: (na, nb) })
 }

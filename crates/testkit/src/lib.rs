@@ -1,0 +1,39 @@
+//! # crowd-testkit
+//!
+//! Correctness infrastructure for the fused analytics engine, in three
+//! pillars (see `DESIGN.md` §12):
+//!
+//! * [`oracle`] — straight-line, single-threaded scalar re-implementations
+//!   of every accumulator family the fused [`crowd_analytics::fused`] pass
+//!   computes, written directly against [`crowd_core::InstanceRef`] rows
+//!   with none of the engine's chunking, fusion, or parallelism;
+//! * [`differential`] — a harness comparing the fused engine's output
+//!   against the oracle field-by-field (exact equality for counts, order
+//!   statistics, and integer-valued sums; ULP-bounded equality for float
+//!   accumulations whose rounding legitimately depends on merge order),
+//!   at 1 and 4 worker threads;
+//! * [`generators`] — seeded adversarial [`proptest::Strategy`]s and
+//!   deterministic edge-case datasets (empty tables, single instances,
+//!   duplicate timestamps, median ties, chunk-boundary sizes) that explore
+//!   corners the simulator never emits;
+//! * [`paper_invariants`] — a conformance suite asserting the simulator
+//!   and analytics jointly reproduce the paper's qualitative findings
+//!   (effect directions, dominance relations, saturation shapes), each
+//!   invariant named after the section of Jain et al. (VLDB 2017) it
+//!   reproduces.
+//!
+//! The north-star rationale: every number the reproduction emits flows
+//! through one highly-optimized scan path. Refactoring that path freely
+//! requires oracles to refactor against; this crate is those oracles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod generators;
+pub mod oracle;
+pub mod paper_invariants;
+
+pub use differential::{assert_study_matches_oracle, compare_fused};
+pub use oracle::oracle_fused;
+pub use paper_invariants::{check_all, Invariant};

@@ -1,0 +1,250 @@
+//! Conformance suite: does the simulator + analytics stack still
+//! reproduce the paper's qualitative findings?
+//!
+//! Each invariant is named after the section of Jain et al. (VLDB 2017)
+//! whose finding it pins down, and checks a *direction* or *shape* (an
+//! effect sign, a dominance relation, a saturation curve) rather than a
+//! point value — directions are what survive the reproduction's reduced
+//! scale, and what a regression in either the simulator or the analytics
+//! layer would silently flip.
+
+use std::collections::BTreeMap;
+
+use crowd_agg::adapter::batch_judgments;
+use crowd_agg::majority::majority_vote;
+use crowd_agg::Judgment;
+use crowd_analytics::design::methodology::{run_experiment, Feature};
+use crowd_analytics::design::metrics::{latency_decomposition, Metric};
+use crowd_analytics::Study;
+use crowd_core::prelude::*;
+
+/// One checked paper finding.
+#[derive(Debug, Clone)]
+pub struct Invariant {
+    /// Stable machine-readable name (also the test-failure key).
+    pub name: &'static str,
+    /// The paper section the finding comes from.
+    pub section: &'static str,
+    /// Whether the finding held on this study.
+    pub passed: bool,
+    /// Human-readable evidence (the numbers behind the verdict).
+    pub detail: String,
+}
+
+impl Invariant {
+    fn new(name: &'static str, section: &'static str, passed: bool, detail: String) -> Invariant {
+        Invariant { name, section, passed, detail }
+    }
+}
+
+/// Runs every invariant against one study and returns the verdicts.
+/// Callers decide which subset must pass (the conformance suite requires
+/// all of them at scale ≥ 0.05).
+pub fn check_all(study: &Study) -> Vec<Invariant> {
+    vec![
+        regime_shift(study),
+        weekday_over_weekend(study),
+        pickup_dominates_task_time(study),
+        effect_sign(
+            study,
+            "s4_6_examples_cut_pickup",
+            "§4.6",
+            Feature::Examples,
+            Metric::PickupTime,
+            -1.0,
+        ),
+        effect_sign(
+            study,
+            "s4_4_text_boxes_raise_task_time",
+            "§4.4",
+            Feature::TextBoxes,
+            Metric::TaskTime,
+            1.0,
+        ),
+        effect_sign(
+            study,
+            "s4_4_text_boxes_raise_disagreement",
+            "§4.4",
+            Feature::TextBoxes,
+            Metric::Disagreement,
+            1.0,
+        ),
+        effect_sign(
+            study,
+            "s4_3_words_cut_disagreement",
+            "§4.3",
+            Feature::Words,
+            Metric::Disagreement,
+            -1.0,
+        ),
+        redundancy_saturation(study),
+    ]
+}
+
+/// §3.1: "the task arrival plot is relatively sparse until Jan 2015" —
+/// mean weekly issue volume after the regime change dwarfs the volume
+/// before it.
+fn regime_shift(study: &Study) -> Invariant {
+    let fused = study.fused();
+    let issued = &fused.issued;
+    let boundary = (Timestamp::from_ymd(2015, 1, 1).week().0 - fused.w0).max(0) as usize;
+    if boundary == 0 || boundary >= issued.len() {
+        return Invariant::new(
+            "s3_1_regime_shift",
+            "§3.1",
+            false,
+            format!("timeline does not straddle Jan 2015 (weeks = {})", issued.len()),
+        );
+    }
+    let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64;
+    let before = mean(&issued[..boundary]);
+    let after = mean(&issued[boundary..]);
+    Invariant::new(
+        "s3_1_regime_shift",
+        "§3.1",
+        after > before * 2.0,
+        format!("mean weekly issued: {before:.1} before Jan 2015 vs {after:.1} after"),
+    )
+}
+
+/// §3.1 (Fig 4): tasks are issued on weekdays far more than on weekends.
+fn weekday_over_weekend(study: &Study) -> Invariant {
+    let wd = study.fused().weekday;
+    let week: u64 = wd[..5].iter().sum();
+    let weekend: u64 = wd[5..].iter().sum();
+    let (avg_week, avg_weekend) = (week as f64 / 5.0, weekend as f64 / 2.0);
+    Invariant::new(
+        "s3_1_weekday_over_weekend",
+        "§3.1",
+        avg_week > avg_weekend * 1.2,
+        format!("avg daily issue volume: {avg_week:.1} weekday vs {avg_weekend:.1} weekend"),
+    )
+}
+
+/// §4.1 (Fig 13): pickup-time dominates task-time by a large factor,
+/// which is what justifies treating pickup as *the* latency metric.
+fn pickup_dominates_task_time(study: &Study) -> Invariant {
+    let ratio = latency_decomposition(study).median_pickup_to_task_ratio;
+    Invariant::new(
+        "s4_1_pickup_dominates_task_time",
+        "§4.1",
+        ratio > 5.0,
+        format!("median batch pickup/task ratio = {ratio:.1}"),
+    )
+}
+
+/// One §4.x effect-direction finding: the sign of the bin-2 − bin-1
+/// median difference for a `{feature, metric}` experiment must match the
+/// paper's. `want` is +1.0 (feature raises the metric) or −1.0 (cuts it).
+fn effect_sign(
+    study: &Study,
+    name: &'static str,
+    section: &'static str,
+    feature: Feature,
+    metric: Metric,
+    want: f64,
+) -> Invariant {
+    match run_experiment(study, feature, metric, None) {
+        Some(e) => {
+            let effect = e.effect();
+            Invariant::new(
+                name,
+                section,
+                effect * want > 0.0,
+                format!(
+                    "{} on {}: bin1 median {:.3}, bin2 median {:.3}, effect {:+.3} (want sign {:+})",
+                    feature.name(),
+                    metric.name(),
+                    e.bin1.median,
+                    e.bin2.median,
+                    effect,
+                    want as i32,
+                ),
+            )
+        }
+        None => Invariant::new(
+            name,
+            section,
+            false,
+            format!(
+                "{} on {}: population too small to run the experiment",
+                feature.name(),
+                metric.name()
+            ),
+        ),
+    }
+}
+
+/// §4.1 (Fig 15): agreement with the full consensus grows with
+/// redundancy but saturates — the jump from 1 to 3 judgments buys more
+/// than the jump from 3 to 5.
+///
+/// This is checked observationally (no latent truth needed): over items
+/// with ≥ 5 judgments, majority-vote the first k judgments per item and
+/// measure agreement with the item's full-vote consensus.
+fn redundancy_saturation(study: &Study) -> Invariant {
+    const KS: [usize; 3] = [1, 3, 5];
+    let ds = study.dataset();
+    let index = study.index();
+    let mut same = [0u64; 3];
+    let mut total = 0u64;
+
+    for (bi, batch) in ds.batches.iter().enumerate() {
+        if !batch.sampled {
+            continue;
+        }
+        let bj = batch_judgments(ds, index, BatchId::from_usize(bi));
+        if bj.judgments.is_empty() {
+            continue;
+        }
+        let full = majority_vote(&bj.judgments, bj.n_classes());
+        // Judgments arrive in instance-row order; keep that order per item
+        // so "first k" means the first k judgments the item received.
+        let mut per_item: BTreeMap<u32, Vec<Judgment>> = BTreeMap::new();
+        for j in &bj.judgments {
+            per_item.entry(j.item).or_default().push(*j);
+        }
+        for (item, js) in &per_item {
+            if js.len() < *KS.last().expect("KS non-empty") {
+                continue;
+            }
+            total += 1;
+            for (slot, &k) in KS.iter().enumerate() {
+                let partial = majority_vote(&js[..k], bj.n_classes());
+                if partial.labels.get(item) == full.labels.get(item) {
+                    same[slot] += 1;
+                }
+            }
+        }
+    }
+
+    if total < 50 {
+        return Invariant::new(
+            "s4_1_redundancy_saturation",
+            "§4.1",
+            false,
+            format!("only {total} items with ≥ 5 judgments — not enough to measure"),
+        );
+    }
+    let a: Vec<f64> = same.iter().map(|&s| s as f64 / total as f64).collect();
+    let (gain13, gain35) = (a[1] - a[0], a[2] - a[1]);
+    Invariant::new(
+        "s4_1_redundancy_saturation",
+        "§4.1",
+        a[0] < a[1] && gain13 > gain35,
+        format!(
+            "consensus agreement over {total} items: k=1 → {:.3}, k=3 → {:.3}, k=5 → {:.3}",
+            a[0], a[1], a[2]
+        ),
+    )
+}
+
+/// Convenience for tests: panics listing every failed invariant.
+pub fn assert_all_hold(study: &Study) {
+    let failed: Vec<String> = check_all(study)
+        .into_iter()
+        .filter(|inv| !inv.passed)
+        .map(|inv| format!("{} ({}): {}", inv.name, inv.section, inv.detail))
+        .collect();
+    assert!(failed.is_empty(), "paper invariants failed:\n{}", failed.join("\n"));
+}

@@ -1,0 +1,46 @@
+//! Differential tests: the fused engine vs the straight-line oracles,
+//! over deterministic edge cases, generated adversarial datasets, and
+//! simulated marketplaces.
+
+use crowd_sim::{simulate, SimConfig};
+use crowd_testkit::assert_study_matches_oracle;
+use crowd_testkit::generators::{
+    edge_case_datasets, small_adversarial, sparse_timeline, ties_and_duplicates,
+};
+use proptest::prelude::*;
+
+#[test]
+fn edge_cases_match_oracle() {
+    for (name, ds) in edge_case_datasets() {
+        eprintln!("differential: edge case `{name}` ({} instances)", ds.instances.len());
+        assert_study_matches_oracle(&ds);
+    }
+}
+
+proptest! {
+    #[test]
+    fn small_adversarial_datasets_match_oracle(ds in small_adversarial()) {
+        assert_study_matches_oracle(&ds);
+    }
+
+    #[test]
+    fn tied_and_duplicated_datasets_match_oracle(ds in ties_and_duplicates()) {
+        assert_study_matches_oracle(&ds);
+    }
+
+    #[test]
+    fn sparse_timeline_datasets_match_oracle(ds in sparse_timeline()) {
+        assert_study_matches_oracle(&ds);
+    }
+}
+
+#[test]
+fn simulated_tiny_scale_matches_oracle() {
+    assert_study_matches_oracle(&simulate(&SimConfig::tiny(5)));
+}
+
+#[test]
+#[ignore = "heavy: the CI conformance job runs this in release with --ignored"]
+fn simulated_conformance_scale_matches_oracle() {
+    assert_study_matches_oracle(&simulate(&SimConfig::conformance(11)));
+}

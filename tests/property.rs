@@ -6,8 +6,11 @@ use crowd_core::answer::{item_disagreement, Answer};
 use crowd_core::time::{civil_from_days, days_from_civil, Timestamp};
 use crowd_html::generator::InterfaceSpec;
 use crowd_stats::binning::median_split;
+use crowd_stats::bootstrap::bootstrap_ci;
 use crowd_stats::cdf::EmpiricalCdf;
+use crowd_stats::descriptive::{median, median_inplace};
 use crowd_stats::histogram::{Histogram, HistogramKind};
+use crowd_stats::mannwhitney::mann_whitney_u;
 use crowd_stats::ttest::welch_t_test;
 
 proptest! {
@@ -94,6 +97,60 @@ proptest! {
             }
             (None, None) => {}
             _ => prop_assert!(false, "one direction failed, the other didn't"),
+        }
+    }
+
+    #[test]
+    fn mann_whitney_swapping_samples_mirrors_u(
+        a in prop::collection::vec(0u8..20, 1..50),
+        b in prop::collection::vec(0u8..20, 1..50),
+    ) {
+        // Integer-valued draws from a small domain force heavy ties, the
+        // regime where the tie-corrected U is easiest to get wrong.
+        let af: Vec<f64> = a.iter().map(|&x| f64::from(x)).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| f64::from(x)).collect();
+        match (mann_whitney_u(&af, &bf), mann_whitney_u(&bf, &af)) {
+            (Some(x), Some(y)) => {
+                // The fundamental identity U_a + U_b = n_a · n_b …
+                let product = (af.len() * bf.len()) as f64;
+                prop_assert!((x.u + y.u - product).abs() < 1e-9, "{} + {} != {product}", x.u, y.u);
+                // … and the standardized verdict is direction-antisymmetric.
+                prop_assert!((x.z + y.z).abs() < 1e-9);
+                prop_assert!((x.p_value - y.p_value).abs() < 1e-9);
+                prop_assert_eq!(x.n, (af.len(), bf.len()));
+                prop_assert_eq!(y.n, (bf.len(), af.len()));
+            }
+            (None, None) => {} // all values tied — degenerate both ways
+            _ => prop_assert!(false, "swapping the samples changed degeneracy"),
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_estimate_and_widens_with_confidence(
+        xs in prop::collection::vec(0u8..50, 1..100),
+        seed in 0u64..1_000,
+    ) {
+        let xs: Vec<f64> = xs.iter().map(|&x| f64::from(x)).collect();
+        let stat = |v: &[f64]| median(v).unwrap();
+        let ci = bootstrap_ci(&xs, stat, 200, 0.95, seed).unwrap();
+        prop_assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+        // Nested percentile intervals: more confidence can never narrow.
+        let narrow = bootstrap_ci(&xs, stat, 200, 0.80, seed).unwrap();
+        let wide = bootstrap_ci(&xs, stat, 200, 0.99, seed).unwrap();
+        prop_assert!(wide.width() >= ci.width() && ci.width() >= narrow.width(),
+            "widths not monotone in level: {} / {} / {}",
+            narrow.width(), ci.width(), wide.width());
+    }
+
+    #[test]
+    fn median_inplace_agrees_with_median(xs in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let expected = median(&xs);
+        let mut scratch = xs.clone();
+        let got = median_inplace(&mut scratch);
+        match (expected, got) {
+            (None, None) => prop_assert!(xs.is_empty()),
+            (Some(e), Some(g)) => prop_assert_eq!(e.to_bits(), g.to_bits(), "{xs:?}"),
+            other => prop_assert!(false, "one path degenerate: {other:?}"),
         }
     }
 
