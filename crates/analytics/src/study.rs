@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::OnceLock;
 
-use crowd_cluster::{ClusterParams, Clusterer};
+use crowd_cluster::{ClusterParams, Clusterer, Clustering};
 use crowd_core::answer::item_disagreement_ref;
 use crowd_core::prelude::*;
 use crowd_html::{extract_features, ExtractedFeatures};
@@ -93,40 +93,50 @@ impl Study {
     /// Enriches with explicit clustering parameters (the paper reports
     /// tuning the match threshold by inspection, §3.3).
     pub fn with_cluster_params(ds: Dataset, params: ClusterParams) -> Study {
-        let index = ds.index();
-
         // ---- §3.3: cluster sampled batches by HTML similarity ----------
-        let sampled: Vec<BatchId> = ds
-            .batches
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.sampled)
-            .map(|(i, _)| BatchId::from_usize(i))
-            .collect();
-        let docs: Vec<&str> =
-            sampled.iter().map(|&b| ds.batch(b).html.as_deref().unwrap_or("")).collect();
-        let clustering = Clusterer::new(params).cluster(&docs);
+        let clustering = {
+            let (_ids, docs) = sampled_docs(&ds);
+            Clusterer::new(params).cluster(&docs)
+        };
+        Study::with_clustering(ds, clustering)
+    }
 
-        // ---- §2.4 + §4.1: per-batch features and metrics ----------------
-        // Enrichment is independent per batch: fan it out across threads,
-        // then scatter into the batch-indexed vec in sampled order — the
-        // result is position-determined, hence thread-count-invariant.
-        let indexed: Vec<(usize, BatchId)> = sampled.iter().copied().enumerate().collect();
-        let enriched: Vec<BatchMetrics> = indexed
-            .par_iter()
-            .map(|&(pos, batch)| {
-                compute_batch_metrics(&ds, &index, batch, clustering.cluster_of(pos))
-            })
-            .collect();
+    /// Enriches against an externally computed clustering — the entry
+    /// point for callers that already hold labels (an A/B harness reusing
+    /// one clustering across arms, or a snapshot warm start recomputing
+    /// enrichment only).
+    ///
+    /// # Panics
+    /// If `clustering` does not cover exactly the sampled batches (its
+    /// length must equal their count; labels are positional in dataset
+    /// order, as produced by clustering [`sampled_docs`]).
+    pub fn with_clustering(ds: Dataset, clustering: Clustering) -> Study {
+        let index = ds.index();
+        let metrics = enrich_batches(&ds, &index, &clustering);
+        Study::assemble(ds, index, metrics)
+    }
+
+    /// Rebuilds a `Study` from persisted per-batch enrichment, skipping
+    /// clustering and metric computation entirely — the snapshot warm
+    /// path. `metrics` must be the sampled batches in dataset order, with
+    /// dense cluster ids, exactly as [`enrich_batches`] produces (and as
+    /// `crowd-snapshot` validates on decode).
+    pub fn from_enrichment(ds: Dataset, metrics: Vec<BatchMetrics>) -> Study {
+        let index = ds.index();
+        Study::assemble(ds, index, metrics)
+    }
+
+    /// Shared tail of every constructor: scatter metrics into the
+    /// batch-indexed table and aggregate clusters.
+    fn assemble(ds: Dataset, index: DatasetIndex, metrics: Vec<BatchMetrics>) -> Study {
+        // Labels are dense, so the cluster count is one past the largest.
+        let n_clusters = metrics.iter().map(|m| m.cluster).max().map_or(0, |m| m as usize + 1);
         let mut batch_metrics: Vec<Option<BatchMetrics>> = vec![None; ds.batches.len()];
-        for metrics in enriched {
+        for metrics in metrics {
             let slot = metrics.batch.index();
             batch_metrics[slot] = Some(metrics);
         }
-
-        // ---- cluster aggregates ----------------------------------------
-        let clusters = aggregate_clusters(&ds, &batch_metrics, clustering.n_clusters());
-
+        let clusters = aggregate_clusters(&ds, &batch_metrics, n_clusters);
         Study { ds, index, batch_metrics, clusters, fused: OnceLock::new() }
     }
 
@@ -173,6 +183,52 @@ impl Study {
     pub fn pickup_secs(&self, inst: InstanceRef<'_>) -> f64 {
         self.ds.pickup_time(inst).as_secs() as f64
     }
+}
+
+/// The sampled batches, in dataset order, paired with the HTML documents
+/// clustering runs over (missing pages cluster as the empty string).
+///
+/// This is *the* positional contract shared by clustering, enrichment,
+/// and the snapshot format: index `pos` in the returned vectors, in a
+/// [`Clustering`], in `Derived::labels`, and in persisted metrics all
+/// name the same batch.
+pub fn sampled_docs(ds: &Dataset) -> (Vec<BatchId>, Vec<&str>) {
+    let sampled: Vec<BatchId> = ds
+        .batches
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.sampled)
+        .map(|(i, _)| BatchId::from_usize(i))
+        .collect();
+    let docs: Vec<&str> =
+        sampled.iter().map(|&b| ds.batch(b).html.as_deref().unwrap_or("")).collect();
+    (sampled, docs)
+}
+
+/// §2.4 + §4.1: per-batch features and metrics for every sampled batch,
+/// in dataset order. Enrichment is independent per batch: fan it out
+/// across threads and collect in sampled order — the result is
+/// position-determined, hence thread-count-invariant.
+///
+/// # Panics
+/// If `clustering` was not computed over exactly the sampled batches
+/// (one label per sampled batch, positionally).
+pub fn enrich_batches(
+    ds: &Dataset,
+    index: &DatasetIndex,
+    clustering: &Clustering,
+) -> Vec<BatchMetrics> {
+    let (sampled, _docs) = sampled_docs(ds);
+    assert_eq!(
+        clustering.labels().len(),
+        sampled.len(),
+        "clustering must cover exactly the sampled batches"
+    );
+    let indexed: Vec<(usize, BatchId)> = sampled.iter().copied().enumerate().collect();
+    indexed
+        .par_iter()
+        .map(|&(pos, batch)| compute_batch_metrics(ds, index, batch, clustering.cluster_of(pos)))
+        .collect()
 }
 
 fn compute_batch_metrics(

@@ -47,6 +47,26 @@ pub struct Clustering {
 }
 
 impl Clustering {
+    /// Reassembles a clustering from persisted labels (the snapshot warm
+    /// path). Returns `None` unless the labels form a valid dense
+    /// clustering: every label below `n_clusters`, every cluster id in
+    /// `0..n_clusters` used at least once, and first occurrences in
+    /// increasing order — exactly the shape
+    /// [`Clusterer::cluster_signatures`] emits, so a round-tripped
+    /// clustering is indistinguishable from a freshly computed one.
+    pub fn from_parts(labels: Vec<u32>, n_clusters: usize) -> Option<Clustering> {
+        let mut next = 0u32;
+        for &label in &labels {
+            if label > next {
+                return None;
+            }
+            if label == next {
+                next += 1;
+            }
+        }
+        (next as usize == n_clusters).then_some(Clustering { labels, n_clusters })
+    }
+
     /// Cluster id of document `i` (dense, `0..n_clusters`).
     pub fn cluster_of(&self, i: usize) -> u32 {
         self.labels[i]

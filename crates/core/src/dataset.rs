@@ -142,6 +142,30 @@ impl InstanceColumns {
         self.answer.reserve(additional);
     }
 
+    /// Assembles a store directly from its columns (the bulk-load path used
+    /// by snapshot deserialization, which reads each column verbatim).
+    ///
+    /// Fails with [`CoreError::ColumnLengthMismatch`] unless all columns
+    /// have the same length; referential integrity is *not* checked here —
+    /// run [`Dataset::validate`] on the containing dataset for that.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        batch: Vec<BatchId>,
+        item: Vec<ItemId>,
+        worker: Vec<WorkerId>,
+        start: Vec<Timestamp>,
+        end: Vec<Timestamp>,
+        trust: Vec<f32>,
+        answer: Vec<Answer>,
+    ) -> Result<Self> {
+        let n = batch.len();
+        let lens = [item.len(), worker.len(), start.len(), end.len(), trust.len(), answer.len()];
+        if let Some(&got) = lens.iter().find(|&&l| l != n) {
+            return Err(CoreError::ColumnLengthMismatch { expected: n, got });
+        }
+        Ok(InstanceColumns { batch, item, worker, start, end, trust, answer })
+    }
+
     /// Appends one instance, decomposing it into the columns.
     pub fn push(&mut self, inst: TaskInstance) {
         self.batch.push(inst.batch);

@@ -41,6 +41,13 @@ pub enum CoreError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// Columnar bulk-load received columns of differing lengths.
+    ColumnLengthMismatch {
+        /// Length of the first (batch-id) column.
+        expected: usize,
+        /// The first differing column length encountered.
+        got: usize,
+    },
     /// A timestamp string or component was invalid.
     InvalidTime(String),
     /// A label abbreviation could not be parsed.
@@ -64,6 +71,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Csv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
+            }
+            CoreError::ColumnLengthMismatch { expected, got } => {
+                write!(f, "instance columns disagree in length: {expected} vs {got}")
             }
             CoreError::InvalidTime(s) => write!(f, "invalid time: {s}"),
             CoreError::UnknownLabel(s) => write!(f, "unknown label: {s}"),

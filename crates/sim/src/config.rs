@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crowd_core::rng::stream_seed;
 use crowd_core::time::Timestamp;
 
 /// Configuration of one simulated marketplace history.
@@ -108,6 +109,41 @@ impl SimConfig {
         self.week_of(self.regime_change)
     }
 
+    /// Collision-resistant digest of every generative knob.
+    ///
+    /// Two configs share a fingerprint exactly when [`crate::simulate`]
+    /// would produce bit-identical datasets from them, so the value can key
+    /// caches of simulation output (`crowd-snapshot` does). Thread count,
+    /// host, and process state play no part — the digest covers config
+    /// fields only.
+    pub fn fingerprint(&self) -> u64 {
+        // Destructure so adding a SimConfig field without extending the
+        // digest is a compile error, not a silent stale-cache hazard.
+        let SimConfig {
+            seed,
+            scale,
+            start,
+            end,
+            regime_change,
+            sample_fraction,
+            label_fraction,
+            push_fraction,
+        } = self;
+        let mut h = stream_seed(0x534E_4150, *seed); // "SNAP" domain tag
+        for field in [
+            scale.to_bits(),
+            start.as_secs() as u64,
+            end.as_secs() as u64,
+            regime_change.as_secs() as u64,
+            sample_fraction.to_bits(),
+            label_fraction.to_bits(),
+            push_fraction.to_bits(),
+        ] {
+            h = stream_seed(h, field);
+        }
+        h
+    }
+
     /// Enables push routing for a fraction of judgments (builder style).
     #[must_use]
     pub fn with_push_fraction(mut self, fraction: f64) -> SimConfig {
@@ -156,5 +192,26 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn zero_scale_rejected() {
         let _ = SimConfig::new(1, 0.0);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_knob() {
+        let base = SimConfig::new(7, 0.01);
+        assert_eq!(base.fingerprint(), SimConfig::new(7, 0.01).fingerprint());
+        let variants = [
+            SimConfig::new(8, 0.01),
+            SimConfig::new(7, 0.02),
+            SimConfig { start: Timestamp::from_ymd(2012, 7, 3), ..base.clone() },
+            SimConfig { end: Timestamp::from_ymd(2016, 6, 30), ..base.clone() },
+            SimConfig { regime_change: Timestamp::from_ymd(2015, 1, 2), ..base.clone() },
+            SimConfig { sample_fraction: 0.5, ..base.clone() },
+            SimConfig { label_fraction: 0.5, ..base.clone() },
+            base.clone().with_push_fraction(0.25),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.fingerprint());
+        for (i, v) in variants.iter().enumerate() {
+            assert!(seen.insert(v.fingerprint()), "variant {i} collided");
+        }
     }
 }

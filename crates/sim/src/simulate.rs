@@ -1,5 +1,7 @@
 //! Orchestrates a full simulation run into a [`Dataset`].
 
+use std::sync::Arc;
+
 use crowd_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,12 +58,15 @@ pub fn simulate_with(
     let html_domain = stream_seed(cfg.seed, STREAM_HTML);
     let indexed: Vec<(u64, &crate::schedule::BatchPlan)> =
         schedule.batches.iter().enumerate().map(|(i, p)| (i as u64, p)).collect();
-    let rendered: Vec<Option<String>> = indexed
+    // Render straight into `Arc<str>`: the builder's arena interns shared
+    // handles, so converting here (inside the fan-out) keeps the one
+    // unavoidable copy off the serial assembly loop below.
+    let rendered: Vec<Option<Arc<str>>> = indexed
         .par_iter()
         .map(|&(i, plan)| {
             plan.sampled.then(|| {
                 let t = &types[plan.type_idx as usize];
-                t.interface(stream_seed(html_domain, i)).render()
+                Arc::from(t.interface(stream_seed(html_domain, i)).render())
             })
         })
         .collect();

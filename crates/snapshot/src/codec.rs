@@ -1,0 +1,477 @@
+//! Payload section codecs: entity tables, batch columns + HTML dictionary,
+//! verbatim instance columns, and the derived-artifact section.
+//!
+//! Encoding is column-oriented to mirror [`InstanceColumns`]: each fixed
+//! width field of the instance table is dumped as one contiguous array, so
+//! the hot sections are straight `memcpy`-shaped loops in both directions.
+//! Every decoder validates shape as it goes (enum tags, label bits,
+//! dictionary references, column lengths) and finishes with
+//! [`Dataset::validate`], so a snapshot that decodes successfully is as
+//! trustworthy as a freshly simulated dataset.
+
+use std::collections::HashMap;
+// Shadow the `crowd_core::prelude` single-argument `Result` alias: this
+// module's fallible paths return `SnapshotError`, not `CoreError`.
+use std::result::Result;
+use std::sync::Arc;
+
+use crowd_analytics::BatchMetrics;
+use crowd_cluster::{ClusterParams, Signature};
+use crowd_core::dataset::{Dataset, InstanceColumns};
+use crowd_core::prelude::*;
+use crowd_html::ExtractedFeatures;
+
+use crate::format::{ByteReader, ByteWriter};
+use crate::{Derived, Snapshot, SnapshotError};
+
+/// Serializes every payload section in order.
+pub fn encode_payload(snapshot: &Snapshot) -> Vec<u8> {
+    let ds = &snapshot.dataset;
+    // Instance rows dominate; ~42 bytes each is a close upper bound for
+    // choice/skip answers and avoids most buffer regrowth.
+    let mut w = ByteWriter::with_capacity(64 + ds.instances.len() * 42);
+
+    // ---- entity tables --------------------------------------------------
+    w.u32(ds.sources.len() as u32);
+    for s in &ds.sources {
+        w.str(&s.name);
+        w.u8(kind_tag(s.kind));
+    }
+    w.u32(ds.countries.len() as u32);
+    for c in &ds.countries {
+        w.str(&c.name);
+    }
+    w.u32(ds.workers.len() as u32);
+    for worker in &ds.workers {
+        w.u32(worker.source.raw());
+    }
+    for worker in &ds.workers {
+        w.u32(worker.country.raw());
+    }
+    w.u32(ds.task_types.len() as u32);
+    for tt in &ds.task_types {
+        w.str(&tt.title);
+        w.u16(tt.goals.bits());
+        w.u16(tt.operators.bits());
+        w.u16(tt.data_types.bits());
+        w.u16(tt.choice_arity);
+    }
+
+    // ---- batches + HTML dictionary --------------------------------------
+    // Dictionary-encode pages by pointer first, value second: batches
+    // sharing one interned `Arc<str>` hit the pointer key without a string
+    // compare, and distinct allocations holding equal text still collapse
+    // to one dictionary slot.
+    let mut dict: Vec<&str> = Vec::new();
+    let mut slot_by_ptr: HashMap<*const u8, u32> = HashMap::new();
+    let mut slot_by_text: HashMap<&str, u32> = HashMap::new();
+    let mut html_refs: Vec<u32> = Vec::with_capacity(ds.batches.len());
+    for b in &ds.batches {
+        html_refs.push(match &b.html {
+            None => u32::MAX,
+            Some(html) => {
+                let ptr = html.as_ptr();
+                *slot_by_ptr.entry(ptr).or_insert_with(|| {
+                    *slot_by_text.entry(html.as_ref()).or_insert_with(|| {
+                        dict.push(html.as_ref());
+                        dict.len() as u32 - 1
+                    })
+                })
+            }
+        });
+    }
+    w.u32(ds.batches.len() as u32);
+    for b in &ds.batches {
+        w.u32(b.task_type.raw());
+    }
+    for b in &ds.batches {
+        w.i64(b.created_at.as_secs());
+    }
+    w.u32_slice(&html_refs);
+    let mut sampled_bits = vec![0u8; ds.batches.len().div_ceil(8)];
+    for (i, b) in ds.batches.iter().enumerate() {
+        if b.sampled {
+            sampled_bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    w.bytes(&sampled_bits);
+    w.u32(dict.len() as u32);
+    for page in &dict {
+        w.str(page);
+    }
+
+    // ---- instance columns, verbatim -------------------------------------
+    let cols = &ds.instances;
+    w.u32(cols.len() as u32);
+    for &b in cols.batch_col() {
+        w.u32(b.raw());
+    }
+    for &i in cols.item_col() {
+        w.u32(i.raw());
+    }
+    for &wk in cols.worker_col() {
+        w.u32(wk.raw());
+    }
+    for &t in cols.start_col() {
+        w.i64(t.as_secs());
+    }
+    for &t in cols.end_col() {
+        w.i64(t.as_secs());
+    }
+    for &t in cols.trust_col() {
+        w.f32(t);
+    }
+    for a in cols.answer_col() {
+        match a {
+            Answer::Choice(c) => {
+                w.u8(0);
+                w.u16(*c);
+            }
+            Answer::Text(t) => {
+                w.u8(1);
+                w.str(t);
+            }
+            Answer::Skipped => w.u8(2),
+        }
+    }
+
+    // ---- derived artifacts ----------------------------------------------
+    match &snapshot.derived {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            w.u64(d.params.shingle_k as u64);
+            w.u64(d.params.n_hashes as u64);
+            w.u64(d.params.bands as u64);
+            w.f64(d.params.threshold);
+            w.u64(d.params.seed);
+            w.u32_slice(&d.labels);
+            w.u32(d.n_clusters as u32);
+            w.u32(d.signatures.len() as u32);
+            for sig in &d.signatures {
+                w.u64_slice(&sig.0);
+            }
+            w.u32(d.metrics.len() as u32);
+            for m in &d.metrics {
+                w.u32(m.cluster);
+                w.u32(m.n_instances);
+                w.u32(m.n_items);
+                opt_f64(&mut w, m.disagreement);
+                opt_f64(&mut w, m.task_time);
+                opt_f64(&mut w, m.pickup_time);
+                w.u32(m.features.words);
+                w.u32(m.features.text_boxes);
+                w.u32(m.features.examples);
+                w.u32(m.features.images);
+                w.u32(m.features.input_fields);
+                w.u8(u8::from(m.features.has_instructions));
+            }
+        }
+    }
+
+    w.into_bytes()
+}
+
+/// Deserializes and validates every payload section.
+pub fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let mut r = ByteReader::new(payload);
+
+    // ---- entity tables --------------------------------------------------
+    let n_sources = r.len_prefix(2)?;
+    let mut sources = Vec::with_capacity(n_sources);
+    for _ in 0..n_sources {
+        let name = r.str()?;
+        sources.push(Source::new(name, kind_from_tag(r.u8()?)?));
+    }
+    let n_countries = r.len_prefix(1)?;
+    let mut countries = Vec::with_capacity(n_countries);
+    for _ in 0..n_countries {
+        countries.push(Country::new(r.str()?));
+    }
+    let n_workers = r.len_prefix(8)?;
+    let mut workers = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        workers.push(Worker::new(SourceId::new(r.u32()?), CountryId::new(0)));
+    }
+    for worker in &mut workers {
+        worker.country = CountryId::new(r.u32()?);
+    }
+    let n_types = r.len_prefix(8)?;
+    let mut task_types = Vec::with_capacity(n_types);
+    for _ in 0..n_types {
+        let title = r.str()?;
+        let bad_bits = |_| SnapshotError::Corrupt("label bits");
+        let mut tt = TaskType::new(title);
+        tt.goals = LabelSet::from_bits(r.u16()?).map_err(bad_bits)?;
+        tt.operators = LabelSet::from_bits(r.u16()?).map_err(bad_bits)?;
+        tt.data_types = LabelSet::from_bits(r.u16()?).map_err(bad_bits)?;
+        task_types.push(tt.with_choice_arity(r.u16()?));
+    }
+
+    // ---- batches + HTML dictionary --------------------------------------
+    let n_batches = r.len_prefix(4)?;
+    let mut type_col = Vec::with_capacity(n_batches);
+    for _ in 0..n_batches {
+        type_col.push(TaskTypeId::new(r.u32()?));
+    }
+    let mut created_col = Vec::with_capacity(n_batches);
+    for _ in 0..n_batches {
+        created_col.push(Timestamp::from_secs(r.i64()?));
+    }
+    let html_refs = r.u32_vec()?;
+    let sampled_bits = r.bytes()?;
+    if html_refs.len() != n_batches || sampled_bits.len() != n_batches.div_ceil(8) {
+        return Err(SnapshotError::Corrupt("batch column lengths"));
+    }
+    let n_dict = r.len_prefix(4)?;
+    // One `Arc<str>` per distinct page, cloned into every referencing
+    // batch: this rebuilds exactly the sharing the builder's `HtmlArena`
+    // established at simulation time.
+    let mut dict: Vec<Arc<str>> = Vec::with_capacity(n_dict);
+    for _ in 0..n_dict {
+        dict.push(Arc::from(r.str()?));
+    }
+    let mut batches = Vec::with_capacity(n_batches);
+    for i in 0..n_batches {
+        let mut b = Batch::new(type_col[i], created_col[i]);
+        b.sampled = sampled_bits[i / 8] & (1 << (i % 8)) != 0;
+        b.html = match html_refs[i] {
+            u32::MAX => None,
+            slot => Some(
+                dict.get(slot as usize)
+                    .ok_or(SnapshotError::Corrupt("html dictionary reference"))?
+                    .clone(),
+            ),
+        };
+        batches.push(b);
+    }
+
+    // ---- instance columns -----------------------------------------------
+    let n = r.len_prefix(33)?; // ≥ 33 bytes/row: 3×u32 + 2×i64 + f32 + tag
+    let mut batch_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        batch_col.push(BatchId::new(r.u32()?));
+    }
+    let mut item_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        item_col.push(ItemId::new(r.u32()?));
+    }
+    let mut worker_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        worker_col.push(WorkerId::new(r.u32()?));
+    }
+    let mut start_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        start_col.push(Timestamp::from_secs(r.i64()?));
+    }
+    let mut end_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        end_col.push(Timestamp::from_secs(r.i64()?));
+    }
+    let mut trust_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        trust_col.push(r.f32()?);
+    }
+    let mut answer_col = Vec::with_capacity(n);
+    for _ in 0..n {
+        answer_col.push(match r.u8()? {
+            0 => Answer::Choice(r.u16()?),
+            1 => Answer::Text(r.str()?.to_string()),
+            2 => Answer::Skipped,
+            _ => return Err(SnapshotError::Corrupt("answer tag")),
+        });
+    }
+    let instances = InstanceColumns::from_parts(
+        batch_col, item_col, worker_col, start_col, end_col, trust_col, answer_col,
+    )
+    .map_err(|_| SnapshotError::Corrupt("instance column lengths"))?;
+
+    let dataset = Dataset { sources, countries, workers, task_types, batches, instances };
+    dataset.validate().map_err(|_| SnapshotError::Corrupt("dataset integrity"))?;
+
+    // ---- derived artifacts ----------------------------------------------
+    let derived = match r.u8()? {
+        0 => None,
+        1 => Some(decode_derived(&mut r, &dataset)?),
+        _ => return Err(SnapshotError::Corrupt("derived flag")),
+    };
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(Snapshot { dataset, derived })
+}
+
+fn decode_derived(r: &mut ByteReader<'_>, ds: &Dataset) -> Result<Derived, SnapshotError> {
+    let params = ClusterParams {
+        shingle_k: r.u64()? as usize,
+        n_hashes: r.u64()? as usize,
+        bands: r.u64()? as usize,
+        threshold: r.f64()?,
+        seed: r.u64()?,
+    };
+    let labels = r.u32_vec()?;
+    let n_clusters = r.u32()? as usize;
+    let n_sampled = ds.batches.iter().filter(|b| b.sampled).count();
+    if labels.len() != n_sampled {
+        return Err(SnapshotError::Corrupt("label count vs sampled batches"));
+    }
+    // Dense-shape check (every id used, first occurrences increasing):
+    // downstream scatter indexes arrays of size `n_clusters` by label.
+    if crowd_cluster::Clustering::from_parts(labels.clone(), n_clusters).is_none() {
+        return Err(SnapshotError::Corrupt("cluster labels not dense"));
+    }
+    let n_sigs = r.len_prefix(4)?;
+    if n_sigs != n_sampled {
+        return Err(SnapshotError::Corrupt("signature count"));
+    }
+    let mut signatures = Vec::with_capacity(n_sigs);
+    for _ in 0..n_sigs {
+        let sig = r.u64_vec()?;
+        if sig.len() != params.n_hashes {
+            return Err(SnapshotError::Corrupt("signature length"));
+        }
+        signatures.push(Signature(sig));
+    }
+    let n_metrics = r.len_prefix(34)?;
+    if n_metrics != n_sampled {
+        return Err(SnapshotError::Corrupt("metric count"));
+    }
+    let sampled_ids = ds
+        .batches
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.sampled)
+        .map(|(i, _)| BatchId::from_usize(i));
+    let mut metrics = Vec::with_capacity(n_metrics);
+    for (pos, batch) in sampled_ids.enumerate() {
+        let cluster = r.u32()?;
+        if cluster != labels[pos] {
+            return Err(SnapshotError::Corrupt("metric cluster vs label"));
+        }
+        metrics.push(BatchMetrics {
+            batch,
+            cluster,
+            n_instances: r.u32()?,
+            n_items: r.u32()?,
+            disagreement: opt_f64_read(r)?,
+            task_time: opt_f64_read(r)?,
+            pickup_time: opt_f64_read(r)?,
+            features: ExtractedFeatures {
+                words: r.u32()?,
+                text_boxes: r.u32()?,
+                examples: r.u32()?,
+                images: r.u32()?,
+                input_fields: r.u32()?,
+                has_instructions: r.u8()? != 0,
+            },
+        });
+    }
+    Ok(Derived { params, labels, n_clusters, signatures, metrics })
+}
+
+fn opt_f64(w: &mut ByteWriter, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            w.u8(1);
+            w.f64(v);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn opt_f64_read(r: &mut ByteReader<'_>) -> Result<Option<f64>, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.f64()?)),
+        _ => Err(SnapshotError::Corrupt("option tag")),
+    }
+}
+
+/// [`SourceKind`] on-disk tag: the variant's index in [`SourceKind::ALL`],
+/// which is append-only.
+fn kind_tag(kind: SourceKind) -> u8 {
+    SourceKind::ALL.iter().position(|&k| k == kind).expect("ALL covers every variant") as u8
+}
+
+fn kind_from_tag(tag: u8) -> Result<SourceKind, SnapshotError> {
+    SourceKind::ALL.get(tag as usize).copied().ok_or(SnapshotError::Corrupt("source kind tag"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_sim::SimConfig;
+
+    fn roundtrip(snapshot: &Snapshot) -> Snapshot {
+        let payload = encode_payload(snapshot);
+        decode_payload(&payload).expect("valid payload decodes")
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let snap = Snapshot { dataset: Dataset::default(), derived: None };
+        let back = roundtrip(&snap);
+        assert_eq!(back.dataset.summary(), snap.dataset.summary());
+        assert!(back.derived.is_none());
+    }
+
+    #[test]
+    fn simulated_dataset_round_trips_bitwise() {
+        let ds = crowd_sim::simulate(&SimConfig::tiny(42));
+        let back = roundtrip(&Snapshot { dataset: ds.clone(), derived: None }).dataset;
+        assert_eq!(back.sources, ds.sources);
+        assert_eq!(back.countries, ds.countries);
+        assert_eq!(back.workers, ds.workers);
+        assert_eq!(back.task_types, ds.task_types);
+        assert_eq!(back.batches, ds.batches);
+        assert_eq!(back.instances, ds.instances);
+    }
+
+    #[test]
+    fn html_sharing_is_rebuilt() {
+        let ds = crowd_sim::simulate(&SimConfig::tiny(7));
+        let back = roundtrip(&Snapshot { dataset: ds.clone(), derived: None }).dataset;
+        // Count distinct allocations among sampled pages: must not exceed
+        // the number of distinct page texts (i.e. sharing survived).
+        let distinct_text: std::collections::HashSet<&str> =
+            ds.batches.iter().filter_map(|b| b.html.as_deref()).collect();
+        let distinct_ptr: std::collections::HashSet<*const u8> =
+            back.batches.iter().filter_map(|b| b.html.as_ref().map(|h| h.as_ptr())).collect();
+        assert_eq!(distinct_ptr.len(), distinct_text.len());
+    }
+
+    #[test]
+    fn derived_section_round_trips() {
+        let ds = crowd_sim::simulate(&SimConfig::tiny(9));
+        let derived = crate::warm::compute_derived(&ds, ClusterParams::default());
+        let snap = Snapshot { dataset: ds, derived: Some(derived) };
+        let back = roundtrip(&snap);
+        let (a, b) = (snap.derived.as_ref().unwrap(), back.derived.as_ref().unwrap());
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.n_clusters, b.n_clusters);
+        assert_eq!(a.signatures, b.signatures);
+        assert_eq!(a.metrics.len(), b.metrics.len());
+        for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(ma.batch, mb.batch);
+            assert_eq!(ma.cluster, mb.cluster);
+            assert_eq!(ma.n_instances, mb.n_instances);
+            assert_eq!(ma.n_items, mb.n_items);
+            assert_eq!(ma.disagreement.map(f64::to_bits), mb.disagreement.map(f64::to_bits));
+            assert_eq!(ma.task_time.map(f64::to_bits), mb.task_time.map(f64::to_bits));
+            assert_eq!(ma.pickup_time.map(f64::to_bits), mb.pickup_time.map(f64::to_bits));
+            assert_eq!(ma.features, mb.features);
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_detected() {
+        let ds = crowd_sim::simulate(&SimConfig::tiny(3));
+        let payload = encode_payload(&Snapshot { dataset: ds, derived: None });
+        // Chopping the payload anywhere must surface as an error, never a
+        // panic or a silently different dataset.
+        for cut in [0, 1, 10, payload.len() / 2, payload.len() - 1] {
+            assert!(decode_payload(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Directory-backed snapshot storage, keyed by config fingerprint.
+
+use std::path::{Path, PathBuf};
+
+use crowd_sim::SimConfig;
+
+use crate::{decode, encode, fingerprint, Snapshot, SnapshotError};
+
+/// Environment variable naming the default snapshot directory (the CLI's
+/// `--snapshot-dir` flag overrides it, `--no-snapshot` ignores it).
+pub const ENV_DIR: &str = "CROWD_SNAPSHOT_DIR";
+
+/// A directory of snapshot files, one per config fingerprint.
+///
+/// Files are named `snap-<fingerprint:016x>.bin`, so distinct configs
+/// never collide and re-running a config overwrites its own entry. Writes
+/// go to a temporary sibling first and land via rename, so a crashed or
+/// concurrent writer can leave at worst a stale temp file, never a torn
+/// snapshot under the final name.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// A store rooted at `dir` (created lazily on first save).
+    pub fn new(dir: impl Into<PathBuf>) -> SnapshotStore {
+        SnapshotStore { dir: dir.into() }
+    }
+
+    /// A store rooted at `$CROWD_SNAPSHOT_DIR`, when set and non-empty.
+    pub fn from_env() -> Option<SnapshotStore> {
+        std::env::var(ENV_DIR).ok().filter(|v| !v.is_empty()).map(SnapshotStore::new)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a config maps to.
+    pub fn path_for(&self, cfg: &SimConfig) -> PathBuf {
+        self.dir.join(format!("snap-{:016x}.bin", fingerprint(cfg)))
+    }
+
+    /// Loads and fully verifies the snapshot for `cfg`.
+    ///
+    /// Every failure — missing file, bad magic, version skew, fingerprint
+    /// mismatch, truncation, checksum or shape corruption — comes back as
+    /// an error the caller treats as a cache miss.
+    pub fn load(&self, cfg: &SimConfig) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(self.path_for(cfg))?;
+        decode(&bytes, fingerprint(cfg))
+    }
+
+    /// Writes the snapshot for `cfg`, returning the final path.
+    pub fn save(&self, cfg: &SimConfig, snapshot: &Snapshot) -> Result<PathBuf, SnapshotError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path_for(cfg);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, encode(snapshot, fingerprint(cfg)))?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e.into())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("crowd-snapshot-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::new(dir)
+    }
+
+    #[test]
+    fn save_then_load_hits() {
+        let store = temp_store("hit");
+        let cfg = SimConfig::tiny(11);
+        assert!(matches!(store.load(&cfg), Err(SnapshotError::Io(_))), "cold miss");
+        let snap = Snapshot { dataset: crowd_sim::simulate(&cfg), derived: None };
+        let path = store.save(&cfg, &snap).expect("save");
+        assert!(path.exists());
+        let back = store.load(&cfg).expect("warm hit");
+        assert_eq!(back.dataset.instances, snap.dataset.instances);
+        // A different config is a different key: still a miss.
+        assert!(store.load(&SimConfig::tiny(12)).is_err());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn distinct_configs_map_to_distinct_files() {
+        let store = SnapshotStore::new("snapshots");
+        let a = store.path_for(&SimConfig::tiny(1));
+        let b = store.path_for(&SimConfig::tiny(2));
+        let c = store.path_for(&SimConfig::new(1, 0.002));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, store.path_for(&SimConfig::tiny(1)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Warm-start entry points: `Study` construction with read-on-hit /
+//! write-on-miss snapshot caching.
+//!
+//! The decision tree, in full:
+//!
+//! * no store → plain cold build (simulate + cluster + enrich), nothing
+//!   touched on disk;
+//! * snapshot loads and its derived artifacts match the requested cluster
+//!   parameters → rebuild the `Study` from the persisted enrichment and go
+//!   straight to the fused scan: no simulation, no shingling, no LSH, no
+//!   feature extraction;
+//! * snapshot loads but was derived with *different* cluster parameters →
+//!   reuse the dataset (simulation still skipped), recompute clustering and
+//!   enrichment, rewrite the snapshot with the new artifacts;
+//! * snapshot missing or fails **any** integrity check → silently fall
+//!   back to a fresh simulation and overwrite the snapshot with a valid
+//!   one. Correctness never depends on the cache; a corrupt file costs one
+//!   cold run, not a wrong answer.
+//!
+//! Save errors are deliberately swallowed too (a read-only cache directory
+//! degrades to cold-every-time, it does not break the run).
+
+use crowd_analytics::study::{enrich_batches, sampled_docs};
+use crowd_analytics::Study;
+use crowd_cluster::{ClusterParams, Clusterer, Clustering};
+use crowd_core::dataset::Dataset;
+use crowd_sim::{simulate, SimConfig};
+
+use crate::{Derived, Snapshot, SnapshotStore};
+
+/// [`Study::new`] with snapshot caching: read-on-hit, write-on-miss.
+///
+/// With `store == None` this is exactly `Study::new(simulate(cfg))`; with a
+/// store, the result is bit-identical but a warm hit skips the entire
+/// generative pipeline.
+pub fn study_from_config(cfg: &SimConfig, store: Option<&SnapshotStore>) -> Study {
+    study_with_params(cfg, ClusterParams::default(), store)
+}
+
+/// [`study_from_config`] with explicit clustering parameters.
+pub fn study_with_params(
+    cfg: &SimConfig,
+    params: ClusterParams,
+    store: Option<&SnapshotStore>,
+) -> Study {
+    let Some(store) = store else {
+        return Study::with_cluster_params(simulate(cfg), params);
+    };
+    match store.load(cfg) {
+        Ok(Snapshot { dataset, derived }) => match derived {
+            // Full hit: dataset + artifacts for exactly these parameters.
+            Some(d) if d.params == params => Study::from_enrichment(dataset, d.metrics),
+            // Dataset hit, derived mismatch (other params, or absent):
+            // skip simulation, recompute the artifacts, rewrite.
+            _ => build_and_persist(cfg, params, store, dataset),
+        },
+        // Miss or integrity failure: fresh simulate, rewrite.
+        Err(_) => build_and_persist(cfg, params, store, simulate(cfg)),
+    }
+}
+
+/// Clusters and enriches `ds`, persists dataset + artifacts, and returns
+/// the built `Study`. The snapshot is encoded *before* the dataset moves
+/// into the `Study`, so nothing is cloned on the way to disk.
+fn build_and_persist(
+    cfg: &SimConfig,
+    params: ClusterParams,
+    store: &SnapshotStore,
+    ds: Dataset,
+) -> Study {
+    let derived = compute_derived(&ds, params);
+    let snapshot = Snapshot { dataset: ds, derived: Some(derived) };
+    let _ = store.save(cfg, &snapshot);
+    let Snapshot { dataset, derived } = snapshot;
+    let d = derived.expect("derived was just computed");
+    Study::from_enrichment(dataset, d.metrics)
+}
+
+/// Computes every derived artifact the snapshot persists: minhash
+/// signatures, the clustering, and the per-batch enrichment, all in
+/// sampled-batch dataset order.
+pub fn compute_derived(ds: &Dataset, params: ClusterParams) -> Derived {
+    let clusterer = Clusterer::new(params);
+    let (_ids, docs) = sampled_docs(ds);
+    let signatures = clusterer.signatures(&docs);
+    let clustering = clusterer.cluster_signatures(&signatures);
+    let index = ds.index();
+    let metrics = enrich_batches(ds, &index, &clustering);
+    Derived {
+        params,
+        labels: clustering.labels().to_vec(),
+        n_clusters: clustering.n_clusters(),
+        signatures,
+        metrics,
+    }
+}
+
+/// Rebuilds the [`Clustering`] a snapshot's derived section describes.
+pub fn clustering_from_derived(derived: &Derived) -> Option<Clustering> {
+    Clustering::from_parts(derived.labels.clone(), derived.n_clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("crowd-snapshot-warm-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::new(dir)
+    }
+
+    #[test]
+    fn warm_equals_cold_bitwise() {
+        let cfg = SimConfig::tiny(21);
+        let baseline = Study::new(simulate(&cfg));
+
+        let store = temp_store("eq");
+        let cold = study_from_config(&cfg, Some(&store)); // miss: writes
+        assert!(store.path_for(&cfg).exists(), "miss wrote a snapshot");
+        let warm = study_from_config(&cfg, Some(&store)); // hit: reads
+
+        for s in [&cold, &warm] {
+            assert_eq!(s.dataset().instances, baseline.dataset().instances);
+            assert_eq!(s.clusters().len(), baseline.clusters().len());
+            let labels =
+                |st: &Study| -> Vec<u32> { st.enriched_batches().map(|m| m.cluster).collect() };
+            assert_eq!(labels(s), labels(&baseline));
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn param_change_reuses_dataset_and_rewrites() {
+        let cfg = SimConfig::tiny(22);
+        let store = temp_store("params");
+        let _ = study_from_config(&cfg, Some(&store));
+
+        // Different clustering parameters: the dataset is reused, the
+        // derived section is recomputed and rewritten.
+        let loose = ClusterParams { threshold: 0.3, ..ClusterParams::default() };
+        let relaxed = study_with_params(&cfg, loose, Some(&store));
+        let reloaded = store.load(&cfg).expect("rewritten snapshot loads");
+        let d = reloaded.derived.expect("derived present");
+        assert_eq!(d.params, loose);
+        assert_eq!(d.n_clusters, relaxed.clusters().len());
+        // And it must match a cold run at those parameters.
+        let cold = Study::with_cluster_params(simulate(&cfg), loose);
+        assert_eq!(relaxed.clusters().len(), cold.clusters().len());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn clustering_round_trips_through_derived() {
+        let ds = simulate(&SimConfig::tiny(23));
+        let derived = compute_derived(&ds, ClusterParams::default());
+        let clustering = clustering_from_derived(&derived).expect("valid labels");
+        assert_eq!(clustering.labels(), &derived.labels[..]);
+        assert_eq!(clustering.n_clusters(), derived.n_clusters);
+    }
+}

@@ -1,0 +1,71 @@
+//! Snapshot round-trip differential: `Dataset` → encode → decode must be
+//! bitwise invisible. For every edge-case dataset and a generated
+//! adversarial family, the decoded dataset's `Fused` totals must be
+//! bit-identical to the never-persisted original's, the persisted derived
+//! artifacts must survive unchanged, and re-deriving from the decoded
+//! dataset must reproduce them exactly — persistence can never shift a
+//! published number by even one ulp.
+
+use crowd_cluster::ClusterParams;
+use crowd_core::dataset::Dataset;
+use crowd_snapshot::{decode, encode, warm, Snapshot};
+use crowd_testkit::differential::{compare_fused, fused_with_threads, FloatMode};
+use crowd_testkit::generators::{edge_case_datasets, small_adversarial};
+use proptest::{Strategy, TestRng};
+
+/// An arbitrary cache key: round-tripping is fingerprint-agnostic.
+const FP: u64 = 0xF1F0_C0DE;
+
+fn assert_roundtrip_is_invisible(name: &str, ds: Dataset) {
+    let params = ClusterParams::default();
+    let derived = warm::compute_derived(&ds, params);
+    let snap = Snapshot { dataset: ds, derived: Some(derived) };
+
+    let bytes = encode(&snap, FP);
+    let back = decode(&bytes, FP).unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+
+    // The dataset itself round-trips field-for-field.
+    let (a, b) = (&snap.dataset, &back.dataset);
+    assert_eq!(a.sources, b.sources, "{name}");
+    assert_eq!(a.countries, b.countries, "{name}");
+    assert_eq!(a.workers, b.workers, "{name}");
+    assert_eq!(a.task_types, b.task_types, "{name}");
+    assert_eq!(a.batches, b.batches, "{name}");
+    assert_eq!(a.instances, b.instances, "{name}");
+
+    // Derived artifacts survive verbatim…
+    let (da, db) = (snap.derived.as_ref().unwrap(), back.derived.as_ref().unwrap());
+    assert_eq!(da.labels, db.labels, "{name}");
+    assert_eq!(da.n_clusters, db.n_clusters, "{name}");
+    assert_eq!(da.signatures, db.signatures, "{name}");
+    assert_eq!(da.metrics.len(), db.metrics.len(), "{name}");
+
+    // …and re-deriving from the decoded dataset reproduces them exactly:
+    // the decoded bytes are as good as the original allocation.
+    let rederived = warm::compute_derived(b, params);
+    assert_eq!(da.labels, rederived.labels, "{name}: labels drifted");
+    assert_eq!(da.signatures, rederived.signatures, "{name}: signatures drifted");
+
+    // The fused scan over the decoded dataset is bit-identical.
+    let fused_a = fused_with_threads(a, 2);
+    let fused_b = fused_with_threads(b, 2);
+    let diffs = compare_fused(&fused_a, &fused_b, FloatMode::Bitwise);
+    assert!(diffs.is_empty(), "{name}: fused diverged:\n{}", diffs.join("\n"));
+}
+
+#[test]
+fn edge_cases_round_trip_bitwise() {
+    for (name, ds) in edge_case_datasets() {
+        eprintln!("snapshot round-trip: edge case `{name}` ({} instances)", ds.instances.len());
+        assert_roundtrip_is_invisible(name, ds);
+    }
+}
+
+#[test]
+fn generated_adversarial_datasets_round_trip_bitwise() {
+    let strat = small_adversarial();
+    for case in 0..8u64 {
+        let ds = strat.sample(&mut TestRng::new(0x5AAD, case));
+        assert_roundtrip_is_invisible(&format!("small_adversarial[{case}]"), ds);
+    }
+}

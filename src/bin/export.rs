@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! export [--scale S] [--seed N] [--out DIR] [--threads T]
+//!        [--snapshot-dir DIR] [--no-snapshot]
 //! ```
 //!
 //! Files written into `DIR` (default `./export`):
@@ -19,10 +20,9 @@ use std::path::PathBuf;
 use crowd_analytics::design::{methodology, prediction};
 use crowd_analytics::marketplace::{arrivals, availability, labels, load, trends};
 use crowd_analytics::workers::{cohorts, geography, lifetimes, sources};
-use crowd_analytics::Study;
 use crowd_marketplace::cli::CommonOpts;
 use crowd_report::{series_to_csv, Series};
-use crowd_sim::{simulate, SimConfig};
+use crowd_sim::SimConfig;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -48,9 +48,11 @@ fn main() {
     opts.install_thread_pool().unwrap_or_else(|e| die(&e));
     std::fs::create_dir_all(&out).expect("create output dir");
 
+    let store = opts.snapshot_store();
     let CommonOpts { scale, seed, .. } = opts;
     eprintln!("simulating (scale {scale}, seed {seed}) …");
-    let study = Study::new(simulate(&SimConfig::new(seed, scale)));
+    let study =
+        crowd_snapshot::warm::study_from_config(&SimConfig::new(seed, scale), store.as_ref());
     let write = |name: &str, content: String| {
         let path = out.join(name);
         std::fs::write(&path, content).expect("write csv");

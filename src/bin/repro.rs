@@ -28,7 +28,7 @@ use crowd_analytics::Study;
 use crowd_core::time::Timestamp;
 use crowd_marketplace::cli::CommonOpts;
 use crowd_report::{BarChart, LinePlot, Series, StackedBars, TextTable};
-use crowd_sim::{simulate, SimConfig};
+use crowd_sim::SimConfig;
 
 const ALL_TARGETS: [&str; 30] = [
     "summary",
@@ -97,20 +97,30 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
 fn main() {
     let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
     if args.help {
-        println!("usage: repro [--scale S] [--seed N] [--threads T] [TARGET...]");
+        println!(
+            "usage: repro [--scale S] [--seed N] [--threads T] \
+             [--snapshot-dir DIR] [--no-snapshot] [TARGET...]"
+        );
+        println!("  --snapshot-dir DIR  cache simulated datasets in DIR (or $CROWD_SNAPSHOT_DIR)");
+        println!("  --no-snapshot       always simulate from scratch");
         println!("targets: all {}", ALL_TARGETS.join(" "));
         return;
     }
     let Args { opts, targets, .. } = args;
     opts.install_thread_pool().unwrap_or_else(|e| die(&e));
+    let store = opts.snapshot_store();
     let CommonOpts { scale, seed, .. } = opts;
 
     eprintln!(
-        "simulating marketplace (scale {scale}, seed {seed}, {} threads) …",
-        rayon::current_num_threads()
+        "simulating marketplace (scale {scale}, seed {seed}, {} threads{}) …",
+        rayon::current_num_threads(),
+        match &store {
+            Some(s) => format!(", snapshots in {}", s.dir().display()),
+            None => String::new(),
+        }
     );
     let cfg = SimConfig::new(seed, scale);
-    let study = Study::new(simulate(&cfg));
+    let study = crowd_snapshot::warm::study_from_config(&cfg, store.as_ref());
     eprintln!(
         "enriched: {} instances, {} sampled batches, {} clusters\n",
         study.dataset().instances.len(),
@@ -806,7 +816,10 @@ mod tests {
     #[test]
     fn explicit_flags_parse() {
         let args = parse(&["--scale", "0.5", "--seed", "7", "--threads", "4", "fig1"]).unwrap();
-        assert_eq!(args.opts, CommonOpts { scale: 0.5, seed: 7, threads: Some(4) });
+        assert_eq!(
+            args.opts,
+            CommonOpts { scale: 0.5, seed: 7, threads: Some(4), ..CommonOpts::default() }
+        );
         assert_eq!(args.targets.iter().collect::<Vec<_>>(), ["fig1"]);
     }
 

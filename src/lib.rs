@@ -46,6 +46,7 @@ pub use crowd_core as core;
 pub use crowd_html as html;
 pub use crowd_report as report;
 pub use crowd_sim as sim;
+pub use crowd_snapshot as snapshot;
 pub use crowd_stats as stats;
 pub use crowd_table as table;
 
@@ -59,12 +60,17 @@ pub mod prelude {
 /// Command-line handling shared by the workspace binaries.
 ///
 /// `repro` and `export` accept the same simulation knobs — `--scale`,
-/// `--seed`, `--threads` — with the same defaults, bounds, and error
-/// messages. [`cli::CommonOpts`] owns that contract in one place; each
-/// binary keeps its own loop only for its private flags (`--out`,
-/// targets, `--help`).
+/// `--seed`, `--threads`, `--snapshot-dir`, `--no-snapshot` — with the
+/// same defaults, bounds, and error messages. [`cli::CommonOpts`] owns
+/// that contract in one place; each binary keeps its own loop only for
+/// its private flags (`--out`, targets, `--help`).
 pub mod cli {
-    /// Options every binary understands: `--scale`, `--seed`, `--threads`.
+    use std::path::PathBuf;
+
+    use crowd_snapshot::SnapshotStore;
+
+    /// Options every binary understands: `--scale`, `--seed`,
+    /// `--threads`, `--snapshot-dir`, `--no-snapshot`.
     #[derive(Debug, Clone, PartialEq)]
     pub struct CommonOpts {
         /// Fraction of the paper's marketplace volume to simulate, in
@@ -76,11 +82,22 @@ pub mod cli {
         /// to the `CROWD_THREADS` environment variable, then the host CPU
         /// count.
         pub threads: Option<usize>,
+        /// Snapshot cache directory; `None` defers to the
+        /// `CROWD_SNAPSHOT_DIR` environment variable.
+        pub snapshot_dir: Option<PathBuf>,
+        /// Disables the snapshot cache entirely (flag *and* environment).
+        pub no_snapshot: bool,
     }
 
     impl Default for CommonOpts {
         fn default() -> CommonOpts {
-            CommonOpts { scale: 0.01, seed: 2017, threads: None }
+            CommonOpts {
+                scale: 0.01,
+                seed: 2017,
+                threads: None,
+                snapshot_dir: None,
+                no_snapshot: false,
+            }
         }
     }
 
@@ -128,7 +145,34 @@ pub mod cli {
                     self.threads = Some(threads);
                     Ok(true)
                 }
+                "--snapshot-dir" => {
+                    let dir = rest.next().ok_or("--snapshot-dir needs a directory path")?;
+                    if dir.is_empty() {
+                        return Err("--snapshot-dir needs a directory path".into());
+                    }
+                    self.snapshot_dir = Some(PathBuf::from(dir));
+                    Ok(true)
+                }
+                "--no-snapshot" => {
+                    self.no_snapshot = true;
+                    Ok(true)
+                }
                 _ => Ok(false),
+            }
+        }
+
+        /// Resolves the snapshot store these options select:
+        /// `--no-snapshot` disables caching outright, an explicit
+        /// `--snapshot-dir` wins otherwise, and absent both the
+        /// `CROWD_SNAPSHOT_DIR` environment variable decides (unset ⇒ no
+        /// caching — cold runs stay the out-of-the-box behavior).
+        pub fn snapshot_store(&self) -> Option<SnapshotStore> {
+            if self.no_snapshot {
+                return None;
+            }
+            match &self.snapshot_dir {
+                Some(dir) => Some(SnapshotStore::new(dir.clone())),
+                None => SnapshotStore::from_env(),
             }
         }
 
@@ -166,12 +210,17 @@ pub mod cli {
             assert_eq!(opts.scale, 0.01);
             assert_eq!(opts.seed, 2017);
             assert_eq!(opts.threads, None);
+            assert_eq!(opts.snapshot_dir, None);
+            assert!(!opts.no_snapshot);
         }
 
         #[test]
         fn flags_parse_and_validate() {
             let opts = parse(&["--scale", "0.5", "--seed", "7", "--threads", "4"]).unwrap();
-            assert_eq!(opts, CommonOpts { scale: 0.5, seed: 7, threads: Some(4) });
+            assert_eq!(
+                opts,
+                CommonOpts { scale: 0.5, seed: 7, threads: Some(4), ..CommonOpts::default() }
+            );
             // Validation path: the (0, 1] scale bound.
             for bad in [["--scale", "0"], ["--scale", "1.5"], ["--scale", "NaN"]] {
                 assert!(parse(&bad).is_err(), "{bad:?} must be rejected");
@@ -180,10 +229,44 @@ pub mod cli {
         }
 
         #[test]
+        fn snapshot_flags_parse() {
+            let opts = parse(&["--snapshot-dir", "/tmp/snaps"]).unwrap();
+            assert_eq!(opts.snapshot_dir, Some(std::path::PathBuf::from("/tmp/snaps")));
+            assert!(!opts.no_snapshot);
+
+            let opts = parse(&["--no-snapshot"]).unwrap();
+            assert!(opts.no_snapshot);
+
+            // Both together is legal; --no-snapshot wins at resolution time.
+            let opts = parse(&["--snapshot-dir", "d", "--no-snapshot"]).unwrap();
+            assert!(opts.snapshot_store().is_none());
+
+            assert!(parse(&["--snapshot-dir"]).is_err(), "missing value");
+            assert!(parse(&["--snapshot-dir", ""]).is_err(), "empty value");
+        }
+
+        #[test]
+        fn snapshot_store_resolution_prefers_the_flag() {
+            // An explicit directory resolves to a store rooted there,
+            // without consulting the environment.
+            let opts =
+                CommonOpts { snapshot_dir: Some("cache/snaps".into()), ..CommonOpts::default() };
+            let store = opts.snapshot_store().expect("flag selects a store");
+            assert_eq!(store.dir(), std::path::Path::new("cache/snaps"));
+            // --no-snapshot beats everything.
+            let opts = CommonOpts { no_snapshot: true, ..opts };
+            assert!(opts.snapshot_store().is_none());
+        }
+
+        #[test]
         fn error_messages_name_the_flag() {
             assert_eq!(parse(&["--scale", "2"]).unwrap_err(), "--scale must be in (0, 1], got 2");
             assert_eq!(parse(&["--seed", "x"]).unwrap_err(), "--seed needs an integer");
             assert_eq!(parse(&["--threads"]).unwrap_err(), "--threads needs a positive integer");
+            assert_eq!(
+                parse(&["--snapshot-dir"]).unwrap_err(),
+                "--snapshot-dir needs a directory path"
+            );
         }
 
         #[test]

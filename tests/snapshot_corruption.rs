@@ -1,0 +1,99 @@
+//! Corruption matrix for the snapshot cache (DESIGN.md §13): every way a
+//! snapshot file can be damaged must (a) be detected as its own failure
+//! class, (b) silently fall back to a fresh simulation with results
+//! identical to a never-cached run, and (c) leave behind a freshly
+//! rewritten, valid snapshot. Correctness must never depend on the cache.
+
+use std::path::PathBuf;
+
+use crowd_analytics::Study;
+use crowd_sim::{simulate, SimConfig};
+use crowd_snapshot::{warm, SnapshotError, SnapshotStore, FORMAT_VERSION};
+
+fn temp_store(tag: &str) -> SnapshotStore {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("crowd-snap-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SnapshotStore::new(dir)
+}
+
+/// Labels of the sampled batches — the artifact most sensitive to the
+/// derived section being wrong.
+fn cluster_labels(study: &Study) -> Vec<u32> {
+    study.enriched_batches().map(|m| m.cluster).collect()
+}
+
+/// Writes a valid snapshot, damages it with `mutate`, checks the damage is
+/// detected as `expected`, then asserts the warm entry point recovers
+/// silently (bit-identical study) and rewrites a loadable snapshot.
+fn assert_recovers(tag: &str, mutate: impl FnOnce(&mut Vec<u8>), expected: &str) {
+    let cfg = SimConfig::tiny(401);
+    let baseline = Study::new(simulate(&cfg));
+    let store = temp_store(tag);
+
+    let _ = warm::study_from_config(&cfg, Some(&store));
+    let path = store.path_for(&cfg);
+    let mut bytes = std::fs::read(&path).expect("snapshot was written");
+    mutate(&mut bytes);
+    std::fs::write(&path, &bytes).expect("write corrupted snapshot");
+
+    let err = store.load(&cfg).expect_err("corruption must be detected");
+    let class = match err {
+        SnapshotError::Io(_) => "io",
+        SnapshotError::BadMagic => "magic",
+        SnapshotError::VersionMismatch { .. } => "version",
+        SnapshotError::FingerprintMismatch { .. } => "fingerprint",
+        SnapshotError::ChecksumMismatch => "checksum",
+        SnapshotError::Truncated => "truncated",
+        SnapshotError::Corrupt(_) => "corrupt",
+    };
+    assert_eq!(class, expected, "{tag}: wrong failure class ({err})");
+
+    // Silent fallback: same study as a never-cached run.
+    let recovered = warm::study_from_config(&cfg, Some(&store));
+    assert_eq!(recovered.dataset().instances, baseline.dataset().instances, "{tag}");
+    assert_eq!(cluster_labels(&recovered), cluster_labels(&baseline), "{tag}");
+
+    // And the bad file was overwritten with a valid one.
+    let reloaded = store.load(&cfg).unwrap_or_else(|e| panic!("{tag}: not rewritten: {e}"));
+    assert_eq!(reloaded.dataset.instances, baseline.dataset().instances, "{tag}");
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+#[test]
+fn truncated_file_falls_back() {
+    assert_recovers("trunc", |b| b.truncate(b.len() - 7), "truncated");
+}
+
+#[test]
+fn wrong_magic_falls_back() {
+    assert_recovers("magic", |b| b[0] ^= 0xFF, "magic");
+}
+
+#[test]
+fn bumped_format_version_falls_back() {
+    assert_recovers(
+        "version",
+        |b| b[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes()),
+        "version",
+    );
+}
+
+#[test]
+fn flipped_checksum_byte_falls_back() {
+    // Byte 32 is the first byte of the stored payload checksum.
+    assert_recovers("checksum", |b| b[32] ^= 0x01, "checksum");
+}
+
+#[test]
+fn fingerprint_mismatch_falls_back() {
+    // Bytes 16..24 hold the config fingerprint: a snapshot written for a
+    // different config (or a renamed file) must never be served.
+    assert_recovers("fingerprint", |b| b[16] ^= 0x01, "fingerprint");
+}
+
+#[test]
+fn flipped_payload_byte_falls_back() {
+    // Damage past the header lands in the checksummed payload.
+    assert_recovers("payload", |b| *b.last_mut().unwrap() ^= 0x40, "checksum");
+}

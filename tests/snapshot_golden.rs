@@ -1,0 +1,61 @@
+//! Golden equivalence for the snapshot cache at the end-user surface: the
+//! CSVs `export` writes must be byte-identical whether the study was built
+//! snapshot-free, on a cache miss (cold write), or from a cache hit (warm
+//! read). The cache is a pure memoization — it must never leak into
+//! published numbers.
+
+use std::path::Path;
+use std::process::Command;
+
+const FILES: [&str; 12] = [
+    "weekly.csv",
+    "weekday.csv",
+    "cluster_sizes.csv",
+    "heavy_hitters.csv",
+    "labels.csv",
+    "trends.csv",
+    "experiments.csv",
+    "prediction.csv",
+    "sources.csv",
+    "geography.csv",
+    "lifetimes.csv",
+    "cohorts.csv",
+];
+
+fn run_export(out: &Path, snapshot: Option<&Path>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_export"));
+    cmd.args(["--scale", "0.0005", "--seed", "11", "--threads", "2", "--out"]).arg(out);
+    match snapshot {
+        Some(dir) => cmd.arg("--snapshot-dir").arg(dir),
+        None => cmd.arg("--no-snapshot"),
+    };
+    // Isolate from any ambient cache configuration.
+    cmd.env_remove("CROWD_SNAPSHOT_DIR");
+    let status = cmd.status().expect("spawn export binary");
+    assert!(status.success(), "export failed (snapshot: {snapshot:?})");
+}
+
+#[test]
+fn export_is_byte_identical_across_snapshot_modes() {
+    let base = std::env::temp_dir().join(format!("crowd_snap_golden_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cache = base.join("cache");
+
+    let fresh = base.join("fresh");
+    let cold = base.join("cold");
+    let warm = base.join("warm");
+    run_export(&fresh, None); // --no-snapshot: never touches the cache
+    run_export(&cold, Some(&cache)); // miss: simulates, writes the snapshot
+    let n_snapshots =
+        std::fs::read_dir(&cache).expect("cache dir created").filter_map(|e| e.ok()).count();
+    assert_eq!(n_snapshots, 1, "cold run wrote exactly one snapshot");
+    run_export(&warm, Some(&cache)); // hit: loads the snapshot
+
+    for f in FILES {
+        let golden = std::fs::read(fresh.join(f)).unwrap_or_else(|e| panic!("{f}: {e}"));
+        assert!(!golden.is_empty(), "{f} is empty");
+        assert_eq!(golden, std::fs::read(cold.join(f)).unwrap(), "cold write changed {f}");
+        assert_eq!(golden, std::fs::read(warm.join(f)).unwrap(), "warm read changed {f}");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
