@@ -82,6 +82,9 @@ pub struct Study {
     /// Raw instance-table aggregates from the one fused scan, computed on
     /// first use (most analytics functions only shape this cache).
     fused: OnceLock<Fused>,
+    /// Load provenance when the dataset came through the resilient ingest
+    /// path (`None` for simulated or trusted-import datasets).
+    ingest: Option<IngestReport>,
 }
 
 impl Study {
@@ -137,7 +140,19 @@ impl Study {
             batch_metrics[slot] = Some(metrics);
         }
         let clusters = aggregate_clusters(&ds, &batch_metrics, n_clusters);
-        Study { ds, index, batch_metrics, clusters, fused: OnceLock::new() }
+        Study { ds, index, batch_metrics, clusters, fused: OnceLock::new(), ingest: None }
+    }
+
+    /// Attaches the [`IngestReport`] the dataset was loaded under, so every
+    /// analysis downstream can state its input coverage.
+    pub fn with_ingest_report(mut self, report: IngestReport) -> Study {
+        self.ingest = Some(report);
+        self
+    }
+
+    /// Load provenance, when the dataset came through resilient ingest.
+    pub fn ingest_report(&self) -> Option<&IngestReport> {
+        self.ingest.as_ref()
     }
 
     /// The fused instance-table aggregates (one [`ScanPass`] run, cached).

@@ -52,6 +52,91 @@ pub enum CoreError {
     InvalidTime(String),
     /// A label abbreviation could not be parsed.
     UnknownLabel(String),
+    /// Quarantined records exceeded the ingest error budget for a table.
+    BudgetExceeded {
+        /// The table whose budget ran out.
+        table: &'static str,
+        /// Records quarantined when the budget tripped.
+        quarantined: u64,
+        /// The configured per-table budget.
+        budget: u64,
+    },
+    /// Transient IO errors persisted past the bounded retry limit.
+    IoExhausted {
+        /// The table whose stream kept failing.
+        table: &'static str,
+        /// Read attempts made (initial try plus retries).
+        attempts: u32,
+        /// The last IO error observed, rendered.
+        message: String,
+    },
+    /// A table's content disagreed with the export manifest: rows are
+    /// missing, extra, or silently altered relative to what the exporter
+    /// recorded.
+    ManifestMismatch {
+        /// The disagreeing table.
+        table: &'static str,
+        /// Row count the manifest promised.
+        expected_rows: u64,
+        /// Rows actually accepted.
+        got_rows: u64,
+        /// Whether the content digest matched despite any count skew.
+        digest_ok: bool,
+    },
+}
+
+/// Classification of a single quarantined record — the fault taxonomy the
+/// resilient ingest path (`crowd-ingest`) tags rejected rows with.
+///
+/// The classes mirror what real marketplace logs exhibit (duplicate
+/// submissions, partial uploads, corrupted bytes): each quarantined row
+/// carries exactly one class, so reports can aggregate by failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The raw bytes did not parse as a CSV record (stray or unterminated
+    /// quote, blank record, invalid encoding).
+    Malformed,
+    /// The record had the wrong number of fields for its table.
+    Arity,
+    /// A numeric or enumerated field failed to parse.
+    Numeric,
+    /// The record referenced an entity id outside its target table.
+    Dangling,
+    /// The record duplicated an already-accepted row byte-for-byte.
+    Duplicate,
+    /// A field parsed but carried a semantically invalid value (negative
+    /// duration, trust outside `[0, 1]`, sampled batch without HTML).
+    Semantic,
+}
+
+impl FaultClass {
+    /// Every class, in report order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::Malformed,
+        FaultClass::Arity,
+        FaultClass::Numeric,
+        FaultClass::Dangling,
+        FaultClass::Duplicate,
+        FaultClass::Semantic,
+    ];
+
+    /// Stable lower-case name (report and log rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Malformed => "malformed",
+            FaultClass::Arity => "arity",
+            FaultClass::Numeric => "numeric",
+            FaultClass::Dangling => "dangling",
+            FaultClass::Duplicate => "duplicate",
+            FaultClass::Semantic => "semantic",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +162,23 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidTime(s) => write!(f, "invalid time: {s}"),
             CoreError::UnknownLabel(s) => write!(f, "unknown label: {s}"),
+            CoreError::BudgetExceeded { table, quarantined, budget } => {
+                write!(
+                    f,
+                    "`{table}` quarantined {quarantined} records, over the error budget of {budget}"
+                )
+            }
+            CoreError::IoExhausted { table, attempts, message } => {
+                write!(f, "`{table}` still failing after {attempts} read attempts: {message}")
+            }
+            CoreError::ManifestMismatch { table, expected_rows, got_rows, digest_ok } => {
+                write!(
+                    f,
+                    "`{table}` disagrees with the export manifest: {expected_rows} rows expected, \
+                     {got_rows} accepted, digest {}",
+                    if *digest_ok { "ok" } else { "MISMATCH" }
+                )
+            }
         }
     }
 }
@@ -112,5 +214,30 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(CoreError::InvalidTime("x".into()));
         assert!(e.to_string().contains("invalid time"));
+    }
+
+    #[test]
+    fn ingest_errors_render_their_evidence() {
+        let e = CoreError::BudgetExceeded { table: "instances", quarantined: 101, budget: 100 };
+        assert!(e.to_string().contains("101"));
+        assert!(e.to_string().contains("100"));
+        let e =
+            CoreError::IoExhausted { table: "workers", attempts: 9, message: "timed out".into() };
+        assert!(e.to_string().contains("9 read attempts"));
+        let e = CoreError::ManifestMismatch {
+            table: "batches",
+            expected_rows: 10,
+            got_rows: 8,
+            digest_ok: false,
+        };
+        assert!(e.to_string().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn fault_classes_have_distinct_names() {
+        let names: std::collections::HashSet<&str> =
+            FaultClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), FaultClass::ALL.len());
+        assert_eq!(FaultClass::Duplicate.to_string(), "duplicate");
     }
 }

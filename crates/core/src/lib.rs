@@ -52,6 +52,7 @@ pub mod error;
 pub mod fixture;
 pub mod id;
 pub mod labels;
+pub mod provenance;
 pub mod query;
 pub mod rng;
 pub mod task;
@@ -63,9 +64,10 @@ pub use dataset::{
     Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, HtmlArena, InstanceColumns, InstanceRef,
     TaskInstance,
 };
-pub use error::{CoreError, Result};
+pub use error::{CoreError, FaultClass, Result};
 pub use id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
 pub use labels::{Complexity, DataType, Goal, LabelSet, Operator};
+pub use provenance::{ErrorBudget, IngestReport, QuarantinedRow, TableReport};
 pub use query::{Accumulator, ScanPass};
 pub use rng::stream_seed;
 pub use task::{Batch, DesignFeatures, TaskType};
@@ -79,9 +81,10 @@ pub mod prelude {
         Dataset, DatasetBuilder, DatasetIndex, DatasetSummary, HtmlArena, InstanceColumns,
         InstanceRef, TaskInstance,
     };
-    pub use crate::error::{CoreError, Result};
+    pub use crate::error::{CoreError, FaultClass, Result};
     pub use crate::id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
     pub use crate::labels::{Complexity, DataType, Goal, LabelSet, Operator};
+    pub use crate::provenance::{ErrorBudget, IngestReport, QuarantinedRow, TableReport};
     pub use crate::query::{Accumulator, ScanPass};
     pub use crate::rng::stream_seed;
     pub use crate::task::{Batch, DesignFeatures, TaskType};

@@ -1,0 +1,84 @@
+//! Where table bytes come from: a directory on disk, optionally wrapped in
+//! deterministic fault injection.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::PathBuf;
+
+use crowd_core::csv::{Table, MANIFEST_FILE};
+
+use crate::fault::{ChaosReader, FaultPlan};
+
+/// A provider of raw table streams for the loader.
+pub trait TableSource {
+    /// Opens the stream for `table`.
+    fn open(&self, table: Table) -> io::Result<Box<dyn Read + '_>>;
+
+    /// Opens the export manifest, `Ok(None)` when the directory has none
+    /// (hand-assembled datasets, pre-manifest exports).
+    fn open_manifest(&self) -> io::Result<Option<Box<dyn Read + '_>>>;
+}
+
+/// The plain on-disk layout `export_dir` writes: `<name>.csv` per table
+/// plus `manifest.csv`.
+#[derive(Debug, Clone)]
+pub struct DirSource {
+    dir: PathBuf,
+}
+
+impl DirSource {
+    /// A source over `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> DirSource {
+        DirSource { dir: dir.into() }
+    }
+}
+
+impl TableSource for DirSource {
+    fn open(&self, table: Table) -> io::Result<Box<dyn Read + '_>> {
+        Ok(Box::new(File::open(self.dir.join(table.file_name()))?))
+    }
+
+    fn open_manifest(&self) -> io::Result<Option<Box<dyn Read + '_>>> {
+        match File::open(self.dir.join(MANIFEST_FILE)) {
+            Ok(f) => Ok(Some(Box::new(f))),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Wraps another source and injects per-table [`FaultPlan`]s — the chaos
+/// harness. Tables without a plan pass through untouched; the manifest is
+/// never corrupted (it is the ground truth faults are judged against).
+pub struct ChaosSource<S> {
+    inner: S,
+    plans: HashMap<Table, FaultPlan>,
+}
+
+impl<S: TableSource> ChaosSource<S> {
+    /// A chaos wrapper with no plans (pass-through).
+    pub fn new(inner: S) -> ChaosSource<S> {
+        ChaosSource { inner, plans: HashMap::new() }
+    }
+
+    /// Schedules `plan` for `table`.
+    pub fn with_plan(mut self, table: Table, plan: FaultPlan) -> ChaosSource<S> {
+        self.plans.insert(table, plan);
+        self
+    }
+}
+
+impl<S: TableSource> TableSource for ChaosSource<S> {
+    fn open(&self, table: Table) -> io::Result<Box<dyn Read + '_>> {
+        let inner = self.inner.open(table)?;
+        Ok(match self.plans.get(&table) {
+            Some(plan) => Box::new(ChaosReader::new(inner, plan)),
+            None => inner,
+        })
+    }
+
+    fn open_manifest(&self) -> io::Result<Option<Box<dyn Read + '_>>> {
+        self.inner.open_manifest()
+    }
+}

@@ -1,7 +1,10 @@
 //! Directory-backed snapshot storage, keyed by config fingerprint.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crowd_ingest::{is_transient, Backoff, Clock, SystemClock};
 use crowd_sim::SimConfig;
 
 use crate::{decode, encode, fingerprint, Snapshot, SnapshotError};
@@ -16,21 +19,58 @@ pub const ENV_DIR: &str = "CROWD_SNAPSHOT_DIR";
 /// never collide and re-running a config overwrites its own entry. Writes
 /// go to a temporary sibling first and land via rename, so a crashed or
 /// concurrent writer can leave at worst a stale temp file, never a torn
-/// snapshot under the final name.
-#[derive(Debug, Clone)]
+/// snapshot under the final name. Each save sweeps those stale temps
+/// first, transient IO errors are retried under a bounded backoff, and
+/// saves that callers swallow (warm start treats a read-only cache as
+/// cold-every-time) are counted for observability.
+///
+/// Clones share the swallowed-save counter, so the count survives the
+/// clone-per-call patterns the warm-start paths use.
+#[derive(Clone)]
 pub struct SnapshotStore {
     dir: PathBuf,
+    backoff: Backoff,
+    clock: Arc<dyn Clock>,
+    swallowed: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("dir", &self.dir)
+            .field("backoff", &self.backoff)
+            .field("swallowed", &self.swallowed_saves())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SnapshotStore {
     /// A store rooted at `dir` (created lazily on first save).
     pub fn new(dir: impl Into<PathBuf>) -> SnapshotStore {
-        SnapshotStore { dir: dir.into() }
+        SnapshotStore {
+            dir: dir.into(),
+            backoff: Backoff::default(),
+            clock: Arc::new(SystemClock),
+            swallowed: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// A store rooted at `$CROWD_SNAPSHOT_DIR`, when set and non-empty.
     pub fn from_env() -> Option<SnapshotStore> {
         std::env::var(ENV_DIR).ok().filter(|v| !v.is_empty()).map(SnapshotStore::new)
+    }
+
+    /// Replaces the retry policy for transient save failures.
+    pub fn with_backoff(mut self, backoff: Backoff) -> SnapshotStore {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the clock backing retry delays (inject a
+    /// [`crowd_ingest::ManualClock`] in tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> SnapshotStore {
+        self.clock = clock;
+        self
     }
 
     /// The store's root directory.
@@ -53,19 +93,65 @@ impl SnapshotStore {
         decode(&bytes, fingerprint(cfg))
     }
 
-    /// Writes the snapshot for `cfg`, returning the final path.
-    pub fn save(&self, cfg: &SimConfig, snapshot: &Snapshot) -> Result<PathBuf, SnapshotError> {
-        std::fs::create_dir_all(&self.dir)?;
-        let path = self.path_for(cfg);
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, encode(snapshot, fingerprint(cfg)))?;
-        match std::fs::rename(&tmp, &path) {
-            Ok(()) => Ok(path),
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err(e.into())
+    /// Removes stale temp files (`snap-*.tmp.<pid>`) left behind by
+    /// crashed writers, skipping this process's own. Returns how many were
+    /// removed. Best-effort: an unreadable directory sweeps nothing.
+    pub fn sweep_stale(&self) -> usize {
+        let own_suffix = format!(".tmp.{}", std::process::id());
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return 0 };
+        let mut swept = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("snap-")
+                && name.contains(".tmp.")
+                && !name.ends_with(&own_suffix)
+                && std::fs::remove_file(entry.path()).is_ok()
+            {
+                swept += 1;
             }
         }
+        swept
+    }
+
+    /// Writes the snapshot for `cfg`, returning the final path.
+    ///
+    /// Stale temp files are swept first; transient IO errors
+    /// (`Interrupted`, `WouldBlock`) are retried under the store's
+    /// backoff; anything else is surfaced after cleaning up the temp.
+    pub fn save(&self, cfg: &SimConfig, snapshot: &Snapshot) -> Result<PathBuf, SnapshotError> {
+        std::fs::create_dir_all(&self.dir)?;
+        self.sweep_stale();
+        let path = self.path_for(cfg);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let bytes = encode(snapshot, fingerprint(cfg));
+        let mut retries = 0u32;
+        loop {
+            match std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path)) {
+                Ok(()) => return Ok(path),
+                Err(e) if is_transient(&e) && retries < self.backoff.max_retries => {
+                    self.clock.sleep(self.backoff.delay(retries));
+                    retries += 1;
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Records a save failure the caller swallowed (fell back to running
+    /// cold). The warm-start paths call this so degraded caches are
+    /// observable instead of silent.
+    pub fn note_swallowed_save(&self) {
+        self.swallowed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many save failures were swallowed over this store's lifetime
+    /// (shared across clones).
+    pub fn swallowed_saves(&self) -> u64 {
+        self.swallowed.load(Ordering::Relaxed)
     }
 }
 
@@ -104,5 +190,55 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, store.path_for(&SimConfig::tiny(1)));
+    }
+
+    #[test]
+    fn save_sweeps_stale_temps_but_not_live_snapshots() {
+        let store = temp_store("sweep");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        let stale = store.dir().join("snap-00000000deadbeef.tmp.99999999");
+        let own = store.dir().join(format!("snap-cafe.tmp.{}", std::process::id()));
+        std::fs::write(&stale, b"torn").unwrap();
+        std::fs::write(&own, b"in flight").unwrap();
+
+        let cfg = SimConfig::tiny(13);
+        let snap = Snapshot { dataset: crowd_sim::simulate(&cfg), derived: None };
+        store.save(&cfg, &snap).expect("save");
+
+        assert!(!stale.exists(), "stale foreign temp removed");
+        assert!(own.exists(), "this process's temp is never swept");
+        assert!(store.path_for(&cfg).exists(), "real snapshot landed");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sweep_is_a_noop_on_a_missing_directory() {
+        let store = temp_store("sweep-missing");
+        assert_eq!(store.sweep_stale(), 0);
+    }
+
+    #[test]
+    fn swallowed_saves_are_counted_across_clones() {
+        let store = temp_store("counter");
+        assert_eq!(store.swallowed_saves(), 0);
+        let clone = store.clone();
+        clone.note_swallowed_save();
+        store.note_swallowed_save();
+        assert_eq!(store.swallowed_saves(), 2, "clones share the counter");
+        assert_eq!(clone.swallowed_saves(), 2);
+    }
+
+    #[test]
+    fn unwritable_destination_is_an_error_not_a_hang() {
+        // Root the store *under a file*, so create_dir_all must fail —
+        // works regardless of process privileges (unlike chmod).
+        let blocker =
+            std::env::temp_dir().join(format!("crowd-snapshot-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let store = SnapshotStore::new(blocker.join("store"));
+        let cfg = SimConfig::tiny(14);
+        let snap = Snapshot { dataset: crowd_sim::simulate(&cfg), derived: None };
+        assert!(matches!(store.save(&cfg, &snap), Err(SnapshotError::Io(_))));
+        let _ = std::fs::remove_file(&blocker);
     }
 }

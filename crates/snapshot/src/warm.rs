@@ -70,7 +70,12 @@ fn build_and_persist(
 ) -> Study {
     let derived = compute_derived(&ds, params);
     let snapshot = Snapshot { dataset: ds, derived: Some(derived) };
-    let _ = store.save(cfg, &snapshot);
+    // Swallow save failures (a read-only cache degrades to cold-every-time,
+    // it does not break the run) — but count them so the degradation is
+    // observable through `SnapshotStore::swallowed_saves`.
+    if store.save(cfg, &snapshot).is_err() {
+        store.note_swallowed_save();
+    }
     let Snapshot { dataset, derived } = snapshot;
     let d = derived.expect("derived was just computed");
     Study::from_enrichment(dataset, d.metrics)
@@ -149,6 +154,21 @@ mod tests {
         let cold = Study::with_cluster_params(simulate(&cfg), loose);
         assert_eq!(relaxed.clusters().len(), cold.clusters().len());
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn unwritable_store_degrades_to_cold_and_counts_the_swallow() {
+        let blocker = std::env::temp_dir()
+            .join(format!("crowd-snapshot-warm-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let store = SnapshotStore::new(blocker.join("store"));
+        let cfg = SimConfig::tiny(24);
+        let study = study_from_config(&cfg, Some(&store));
+        // Correctness never depends on the cache …
+        assert_eq!(study.dataset().instances, simulate(&cfg).instances);
+        // … but the degradation is counted, not silent.
+        assert_eq!(store.swallowed_saves(), 1);
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

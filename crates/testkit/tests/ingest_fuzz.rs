@@ -1,0 +1,143 @@
+//! Ingest fuzzing: an arbitrary single-byte mutation of a valid exported
+//! dataset directory — any table file or the manifest, any offset, any
+//! replacement byte — must come back as `Ok` (possibly quarantining) or
+//! as a typed `CoreError`. Never a panic, never a hang.
+//!
+//! With manifest verification on, the oracle is stronger still: any
+//! mutation the loader *accepts* must have been content-neutral, because
+//! every accepted table re-verifies against the exporter's row counts
+//! and content digests.
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use crowd_core::csv::{export_dir, Table, MANIFEST_FILE};
+use crowd_core::fixture::Fixture;
+use crowd_core::prelude::*;
+use crowd_ingest::{ingest_dir, IngestOptions, ManualClock};
+use proptest::prelude::*;
+
+/// A small but table-complete dataset: several workers, a quoted
+/// multi-line task title, sampled and unsampled batches, and all three
+/// answer shapes — so mutations can land in every syntactic feature of
+/// the format.
+fn fixture_files() -> &'static Vec<(String, Vec<u8>)> {
+    static FILES: OnceLock<Vec<(String, Vec<u8>)>> = OnceLock::new();
+    FILES.get_or_init(|| {
+        let mut f = Fixture::new();
+        let ws = f.add_workers(4);
+        let tt = f.add_task_type("judge, \"quoted\"\nand multi-line", 3);
+        let b0 = f.add_batch_of(tt, Duration::ZERO, "<p>compare the results</p>");
+        let b1 = f.add_batch(Duration::from_days(3));
+        let b2 = f.add_unsampled_batch(Duration::from_days(9));
+        for (i, &b) in [b0, b1, b2].iter().enumerate() {
+            for item in 0..6u32 {
+                let w = ws[(item as usize + i) % ws.len()];
+                f.instance_full(
+                    b,
+                    item,
+                    w,
+                    3600 + 60 * i64::from(item),
+                    30 + i64::from(item),
+                    0.85,
+                    match item % 3 {
+                        0 => Answer::Choice(item as u16 % 3),
+                        1 => Answer::Text(format!("free text, \"{item}\"\nline two")),
+                        _ => Answer::Skipped,
+                    },
+                );
+            }
+        }
+        let dir =
+            std::env::temp_dir().join(format!("crowd_ingest_fuzz_base_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        export_dir(&f.finish(), &dir).expect("export fixture");
+        let mut files: Vec<(String, Vec<u8>)> = Table::ALL
+            .iter()
+            .map(|t| (t.file_name().to_string(), std::fs::read(dir.join(t.file_name())).unwrap()))
+            .collect();
+        files.push((MANIFEST_FILE.to_string(), std::fs::read(dir.join(MANIFEST_FILE)).unwrap()));
+        let _ = std::fs::remove_dir_all(&dir);
+        files
+    })
+}
+
+/// Writes the fixture with one byte of one file replaced; returns the
+/// case directory and whether the mutation actually changed anything.
+fn write_mutated(tag: &str, file_idx: usize, offset: usize, byte: u8) -> (PathBuf, bool) {
+    let files = fixture_files();
+    let dir = std::env::temp_dir().join(format!("crowd_ingest_fuzz_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = file_idx % files.len();
+    let mut changed = false;
+    for (i, (name, bytes)) in files.iter().enumerate() {
+        if i == target {
+            let mut mutated = bytes.clone();
+            let at = offset % mutated.len().max(1);
+            changed = mutated[at] != byte;
+            mutated[at] = byte;
+            std::fs::write(dir.join(name), mutated).unwrap();
+        } else {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+    }
+    (dir, changed)
+}
+
+fn opts(verify_manifest: bool) -> IngestOptions {
+    IngestOptions {
+        clock: Arc::new(ManualClock::new()),
+        verify_manifest,
+        ..IngestOptions::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn single_byte_mutations_never_panic(
+        file_idx in 0usize..7,
+        offset in 0usize..1 << 20,
+        byte in 0u32..256,
+    ) {
+        let (dir, changed) = write_mutated("verified", file_idx, offset, byte as u8);
+
+        // Strict pass: the manifest is the ground truth, so an accepted
+        // load must be provably equal to the clean export.
+        match ingest_dir(&dir, &opts(true)) {
+            Ok(got) => {
+                prop_assert!(got.report.manifest_present);
+                for t in Table::ALL {
+                    let tr = got.report.table(t.name()).expect("per-table report");
+                    prop_assert_eq!(
+                        tr.verified, Some(true),
+                        "accepted `{}` must verify against the manifest", t.name()
+                    );
+                }
+                if !changed {
+                    prop_assert!(got.report.is_clean(), "identity mutation must be clean");
+                }
+            }
+            // A typed refusal is the other legal verdict; reaching here
+            // at all means no panic and no hang.
+            Err(failure) => {
+                prop_assert!(changed, "unmutated input must ingest");
+                prop_assert!(!failure.error.to_string().is_empty());
+            }
+        }
+
+        // Lenient pass: without the manifest oracle the loader leans on
+        // quarantine + budget instead; still no panic, and coverage stays
+        // a sane fraction.
+        match ingest_dir(&dir, &opts(false)) {
+            Ok(got) => {
+                let cov = got.report.coverage();
+                prop_assert!((0.0..=1.0).contains(&cov), "coverage {cov} out of range");
+            }
+            Err(failure) => {
+                prop_assert!(!failure.error.to_string().is_empty());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,8 +3,11 @@
 //!
 //! ```text
 //! export [--scale S] [--seed N] [--out DIR] [--threads T]
-//!        [--snapshot-dir DIR] [--no-snapshot]
+//!        [--snapshot-dir DIR] [--no-snapshot] [--input-dir DIR]
 //! ```
+//!
+//! With `--input-dir`, the dataset is loaded from a previously exported
+//! directory through the resilient ingest path instead of simulated.
 //!
 //! Files written into `DIR` (default `./export`):
 //! `weekly.csv` (Figs 1/2/4/5 series), `weekday.csv` (Fig 3),
@@ -22,7 +25,6 @@ use crowd_analytics::marketplace::{arrivals, availability, labels, load, trends}
 use crowd_analytics::workers::{cohorts, geography, lifetimes, sources};
 use crowd_marketplace::cli::CommonOpts;
 use crowd_report::{series_to_csv, Series};
-use crowd_sim::SimConfig;
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -48,11 +50,7 @@ fn main() {
     opts.install_thread_pool().unwrap_or_else(|e| die(&e));
     std::fs::create_dir_all(&out).expect("create output dir");
 
-    let store = opts.snapshot_store();
-    let CommonOpts { scale, seed, .. } = opts;
-    eprintln!("simulating (scale {scale}, seed {seed}) …");
-    let study =
-        crowd_snapshot::warm::study_from_config(&SimConfig::new(seed, scale), store.as_ref());
+    let study = opts.build_study().unwrap_or_else(|e| die(&e));
     let write = |name: &str, content: String| {
         let path = out.join(name);
         std::fs::write(&path, content).expect("write csv");

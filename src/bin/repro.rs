@@ -2,7 +2,8 @@
 //! crowdsourcing-marketplace study from a simulated dataset.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--threads T] [TARGET...]
+//! repro [--scale S] [--seed N] [--threads T] [--snapshot-dir DIR]
+//!       [--no-snapshot] [--input-dir DIR] [TARGET...]
 //!
 //! TARGETS (default: all)
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -28,7 +29,6 @@ use crowd_analytics::Study;
 use crowd_core::time::Timestamp;
 use crowd_marketplace::cli::CommonOpts;
 use crowd_report::{BarChart, LinePlot, Series, StackedBars, TextTable};
-use crowd_sim::SimConfig;
 
 const ALL_TARGETS: [&str; 30] = [
     "summary",
@@ -99,28 +99,21 @@ fn main() {
     if args.help {
         println!(
             "usage: repro [--scale S] [--seed N] [--threads T] \
-             [--snapshot-dir DIR] [--no-snapshot] [TARGET...]"
+             [--snapshot-dir DIR] [--no-snapshot] [--input-dir DIR] [TARGET...]"
         );
         println!("  --snapshot-dir DIR  cache simulated datasets in DIR (or $CROWD_SNAPSHOT_DIR)");
         println!("  --no-snapshot       always simulate from scratch");
+        println!(
+            "  --input-dir DIR     load an exported dataset (resilient ingest) instead of simulating"
+        );
         println!("targets: all {}", ALL_TARGETS.join(" "));
         return;
     }
     let Args { opts, targets, .. } = args;
     opts.install_thread_pool().unwrap_or_else(|e| die(&e));
-    let store = opts.snapshot_store();
-    let CommonOpts { scale, seed, .. } = opts;
+    let scale = opts.scale;
 
-    eprintln!(
-        "simulating marketplace (scale {scale}, seed {seed}, {} threads{}) …",
-        rayon::current_num_threads(),
-        match &store {
-            Some(s) => format!(", snapshots in {}", s.dir().display()),
-            None => String::new(),
-        }
-    );
-    let cfg = SimConfig::new(seed, scale);
-    let study = crowd_snapshot::warm::study_from_config(&cfg, store.as_ref());
+    let study = opts.build_study().unwrap_or_else(|e| die(&e));
     eprintln!(
         "enriched: {} instances, {} sampled batches, {} clusters\n",
         study.dataset().instances.len(),

@@ -44,6 +44,7 @@ pub use crowd_classify as classify;
 pub use crowd_cluster as cluster;
 pub use crowd_core as core;
 pub use crowd_html as html;
+pub use crowd_ingest as ingest;
 pub use crowd_report as report;
 pub use crowd_sim as sim;
 pub use crowd_snapshot as snapshot;
@@ -60,17 +61,18 @@ pub mod prelude {
 /// Command-line handling shared by the workspace binaries.
 ///
 /// `repro` and `export` accept the same simulation knobs — `--scale`,
-/// `--seed`, `--threads`, `--snapshot-dir`, `--no-snapshot` — with the
-/// same defaults, bounds, and error messages. [`cli::CommonOpts`] owns
-/// that contract in one place; each binary keeps its own loop only for
-/// its private flags (`--out`, targets, `--help`).
+/// `--seed`, `--threads`, `--snapshot-dir`, `--no-snapshot`,
+/// `--input-dir` — with the same defaults, bounds, and error messages.
+/// [`cli::CommonOpts`] owns that contract in one place; each binary keeps
+/// its own loop only for its private flags (`--out`, targets, `--help`).
 pub mod cli {
     use std::path::PathBuf;
 
+    use crowd_analytics::Study;
     use crowd_snapshot::SnapshotStore;
 
     /// Options every binary understands: `--scale`, `--seed`,
-    /// `--threads`, `--snapshot-dir`, `--no-snapshot`.
+    /// `--threads`, `--snapshot-dir`, `--no-snapshot`, `--input-dir`.
     #[derive(Debug, Clone, PartialEq)]
     pub struct CommonOpts {
         /// Fraction of the paper's marketplace volume to simulate, in
@@ -87,6 +89,9 @@ pub mod cli {
         pub snapshot_dir: Option<PathBuf>,
         /// Disables the snapshot cache entirely (flag *and* environment).
         pub no_snapshot: bool,
+        /// Load the dataset from a previously exported directory (via the
+        /// resilient ingest path) instead of simulating.
+        pub input_dir: Option<PathBuf>,
     }
 
     impl Default for CommonOpts {
@@ -97,6 +102,7 @@ pub mod cli {
                 threads: None,
                 snapshot_dir: None,
                 no_snapshot: false,
+                input_dir: None,
             }
         }
     }
@@ -157,6 +163,14 @@ pub mod cli {
                     self.no_snapshot = true;
                     Ok(true)
                 }
+                "--input-dir" => {
+                    let dir = rest.next().ok_or("--input-dir needs a directory path")?;
+                    if dir.is_empty() {
+                        return Err("--input-dir needs a directory path".into());
+                    }
+                    self.input_dir = Some(PathBuf::from(dir));
+                    Ok(true)
+                }
                 _ => Ok(false),
             }
         }
@@ -174,6 +188,39 @@ pub mod cli {
                 Some(dir) => Some(SnapshotStore::new(dir.clone())),
                 None => SnapshotStore::from_env(),
             }
+        }
+
+        /// Builds the study these options select: `--input-dir` loads a
+        /// previously exported dataset through the resilient ingest path
+        /// (attaching its [`IngestReport`](crowd_core::IngestReport) to
+        /// the study); otherwise the simulator generates it, warm-started
+        /// from the snapshot cache when one is configured.
+        ///
+        /// Progress goes to stderr; an ingest failure comes back as the
+        /// typed error's message plus the coverage summary accumulated
+        /// before the abort.
+        pub fn build_study(&self) -> Result<Study, String> {
+            if let Some(dir) = &self.input_dir {
+                eprintln!("ingesting dataset from {} …", dir.display());
+                let ingested =
+                    crowd_ingest::ingest_dir(dir, &crowd_ingest::IngestOptions::default())
+                        .map_err(|f| f.to_string())?;
+                eprintln!("ingest: {}", ingested.report.summary());
+                return Ok(Study::new(ingested.dataset).with_ingest_report(ingested.report));
+            }
+            let store = self.snapshot_store();
+            eprintln!(
+                "simulating marketplace (scale {}, seed {}, {} threads{}) …",
+                self.scale,
+                self.seed,
+                rayon::current_num_threads(),
+                match &store {
+                    Some(s) => format!(", snapshots in {}", s.dir().display()),
+                    None => String::new(),
+                }
+            );
+            let cfg = crowd_sim::SimConfig::new(self.seed, self.scale);
+            Ok(crowd_snapshot::warm::study_from_config(&cfg, store.as_ref()))
         }
 
         /// Installs the global thread pool when `--threads` was given.
@@ -243,6 +290,27 @@ pub mod cli {
 
             assert!(parse(&["--snapshot-dir"]).is_err(), "missing value");
             assert!(parse(&["--snapshot-dir", ""]).is_err(), "empty value");
+        }
+
+        #[test]
+        fn input_dir_parses_and_validates() {
+            let opts = parse(&["--input-dir", "data/export"]).unwrap();
+            assert_eq!(opts.input_dir, Some(std::path::PathBuf::from("data/export")));
+            assert!(parse(&["--input-dir"]).is_err(), "missing value");
+            assert!(parse(&["--input-dir", ""]).is_err(), "empty value");
+            assert_eq!(parse(&["--input-dir"]).unwrap_err(), "--input-dir needs a directory path");
+        }
+
+        #[test]
+        fn build_study_rejects_a_missing_input_dir() {
+            let dir =
+                std::env::temp_dir().join(format!("crowd_cli_no_such_dir_{}", std::process::id()));
+            let opts = CommonOpts { input_dir: Some(dir), ..CommonOpts::default() };
+            let err = match opts.build_study() {
+                Err(e) => e,
+                Ok(_) => panic!("a missing directory must not build a study"),
+            };
+            assert!(err.contains("ingest failed"), "typed failure surfaced: {err}");
         }
 
         #[test]

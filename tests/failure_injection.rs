@@ -152,3 +152,142 @@ fn all_skipped_answers_give_full_disagreement() {
     let m = s.enriched_batches().next().unwrap();
     assert_eq!(m.disagreement, Some(1.0), "skips never agree (§4.1)");
 }
+
+// ---------------------------------------------------------------------------
+// import_dir failure paths: every table × {truncated header, wrong field
+// count, unparsable value, dangling id} must come back as a typed
+// `CoreError` naming the right line — never a panic, never a partial load.
+// ---------------------------------------------------------------------------
+
+mod import_faults {
+    use super::minimal_dataset;
+    use crowd_marketplace::core::csv::{export_dir, import_dir, Table};
+    use crowd_marketplace::core::error::CoreError;
+    use std::path::{Path, PathBuf};
+
+    fn exported(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowd_failinj_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        export_dir(&minimal_dataset(), &dir).unwrap();
+        dir
+    }
+
+    fn corrupt(dir: &Path, table: Table, f: impl FnOnce(String) -> String) {
+        let path = dir.join(table.file_name());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, f(text)).unwrap();
+    }
+
+    /// 1-based line number the next appended record will start on.
+    fn next_line(dir: &Path, table: Table) -> usize {
+        let text = std::fs::read_to_string(dir.join(table.file_name())).unwrap();
+        text.matches('\n').count() + 1
+    }
+
+    fn expect_csv_error(dir: &Path, want_line: usize, want_msg: &str, context: &str) {
+        match import_dir(dir) {
+            Err(CoreError::Csv { line, message }) => {
+                assert_eq!(line, want_line, "{context}: wrong line in `{message}`");
+                assert!(
+                    message.contains(want_msg),
+                    "{context}: `{message}` does not mention `{want_msg}`"
+                );
+            }
+            other => panic!("{context}: expected a CSV error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_headers_are_typed_errors_on_line_one() {
+        for table in Table::ALL {
+            let dir = exported("hdr");
+            corrupt(&dir, table, |text| {
+                let header = text.lines().next().unwrap();
+                let keep = header.len() / 2;
+                format!("{}\n{}", &header[..keep], text.split_once('\n').unwrap().1)
+            });
+            expect_csv_error(&dir, 1, "expected header", table.name());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn wrong_field_counts_are_typed_errors_with_the_right_line() {
+        for table in Table::ALL {
+            let dir = exported("arity");
+            let line = next_line(&dir, table);
+            corrupt(&dir, table, |mut text| {
+                // One more field than any table has.
+                text.push_str(&"x,".repeat(Table::Instances.arity() + 1));
+                text.push_str("x\n");
+                text
+            });
+            expect_csv_error(&dir, line, "fields", table.name());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn unparsable_values_are_typed_errors_with_the_right_line() {
+        // A right-arity record whose typed field cannot parse. `countries`
+        // has no typed field, so its slot is an unterminated quote — the
+        // lexer-level equivalent.
+        let bad: [(Table, &str, &str); 6] = [
+            (Table::Sources, "nm,badkind", "bad source kind"),
+            (Table::Countries, "\"unterminated", "unterminated quoted field"),
+            (Table::Workers, "x,y", "bad source id"),
+            (Table::TaskTypes, "t,x,0,0,2", "bad goal bits"),
+            (Table::Batches, "0,notatime,1,<p>x</p>", "bad created_at"),
+            (Table::Instances, "0,0,0,100,200,zz,S", "bad trust"),
+        ];
+        for (table, row, msg) in bad {
+            let dir = exported("value");
+            let line = next_line(&dir, table);
+            corrupt(&dir, table, |mut text| {
+                text.push_str(row);
+                text.push('\n');
+                text
+            });
+            expect_csv_error(&dir, line, msg, table.name());
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn dangling_ids_are_typed_errors_naming_the_referenced_table() {
+        // Rows that parse but point at entities that do not exist; the
+        // builder's referential validation rejects the assembled dataset.
+        let bad: [(Table, &str, &str); 3] = [
+            (Table::Workers, "9,0", "sources"),
+            (Table::Batches, "9,1000,0,", "task_types"),
+            (Table::Instances, "9,0,0,100,200,0.5,S", "batches"),
+        ];
+        for (table, row, referenced) in bad {
+            let dir = exported("dangling");
+            corrupt(&dir, table, |mut text| {
+                text.push_str(row);
+                text.push('\n');
+                text
+            });
+            match import_dir(&dir) {
+                Err(CoreError::DanglingReference { table: t, index: 9, .. }) => {
+                    assert_eq!(t, referenced, "{} row must dangle into {referenced}", table.name());
+                }
+                other => panic!("{}: expected DanglingReference, got {other:?}", table.name()),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn sampled_flag_corruption_is_a_typed_error() {
+        let dir = exported("flag");
+        let line = next_line(&dir, Table::Batches);
+        corrupt(&dir, Table::Batches, |mut text| {
+            text.push_str("0,1000,yes,<p>x</p>\n");
+            text
+        });
+        expect_csv_error(&dir, line, "bad sampled flag", "batches");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
