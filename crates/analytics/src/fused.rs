@@ -339,7 +339,42 @@ pub fn compute(study: &Study) -> Fused {
         }
     }
     let proto = FusedAcc::proto(w0, n_weeks, Arc::new(batch_median));
-    ScanPass::run(ds, &proto)
+    // Shard-partitioned fused pass: with the default single shard this is
+    // exactly `ScanPass::run`; under `--shards N` each shard's chunk
+    // partials merge into the running total in global chunk order, so the
+    // result is bit-identical either way (DESIGN.md §15).
+    ScanPass::run_plan(ds, &study.shard_plan(), &proto)
+}
+
+/// Runs the fused pass over a stream of owned shards — the bounded-memory
+/// snapshot path, where per-shard file sections feed the scan directly and
+/// the full instance table is never resident. `ds` supplies the entity
+/// context (batches, workers); `batch_metrics` the per-batch median task
+/// times ([`crate::study::BatchMetrics::task_time`]) the source aggregates
+/// need; `time_max` the dataset-wide latest instance end, which an
+/// entity-only dataset cannot reproduce (it sees only batch creation
+/// times) — pass the persisted value so the week window matches the
+/// materialized scan's. Bit-identical to [`compute`] on the equivalent
+/// monolithic study.
+pub fn compute_streamed<E>(
+    ds: &Dataset,
+    batch_metrics: &[crate::study::BatchMetrics],
+    time_max: Option<Timestamp>,
+    shards: impl Iterator<Item = std::result::Result<(usize, InstanceColumns), E>>,
+) -> std::result::Result<Fused, E> {
+    let t1 = [time_max, ds.time_max()].into_iter().flatten().max();
+    let (w0, n_weeks) = match (ds.time_min(), t1) {
+        (Some(t0), Some(t1)) => (t0.week().0, (t1.week().0 - t0.week().0 + 1).max(0) as usize),
+        _ => (0, 0),
+    };
+    let mut batch_median: Vec<Option<f64>> = vec![None; ds.batches.len()];
+    for m in batch_metrics {
+        if let Some(t) = m.task_time {
+            batch_median[m.batch.index()] = Some(t);
+        }
+    }
+    let proto = FusedAcc::proto(w0, n_weeks, Arc::new(batch_median));
+    ScanPass::run_stream(ds, &proto, shards)
 }
 
 #[cfg(test)]

@@ -82,6 +82,11 @@ pub struct Study {
     /// Raw instance-table aggregates from the one fused scan, computed on
     /// first use (most analytics functions only shape this cache).
     fused: OnceLock<Fused>,
+    /// Shards the fused scan partitions the instance table into (the
+    /// `--shards` knob). Purely a scheduling/memory knob: the chunk-
+    /// aligned [`ShardPlan`] makes any value produce bit-identical
+    /// results (`tests/parallel_determinism.rs`, `tests/export_golden.rs`).
+    shards: usize,
     /// Load provenance when the dataset came through the resilient ingest
     /// path (`None` for simulated or trusted-import datasets).
     ingest: Option<IngestReport>,
@@ -140,7 +145,34 @@ impl Study {
             batch_metrics[slot] = Some(metrics);
         }
         let clusters = aggregate_clusters(&ds, &batch_metrics, n_clusters);
-        Study { ds, index, batch_metrics, clusters, fused: OnceLock::new(), ingest: None }
+        Study {
+            ds,
+            index,
+            batch_metrics,
+            clusters,
+            fused: OnceLock::new(),
+            shards: 1,
+            ingest: None,
+        }
+    }
+
+    /// Partitions the fused scan into at most `shards` chunk-aligned
+    /// shards (see [`ShardPlan`]). Results are bit-identical at any value;
+    /// this only changes how the one pass over the instance table is
+    /// scheduled. Clamped to at least 1.
+    ///
+    /// # Panics
+    /// If the fused scan already ran (the knob must be set before first
+    /// use, or the setting would silently not apply).
+    pub fn with_shards(mut self, shards: usize) -> Study {
+        assert!(self.fused.get().is_none(), "set shards before the fused scan runs");
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The shard plan the fused scan runs under.
+    pub fn shard_plan(&self) -> ShardPlan {
+        ShardPlan::new(self.ds.instances.len(), self.shards)
     }
 
     /// Attaches the [`IngestReport`] the dataset was loaded under, so every

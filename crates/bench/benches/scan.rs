@@ -1,188 +1,17 @@
-//! Scan-engine bench: one fused [`ScanPass`] carrying several
+//! Scan-engine bench: one fused [`crowd_core::ScanPass`] carrying several
 //! accumulators versus the pre-refactor shape of one full-table pass per
-//! analytics module. The six accumulators mirror the state the analytics
-//! layer actually folds (daily arrival counts, weekday histogram, trust
-//! and work-time sums, per-worker and per-item tallies).
+//! analytics module. The six accumulators (see [`crowd_bench::shapes`])
+//! mirror the state the analytics layer actually folds — the same shapes
+//! the CI perf gate (`benches/gate.rs`) re-measures against the baseline.
 //!
 //! Besides the criterion timings, the run measures rows-scanned/sec for
 //! both shapes directly and writes them to `BENCH_scan.json` at the
 //! workspace root, next to `BENCH_parallel.json`.
 
-use std::collections::BTreeMap;
-use std::hint::black_box;
-use std::time::Instant;
-
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use crowd_bench::bench_study;
-use crowd_core::dataset::{Dataset, InstanceRef};
-use crowd_core::{Accumulator, InstanceId, ScanPass};
-
-/// Instances issued per day — `arrivals::daily_load` shape.
-#[derive(Debug, Default)]
-struct DailyIssued(BTreeMap<i64, u64>);
-
-impl Accumulator for DailyIssued {
-    type Output = BTreeMap<i64, u64>;
-    fn init(&self) -> Self {
-        DailyIssued::default()
-    }
-    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
-        *self.0.entry(row.start.day_number()).or_insert(0) += 1;
-    }
-    fn merge(&mut self, other: Self) {
-        for (day, n) in other.0 {
-            *self.0.entry(day).or_insert(0) += n;
-        }
-    }
-    fn finish(self, _ds: &Dataset) -> Self::Output {
-        self.0
-    }
-}
-
-/// Instances by day of week — `arrivals::by_weekday` shape.
-#[derive(Debug, Default)]
-struct WeekdayHist([u64; 7]);
-
-impl Accumulator for WeekdayHist {
-    type Output = [u64; 7];
-    fn init(&self) -> Self {
-        WeekdayHist::default()
-    }
-    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
-        self.0[row.start.weekday().index()] += 1;
-    }
-    fn merge(&mut self, other: Self) {
-        for (a, b) in self.0.iter_mut().zip(other.0) {
-            *a += b;
-        }
-    }
-    fn finish(self, _ds: &Dataset) -> Self::Output {
-        self.0
-    }
-}
-
-/// Order-sensitive float fold — `sources`/`lifetimes` trust shape.
-#[derive(Debug, Default)]
-struct TrustSum(f64);
-
-impl Accumulator for TrustSum {
-    type Output = f64;
-    fn init(&self) -> Self {
-        TrustSum::default()
-    }
-    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
-        self.0 += f64::from(row.trust);
-    }
-    fn merge(&mut self, other: Self) {
-        self.0 += other.0;
-    }
-    fn finish(self, _ds: &Dataset) -> Self::Output {
-        self.0
-    }
-}
-
-/// Total seconds worked — `availability::engagement_split` hours shape.
-#[derive(Debug, Default)]
-struct WorkSecs(f64);
-
-impl Accumulator for WorkSecs {
-    type Output = f64;
-    fn init(&self) -> Self {
-        WorkSecs::default()
-    }
-    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
-        self.0 += row.work_time().as_secs() as f64;
-    }
-    fn merge(&mut self, other: Self) {
-        self.0 += other.0;
-    }
-    fn finish(self, _ds: &Dataset) -> Self::Output {
-        self.0
-    }
-}
-
-/// Tasks per worker — `workload::distribution` shape.
-#[derive(Debug, Default)]
-struct PerWorkerTasks(BTreeMap<u32, u64>);
-
-impl Accumulator for PerWorkerTasks {
-    type Output = BTreeMap<u32, u64>;
-    fn init(&self) -> Self {
-        PerWorkerTasks::default()
-    }
-    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
-        *self.0.entry(row.worker.raw()).or_insert(0) += 1;
-    }
-    fn merge(&mut self, other: Self) {
-        for (w, n) in other.0 {
-            *self.0.entry(w).or_insert(0) += n;
-        }
-    }
-    fn finish(self, _ds: &Dataset) -> Self::Output {
-        self.0
-    }
-}
-
-/// Judgments per item — `redundancy` shape.
-#[derive(Debug, Default)]
-struct PerItemJudgments(BTreeMap<(u32, u32), u32>);
-
-impl Accumulator for PerItemJudgments {
-    type Output = BTreeMap<(u32, u32), u32>;
-    fn init(&self) -> Self {
-        PerItemJudgments::default()
-    }
-    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
-        *self.0.entry((row.batch.raw(), row.item.raw())).or_insert(0) += 1;
-    }
-    fn merge(&mut self, other: Self) {
-        for (k, n) in other.0 {
-            *self.0.entry(k).or_insert(0) += n;
-        }
-    }
-    fn finish(self, _ds: &Dataset) -> Self::Output {
-        self.0
-    }
-}
-
-const MODULES: u64 = 6;
-
-fn run_fused(ds: &Dataset) -> u64 {
-    let proto = (
-        DailyIssued::default(),
-        WeekdayHist::default(),
-        TrustSum::default(),
-        WorkSecs::default(),
-        PerWorkerTasks::default(),
-        PerItemJudgments::default(),
-    );
-    let out = ScanPass::run(ds, &proto);
-    black_box(&out);
-    ds.instances.len() as u64
-}
-
-fn run_per_module(ds: &Dataset) -> u64 {
-    black_box(ScanPass::run(ds, &DailyIssued::default()));
-    black_box(ScanPass::run(ds, &WeekdayHist::default()));
-    black_box(ScanPass::run(ds, &TrustSum::default()));
-    black_box(ScanPass::run(ds, &WorkSecs::default()));
-    black_box(ScanPass::run(ds, &PerWorkerTasks::default()));
-    black_box(ScanPass::run(ds, &PerItemJudgments::default()));
-    MODULES * ds.instances.len() as u64
-}
-
-/// Median wall-clock of `runs` calls to `f`, with the rows it scanned.
-fn measure(runs: usize, f: impl Fn() -> u64) -> (f64, u64) {
-    let mut times: Vec<f64> = Vec::with_capacity(runs);
-    let mut rows = 0;
-    for _ in 0..runs {
-        let t = Instant::now();
-        rows = f();
-        times.push(t.elapsed().as_secs_f64());
-    }
-    times.sort_by(f64::total_cmp);
-    (times[times.len() / 2], rows)
-}
+use crowd_bench::shapes::{measure, run_fused, run_per_module, MODULES};
+use crowd_core::dataset::Dataset;
 
 fn write_report(ds: &Dataset) {
     let (fused_s, fused_rows) = measure(5, || run_fused(ds));

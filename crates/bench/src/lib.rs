@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shapes;
+
 use std::sync::OnceLock;
 
 use crowd_analytics::Study;

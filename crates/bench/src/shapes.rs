@@ -1,0 +1,183 @@
+//! Analytics-shaped accumulators shared by the scan bench and the perf
+//! gate: the six states the analytics layer actually folds (daily arrival
+//! counts, weekday histogram, trust and work-time sums, per-worker and
+//! per-item tallies), plus the fused-vs-per-module runners built on them.
+//! Keeping them in one place means the checked-in `BENCH_scan.json`
+//! baseline and the CI regression gate measure the identical workload.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use crowd_core::dataset::{Dataset, InstanceRef};
+use crowd_core::{Accumulator, InstanceId, ScanPass};
+
+/// Instances issued per day — `arrivals::daily_load` shape.
+#[derive(Debug, Default)]
+pub struct DailyIssued(pub BTreeMap<i64, u64>);
+
+impl Accumulator for DailyIssued {
+    type Output = BTreeMap<i64, u64>;
+    fn init(&self) -> Self {
+        DailyIssued::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        *self.0.entry(row.start.day_number()).or_insert(0) += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (day, n) in other.0 {
+            *self.0.entry(day).or_insert(0) += n;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Instances by day of week — `arrivals::by_weekday` shape.
+#[derive(Debug, Default)]
+pub struct WeekdayHist(pub [u64; 7]);
+
+impl Accumulator for WeekdayHist {
+    type Output = [u64; 7];
+    fn init(&self) -> Self {
+        WeekdayHist::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        self.0[row.start.weekday().index()] += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a += b;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Order-sensitive float fold — `sources`/`lifetimes` trust shape.
+#[derive(Debug, Default)]
+pub struct TrustSum(pub f64);
+
+impl Accumulator for TrustSum {
+    type Output = f64;
+    fn init(&self) -> Self {
+        TrustSum::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        self.0 += f64::from(row.trust);
+    }
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Total seconds worked — `availability::engagement_split` hours shape.
+#[derive(Debug, Default)]
+pub struct WorkSecs(pub f64);
+
+impl Accumulator for WorkSecs {
+    type Output = f64;
+    fn init(&self) -> Self {
+        WorkSecs::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        self.0 += row.work_time().as_secs() as f64;
+    }
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Tasks per worker — `workload::distribution` shape.
+#[derive(Debug, Default)]
+pub struct PerWorkerTasks(pub BTreeMap<u32, u64>);
+
+impl Accumulator for PerWorkerTasks {
+    type Output = BTreeMap<u32, u64>;
+    fn init(&self) -> Self {
+        PerWorkerTasks::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        *self.0.entry(row.worker.raw()).or_insert(0) += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (w, n) in other.0 {
+            *self.0.entry(w).or_insert(0) += n;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Judgments per item — `redundancy` shape.
+#[derive(Debug, Default)]
+pub struct PerItemJudgments(pub BTreeMap<(u32, u32), u32>);
+
+impl Accumulator for PerItemJudgments {
+    type Output = BTreeMap<(u32, u32), u32>;
+    fn init(&self) -> Self {
+        PerItemJudgments::default()
+    }
+    fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+        *self.0.entry((row.batch.raw(), row.item.raw())).or_insert(0) += 1;
+    }
+    fn merge(&mut self, other: Self) {
+        for (k, n) in other.0 {
+            *self.0.entry(k).or_insert(0) += n;
+        }
+    }
+    fn finish(self, _ds: &Dataset) -> Self::Output {
+        self.0
+    }
+}
+
+/// Number of analytics modules the per-module shape simulates.
+pub const MODULES: u64 = 6;
+
+/// One fused pass carrying all six accumulators; returns rows scanned.
+pub fn run_fused(ds: &Dataset) -> u64 {
+    let proto = (
+        DailyIssued::default(),
+        WeekdayHist::default(),
+        TrustSum::default(),
+        WorkSecs::default(),
+        PerWorkerTasks::default(),
+        PerItemJudgments::default(),
+    );
+    let out = ScanPass::run(ds, &proto);
+    black_box(&out);
+    ds.instances.len() as u64
+}
+
+/// The pre-refactor shape: one full-table pass per module.
+pub fn run_per_module(ds: &Dataset) -> u64 {
+    black_box(ScanPass::run(ds, &DailyIssued::default()));
+    black_box(ScanPass::run(ds, &WeekdayHist::default()));
+    black_box(ScanPass::run(ds, &TrustSum::default()));
+    black_box(ScanPass::run(ds, &WorkSecs::default()));
+    black_box(ScanPass::run(ds, &PerWorkerTasks::default()));
+    black_box(ScanPass::run(ds, &PerItemJudgments::default()));
+    MODULES * ds.instances.len() as u64
+}
+
+/// Median wall-clock of `runs` calls to `f`, with the value `f` returned.
+pub fn measure(runs: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut times: Vec<f64> = Vec::with_capacity(runs);
+    let mut out = 0;
+    for _ in 0..runs {
+        let t = Instant::now();
+        out = f();
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], out)
+}

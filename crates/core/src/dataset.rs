@@ -166,6 +166,37 @@ impl InstanceColumns {
         Ok(InstanceColumns { batch, item, worker, start, end, trust, answer })
     }
 
+    /// Splits the store at `at`, returning the tail `[at, len)` and
+    /// keeping `[0, at)` — column-wise [`Vec::split_off`], so rows move,
+    /// they are never cloned. The sharding layer's partition primitive.
+    ///
+    /// # Panics
+    /// When `at > len()`.
+    pub fn split_off(&mut self, at: usize) -> InstanceColumns {
+        InstanceColumns {
+            batch: self.batch.split_off(at),
+            item: self.item.split_off(at),
+            worker: self.worker.split_off(at),
+            start: self.start.split_off(at),
+            end: self.end.split_off(at),
+            trust: self.trust.split_off(at),
+            answer: self.answer.split_off(at),
+        }
+    }
+
+    /// Moves every row of `other` onto the end of `self`, leaving `other`
+    /// empty — column-wise [`Vec::append`]. Inverse of
+    /// [`split_off`](Self::split_off).
+    pub fn append(&mut self, other: &mut InstanceColumns) {
+        self.batch.append(&mut other.batch);
+        self.item.append(&mut other.item);
+        self.worker.append(&mut other.worker);
+        self.start.append(&mut other.start);
+        self.end.append(&mut other.end);
+        self.trust.append(&mut other.trust);
+        self.answer.append(&mut other.answer);
+    }
+
     /// Appends one instance, decomposing it into the columns.
     pub fn push(&mut self, inst: TaskInstance) {
         self.batch.push(inst.batch);

@@ -55,6 +55,7 @@ pub mod labels;
 pub mod provenance;
 pub mod query;
 pub mod rng;
+pub mod shard;
 pub mod task;
 pub mod time;
 pub mod worker;
@@ -70,6 +71,7 @@ pub use labels::{Complexity, DataType, Goal, LabelSet, Operator};
 pub use provenance::{ErrorBudget, IngestReport, QuarantinedRow, TableReport};
 pub use query::{Accumulator, ScanPass};
 pub use rng::stream_seed;
+pub use shard::{ShardPlan, ShardedColumns};
 pub use task::{Batch, DesignFeatures, TaskType};
 pub use time::{Duration, Timestamp, WeekIndex, Weekday};
 pub use worker::{Country, Source, SourceKind, Worker};
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use crate::provenance::{ErrorBudget, IngestReport, QuarantinedRow, TableReport};
     pub use crate::query::{Accumulator, ScanPass};
     pub use crate::rng::stream_seed;
+    pub use crate::shard::{ShardPlan, ShardedColumns};
     pub use crate::task::{Batch, DesignFeatures, TaskType};
     pub use crate::time::{Duration, Timestamp, WeekIndex, Weekday};
     pub use crate::worker::{Country, Source, SourceKind, Worker};

@@ -23,13 +23,28 @@
 //!
 //! Threads only decide *who* computes a chunk, not *what* is computed or
 //! *in which order* results combine.
+//!
+//! ## Shard reduction
+//!
+//! Sharding composes with the same discipline (DESIGN.md §15): a sharded
+//! scan ([`ScanPass::run_plan`], [`ScanPass::run_sharded`],
+//! [`ScanPass::run_stream`]) folds each shard's chunks exactly as above
+//! and merges **chunk-level** partials into one running total in global
+//! chunk order. Because shard boundaries are always [`ScanPass::CHUNK`]
+//! multiples (see [`crate::shard::ShardPlan`]), the chunk decomposition —
+//! and therefore every float-merge pairing — is *identical* to the
+//! monolithic scan: shard count is bit-invisible by construction, not by
+//! accident. The merge unit is the fixed chunk; shards only batch the
+//! schedule (and, for [`run_stream`](ScanPass::run_stream), bound how
+//! many rows are resident at once).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rayon::prelude::*;
 
-use crate::dataset::{Dataset, InstanceRef};
+use crate::dataset::{Dataset, InstanceColumns, InstanceRef};
 use crate::id::InstanceId;
+use crate::shard::{ShardPlan, ShardedColumns};
 
 /// Counts completed full-table scans ([`ScanPass::run`] calls) in this
 /// process; a debug/diagnostic aid for asserting scan-fusion budgets.
@@ -86,26 +101,113 @@ impl ScanPass {
 
     /// Runs `proto` over every instance of `ds` and returns its output.
     pub fn run<A: Accumulator>(ds: &Dataset, proto: &A) -> A::Output {
-        let n = ds.instances.len();
         FULL_SCANS.fetch_add(1, Ordering::Relaxed);
-        let chunks: Vec<(usize, usize)> = (0..n.div_ceil(Self::CHUNK))
-            .map(|c| (c * Self::CHUNK, ((c + 1) * Self::CHUNK).min(n)))
+        let mut total = proto.init();
+        Self::fold_range(ds, &ds.instances, 0, 0..ds.instances.len(), proto, &mut total);
+        total.finish(ds)
+    }
+
+    /// Runs `proto` over `ds.instances` shard by shard per `plan`, merging
+    /// each shard's chunk partials into one running total in global chunk
+    /// order. Bit-identical to [`run`](Self::run) at any shard count —
+    /// the plan's chunk-aligned boundaries reproduce the monolithic chunk
+    /// decomposition exactly.
+    ///
+    /// # Panics
+    /// When `plan` does not cover exactly `ds.instances.len()` rows.
+    pub fn run_plan<A: Accumulator>(ds: &Dataset, plan: &ShardPlan, proto: &A) -> A::Output {
+        assert_eq!(plan.n_rows(), ds.instances.len(), "plan must cover the instance table");
+        FULL_SCANS.fetch_add(1, Ordering::Relaxed);
+        let mut total = proto.init();
+        for range in plan.ranges() {
+            Self::fold_range(ds, &ds.instances, 0, range, proto, &mut total);
+        }
+        total.finish(ds)
+    }
+
+    /// Runs `proto` over a physically sharded store. `ds` supplies the
+    /// entity context ([`Accumulator::accept`] receives it for batch /
+    /// worker lookups); the rows come from `sharded`, not from
+    /// `ds.instances`. Bit-identical to running over the concatenated
+    /// store.
+    pub fn run_sharded<A: Accumulator>(
+        ds: &Dataset,
+        sharded: &ShardedColumns,
+        proto: &A,
+    ) -> A::Output {
+        FULL_SCANS.fetch_add(1, Ordering::Relaxed);
+        let mut total = proto.init();
+        for (base, shard) in sharded.iter_shards() {
+            Self::fold_range(ds, shard, base, 0..shard.len(), proto, &mut total);
+        }
+        total.finish(ds)
+    }
+
+    /// Runs `proto` over a stream of owned shards — `(global_base, rows)`
+    /// in ascending base order, each base a [`CHUNK`](Self::CHUNK)
+    /// multiple — dropping each shard after folding it, so peak memory is
+    /// one shard plus accumulator state. This is the zero-copy snapshot
+    /// load path: shards come straight off per-shard file sections and
+    /// never assemble into a full table.
+    ///
+    /// The first `Err` from the stream aborts the scan and is returned.
+    ///
+    /// # Panics
+    /// When a shard's base is not chunk-aligned or not strictly after the
+    /// previous shard's rows (out-of-order merges would change float
+    /// pairings).
+    pub fn run_stream<A: Accumulator, E>(
+        ds: &Dataset,
+        proto: &A,
+        shards: impl Iterator<Item = Result<(usize, InstanceColumns), E>>,
+    ) -> Result<A::Output, E> {
+        FULL_SCANS.fetch_add(1, Ordering::Relaxed);
+        let mut total = proto.init();
+        let mut next_base = 0usize;
+        for item in shards {
+            let (base, cols) = item?;
+            assert_eq!(base, next_base, "shards must arrive contiguously in ascending order");
+            Self::fold_range(ds, &cols, base, 0..cols.len(), proto, &mut total);
+            next_base = base + cols.len();
+        }
+        Ok(total.finish(ds))
+    }
+
+    /// Folds local rows `range` of `cols` (global ids offset by `base`)
+    /// into `total`: chunk partials computed in parallel, merged
+    /// sequentially in chunk order. Every public entry point reduces to
+    /// this, so the merge order — hence every float bit — is shared by
+    /// the monolithic, planned, sharded, and streamed scans.
+    fn fold_range<A: Accumulator>(
+        ds: &Dataset,
+        cols: &InstanceColumns,
+        base: usize,
+        range: std::ops::Range<usize>,
+        proto: &A,
+        total: &mut A,
+    ) {
+        assert_eq!(
+            (base + range.start) % Self::CHUNK,
+            0,
+            "shard boundaries must be CHUNK-aligned to keep merge order fixed"
+        );
+        let (lo, hi) = (range.start, range.end);
+        let chunks: Vec<(usize, usize)> = (0..(hi - lo).div_ceil(Self::CHUNK))
+            .map(|c| (lo + c * Self::CHUNK, (lo + (c + 1) * Self::CHUNK).min(hi)))
             .collect();
         let parts: Vec<A> = chunks
             .par_iter()
-            .map(|&(lo, hi)| {
+            .map(|&(clo, chi)| {
                 let mut acc = proto.init();
-                for i in lo..hi {
-                    acc.accept(ds, InstanceId::from_usize(i), ds.instances.row(i));
+                for i in clo..chi {
+                    acc.accept(ds, InstanceId::from_usize(base + i), cols.row(i));
                 }
                 acc
             })
             .collect();
-        let mut total = proto.init();
         for part in parts {
             total.merge(part);
         }
-        total.finish(ds)
     }
 
     /// Number of full-table scans performed by this process so far.
@@ -292,5 +394,93 @@ mod tests {
     fn empty_table_is_fine() {
         let ds = DatasetBuilder::new().finish().unwrap();
         assert_eq!(ScanPass::run(&ds, &TrustSum::default()), 0.0);
+    }
+
+    #[test]
+    fn shard_count_is_bit_invisible() {
+        // The heart of the sharding contract: planned, physically sharded,
+        // and streamed scans all reproduce the monolithic float bits, at
+        // any shard count crossed with any thread count.
+        let ds = dataset(3 * ScanPass::CHUNK + 1234);
+        let baseline = ScanPass::run(&ds, &TrustSum::default()).to_bits();
+        for threads in [1, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                for shards in [1, 2, 3, 8, 100] {
+                    let plan = crate::shard::ShardPlan::new(ds.instances.len(), shards);
+                    let planned = ScanPass::run_plan(&ds, &plan, &TrustSum::default());
+                    assert_eq!(planned.to_bits(), baseline, "plan {shards}x{threads}");
+
+                    let sharded = crate::shard::ShardedColumns::split(ds.instances.clone(), shards);
+                    let physical = ScanPass::run_sharded(&ds, &sharded, &TrustSum::default());
+                    assert_eq!(physical.to_bits(), baseline, "sharded {shards}x{threads}");
+
+                    let blocks = sharded
+                        .iter_shards()
+                        .map(|(base, s)| Ok::<_, ()>((base, s.clone())))
+                        .collect::<Vec<_>>();
+                    let streamed =
+                        ScanPass::run_stream(&ds, &TrustSum::default(), blocks.into_iter())
+                            .unwrap();
+                    assert_eq!(streamed.to_bits(), baseline, "stream {shards}x{threads}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn sharded_scans_count_as_one_pass_and_ids_stay_global() {
+        let ds = dataset(2 * ScanPass::CHUNK + 10);
+        // Accumulator that records the largest id it saw: proves shard
+        // bases offset local rows back into global instance ids.
+        #[derive(Debug, Default)]
+        struct MaxId(u64);
+        impl Accumulator for MaxId {
+            type Output = u64;
+            fn init(&self) -> Self {
+                MaxId::default()
+            }
+            fn accept(&mut self, _ds: &Dataset, id: InstanceId, _row: InstanceRef<'_>) {
+                self.0 = self.0.max(u64::from(id.raw()));
+            }
+            fn merge(&mut self, other: Self) {
+                self.0 = self.0.max(other.0);
+            }
+            fn finish(self, _ds: &Dataset) -> u64 {
+                self.0
+            }
+        }
+        let before = ScanPass::full_scan_count();
+        let sharded = crate::shard::ShardedColumns::split(ds.instances.clone(), 3);
+        let max_id = ScanPass::run_sharded(&ds, &sharded, &MaxId::default());
+        assert_eq!(ScanPass::full_scan_count() - before, 1, "one fused pass");
+        assert_eq!(max_id, ds.instances.len() as u64 - 1);
+    }
+
+    #[test]
+    fn stream_errors_abort_the_scan() {
+        let ds = dataset(ScanPass::CHUNK);
+        let blocks = vec![Ok((0, ds.instances.clone())), Err("disk died")];
+        let got = ScanPass::run_stream(&ds, &TrustSum::default(), blocks.into_iter());
+        assert_eq!(got.unwrap_err(), "disk died");
+    }
+
+    #[test]
+    #[should_panic(expected = "CHUNK-aligned")]
+    fn misaligned_shard_boundary_is_rejected() {
+        // A short (non-CHUNK-multiple) shard followed by another would
+        // split a chunk across shards — exactly the float-order hazard
+        // the alignment invariant exists to prevent.
+        let ds = dataset(100);
+        let blocks = vec![Ok::<_, ()>((0, ds.instances.clone())), Ok((100, ds.instances.clone()))];
+        let _ = ScanPass::run_stream(&ds, &TrustSum::default(), blocks.into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending order")]
+    fn out_of_order_shards_are_rejected() {
+        let ds = dataset(ScanPass::CHUNK);
+        let blocks = vec![Ok::<_, ()>((ScanPass::CHUNK, ds.instances.clone()))];
+        let _ = ScanPass::run_stream(&ds, &TrustSum::default(), blocks.into_iter());
     }
 }

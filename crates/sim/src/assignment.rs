@@ -123,6 +123,25 @@ impl WeekPools {
 /// from every other consumer of the run seed.
 const STREAM_ASSIGNMENT: u64 = 0xA551;
 
+/// Sampled batches dispatched per parallel window by the streaming driver
+/// ([`assign_windowed`]): wide enough to keep every thread busy, narrow
+/// enough that only a sliver of the dataset's drafts is ever resident.
+pub const ASSIGN_WINDOW: usize = 512;
+
+/// Expected number of drafted instances for a schedule: Σ items ×
+/// redundancy over sampled batches (with the engine's ≥2-judgment floor),
+/// plus a small margin so callers can `reserve` once and stream drafts in
+/// without reallocating mid-build.
+pub fn planned_instances(types: &[TaskTypeSpec], schedule: &Schedule) -> usize {
+    let est: f64 = schedule
+        .batches
+        .iter()
+        .filter(|b| b.sampled)
+        .map(|b| f64::from(b.items) * types[b.type_idx as usize].redundancy.max(2.0))
+        .sum();
+    (est * 1.01).ceil() as usize + 16
+}
+
 /// Runs assignment for every sampled batch of the schedule.
 ///
 /// Each batch draws from its own RNG stream derived from
@@ -136,6 +155,28 @@ pub fn assign_all(
     schedule: &Schedule,
     workers: &[WorkerSpec],
 ) -> Vec<InstanceDraft> {
+    let mut out = Vec::with_capacity(planned_instances(types, schedule));
+    assign_windowed(cfg, types, schedule, workers, usize::MAX, |drafts| out.extend(drafts));
+    out
+}
+
+/// Streaming form of [`assign_all`]: sampled batches are processed in
+/// windows of `window` batches — each window fans out across threads, and
+/// the per-batch draft vectors are delivered to `sink` in schedule order.
+///
+/// Because every batch owns an independent RNG stream and delivery order
+/// is the schedule order, the concatenation of all sinks' input is
+/// bit-identical to [`assign_all`]'s output for **any** window size (the
+/// window, like the thread count, only batches the work). Peak memory is
+/// one window of drafts instead of the whole dataset's.
+pub fn assign_windowed(
+    cfg: &SimConfig,
+    types: &[TaskTypeSpec],
+    schedule: &Schedule,
+    workers: &[WorkerSpec],
+    window: usize,
+    mut sink: impl FnMut(Vec<InstanceDraft>),
+) {
     let n_weeks = cfg.n_weeks();
     let pools = WeekPools::build(n_weeks, workers);
     // Load factors follow the *planned instance volume* per week (items ×
@@ -156,31 +197,30 @@ pub fn assign_all(
         .collect();
 
     let domain = stream_seed(cfg.seed, STREAM_ASSIGNMENT);
-    let per_batch: Vec<Vec<InstanceDraft>> = sampled
-        .par_iter()
-        .map(|&(batch_idx, plan)| {
-            let mut rng = StdRng::seed_from_u64(stream_seed(domain, u64::from(batch_idx)));
-            let mut drafts = Vec::with_capacity(plan.items as usize * 3);
-            assign_batch(
-                cfg,
-                batch_idx,
-                plan,
-                &types[plan.type_idx as usize],
-                &pools,
-                workers,
-                &load_factor,
-                &mut rng,
-                &mut drafts,
-            );
-            drafts
-        })
-        .collect();
-
-    let mut out = Vec::with_capacity(per_batch.iter().map(Vec::len).sum());
-    for drafts in per_batch {
-        out.extend(drafts);
+    for chunk in sampled.chunks(window.max(1)) {
+        let per_batch: Vec<Vec<InstanceDraft>> = chunk
+            .par_iter()
+            .map(|&(batch_idx, plan)| {
+                let mut rng = StdRng::seed_from_u64(stream_seed(domain, u64::from(batch_idx)));
+                let mut drafts = Vec::with_capacity(plan.items as usize * 3);
+                assign_batch(
+                    cfg,
+                    batch_idx,
+                    plan,
+                    &types[plan.type_idx as usize],
+                    &pools,
+                    workers,
+                    &load_factor,
+                    &mut rng,
+                    &mut drafts,
+                );
+                drafts
+            })
+            .collect();
+        for drafts in per_batch {
+            sink(drafts);
+        }
     }
-    out
 }
 
 /// Relative pickup-speed multiplier per week: busy weeks move faster
@@ -355,6 +395,37 @@ mod tests {
         let workers = generate_workers(&cfg, &schedule.weekly_load, &mut rng);
         let drafts = assign_all(&cfg, &types, &schedule, &workers);
         (cfg, types, schedule, workers, drafts)
+    }
+
+    #[test]
+    fn windowed_assignment_is_bit_identical_at_any_window_size() {
+        let (cfg, types, schedule, workers, drafts) = run();
+        for window in [1usize, 7, 64, usize::MAX] {
+            let mut streamed = Vec::new();
+            assign_windowed(&cfg, &types, &schedule, &workers, window, |w| streamed.extend(w));
+            assert_eq!(streamed.len(), drafts.len(), "window {window}");
+            for (a, b) in drafts.iter().zip(&streamed) {
+                assert_eq!(a.batch, b.batch);
+                assert_eq!(a.item, b.item);
+                assert_eq!(a.worker, b.worker);
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.end, b.end);
+                assert_eq!(a.trust.to_bits(), b.trust.to_bits());
+                assert_eq!(a.answer, b.answer);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_instances_estimate_tracks_the_actual_draft_count() {
+        let (_, types, schedule, _, drafts) = run();
+        let est = planned_instances(&types, &schedule);
+        let ratio = est as f64 / drafts.len() as f64;
+        assert!(
+            (0.95..1.15).contains(&ratio),
+            "reserve estimate {est} vs actual {} (ratio {ratio})",
+            drafts.len()
+        );
     }
 
     #[test]

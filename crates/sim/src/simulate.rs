@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use crate::assignment::assign_all;
+use crate::assignment::{assign_windowed, planned_instances, ASSIGN_WINDOW};
 use crate::config::SimConfig;
 use crate::geography::country_specs;
 use crate::schedule::plan_batches;
@@ -47,7 +47,6 @@ pub fn simulate_with(
     let types = types;
     let schedule = plan_batches(cfg, &types, &mut rng);
     let worker_specs = generate_workers(cfg, &schedule.weekly_load, &mut rng);
-    let drafts = assign_all(cfg, &types, &schedule, &worker_specs);
 
     // Batch HTML: the type's interface with per-batch incidental variation
     // (what makes §3.3 clustering non-trivial). The variation seed is a
@@ -99,18 +98,27 @@ pub fn simulate_with(
         };
         b.add_batch(batch);
     }
-    b.reserve_instances(drafts.len());
-    for d in drafts {
-        b.add_instance(TaskInstance {
-            batch: BatchId::new(d.batch),
-            item: ItemId::new(d.item),
-            worker: WorkerId::new(d.worker),
-            start: d.start,
-            end: d.end,
-            trust: d.trust,
-            answer: d.answer,
-        });
-    }
+    // Assignment streams in windows of sampled batches, each window
+    // pushed straight into the builder's columns: only one window of
+    // drafts is ever resident, instead of the whole dataset's draft
+    // vector *and* its column copy. The reserve uses the schedule's
+    // planned-volume estimate so the columns never reallocate mid-stream.
+    // Window size, like thread count, is bit-invisible (per-batch RNG
+    // streams, schedule-order delivery — see `assign_windowed`).
+    b.reserve_instances(planned_instances(&types, &schedule));
+    assign_windowed(cfg, &types, &schedule, &worker_specs, ASSIGN_WINDOW, |drafts| {
+        for d in drafts {
+            b.add_instance(TaskInstance {
+                batch: BatchId::new(d.batch),
+                item: ItemId::new(d.item),
+                worker: WorkerId::new(d.worker),
+                start: d.start,
+                end: d.end,
+                trust: d.trust,
+                answer: d.answer,
+            });
+        }
+    });
     b.finish().expect("generated dataset must be internally consistent")
 }
 

@@ -1,13 +1,20 @@
 //! Payload section codecs: entity tables, batch columns + HTML dictionary,
-//! verbatim instance columns, and the derived-artifact section.
+//! per-shard verbatim instance columns, and the derived-artifact section.
+//!
+//! The codec is split along the file's two-tier layout: [`encode_meta`] /
+//! [`decode_meta`] handle everything the header checksum covers (entities,
+//! batches, derived artifacts, shard directory), while [`encode_instances`]
+//! / [`decode_instances_into`] handle one shard's slice of the instance
+//! table — each shard section is self-contained so it can be read,
+//! verified, and decoded independently of every other shard.
 //!
 //! Encoding is column-oriented to mirror [`InstanceColumns`]: each fixed
 //! width field of the instance table is dumped as one contiguous array, so
 //! the hot sections are straight `memcpy`-shaped loops in both directions.
 //! Every decoder validates shape as it goes (enum tags, label bits,
-//! dictionary references, column lengths) and finishes with
-//! [`Dataset::validate`], so a snapshot that decodes successfully is as
-//! trustworthy as a freshly simulated dataset.
+//! dictionary references, column lengths, entity references), so a
+//! snapshot that decodes successfully is as trustworthy as a freshly
+//! simulated dataset.
 
 use std::collections::HashMap;
 // Shadow the `crowd_core::prelude` single-argument `Result` alias: this
@@ -22,14 +29,28 @@ use crowd_core::prelude::*;
 use crowd_html::ExtractedFeatures;
 
 use crate::format::{ByteReader, ByteWriter};
+use crate::sharded::{ShardDirectory, ShardSectionInfo};
 use crate::{Derived, Snapshot, SnapshotError};
 
-/// Serializes every payload section in order.
-pub fn encode_payload(snapshot: &Snapshot) -> Vec<u8> {
+/// Everything the meta payload carries: the dataset minus its instance
+/// rows, plus the directory locating those rows' shard sections.
+pub(crate) struct DecodedMeta {
+    /// Entity tables and batches, with an empty instance table.
+    pub entities: Dataset,
+    /// Derived artifacts, when persisted.
+    pub derived: Option<Derived>,
+    /// Shard directory for the instance sections that follow the payload.
+    pub directory: ShardDirectory,
+    /// The dataset's `time_max` at encode time (instance end times are not
+    /// recoverable from the entity tables alone).
+    pub time_max: Option<Timestamp>,
+}
+
+/// Serializes the meta payload: entities, batches + HTML dictionary,
+/// derived artifacts, and the shard directory.
+pub(crate) fn encode_meta(snapshot: &Snapshot, directory: &ShardDirectory) -> Vec<u8> {
     let ds = &snapshot.dataset;
-    // Instance rows dominate; ~42 bytes each is a close upper bound for
-    // choice/skip answers and avoids most buffer regrowth.
-    let mut w = ByteWriter::with_capacity(64 + ds.instances.len() * 42);
+    let mut w = ByteWriter::with_capacity(4096 + ds.batches.len() * 24);
 
     // ---- entity tables --------------------------------------------------
     w.u32(ds.sources.len() as u32);
@@ -100,41 +121,6 @@ pub fn encode_payload(snapshot: &Snapshot) -> Vec<u8> {
         w.str(page);
     }
 
-    // ---- instance columns, verbatim -------------------------------------
-    let cols = &ds.instances;
-    w.u32(cols.len() as u32);
-    for &b in cols.batch_col() {
-        w.u32(b.raw());
-    }
-    for &i in cols.item_col() {
-        w.u32(i.raw());
-    }
-    for &wk in cols.worker_col() {
-        w.u32(wk.raw());
-    }
-    for &t in cols.start_col() {
-        w.i64(t.as_secs());
-    }
-    for &t in cols.end_col() {
-        w.i64(t.as_secs());
-    }
-    for &t in cols.trust_col() {
-        w.f32(t);
-    }
-    for a in cols.answer_col() {
-        match a {
-            Answer::Choice(c) => {
-                w.u8(0);
-                w.u16(*c);
-            }
-            Answer::Text(t) => {
-                w.u8(1);
-                w.str(t);
-            }
-            Answer::Skipped => w.u8(2),
-        }
-    }
-
     // ---- derived artifacts ----------------------------------------------
     match &snapshot.derived {
         None => w.u8(0),
@@ -169,11 +155,30 @@ pub fn encode_payload(snapshot: &Snapshot) -> Vec<u8> {
         }
     }
 
+    // ---- shard directory -------------------------------------------------
+    w.u64(directory.n_rows());
+    w.u64(directory.shard_rows());
+    w.u32(directory.n_shards() as u32);
+    for s in directory.sections() {
+        w.u32(s.rows);
+        w.u64(s.byte_len);
+        w.u64(s.checksum);
+    }
+    // Dataset-wide time_max, so streamed scans see the same week window as
+    // a scan over the materialized table.
+    match ds.time_max() {
+        None => w.u8(0),
+        Some(t) => {
+            w.u8(1);
+            w.i64(t.as_secs());
+        }
+    }
+
     w.into_bytes()
 }
 
-/// Deserializes and validates every payload section.
-pub fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
+/// Deserializes and validates the meta payload.
+pub(crate) fn decode_meta(payload: &[u8]) -> Result<DecodedMeta, SnapshotError> {
     let mut r = ByteReader::new(payload);
 
     // ---- entity tables --------------------------------------------------
@@ -246,11 +251,110 @@ pub fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
         batches.push(b);
     }
 
-    // ---- instance columns -----------------------------------------------
+    let entities = Dataset {
+        sources,
+        countries,
+        workers,
+        task_types,
+        batches,
+        instances: InstanceColumns::new(),
+    };
+    // Validate the entity graph now: the derived section and every shard
+    // decode check their references against these tables.
+    entities.validate().map_err(|_| SnapshotError::Corrupt("dataset integrity"))?;
+
+    // ---- derived artifacts ----------------------------------------------
+    let derived = match r.u8()? {
+        0 => None,
+        1 => Some(decode_derived(&mut r, &entities)?),
+        _ => return Err(SnapshotError::Corrupt("derived flag")),
+    };
+
+    // ---- shard directory -------------------------------------------------
+    let n_rows = r.u64()?;
+    let shard_rows = r.u64()?;
+    let n_shards = r.len_prefix(20)?; // 20 bytes per directory entry
+    let mut sections = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        sections.push(ShardSectionInfo { rows: r.u32()?, byte_len: r.u64()?, checksum: r.u64()? });
+    }
+    let directory = ShardDirectory::from_parts(n_rows, shard_rows, sections)
+        .ok_or(SnapshotError::Corrupt("shard directory"))?;
+    let time_max = match r.u8()? {
+        0 => None,
+        1 => Some(Timestamp::from_secs(r.i64()?)),
+        _ => return Err(SnapshotError::Corrupt("time_max tag")),
+    };
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(DecodedMeta { entities, derived, directory, time_max })
+}
+
+/// Serializes rows `lo..hi` of the instance table as one self-contained
+/// shard section.
+pub(crate) fn encode_instances(cols: &InstanceColumns, lo: usize, hi: usize) -> Vec<u8> {
+    // Instance rows dominate the file; ~42 bytes each is a close upper
+    // bound for choice/skip answers and avoids most buffer regrowth.
+    let mut w = ByteWriter::with_capacity(8 + (hi - lo) * 42);
+    w.u32((hi - lo) as u32);
+    for &b in &cols.batch_col()[lo..hi] {
+        w.u32(b.raw());
+    }
+    for &i in &cols.item_col()[lo..hi] {
+        w.u32(i.raw());
+    }
+    for &wk in &cols.worker_col()[lo..hi] {
+        w.u32(wk.raw());
+    }
+    for &t in &cols.start_col()[lo..hi] {
+        w.i64(t.as_secs());
+    }
+    for &t in &cols.end_col()[lo..hi] {
+        w.i64(t.as_secs());
+    }
+    for &t in &cols.trust_col()[lo..hi] {
+        w.f32(t);
+    }
+    for a in &cols.answer_col()[lo..hi] {
+        match a {
+            Answer::Choice(c) => {
+                w.u8(0);
+                w.u16(*c);
+            }
+            Answer::Text(t) => {
+                w.u8(1);
+                w.str(t);
+            }
+            Answer::Skipped => w.u8(2),
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes one shard section, appending its rows onto `out`. Entity
+/// references are bounds-checked against the meta counts so even the
+/// streamed-scan path (which never runs [`Dataset::validate`] over a
+/// materialized table) can trust every id it hands to an accumulator.
+pub(crate) fn decode_instances_into(
+    bytes: &[u8],
+    expected_rows: usize,
+    n_batches: usize,
+    n_workers: usize,
+    out: &mut InstanceColumns,
+) -> Result<(), SnapshotError> {
+    let mut r = ByteReader::new(bytes);
     let n = r.len_prefix(33)?; // ≥ 33 bytes/row: 3×u32 + 2×i64 + f32 + tag
+    if n != expected_rows {
+        return Err(SnapshotError::Corrupt("shard row count"));
+    }
     let mut batch_col = Vec::with_capacity(n);
     for _ in 0..n {
-        batch_col.push(BatchId::new(r.u32()?));
+        let b = r.u32()?;
+        if b as usize >= n_batches {
+            return Err(SnapshotError::Corrupt("instance batch reference"));
+        }
+        batch_col.push(BatchId::new(b));
     }
     let mut item_col = Vec::with_capacity(n);
     for _ in 0..n {
@@ -258,7 +362,11 @@ pub fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
     }
     let mut worker_col = Vec::with_capacity(n);
     for _ in 0..n {
-        worker_col.push(WorkerId::new(r.u32()?));
+        let wk = r.u32()?;
+        if wk as usize >= n_workers {
+            return Err(SnapshotError::Corrupt("instance worker reference"));
+        }
+        worker_col.push(WorkerId::new(wk));
     }
     let mut start_col = Vec::with_capacity(n);
     for _ in 0..n {
@@ -281,24 +389,15 @@ pub fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
             _ => return Err(SnapshotError::Corrupt("answer tag")),
         });
     }
-    let instances = InstanceColumns::from_parts(
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Corrupt("shard trailing bytes"));
+    }
+    let mut shard = InstanceColumns::from_parts(
         batch_col, item_col, worker_col, start_col, end_col, trust_col, answer_col,
     )
     .map_err(|_| SnapshotError::Corrupt("instance column lengths"))?;
-
-    let dataset = Dataset { sources, countries, workers, task_types, batches, instances };
-    dataset.validate().map_err(|_| SnapshotError::Corrupt("dataset integrity"))?;
-
-    // ---- derived artifacts ----------------------------------------------
-    let derived = match r.u8()? {
-        0 => None,
-        1 => Some(decode_derived(&mut r, &dataset)?),
-        _ => return Err(SnapshotError::Corrupt("derived flag")),
-    };
-    if r.remaining() != 0 {
-        return Err(SnapshotError::Corrupt("trailing bytes"));
-    }
-    Ok(Snapshot { dataset, derived })
+    out.append(&mut shard);
+    Ok(())
 }
 
 fn decode_derived(r: &mut ByteReader<'_>, ds: &Dataset) -> Result<Derived, SnapshotError> {
@@ -403,8 +502,8 @@ mod tests {
     use crowd_sim::SimConfig;
 
     fn roundtrip(snapshot: &Snapshot) -> Snapshot {
-        let payload = encode_payload(snapshot);
-        decode_payload(&payload).expect("valid payload decodes")
+        let bytes = crate::encode(snapshot, 0xFEED);
+        crate::decode(&bytes, 0xFEED).expect("valid snapshot decodes")
     }
 
     #[test]
@@ -425,6 +524,18 @@ mod tests {
         assert_eq!(back.task_types, ds.task_types);
         assert_eq!(back.batches, ds.batches);
         assert_eq!(back.instances, ds.instances);
+    }
+
+    #[test]
+    fn sharded_encoding_round_trips_bitwise_at_any_shard_count() {
+        let ds = crowd_sim::simulate(&SimConfig::tiny(42));
+        let snap = Snapshot { dataset: ds.clone(), derived: None };
+        for shards in [1usize, 2, 3, 8, 100] {
+            let bytes = crate::encode_sharded(&snap, 0xFEED, shards);
+            let back = crate::decode(&bytes, 0xFEED).expect("valid snapshot decodes");
+            assert_eq!(back.dataset.instances, ds.instances, "{shards} shards");
+            assert_eq!(back.dataset.batches, ds.batches, "{shards} shards");
+        }
     }
 
     #[test]
@@ -465,13 +576,13 @@ mod tests {
     }
 
     #[test]
-    fn payload_corruption_is_detected() {
+    fn file_corruption_is_detected() {
         let ds = crowd_sim::simulate(&SimConfig::tiny(3));
-        let payload = encode_payload(&Snapshot { dataset: ds, derived: None });
-        // Chopping the payload anywhere must surface as an error, never a
+        let bytes = crate::encode(&Snapshot { dataset: ds, derived: None }, 0xFEED);
+        // Chopping the file anywhere must surface as an error, never a
         // panic or a silently different dataset.
-        for cut in [0, 1, 10, payload.len() / 2, payload.len() - 1] {
-            assert!(decode_payload(&payload[..cut]).is_err(), "cut at {cut}");
+        for cut in [0, 1, 10, 41, bytes.len() / 2, bytes.len() - 1] {
+            assert!(crate::decode(&bytes[..cut], 0xFEED).is_err(), "cut at {cut}");
         }
     }
 }

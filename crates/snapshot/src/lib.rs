@@ -15,10 +15,26 @@
 //!          · fingerprint u64 · payload_len u64 · checksum u64
 //! payload  entity sections   sources · countries · workers · task types
 //!          batch section     per-batch columns + HTML dictionary blob
-//!          instance section  InstanceColumns arrays, verbatim
 //!          derived section   cluster params · labels · minhash signatures
 //!                            · per-batch enrichment metrics (optional)
+//!          shard directory   n_rows u64 · shard_rows u64 · n_shards u32
+//!                            · per shard: rows u32 · byte_len u64
+//!                              · checksum u64
+//!          time_max          dataset-wide max instance end (optional)
+//! shards   n_shards × instance section, each a self-contained slice of
+//!          the InstanceColumns arrays, verbatim, independently
+//!          checksummed via the directory
 //! ```
+//!
+//! The header's `payload_len`/`checksum` cover only the meta payload; each
+//! shard's instance section carries its own checksum in the directory.
+//! Shard boundaries are [`crowd_core::ShardPlan`] boundaries — multiples
+//! of the scan chunk — so a scan streamed shard-by-shard off the file
+//! ([`sharded::ShardedSnapshotReader::fused`]) merges partial aggregates
+//! in exactly the monolithic chunk order: the on-disk shard count is
+//! bit-invisible, it only bounds how much of the table must be resident
+//! at once. A warm start that only needs some shards reads (and pays
+//! checksum verification for) only those sections.
 //!
 //! All integers are little-endian; floats are stored as raw bit patterns,
 //! so every `f32`/`f64` round-trips bit-exactly. Batch HTML is dictionary
@@ -47,21 +63,24 @@
 
 use crowd_analytics::BatchMetrics;
 use crowd_cluster::{ClusterParams, Signature};
-use crowd_core::dataset::Dataset;
+use crowd_core::dataset::{Dataset, InstanceColumns};
 use crowd_core::rng::stream_seed;
+use crowd_core::shard::ShardPlan;
 use crowd_sim::SimConfig;
 
 mod codec;
 pub mod format;
+pub mod sharded;
 mod store;
 pub mod warm;
 
+pub use sharded::{ShardDirectory, ShardSectionInfo, ShardedSnapshotReader};
 pub use store::SnapshotStore;
 
 /// Bumped on any change to the serialized layout; files written by other
 /// versions are rejected (and silently regenerated) rather than
-/// misinterpreted.
-pub const FORMAT_VERSION: u32 = 1;
+/// misinterpreted. Version 2 introduced the sharded instance sections.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"CROWDSNP";
@@ -120,6 +139,13 @@ pub enum SnapshotError {
     },
     /// The payload checksum did not match the header.
     ChecksumMismatch,
+    /// One shard's instance section failed its checksum. Shard-granular:
+    /// every other shard of the same file remains readable, so callers can
+    /// re-derive just the damaged slice.
+    ShardCorrupt {
+        /// Index of the damaged shard section.
+        shard: usize,
+    },
     /// The file ended before a read completed (or a length prefix promised
     /// more bytes than present).
     Truncated,
@@ -140,6 +166,9 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot fingerprint {found:#018x}, expected {expected:#018x}")
             }
             SnapshotError::ChecksumMismatch => write!(f, "snapshot payload checksum mismatch"),
+            SnapshotError::ShardCorrupt { shard } => {
+                write!(f, "snapshot shard {shard} failed its section checksum")
+            }
             SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
             SnapshotError::Corrupt(what) => write!(f, "snapshot payload is corrupt: {what}"),
         }
@@ -168,22 +197,60 @@ pub fn fingerprint(cfg: &SimConfig) -> u64 {
 }
 
 /// Serializes a snapshot into the on-disk byte format, keyed by
-/// `fingerprint`.
+/// `fingerprint`, with a single instance shard. Equivalent to
+/// [`encode_sharded`] with `shards == 1`.
 pub fn encode(snapshot: &Snapshot, fingerprint: u64) -> Vec<u8> {
-    let payload = codec::encode_payload(snapshot);
-    let mut out = Vec::with_capacity(40 + payload.len());
+    encode_sharded(snapshot, fingerprint, 1)
+}
+
+/// Serializes a snapshot with its instance table partitioned into (up to)
+/// `shards` independently checksummed sections.
+///
+/// The shard count is a *layout* knob, not part of the cache key: readers
+/// stream whatever partitioning is on disk, decoded contents are
+/// bit-identical at any shard count, and the fingerprint is unchanged.
+/// Fewer shards than requested may be written — [`ShardPlan`] keeps every
+/// boundary scan-chunk-aligned so shard count stays bit-invisible to
+/// streamed scans.
+pub fn encode_sharded(snapshot: &Snapshot, fingerprint: u64, shards: usize) -> Vec<u8> {
+    let cols = &snapshot.dataset.instances;
+    let plan = ShardPlan::new(cols.len(), shards);
+    let mut sections: Vec<Vec<u8>> = Vec::with_capacity(plan.n_shards());
+    let mut infos = Vec::with_capacity(plan.n_shards());
+    for range in plan.ranges() {
+        let bytes = codec::encode_instances(cols, range.start, range.end);
+        infos.push(ShardSectionInfo {
+            rows: (range.end - range.start) as u32,
+            byte_len: bytes.len() as u64,
+            checksum: format::checksum(&bytes),
+        });
+        sections.push(bytes);
+    }
+    let directory = ShardDirectory::from_parts(cols.len() as u64, plan.shard_rows() as u64, infos)
+        .expect("encoder builds a consistent directory");
+    let meta = codec::encode_meta(snapshot, &directory);
+    let total: usize = sections.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(40 + meta.len() + total);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
     out.extend_from_slice(&fingerprint.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&format::checksum(&payload).to_le_bytes());
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+    out.extend_from_slice(&format::checksum(&meta).to_le_bytes());
+    out.extend_from_slice(&meta);
+    for s in &sections {
+        out.extend_from_slice(s);
+    }
     out
 }
 
 /// Deserializes a snapshot, verifying (in order) magic, version,
-/// fingerprint, payload length, checksum, and payload shape.
+/// fingerprint, meta payload length, meta checksum and shape, and every
+/// shard section's checksum and shape.
+///
+/// For shard-granular or bounded-memory access to a snapshot *file*, use
+/// [`ShardedSnapshotReader`] instead — this entry point requires the whole
+/// file in memory and materializes every shard.
 pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<Snapshot, SnapshotError> {
     let mut r = format::ByteReader::new(bytes);
     if r.take(8).map_err(|_| SnapshotError::Truncated)? != MAGIC {
@@ -200,14 +267,31 @@ pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<Snapshot, Snaps
     }
     let payload_len = r.u64()? as usize;
     let stored_sum = r.u64()?;
-    if r.remaining() != payload_len {
+    if r.remaining() < payload_len {
         return Err(SnapshotError::Truncated);
     }
-    let payload = r.take(payload_len)?;
-    if format::checksum(payload) != stored_sum {
+    let meta_bytes = r.take(payload_len)?;
+    if format::checksum(meta_bytes) != stored_sum {
         return Err(SnapshotError::ChecksumMismatch);
     }
-    codec::decode_payload(payload)
+    let codec::DecodedMeta { mut entities, derived, directory, time_max: _ } =
+        codec::decode_meta(meta_bytes)?;
+    let mut cols = InstanceColumns::new();
+    cols.reserve(directory.n_rows() as usize);
+    let (n_batches, n_workers) = (entities.batches.len(), entities.workers.len());
+    for (shard, sec) in directory.sections().iter().enumerate() {
+        let bytes = r.take(sec.byte_len as usize)?;
+        if format::checksum(bytes) != sec.checksum {
+            return Err(SnapshotError::ShardCorrupt { shard });
+        }
+        codec::decode_instances_into(bytes, sec.rows as usize, n_batches, n_workers, &mut cols)?;
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    entities.instances = cols;
+    entities.validate().map_err(|_| SnapshotError::Corrupt("dataset integrity"))?;
+    Ok(Snapshot { dataset: entities, derived })
 }
 
 #[cfg(test)]
@@ -248,7 +332,11 @@ mod tests {
         assert!(matches!(decode(&good, fp ^ 1), Err(SnapshotError::FingerprintMismatch { .. })));
 
         let mut bad = good.clone();
-        *bad.last_mut().unwrap() ^= 0x10; // payload byte
+        *bad.last_mut().unwrap() ^= 0x10; // last shard section byte
+        assert!(matches!(decode(&bad, fp), Err(SnapshotError::ShardCorrupt { shard: 0 })));
+
+        let mut bad = good.clone();
+        bad[41] ^= 0x10; // meta payload byte
         assert!(matches!(decode(&bad, fp), Err(SnapshotError::ChecksumMismatch)));
 
         assert!(matches!(decode(&good[..good.len() - 3], fp), Err(SnapshotError::Truncated)));

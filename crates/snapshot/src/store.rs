@@ -7,7 +7,7 @@ use std::sync::Arc;
 use crowd_ingest::{is_transient, Backoff, Clock, SystemClock};
 use crowd_sim::SimConfig;
 
-use crate::{decode, encode, fingerprint, Snapshot, SnapshotError};
+use crate::{encode_sharded, fingerprint, ShardedSnapshotReader, Snapshot, SnapshotError};
 
 /// Environment variable naming the default snapshot directory (the CLI's
 /// `--snapshot-dir` flag overrides it, `--no-snapshot` ignores it).
@@ -32,6 +32,7 @@ pub struct SnapshotStore {
     backoff: Backoff,
     clock: Arc<dyn Clock>,
     swallowed: Arc<AtomicU64>,
+    shards: usize,
 }
 
 impl std::fmt::Debug for SnapshotStore {
@@ -39,6 +40,7 @@ impl std::fmt::Debug for SnapshotStore {
         f.debug_struct("SnapshotStore")
             .field("dir", &self.dir)
             .field("backoff", &self.backoff)
+            .field("shards", &self.shards)
             .field("swallowed", &self.swallowed_saves())
             .finish_non_exhaustive()
     }
@@ -52,6 +54,7 @@ impl SnapshotStore {
             backoff: Backoff::default(),
             clock: Arc::new(SystemClock),
             swallowed: Arc::new(AtomicU64::new(0)),
+            shards: 1,
         }
     }
 
@@ -73,6 +76,17 @@ impl SnapshotStore {
         self
     }
 
+    /// Sets how many instance shards [`save`](Self::save) partitions a
+    /// snapshot into (the `--shards` knob). A pure write-*layout* choice:
+    /// the fingerprint, the decoded contents, and every scan result are
+    /// bit-identical at any shard count — only the granularity of partial
+    /// reads and corruption isolation changes. Readers stream whatever
+    /// layout is on disk.
+    pub fn with_shards(mut self, shards: usize) -> SnapshotStore {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -87,10 +101,18 @@ impl SnapshotStore {
     ///
     /// Every failure — missing file, bad magic, version skew, fingerprint
     /// mismatch, truncation, checksum or shape corruption — comes back as
-    /// an error the caller treats as a cache miss.
+    /// an error the caller treats as a cache miss. Loading streams shard
+    /// sections through one reusable buffer instead of reading the whole
+    /// file first, so peak memory is the dataset plus a single shard.
     pub fn load(&self, cfg: &SimConfig) -> Result<Snapshot, SnapshotError> {
-        let bytes = std::fs::read(self.path_for(cfg))?;
-        decode(&bytes, fingerprint(cfg))
+        self.open_reader(cfg)?.into_snapshot()
+    }
+
+    /// Opens a shard-granular reader over the snapshot for `cfg` — the
+    /// bounded-memory path: header and meta verify up front, instance
+    /// sections load (and verify) only when asked for.
+    pub fn open_reader(&self, cfg: &SimConfig) -> Result<ShardedSnapshotReader, SnapshotError> {
+        ShardedSnapshotReader::open(self.path_for(cfg), fingerprint(cfg))
     }
 
     /// Removes stale temp files (`snap-*.tmp.<pid>`) left behind by
@@ -124,7 +146,7 @@ impl SnapshotStore {
         self.sweep_stale();
         let path = self.path_for(cfg);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let bytes = encode(snapshot, fingerprint(cfg));
+        let bytes = encode_sharded(snapshot, fingerprint(cfg), self.shards);
         let mut retries = 0u32;
         loop {
             match std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path)) {

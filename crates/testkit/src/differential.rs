@@ -164,6 +164,18 @@ pub fn fused_with_threads(ds: &Dataset, threads: usize) -> Fused {
     pool.install(|| Study::new(ds.clone()).fused().clone())
 }
 
+/// Runs the fused engine on a clone of `ds` with its instance table
+/// partitioned into (at most) `shards` shards, inside a rayon pool of
+/// `threads` workers. The shard count is a layout knob only: the result
+/// must be bit-identical to [`fused_with_threads`] for any combination.
+pub fn fused_with_shards(ds: &Dataset, threads: usize, shards: usize) -> Fused {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("building a local rayon pool");
+    pool.install(|| Study::new(ds.clone()).with_shards(shards).fused().clone())
+}
+
 /// The differential test proper: the fused engine at 1 and 4 threads must
 /// be bit-identical, and both must match the straight-line oracle on every
 /// field (with the order-tolerant bound on fractional sums).

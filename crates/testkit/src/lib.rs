@@ -34,6 +34,6 @@ pub mod generators;
 pub mod oracle;
 pub mod paper_invariants;
 
-pub use differential::{assert_study_matches_oracle, compare_fused};
+pub use differential::{assert_study_matches_oracle, compare_fused, fused_with_shards};
 pub use oracle::oracle_fused;
 pub use paper_invariants::{check_all, Invariant};

@@ -4,6 +4,7 @@
 //! ```text
 //! export [--scale S] [--seed N] [--out DIR] [--threads T]
 //!        [--snapshot-dir DIR] [--no-snapshot] [--input-dir DIR]
+//!        [--shards N]
 //! ```
 //!
 //! With `--input-dir`, the dataset is loaded from a previously exported

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [--threads T] [--snapshot-dir DIR]
-//!       [--no-snapshot] [--input-dir DIR] [TARGET...]
+//!       [--no-snapshot] [--input-dir DIR] [--shards N] [TARGET...]
 //!
 //! TARGETS (default: all)
 //!   fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -99,12 +99,16 @@ fn main() {
     if args.help {
         println!(
             "usage: repro [--scale S] [--seed N] [--threads T] \
-             [--snapshot-dir DIR] [--no-snapshot] [--input-dir DIR] [TARGET...]"
+             [--snapshot-dir DIR] [--no-snapshot] [--input-dir DIR] [--shards N] [TARGET...]"
         );
         println!("  --snapshot-dir DIR  cache simulated datasets in DIR (or $CROWD_SNAPSHOT_DIR)");
         println!("  --no-snapshot       always simulate from scratch");
         println!(
             "  --input-dir DIR     load an exported dataset (resilient ingest) instead of simulating"
+        );
+        println!(
+            "  --shards N          partition the instance table into N shards \
+             (scan + snapshot layout; results are bit-identical)"
         );
         println!("targets: all {}", ALL_TARGETS.join(" "));
         return;

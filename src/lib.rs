@@ -62,7 +62,8 @@ pub mod prelude {
 ///
 /// `repro` and `export` accept the same simulation knobs — `--scale`,
 /// `--seed`, `--threads`, `--snapshot-dir`, `--no-snapshot`,
-/// `--input-dir` — with the same defaults, bounds, and error messages.
+/// `--input-dir`, `--shards` — with the same defaults, bounds, and error
+/// messages.
 /// [`cli::CommonOpts`] owns that contract in one place; each binary keeps
 /// its own loop only for its private flags (`--out`, targets, `--help`).
 pub mod cli {
@@ -72,7 +73,8 @@ pub mod cli {
     use crowd_snapshot::SnapshotStore;
 
     /// Options every binary understands: `--scale`, `--seed`,
-    /// `--threads`, `--snapshot-dir`, `--no-snapshot`, `--input-dir`.
+    /// `--threads`, `--snapshot-dir`, `--no-snapshot`, `--input-dir`,
+    /// `--shards`.
     #[derive(Debug, Clone, PartialEq)]
     pub struct CommonOpts {
         /// Fraction of the paper's marketplace volume to simulate, in
@@ -92,6 +94,10 @@ pub mod cli {
         /// Load the dataset from a previously exported directory (via the
         /// resilient ingest path) instead of simulating.
         pub input_dir: Option<PathBuf>,
+        /// Shards the instance table is partitioned into — for the fused
+        /// scan and for the snapshot file layout. Bit-invisible to every
+        /// result; bounds how much of the table warm starts must touch.
+        pub shards: usize,
     }
 
     impl Default for CommonOpts {
@@ -103,6 +109,7 @@ pub mod cli {
                 snapshot_dir: None,
                 no_snapshot: false,
                 input_dir: None,
+                shards: 1,
             }
         }
     }
@@ -171,6 +178,17 @@ pub mod cli {
                     self.input_dir = Some(PathBuf::from(dir));
                     Ok(true)
                 }
+                "--shards" => {
+                    let shards: usize = rest
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--shards needs a positive integer")?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                    self.shards = shards;
+                    Ok(true)
+                }
                 _ => Ok(false),
             }
         }
@@ -188,6 +206,7 @@ pub mod cli {
                 Some(dir) => Some(SnapshotStore::new(dir.clone())),
                 None => SnapshotStore::from_env(),
             }
+            .map(|s| s.with_shards(self.shards))
         }
 
         /// Builds the study these options select: `--input-dir` loads a
@@ -206,21 +225,25 @@ pub mod cli {
                     crowd_ingest::ingest_dir(dir, &crowd_ingest::IngestOptions::default())
                         .map_err(|f| f.to_string())?;
                 eprintln!("ingest: {}", ingested.report.summary());
-                return Ok(Study::new(ingested.dataset).with_ingest_report(ingested.report));
+                return Ok(Study::new(ingested.dataset)
+                    .with_ingest_report(ingested.report)
+                    .with_shards(self.shards));
             }
             let store = self.snapshot_store();
             eprintln!(
-                "simulating marketplace (scale {}, seed {}, {} threads{}) …",
+                "simulating marketplace (scale {}, seed {}, {} threads{}{}) …",
                 self.scale,
                 self.seed,
                 rayon::current_num_threads(),
+                if self.shards > 1 { format!(", {} shards", self.shards) } else { String::new() },
                 match &store {
                     Some(s) => format!(", snapshots in {}", s.dir().display()),
                     None => String::new(),
                 }
             );
             let cfg = crowd_sim::SimConfig::new(self.seed, self.scale);
-            Ok(crowd_snapshot::warm::study_from_config(&cfg, store.as_ref()))
+            Ok(crowd_snapshot::warm::study_from_config(&cfg, store.as_ref())
+                .with_shards(self.shards))
         }
 
         /// Installs the global thread pool when `--threads` was given.
@@ -290,6 +313,16 @@ pub mod cli {
 
             assert!(parse(&["--snapshot-dir"]).is_err(), "missing value");
             assert!(parse(&["--snapshot-dir", ""]).is_err(), "empty value");
+        }
+
+        #[test]
+        fn shards_parse_and_validate() {
+            let opts = parse(&["--shards", "16"]).unwrap();
+            assert_eq!(opts.shards, 16);
+            assert_eq!(CommonOpts::default().shards, 1);
+            assert_eq!(parse(&["--shards"]).unwrap_err(), "--shards needs a positive integer");
+            assert_eq!(parse(&["--shards", "x"]).unwrap_err(), "--shards needs a positive integer");
+            assert_eq!(parse(&["--shards", "0"]).unwrap_err(), "--shards must be at least 1");
         }
 
         #[test]

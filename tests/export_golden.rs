@@ -1,8 +1,9 @@
 //! Golden determinism for the `export` binary: repeated runs — and runs
-//! under different thread counts — must write byte-identical CSV files.
-//! This is the end-user face of the determinism contract (DESIGN.md §10):
-//! the fixed-chunk fused scan and the deterministic parallel pipeline
-//! guarantee that parallelism never leaks into published numbers.
+//! under different thread and shard counts — must write byte-identical CSV
+//! files. This is the end-user face of the determinism contract
+//! (DESIGN.md §10, §15): the fixed-chunk fused scan and the deterministic
+//! parallel pipeline guarantee that neither parallelism nor the sharded
+//! store layout ever leaks into published numbers.
 
 use std::path::Path;
 use std::process::Command;
@@ -23,32 +24,49 @@ const FILES: [&str; 12] = [
     "cohorts.csv",
 ];
 
-fn run_export(dir: &Path, threads: usize) {
+fn run_export(dir: &Path, threads: usize, shards: usize) {
     let status = Command::new(env!("CARGO_BIN_EXE_export"))
         .args(["--scale", "0.0005", "--seed", "11", "--threads"])
         .arg(threads.to_string())
+        .arg("--shards")
+        .arg(shards.to_string())
         .arg("--out")
         .arg(dir)
         .status()
         .expect("spawn export binary");
-    assert!(status.success(), "export --threads {threads} failed");
+    assert!(status.success(), "export --threads {threads} --shards {shards} failed");
 }
 
 #[test]
-fn export_is_byte_identical_across_runs_and_thread_counts() {
+fn export_is_byte_identical_across_runs_threads_and_shards() {
     let base = std::env::temp_dir().join(format!("crowd_export_golden_{}", std::process::id()));
-    let repeat_a = base.join("repeat_a");
-    let repeat_b = base.join("repeat_b");
-    let wide = base.join("threads_4");
-    run_export(&repeat_a, 1);
-    run_export(&repeat_b, 1);
-    run_export(&wide, 4);
+    let golden_dir = base.join("golden_t1_s1");
+    run_export(&golden_dir, 1, 1);
+
+    // A repeated identical run, plus the full shards × threads grid from
+    // the acceptance contract, every cell compared against the golden run.
+    let mut cells: Vec<(String, usize, usize)> = vec![("repeat_t1_s1".into(), 1, 1)];
+    for shards in [1, 3, 8] {
+        for threads in [1, 4] {
+            if (threads, shards) != (1, 1) {
+                cells.push((format!("t{threads}_s{shards}"), threads, shards));
+            }
+        }
+    }
+    for (name, threads, shards) in &cells {
+        run_export(&base.join(name), *threads, *shards);
+    }
 
     for f in FILES {
-        let golden = std::fs::read(repeat_a.join(f)).unwrap_or_else(|e| panic!("{f}: {e}"));
+        let golden = std::fs::read(golden_dir.join(f)).unwrap_or_else(|e| panic!("{f}: {e}"));
         assert!(!golden.is_empty(), "{f} is empty");
-        assert_eq!(golden, std::fs::read(repeat_b.join(f)).unwrap(), "repeated run changed {f}");
-        assert_eq!(golden, std::fs::read(wide.join(f)).unwrap(), "thread count leaked into {f}");
+        for (name, threads, shards) in &cells {
+            assert_eq!(
+                golden,
+                std::fs::read(base.join(name).join(f)).unwrap(),
+                "threads={threads} shards={shards} leaked into {f}"
+            );
+        }
     }
     std::fs::remove_dir_all(&base).ok();
 }

@@ -46,6 +46,7 @@ fn assert_recovers(tag: &str, mutate: impl FnOnce(&mut Vec<u8>), expected: &str)
         SnapshotError::ChecksumMismatch => "checksum",
         SnapshotError::Truncated => "truncated",
         SnapshotError::Corrupt(_) => "corrupt",
+        SnapshotError::ShardCorrupt { .. } => "shard",
     };
     assert_eq!(class, expected, "{tag}: wrong failure class ({err})");
 
@@ -94,6 +95,64 @@ fn fingerprint_mismatch_falls_back() {
 
 #[test]
 fn flipped_payload_byte_falls_back() {
-    // Damage past the header lands in the checksummed payload.
-    assert_recovers("payload", |b| *b.last_mut().unwrap() ^= 0x40, "checksum");
+    // Damage at the end of the file lands in the last instance-shard
+    // section, which carries its own checksum in the shard directory —
+    // so the failure is shard-granular, not a whole-file checksum error.
+    assert_recovers("payload", |b| *b.last_mut().unwrap() ^= 0x40, "shard");
+}
+
+#[test]
+fn flipped_meta_byte_falls_back() {
+    // Damage just past the header lands in the meta payload (entities,
+    // derived results, shard directory), which the header checksum covers.
+    assert_recovers("meta", |b| b[41] ^= 0x10, "checksum");
+}
+
+/// A damaged shard section must fail alone: its neighbors stay readable
+/// through the sharded reader, the failure names the shard, and the warm
+/// entry point still silently falls back to a fresh simulation.
+#[test]
+fn damaged_shard_fails_independently_and_warm_recovers() {
+    // Shards are CHUNK-aligned (8192 rows), so a genuinely 3-sharded file
+    // needs more rows than `SimConfig::tiny` produces.
+    let cfg = SimConfig::new(402, 0.002);
+    let baseline = Study::new(simulate(&cfg));
+    let store = temp_store("shard-independent").with_shards(3);
+
+    let _ = warm::study_from_config(&cfg, Some(&store));
+    let path = store.path_for(&cfg);
+    let mut bytes = std::fs::read(&path).expect("snapshot was written");
+
+    // Locate the middle shard's section: sections start right after the
+    // 40-byte header plus the meta payload (length at header bytes 24..32).
+    let payload_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    let sections_start = 40 + payload_len;
+    let reader = store.open_reader(&cfg).expect("snapshot opens clean");
+    let dir = reader.directory();
+    assert_eq!(dir.n_shards(), 3, "dataset must split into 3 shards here");
+    let shard1_off = sections_start + dir.sections()[0].byte_len as usize;
+    drop(reader);
+    bytes[shard1_off + 16] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corrupted snapshot");
+
+    // Neighboring shards still load; only shard 1 reports corruption.
+    let mut reader = store.open_reader(&cfg).expect("header and meta are intact");
+    assert!(reader.read_shard(0).is_ok(), "shard 0 must stay readable");
+    assert!(reader.read_shard(2).is_ok(), "shard 2 must stay readable");
+    match reader.read_shard(1) {
+        Err(SnapshotError::ShardCorrupt { shard: 1 }) => {}
+        other => panic!("expected ShardCorrupt {{ shard: 1 }}, got {other:?}"),
+    }
+    // Whole-file paths surface the same shard-granular error.
+    match store.load(&cfg) {
+        Err(SnapshotError::ShardCorrupt { shard: 1 }) => {}
+        other => panic!("load: expected ShardCorrupt {{ shard: 1 }}, got {other:?}"),
+    }
+
+    // Warm path: silent fallback, then a rewritten valid snapshot.
+    let recovered = warm::study_from_config(&cfg, Some(&store));
+    assert_eq!(recovered.dataset().instances, baseline.dataset().instances);
+    let reloaded = store.load(&cfg).expect("snapshot was rewritten after fallback");
+    assert_eq!(reloaded.dataset.instances, baseline.dataset().instances);
+    let _ = std::fs::remove_dir_all(store.dir());
 }
