@@ -28,15 +28,15 @@ pub struct RedundancyStats {
 
 /// Computes redundancy statistics. `None` on an empty dataset.
 pub fn redundancy(study: &Study) -> Option<RedundancyStats> {
-    let ds = study.dataset();
-    if ds.instances.is_empty() {
-        return None;
-    }
     // Judgments per (batch, item), from the fused scan. BTreeMap order
     // matters: `Summary::of` folds the counts in iteration order, and a
     // hash map's per-process random seed would wobble the mean/stddev in
-    // the last ulp across processes.
+    // the last ulp across processes. Emptiness is judged on the fused map
+    // too — `ds.instances` is empty for every columns-optional study.
     let per_item = &study.fused().per_item;
+    if per_item.is_empty() {
+        return None;
+    }
     let counts: Vec<f64> = per_item.values().map(|&c| f64::from(c)).collect();
     let pairable = per_item.values().filter(|&&c| c >= 2).count() as f64 / per_item.len() as f64;
 

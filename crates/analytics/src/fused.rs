@@ -40,7 +40,7 @@ pub fn month_index(t: Timestamp) -> i32 {
 }
 
 /// Tasks and active hours of one worker inside one week.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WeekCell {
     /// Instances started this week.
     pub tasks: u64,
@@ -49,7 +49,7 @@ pub struct WeekCell {
 }
 
 /// Raw per-worker aggregates (only workers with ≥ 1 instance appear).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkerAgg {
     /// Instances performed.
     pub tasks: u64,
@@ -105,7 +105,7 @@ impl WorkerAgg {
 }
 
 /// Raw per-source aggregates (only sources with ≥ 1 instance appear).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SourceAgg {
     /// Instances performed by the source's workers.
     pub n_tasks: u64,
@@ -119,7 +119,7 @@ pub struct SourceAgg {
 
 /// Everything the analytics layer needs from the instance table, gathered
 /// in one scan and cached on the [`Study`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fused {
     /// First week index of the dataset (0 when empty).
     pub w0: i32,
@@ -143,6 +143,15 @@ pub struct Fused {
     pub instance_latency: Vec<LatencyPoint>,
     /// Judgments per `(batch, item)`.
     pub per_item: BTreeMap<(u32, u32), u32>,
+}
+
+impl Fused {
+    /// Total instance rows the scan covered — the authoritative count for
+    /// consumers that must work when the study runs columns-optional (the
+    /// weekday histogram counts every row exactly once).
+    pub fn n_instances(&self) -> u64 {
+        self.weekday.iter().sum()
+    }
 }
 
 /// The composite accumulator feeding [`Fused`] from one [`ScanPass`].

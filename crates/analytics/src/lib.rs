@@ -39,4 +39,4 @@ pub mod study;
 pub(crate) mod testutil;
 pub mod workers;
 
-pub use study::{BatchMetrics, ClusterInfo, Study};
+pub use study::{BatchMetrics, ClusterInfo, StreamingEnricher, Study};

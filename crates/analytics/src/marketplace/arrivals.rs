@@ -53,12 +53,15 @@ impl WeeklyArrivals {
 /// Computes the weekly arrival series.
 pub fn weekly(study: &Study) -> WeeklyArrivals {
     let ds = study.dataset();
-    let (Some(t0), Some(t1)) = (ds.time_min(), ds.time_max()) else {
+    // The week axis comes from the fused scan: its window covers instance
+    // end times, which an entities-only (columns-optional) dataset cannot
+    // see. Identical to the dataset-derived axis when columns are
+    // resident — the fused pass uses the same `time_min`/`time_max`.
+    let fused = study.fused();
+    let (w0, n) = (fused.w0, fused.n_weeks);
+    if n == 0 {
         return WeeklyArrivals::default();
-    };
-    let w0 = t0.week().0;
-    let w1 = t1.week().0;
-    let n = (w1 - w0 + 1).max(0) as usize;
+    }
 
     let mut out = WeeklyArrivals {
         weeks: (0..n).map(|i| WeekIndex(w0 + i as i32)).collect(),
@@ -113,8 +116,6 @@ pub fn weekly(study: &Study) -> WeeklyArrivals {
 
     // Instances: issued (batch week) and completed (end week), plus pickup
     // overlay — all shaped from the fused scan.
-    let fused = study.fused();
-    debug_assert_eq!(fused.n_weeks, n);
     out.instances.copy_from_slice(&fused.issued);
     out.completed.copy_from_slice(&fused.completed);
     out.median_pickup.copy_from_slice(&fused.median_pickup);

@@ -52,7 +52,6 @@ pub struct EngagementSplit {
 
 /// Computes the engagement split.
 pub fn engagement_split(study: &Study) -> EngagementSplit {
-    let ds = study.dataset();
     let fused = study.fused();
     let n = fused.n_weeks;
     if n == 0 {
@@ -89,7 +88,9 @@ pub fn engagement_split(study: &Study) -> EngagementSplit {
             }
         }
     }
-    out.top10_task_share = top_total as f64 / ds.instances.len().max(1) as f64;
+    // Fused row count, not `ds.instances.len()`: the latter is zero for a
+    // columns-optional study and would inflate the share past 1.
+    out.top10_task_share = top_total as f64 / fused.n_instances().max(1) as f64;
     out
 }
 

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::OnceLock;
 
 use crowd_cluster::{ClusterParams, Clusterer, Clustering};
-use crowd_core::answer::item_disagreement_ref;
+use crowd_core::answer::{item_disagreement, item_disagreement_ref};
 use crowd_core::prelude::*;
 use crowd_html::{extract_features, ExtractedFeatures};
 use crowd_stats::descriptive::{median, median_inplace};
@@ -15,7 +15,7 @@ use crate::fused::Fused;
 
 /// Per-batch enrichment: extracted design features plus the three §4.1
 /// effectiveness metrics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchMetrics {
     /// The batch.
     pub batch: BatchId,
@@ -72,13 +72,32 @@ pub struct ClusterInfo {
     pub first_week: WeekIndex,
 }
 
+/// The provider a columns-optional [`Study`] defers its fused scan to
+/// (see [`Study::from_enrichment_streamed`]).
+pub type FusedSource = Box<dyn Fn(&Study) -> Fused + Send + Sync>;
+
 /// The enriched dataset all analyses run on.
+///
+/// A study normally holds the full instance table in `ds`. In
+/// **columns-optional** mode
+/// ([`from_enrichment_streamed`](Study::from_enrichment_streamed)) `ds`
+/// carries only the entity tables — the instance rows live elsewhere (a
+/// sharded snapshot file), [`n_instances`](Study::n_instances) reports the
+/// true row count, and the fused scan is produced by an injected source
+/// that streams the rows back one shard at a time. Analytics functions
+/// that consume only the fused cache (all of them, post-§15) behave
+/// identically in both modes.
 pub struct Study {
     ds: Dataset,
     index: DatasetIndex,
     /// Parallel to `ds.batches`; `None` for unsampled batches.
     batch_metrics: Vec<Option<BatchMetrics>>,
     clusters: Vec<ClusterInfo>,
+    /// Instance rows the study covers — `ds.instances.len()` when the
+    /// columns are resident, the streamed row count otherwise.
+    n_rows: usize,
+    /// Columns-optional fused provider; `None` means scan `ds.instances`.
+    fused_source: Option<FusedSource>,
     /// Raw instance-table aggregates from the one fused scan, computed on
     /// first use (most analytics functions only shape this cache).
     fused: OnceLock<Fused>,
@@ -134,6 +153,34 @@ impl Study {
         Study::assemble(ds, index, metrics)
     }
 
+    /// Columns-optional constructor: `entities` carries every table
+    /// *except* instances (its instance table must be empty), `n_rows` is
+    /// the true row count, and `fused_source` produces the fused scan on
+    /// first use — typically by streaming shard sections back off disk, so
+    /// no more than one shard of rows is ever resident. `metrics` follows
+    /// the same positional contract as [`from_enrichment`](Self::from_enrichment).
+    ///
+    /// # Panics
+    /// If `entities` already holds instance rows (that would make
+    /// [`n_instances`](Self::n_instances) ambiguous — use
+    /// [`from_enrichment`](Self::from_enrichment) instead).
+    pub fn from_enrichment_streamed(
+        entities: Dataset,
+        metrics: Vec<BatchMetrics>,
+        n_rows: usize,
+        fused_source: impl Fn(&Study) -> Fused + Send + Sync + 'static,
+    ) -> Study {
+        assert!(
+            entities.instances.is_empty(),
+            "columns-optional studies are built from entity-only datasets"
+        );
+        let index = entities.index();
+        let mut study = Study::assemble(entities, index, metrics);
+        study.n_rows = n_rows;
+        study.fused_source = Some(Box::new(fused_source));
+        study
+    }
+
     /// Shared tail of every constructor: scatter metrics into the
     /// batch-indexed table and aggregate clusters.
     fn assemble(ds: Dataset, index: DatasetIndex, metrics: Vec<BatchMetrics>) -> Study {
@@ -145,11 +192,14 @@ impl Study {
             batch_metrics[slot] = Some(metrics);
         }
         let clusters = aggregate_clusters(&ds, &batch_metrics, n_clusters);
+        let n_rows = ds.instances.len();
         Study {
             ds,
             index,
             batch_metrics,
             clusters,
+            n_rows,
+            fused_source: None,
             fused: OnceLock::new(),
             shards: 1,
             ingest: None,
@@ -193,12 +243,30 @@ impl Study {
     /// against its straight-line oracles; analytics callers should prefer
     /// the shaped module functions.
     pub fn fused(&self) -> &Fused {
-        self.fused.get_or_init(|| crate::fused::compute(self))
+        self.fused.get_or_init(|| match &self.fused_source {
+            Some(source) => source(self),
+            None => crate::fused::compute(self),
+        })
     }
 
-    /// The underlying dataset.
+    /// The underlying dataset. In columns-optional mode the instance table
+    /// is empty — use [`n_instances`](Self::n_instances) for the row
+    /// count, never `dataset().instances.len()`.
     pub fn dataset(&self) -> &Dataset {
         &self.ds
+    }
+
+    /// Instance rows the study covers, independent of whether the columns
+    /// are resident.
+    pub fn n_instances(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the instance columns are resident in
+    /// [`dataset`](Self::dataset) (`false` only for columns-optional
+    /// studies over a non-empty table).
+    pub fn columns_resident(&self) -> bool {
+        self.ds.instances.len() == self.n_rows
     }
 
     /// Navigation indexes.
@@ -328,6 +396,183 @@ fn compute_batch_metrics(
         task_time: median(&times),
         pickup_time: median(&pickups),
         features,
+    }
+}
+
+/// Streaming replacement for the per-batch half of [`enrich_batches`]: a
+/// [`ShardSink`] that folds each flushed shard into per-batch metric
+/// piles during a cold build, so enrichment never needs the full instance
+/// table resident. Feature extraction (batch-scale, HTML-driven) happens
+/// in [`finish`](StreamingEnricher::finish), off the resident entity
+/// tables.
+///
+/// Relies on the simulator's delivery contract: rows arrive grouped by
+/// batch, batches in ascending id order — exactly the order
+/// `DatasetIndex::instances_of_batch` replays them in, so every pile (and
+/// every float fold over it) matches [`compute_batch_metrics`]
+/// bit-for-bit. At most one batch's pile is open at a time; finished
+/// batches reduce to a handful of scalars immediately.
+pub struct StreamingEnricher {
+    /// Batch creation times, copied from the entity tables (batch-scale).
+    created: Vec<Timestamp>,
+    /// Sampled flag per batch — only sampled batches get piles.
+    sampled: Vec<bool>,
+    /// The open pile (sampled batches only).
+    current: Option<BatchPile>,
+    /// Last batch id seen, for the grouped-ascending assertion.
+    last_batch: Option<usize>,
+    /// Reduced per-batch stats, indexed by batch id.
+    cores: Vec<Option<BatchCore>>,
+    rows: usize,
+}
+
+/// The in-flight accumulation for one sampled batch.
+struct BatchPile {
+    batch: usize,
+    created: Timestamp,
+    n_instances: u32,
+    pickups: Vec<f64>,
+    times: Vec<f64>,
+    by_item: BTreeMap<u32, Vec<Answer>>,
+}
+
+/// One sampled batch's reduced metrics (everything of [`BatchMetrics`]
+/// that needs instance rows).
+#[derive(Clone, Copy)]
+struct BatchCore {
+    n_instances: u32,
+    n_items: u32,
+    disagreement: Option<f64>,
+    task_time: Option<f64>,
+    pickup_time: Option<f64>,
+}
+
+impl StreamingEnricher {
+    /// An enricher for the batches of `entities` (instance table ignored).
+    pub fn new(entities: &Dataset) -> StreamingEnricher {
+        StreamingEnricher {
+            created: entities.batches.iter().map(|b| b.created_at).collect(),
+            sampled: entities.batches.iter().map(|b| b.sampled).collect(),
+            current: None,
+            last_batch: None,
+            cores: vec![None; entities.batches.len()],
+            rows: 0,
+        }
+    }
+
+    /// Rows folded so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn close_pile(&mut self) {
+        let Some(pile) = self.current.take() else { return };
+        // Mirror of `compute_batch_metrics`, fold for fold: same median
+        // function, same item-id iteration order for the disagreement sum.
+        let mut item_scores = Vec::with_capacity(pile.by_item.len());
+        for answers in pile.by_item.values() {
+            if let Some(score) = item_disagreement(answers) {
+                item_scores.push(score);
+            }
+        }
+        let disagreement = if item_scores.is_empty() {
+            None
+        } else {
+            Some(item_scores.iter().sum::<f64>() / item_scores.len() as f64)
+        };
+        self.cores[pile.batch] = Some(BatchCore {
+            n_instances: pile.n_instances,
+            n_items: pile.by_item.len() as u32,
+            disagreement,
+            task_time: median(&pile.times),
+            pickup_time: median(&pile.pickups),
+        });
+    }
+
+    /// Closes the last pile and assembles [`BatchMetrics`] for **every**
+    /// sampled batch of `entities` (zero-instance ones included), in
+    /// dataset order with `clustering`'s positional labels — the exact
+    /// output contract of [`enrich_batches`].
+    ///
+    /// # Panics
+    /// If `clustering` does not cover exactly the sampled batches.
+    pub fn finish(mut self, entities: &Dataset, clustering: &Clustering) -> Vec<BatchMetrics> {
+        self.close_pile();
+        let (sampled, _docs) = sampled_docs(entities);
+        assert_eq!(
+            clustering.labels().len(),
+            sampled.len(),
+            "clustering must cover exactly the sampled batches"
+        );
+        let indexed: Vec<(usize, BatchId)> = sampled.iter().copied().enumerate().collect();
+        indexed
+            .par_iter()
+            .map(|&(pos, batch)| {
+                let core = self.cores[batch.index()].unwrap_or(BatchCore {
+                    n_instances: 0,
+                    n_items: 0,
+                    disagreement: None,
+                    task_time: None,
+                    pickup_time: None,
+                });
+                let features = entities
+                    .batch(batch)
+                    .html
+                    .as_deref()
+                    .and_then(|h| extract_features(h).ok())
+                    .unwrap_or_default();
+                BatchMetrics {
+                    batch,
+                    cluster: clustering.cluster_of(pos),
+                    n_instances: core.n_instances,
+                    n_items: core.n_items,
+                    disagreement: core.disagreement,
+                    task_time: core.task_time,
+                    pickup_time: core.pickup_time,
+                    features,
+                }
+            })
+            .collect()
+    }
+}
+
+impl ShardSink for StreamingEnricher {
+    type Error = std::convert::Infallible;
+
+    fn flush(
+        &mut self,
+        base: usize,
+        shard: &InstanceColumns,
+    ) -> std::result::Result<(), Self::Error> {
+        assert_eq!(base, self.rows, "shards must arrive contiguously in ascending order");
+        for row in shard.iter() {
+            let bi = row.batch.index();
+            if self.last_batch != Some(bi) {
+                if let Some(last) = self.last_batch {
+                    assert!(bi > last, "rows must arrive grouped by batch, batches ascending");
+                }
+                self.close_pile();
+                self.last_batch = Some(bi);
+                if self.sampled[bi] {
+                    self.current = Some(BatchPile {
+                        batch: bi,
+                        created: self.created[bi],
+                        n_instances: 0,
+                        pickups: Vec::new(),
+                        times: Vec::new(),
+                        by_item: BTreeMap::new(),
+                    });
+                }
+            }
+            if let Some(pile) = &mut self.current {
+                pile.n_instances += 1;
+                pile.pickups.push((row.start - pile.created).as_secs() as f64);
+                pile.times.push(row.work_time().as_secs() as f64);
+                pile.by_item.entry(row.item.raw()).or_default().push(row.answer.clone());
+            }
+        }
+        self.rows += shard.len();
+        Ok(())
     }
 }
 
@@ -480,6 +725,79 @@ mod tests {
             (n_clusters as f64) < n_types as f64 * 1.35,
             "clusters {n_clusters} vs types {n_types}"
         );
+    }
+
+    #[test]
+    fn streaming_enricher_matches_enrich_batches_bitwise() {
+        let ds = crowd_sim::simulate(&crowd_sim::SimConfig::tiny(1301));
+        let clustering = {
+            let (_ids, docs) = sampled_docs(&ds);
+            crowd_cluster::Clusterer::new(ClusterParams::default()).cluster(&docs)
+        };
+        let index = ds.index();
+        let monolithic = enrich_batches(&ds, &index, &clustering);
+
+        // Entity-only view + shard-by-shard replay of the instance rows,
+        // at several shard widths (the enricher is width-invariant).
+        let mut entities = ds.clone();
+        entities.instances = crowd_core::dataset::InstanceColumns::new();
+        for shards in [1usize, 4, 16] {
+            let plan = ShardPlan::new(ds.instances.len(), shards);
+            let mut enricher = StreamingEnricher::new(&entities);
+            let sharded = ShardedColumns::split(ds.instances.clone(), shards);
+            for (base, shard) in sharded.iter_shards() {
+                enricher.flush(base, shard).expect("infallible");
+            }
+            assert_eq!(enricher.rows(), ds.instances.len());
+            let streamed = enricher.finish(&entities, &clustering);
+            assert_eq!(streamed, monolithic, "shards={shards} plan={plan:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending order")]
+    fn streaming_enricher_rejects_gaps() {
+        let ds = crowd_sim::simulate(&crowd_sim::SimConfig::tiny(1301));
+        let mut entities = ds.clone();
+        entities.instances = crowd_core::dataset::InstanceColumns::new();
+        let mut enricher = StreamingEnricher::new(&entities);
+        let _ = enricher.flush(ScanPass::CHUNK, &ds.instances);
+    }
+
+    #[test]
+    fn columns_optional_study_reports_rows_and_streams_fused() {
+        let ds = crowd_sim::simulate(&crowd_sim::SimConfig::tiny(1301));
+        let n = ds.instances.len();
+        let full = Study::new(ds.clone());
+        let metrics: Vec<BatchMetrics> = full.enriched_batches().cloned().collect();
+
+        let mut entities = ds.clone();
+        entities.instances = crowd_core::dataset::InstanceColumns::new();
+        let rows = std::sync::Arc::new(ds.instances.clone());
+        let lean = Study::from_enrichment_streamed(entities, metrics, n, move |study| {
+            // Stand-in for the snapshot reader: stream the held columns
+            // back in CHUNK-aligned shards.
+            let sharded = ShardedColumns::split((*rows).clone(), 7);
+            let shards = sharded
+                .iter_shards()
+                .map(|(base, shard)| Ok::<_, std::convert::Infallible>((base, shard.clone())));
+            let metrics: Vec<BatchMetrics> = study.enriched_batches().cloned().collect();
+            crate::fused::compute_streamed(
+                study.dataset(),
+                &metrics,
+                rows.end_col().iter().copied().max(),
+                shards,
+            )
+            .expect("infallible stream")
+        });
+
+        assert!(!lean.columns_resident());
+        assert!(full.columns_resident());
+        assert_eq!(lean.n_instances(), n);
+        assert_eq!(full.n_instances(), n);
+        assert!(lean.dataset().instances.is_empty());
+        assert_eq!(lean.clusters().len(), full.clusters().len());
+        assert_eq!(lean.fused(), full.fused(), "streamed fused is bit-identical");
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Sharded-store memory and wall-clock profile (DESIGN.md §15): cold
-//! build, full warm load, streamed fused scan, and single-shard load,
-//! across scale × shard-count combinations. Numbers land in
-//! `BENCH_shard.json` by hand.
+//! Sharded-store memory and wall-clock profile (DESIGN.md §15, §16): cold
+//! build (streaming when shards > 1), repro-shaped cold build + fused
+//! scan, warm start, streamed fused scan, and single-shard load, across
+//! scale × shard-count combinations. Numbers land in `BENCH_shard.json`
+//! by hand.
 //!
 //! Peak RSS cannot be measured in-process after the fact — the high-water
 //! mark of the parent would be contaminated by earlier configurations —
@@ -44,16 +45,35 @@ fn run_child(mode: &str, scale: f64, shards: usize, dir: &Path) {
     let t0 = Instant::now();
     match mode {
         // Simulate + enrich + write the sharded snapshot (cache priming).
+        // With shards > 1 this is the *streaming* build (DESIGN.md §16):
+        // entities plus ~one shard resident, sections flushed to disk as
+        // they finish. At shards = 1 it is the monolithic pipeline.
         "cold_build" => {
             let study = warm::study_from_config(&c, Some(&store));
-            black_box(study.dataset().instances.len());
+            black_box(study.n_instances());
         }
-        // Full warm start: load + verify every shard, materialize the
-        // whole instance table, rebuild the Study from persisted
-        // enrichment. What `repro`/`export` do on a warm run.
+        // Cold build *plus* a forced fused scan — the full `repro`-shaped
+        // cold run. Separated from `cold_build` because the fused
+        // accumulators (per-worker interval lists above all) dominate peak
+        // RSS at large scales regardless of how the rows streamed.
+        "cold_fused" => {
+            let study = warm::study_from_config(&c, Some(&store));
+            black_box(study.fused().n_instances());
+        }
+        // Warm start, as `repro`/`export` do it. With shards > 1 this
+        // loads entities + enrichment only (columns-optional Study); at
+        // shards = 1 it materializes the whole table.
         "warm_study" => {
             let study = warm::study_from_config(&c, Some(&store));
-            black_box(study.dataset().instances.len());
+            black_box(study.n_instances());
+        }
+        // Full materializing load: every shard verified and appended into
+        // one table (`store.load`) — what shards = 1 warm starts and
+        // derived-parameter rewrites pay. Kept separate from `warm_study`,
+        // which no longer materializes rows when shards > 1.
+        "warm_full_load" => {
+            let snap = store.load(&c).expect("snapshot must exist and verify");
+            black_box(snap.dataset.instances.len());
         }
         // Streamed fused scan: every shard is read, scanned, and dropped
         // in turn — the full instance-level aggregate at a peak RSS of
@@ -134,13 +154,18 @@ fn main() {
             // warm, same policy as taking a median with tiny samples).
             let (wall, rss) = measure("cold_build", scale, shards, &dir);
             println!("{scale:>5} {shards:>6} {:>18} {wall:>12.1} {rss:>12}", "cold_build");
-            for mode in ["warm_study", "warm_fused_stream", "warm_one_shard"] {
+            for mode in ["warm_study", "warm_full_load", "warm_fused_stream", "warm_one_shard"] {
                 let (w1, r1) = measure(mode, scale, shards, &dir);
                 let (w2, r2) = measure(mode, scale, shards, &dir);
                 let (wall, rss) = (w1.min(w2), r1.max(r2));
                 println!("{scale:>5} {shards:>6} {mode:>18} {wall:>12.1} {rss:>12}");
             }
             let _ = std::fs::remove_dir_all(&dir);
+            // The repro-shaped cold run needs its own empty store.
+            let fused_dir = base.join(format!("s{scale}-n{shards}-fused"));
+            let (wall, rss) = measure("cold_fused", scale, shards, &fused_dir);
+            println!("{scale:>5} {shards:>6} {:>18} {wall:>12.1} {rss:>12}", "cold_fused");
+            let _ = std::fs::remove_dir_all(&fused_dir);
         }
     }
     let _ = std::fs::remove_dir_all(&base);

@@ -69,9 +69,9 @@ pub use error::{CoreError, FaultClass, Result};
 pub use id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
 pub use labels::{Complexity, DataType, Goal, LabelSet, Operator};
 pub use provenance::{ErrorBudget, IngestReport, QuarantinedRow, TableReport};
-pub use query::{Accumulator, ScanPass};
+pub use query::{Accumulator, ScanPass, StreamFold};
 pub use rng::stream_seed;
-pub use shard::{ShardPlan, ShardedColumns};
+pub use shard::{ShardPlan, ShardSink, ShardedColumns};
 pub use task::{Batch, DesignFeatures, TaskType};
 pub use time::{Duration, Timestamp, WeekIndex, Weekday};
 pub use worker::{Country, Source, SourceKind, Worker};
@@ -87,9 +87,9 @@ pub mod prelude {
     pub use crate::id::{BatchId, CountryId, InstanceId, ItemId, SourceId, TaskTypeId, WorkerId};
     pub use crate::labels::{Complexity, DataType, Goal, LabelSet, Operator};
     pub use crate::provenance::{ErrorBudget, IngestReport, QuarantinedRow, TableReport};
-    pub use crate::query::{Accumulator, ScanPass};
+    pub use crate::query::{Accumulator, ScanPass, StreamFold};
     pub use crate::rng::stream_seed;
-    pub use crate::shard::{ShardPlan, ShardedColumns};
+    pub use crate::shard::{ShardPlan, ShardSink, ShardedColumns};
     pub use crate::task::{Batch, DesignFeatures, TaskType};
     pub use crate::time::{Duration, Timestamp, WeekIndex, Weekday};
     pub use crate::worker::{Country, Source, SourceKind, Worker};

@@ -10,7 +10,7 @@
 
 pub mod scan;
 
-pub use scan::{Accumulator, ScanPass};
+pub use scan::{Accumulator, ScanPass, StreamFold};
 
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::id::{BatchId, SourceId};

@@ -44,7 +44,7 @@ use rayon::prelude::*;
 
 use crate::dataset::{Dataset, InstanceColumns, InstanceRef};
 use crate::id::InstanceId;
-use crate::shard::{ShardPlan, ShardedColumns};
+use crate::shard::{ShardPlan, ShardSink, ShardedColumns};
 
 /// Counts completed full-table scans ([`ScanPass::run`] calls) in this
 /// process; a debug/diagnostic aid for asserting scan-fusion budgets.
@@ -161,16 +161,12 @@ impl ScanPass {
         proto: &A,
         shards: impl Iterator<Item = Result<(usize, InstanceColumns), E>>,
     ) -> Result<A::Output, E> {
-        FULL_SCANS.fetch_add(1, Ordering::Relaxed);
-        let mut total = proto.init();
-        let mut next_base = 0usize;
+        let mut fold = StreamFold::new(ds, proto);
         for item in shards {
             let (base, cols) = item?;
-            assert_eq!(base, next_base, "shards must arrive contiguously in ascending order");
-            Self::fold_range(ds, &cols, base, 0..cols.len(), proto, &mut total);
-            next_base = base + cols.len();
+            fold.flush(base, &cols).expect("StreamFold never fails");
         }
-        Ok(total.finish(ds))
+        Ok(fold.finish())
     }
 
     /// Folds local rows `range` of `cols` (global ids offset by `base`)
@@ -218,6 +214,57 @@ impl ScanPass {
     /// Resets the scan counter (test isolation).
     pub fn reset_scan_count() {
         FULL_SCANS.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`ShardSink`] that folds arriving shards into an [`Accumulator`] —
+/// the push-style dual of [`ScanPass::run_stream`], for producers (the
+/// simulator's shard-flushing build) that *deliver* shards rather than
+/// being iterated.
+///
+/// Each flushed shard goes through the same `fold_range` (chunk partials
+/// in parallel, merged sequentially in global chunk order) as every other
+/// scan entry point, so the finished output is bit-identical to a
+/// monolithic [`ScanPass::run`] over the concatenated rows. Constructing
+/// a `StreamFold` counts as one full-table scan toward
+/// [`ScanPass::full_scan_count`].
+pub struct StreamFold<'a, A: Accumulator> {
+    ds: &'a Dataset,
+    proto: &'a A,
+    total: A,
+    next_base: usize,
+}
+
+impl<'a, A: Accumulator> StreamFold<'a, A> {
+    /// A fold ready to accept shard 0. `ds` supplies entity context only;
+    /// the rows come from the flushed shards.
+    pub fn new(ds: &'a Dataset, proto: &'a A) -> StreamFold<'a, A> {
+        FULL_SCANS.fetch_add(1, Ordering::Relaxed);
+        StreamFold { ds, proto, total: proto.init(), next_base: 0 }
+    }
+
+    /// Rows folded so far (= the base the next shard must start at).
+    pub fn rows(&self) -> usize {
+        self.next_base
+    }
+
+    /// Shapes the merged state into the accumulator's final output.
+    pub fn finish(self) -> A::Output {
+        self.total.finish(self.ds)
+    }
+}
+
+impl<A: Accumulator> ShardSink for StreamFold<'_, A> {
+    type Error = std::convert::Infallible;
+
+    /// # Panics
+    /// When `base` is not chunk-aligned or not exactly [`rows`](Self::rows)
+    /// (out-of-order merges would change float pairings).
+    fn flush(&mut self, base: usize, shard: &InstanceColumns) -> Result<(), Self::Error> {
+        assert_eq!(base, self.next_base, "shards must arrive contiguously in ascending order");
+        ScanPass::fold_range(self.ds, shard, base, 0..shard.len(), self.proto, &mut self.total);
+        self.next_base = base + shard.len();
+        Ok(())
     }
 }
 
@@ -455,6 +502,34 @@ mod tests {
         let max_id = ScanPass::run_sharded(&ds, &sharded, &MaxId::default());
         assert_eq!(ScanPass::full_scan_count() - before, 1, "one fused pass");
         assert_eq!(max_id, ds.instances.len() as u64 - 1);
+    }
+
+    #[test]
+    fn stream_fold_sink_matches_monolithic_scan() {
+        let ds = dataset(3 * ScanPass::CHUNK + 77);
+        let baseline = ScanPass::run(&ds, &TrustSum::default()).to_bits();
+        for shards in [1, 2, 5] {
+            let sharded = crate::shard::ShardedColumns::split(ds.instances.clone(), shards);
+            let proto = TrustSum::default();
+            let before = ScanPass::full_scan_count();
+            let mut fold = StreamFold::new(&ds, &proto);
+            for (base, shard) in sharded.iter_shards() {
+                assert_eq!(fold.rows(), base);
+                fold.flush(base, shard).unwrap();
+            }
+            assert_eq!(fold.rows(), ds.instances.len());
+            assert_eq!(fold.finish().to_bits(), baseline, "shards={shards}");
+            assert_eq!(ScanPass::full_scan_count() - before, 1, "fold = one pass");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending order")]
+    fn stream_fold_rejects_gaps() {
+        let ds = dataset(ScanPass::CHUNK);
+        let proto = TrustSum::default();
+        let mut fold = StreamFold::new(&ds, &proto);
+        let _ = fold.flush(ScanPass::CHUNK, &ds.instances);
     }
 
     #[test]

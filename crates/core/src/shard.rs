@@ -25,6 +25,38 @@
 use crate::dataset::{InstanceColumns, InstanceRef, TaskInstance};
 use crate::query::ScanPass;
 
+/// Receives completed, chunk-aligned shards one at a time, in ascending
+/// base order — the streaming-build counterpart of
+/// [`ShardedColumns::iter_shards`].
+///
+/// Producers (the simulator's shard-flushing assignment loop, a snapshot
+/// reader replaying sections) call [`flush`](Self::flush) once per shard
+/// with the shard's first global row and its columns, then drop the
+/// columns — so a producer-plus-sink pipeline never holds more than one
+/// shard of instances. Sinks that cannot fail (in-memory accumulation)
+/// use [`std::convert::Infallible`] as their error; fallible sinks (an
+/// incremental snapshot writer) surface IO errors to the producer.
+///
+/// The contract mirrors [`ScanPass::run_stream`](crate::query::ScanPass):
+/// bases must be `CHUNK` multiples and arrive contiguously in ascending
+/// order, so a sink folding into scan accumulators reproduces the
+/// monolithic chunk decomposition — and every float bit — exactly.
+pub trait ShardSink {
+    /// Error surfaced to the producer, aborting the stream.
+    type Error;
+
+    /// Accepts the completed shard whose first row is global row `base`.
+    fn flush(&mut self, base: usize, shard: &InstanceColumns) -> Result<(), Self::Error>;
+}
+
+impl<S: ShardSink + ?Sized> ShardSink for &mut S {
+    type Error = S::Error;
+
+    fn flush(&mut self, base: usize, shard: &InstanceColumns) -> Result<(), Self::Error> {
+        (**self).flush(base, shard)
+    }
+}
+
 /// A deterministic, chunk-aligned partition of `n_rows` into contiguous
 /// shards of `shard_rows` rows each (last shard short).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -42,4 +42,4 @@ pub mod workers;
 
 pub use config::SimConfig;
 pub use intervention::{Intervention, TargetSelector};
-pub use simulate::{simulate, simulate_with};
+pub use simulate::{prepare_streamed, simulate, simulate_streamed, simulate_with, SimStream};

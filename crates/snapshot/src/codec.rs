@@ -30,7 +30,9 @@ use crowd_html::ExtractedFeatures;
 
 use crate::format::{ByteReader, ByteWriter};
 use crate::sharded::{ShardDirectory, ShardSectionInfo};
-use crate::{Derived, Snapshot, SnapshotError};
+#[cfg(test)]
+use crate::Snapshot;
+use crate::{Derived, SnapshotError};
 
 /// Everything the meta payload carries: the dataset minus its instance
 /// rows, plus the directory locating those rows' shard sections.
@@ -48,8 +50,17 @@ pub(crate) struct DecodedMeta {
 
 /// Serializes the meta payload: entities, batches + HTML dictionary,
 /// derived artifacts, and the shard directory.
-pub(crate) fn encode_meta(snapshot: &Snapshot, directory: &ShardDirectory) -> Vec<u8> {
-    let ds = &snapshot.dataset;
+///
+/// `time_max` is persisted explicitly rather than derived from `ds`: the
+/// streaming writer encodes the meta against an entities-only dataset
+/// (instance rows already live in flushed shard sections), whose own
+/// `time_max()` would miss every instance end time.
+pub(crate) fn encode_meta(
+    ds: &Dataset,
+    derived: Option<&Derived>,
+    directory: &ShardDirectory,
+    time_max: Option<Timestamp>,
+) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(4096 + ds.batches.len() * 24);
 
     // ---- entity tables --------------------------------------------------
@@ -122,7 +133,7 @@ pub(crate) fn encode_meta(snapshot: &Snapshot, directory: &ShardDirectory) -> Ve
     }
 
     // ---- derived artifacts ----------------------------------------------
-    match &snapshot.derived {
+    match derived {
         None => w.u8(0),
         Some(d) => {
             w.u8(1);
@@ -166,7 +177,7 @@ pub(crate) fn encode_meta(snapshot: &Snapshot, directory: &ShardDirectory) -> Ve
     }
     // Dataset-wide time_max, so streamed scans see the same week window as
     // a scan over the materialized table.
-    match ds.time_max() {
+    match time_max {
         None => w.u8(0),
         Some(t) => {
             w.u8(1);

@@ -73,9 +73,11 @@ pub mod format;
 pub mod sharded;
 mod store;
 pub mod warm;
+pub mod writer;
 
 pub use sharded::{ShardDirectory, ShardSectionInfo, ShardedSnapshotReader};
 pub use store::SnapshotStore;
+pub use writer::SnapshotWriter;
 
 /// Bumped on any change to the serialized layout; files written by other
 /// versions are rejected (and silently regenerated) rather than
@@ -228,7 +230,12 @@ pub fn encode_sharded(snapshot: &Snapshot, fingerprint: u64, shards: usize) -> V
     }
     let directory = ShardDirectory::from_parts(cols.len() as u64, plan.shard_rows() as u64, infos)
         .expect("encoder builds a consistent directory");
-    let meta = codec::encode_meta(snapshot, &directory);
+    let meta = codec::encode_meta(
+        &snapshot.dataset,
+        snapshot.derived.as_ref(),
+        &directory,
+        snapshot.dataset.time_max(),
+    );
     let total: usize = sections.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(40 + meta.len() + total);
     out.extend_from_slice(&MAGIC);

@@ -299,6 +299,15 @@ impl ShardedSnapshotReader {
         crowd_analytics::fused::compute_streamed(entities, &d.metrics, *time_max, stream)
     }
 
+    /// Consumes the reader into its meta parts — entity tables, derived
+    /// artifacts, persisted `time_max` — **without reading any shard
+    /// section**. The columns-optional warm path uses this: a full hit
+    /// needs only the entities and the persisted enrichment, and row-level
+    /// consumers re-open the file and pull shards on demand.
+    pub fn into_meta(mut self) -> (Dataset, Option<Derived>, Option<Timestamp>) {
+        (std::mem::take(&mut self.entities), self.derived.take(), self.time_max)
+    }
+
     /// Loads every shard into a fully validated [`Snapshot`], consuming
     /// the reader. Equivalent to [`crate::decode`] on the whole file but
     /// never holds more than the dataset plus one section buffer.

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use crowd_ingest::{is_transient, Backoff, Clock, SystemClock};
 use crowd_sim::SimConfig;
 
-use crate::{encode_sharded, fingerprint, ShardedSnapshotReader, Snapshot, SnapshotError};
+use crate::{
+    encode_sharded, fingerprint, ShardedSnapshotReader, Snapshot, SnapshotError, SnapshotWriter,
+};
 
 /// Environment variable naming the default snapshot directory (the CLI's
 /// `--snapshot-dir` flag overrides it, `--no-snapshot` ignores it).
@@ -92,6 +94,13 @@ impl SnapshotStore {
         &self.dir
     }
 
+    /// The configured shard count (see [`with_shards`](Self::with_shards)).
+    /// The warm-start paths branch on `shards() > 1` to pick the streaming
+    /// build over the monolithic one.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// The file a config maps to.
     pub fn path_for(&self, cfg: &SimConfig) -> PathBuf {
         self.dir.join(format!("snap-{:016x}.bin", fingerprint(cfg)))
@@ -113,6 +122,26 @@ impl SnapshotStore {
     /// sections load (and verify) only when asked for.
     pub fn open_reader(&self, cfg: &SimConfig) -> Result<ShardedSnapshotReader, SnapshotError> {
         ShardedSnapshotReader::open(self.path_for(cfg), fingerprint(cfg))
+    }
+
+    /// Opens an incremental [`SnapshotWriter`] for `cfg` — the streaming
+    /// dual of [`save`](Self::save): shard sections land on disk as the
+    /// producer flushes them, the meta payload and directory are written
+    /// last, and the file publishes atomically on
+    /// [`finish`](SnapshotWriter::finish).
+    ///
+    /// `planned_rows` sizes the shard layout up front (the store's shard
+    /// count divides it into chunk-aligned pieces); an estimate is fine —
+    /// the directory records actual flush counts.
+    pub fn open_writer(
+        &self,
+        cfg: &SimConfig,
+        planned_rows: usize,
+    ) -> Result<SnapshotWriter, SnapshotError> {
+        std::fs::create_dir_all(&self.dir)?;
+        self.sweep_stale();
+        let shard_rows = crowd_core::ShardPlan::new(planned_rows, self.shards).shard_rows();
+        SnapshotWriter::create(self.path_for(cfg), fingerprint(cfg), shard_rows)
     }
 
     /// Removes stale temp files (`snap-*.tmp.<pid>`) left behind by

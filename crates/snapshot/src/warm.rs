@@ -19,14 +19,35 @@
 //!
 //! Save errors are deliberately swallowed too (a read-only cache directory
 //! degrades to cold-every-time, it does not break the run).
+//!
+//! ## Streaming mode (`shards > 1`)
+//!
+//! When the store is configured with more than one shard
+//! ([`SnapshotStore::with_shards`]), both halves of the tree switch to the
+//! bounded-memory pipeline (DESIGN.md §16) with the **same** decision
+//! structure and bit-identical results:
+//!
+//! * cold → [`crowd_sim::prepare_streamed`] builds entities first, then
+//!   the instance stream is forked shard-by-shard into a
+//!   [`SnapshotWriter`](crate::SnapshotWriter) and a
+//!   [`StreamingEnricher`], so the full instance table never exists in
+//!   memory at once;
+//! * warm full hit → only the meta payload (entities + enrichment) loads;
+//!   the instance shards stay on disk, and the `Study` is *columns
+//!   optional* — its fused aggregates stream back through a
+//!   [`ShardedSnapshotReader`](crate::ShardedSnapshotReader) on first use;
+//! * every failure (unwritable store, mid-build IO error, corrupt or
+//!   mismatched snapshot) falls back to the monolithic path and counts a
+//!   swallowed save where one was skipped.
 
-use crowd_analytics::study::{enrich_batches, sampled_docs};
+use crowd_analytics::study::{enrich_batches, sampled_docs, StreamingEnricher};
 use crowd_analytics::Study;
 use crowd_cluster::{ClusterParams, Clusterer, Clustering};
-use crowd_core::dataset::Dataset;
+use crowd_core::dataset::{Dataset, InstanceColumns};
+use crowd_core::shard::ShardSink;
 use crowd_sim::{simulate, SimConfig};
 
-use crate::{Derived, Snapshot, SnapshotStore};
+use crate::{Derived, Snapshot, SnapshotError, SnapshotStore};
 
 /// [`Study::new`] with snapshot caching: read-on-hit, write-on-miss.
 ///
@@ -46,6 +67,9 @@ pub fn study_with_params(
     let Some(store) = store else {
         return Study::with_cluster_params(simulate(cfg), params);
     };
+    if store.shards() > 1 {
+        return study_streamed(cfg, params, store);
+    }
     match store.load(cfg) {
         Ok(Snapshot { dataset, derived }) => match derived {
             // Full hit: dataset + artifacts for exactly these parameters.
@@ -56,6 +80,137 @@ pub fn study_with_params(
         },
         // Miss or integrity failure: fresh simulate, rewrite.
         Err(_) => build_and_persist(cfg, params, store, simulate(cfg)),
+    }
+}
+
+/// The `shards > 1` mirror of [`study_with_params`]: same decision tree,
+/// but neither the warm-hit nor the cold-miss arm ever materializes the
+/// full instance table.
+fn study_streamed(cfg: &SimConfig, params: ClusterParams, store: &SnapshotStore) -> Study {
+    if let Ok(reader) = store.open_reader(cfg) {
+        let n_rows = reader.directory().n_rows() as usize;
+        if reader.derived().map(|d| d.params == params) == Some(true) {
+            // Full hit: entities + persisted enrichment only. The rows stay
+            // on disk; the fused scan streams them back on first use.
+            let (entities, derived, _) = reader.into_meta();
+            let d = derived.expect("params just matched on this derived section");
+            return Study::from_enrichment_streamed(
+                entities,
+                d.metrics,
+                n_rows,
+                fused_source(cfg, store),
+            );
+        }
+        // Derived mismatch: the dataset is still good, so load it (one
+        // shard buffer at a time) and rewrite with fresh artifacts. A
+        // shard that fails integrity drops to the cold rebuild below.
+        if let Ok(snap) = reader.into_snapshot() {
+            return build_and_persist(cfg, params, store, snap.dataset);
+        }
+    }
+    build_streamed(cfg, params, store)
+}
+
+/// Streaming cold build: entities are generated first, clustering and
+/// shard layout come from them alone, and then each finished shard of
+/// instance rows is flushed to the [`SnapshotWriter`](crate::SnapshotWriter)
+/// *and* folded into the [`StreamingEnricher`] before the next shard is
+/// produced. Peak memory is the entity tables plus ~one shard of rows.
+fn build_streamed(cfg: &SimConfig, params: ClusterParams, store: &SnapshotStore) -> Study {
+    let sim = crowd_sim::prepare_streamed(cfg);
+    let mut writer = match store.open_writer(cfg, sim.planned_rows()) {
+        Ok(w) => w,
+        Err(_) => {
+            // Nowhere to stream shards to: degrade to the monolithic cold
+            // build, counted like every other swallowed save.
+            store.note_swallowed_save();
+            return Study::with_cluster_params(simulate(cfg), params);
+        }
+    };
+
+    // Clustering needs only the batch HTML, which lives in the entity
+    // tables — it runs before a single instance row exists.
+    let clusterer = Clusterer::new(params);
+    let (_ids, docs) = sampled_docs(sim.entities());
+    let signatures = clusterer.signatures(&docs);
+    let clustering = clusterer.cluster_signatures(&signatures);
+
+    let mut enricher = StreamingEnricher::new(sim.entities());
+    let shard_rows = writer.shard_rows();
+    let mut sink = BuildSink { writer: &mut writer, enricher: &mut enricher };
+    let entities = match sim.run(cfg, shard_rows, &mut sink) {
+        Ok(entities) => entities,
+        Err(_) => {
+            // Disk died mid-build. The writer's temps are cleaned up and
+            // the run completes monolithically — correctness never depends
+            // on the cache.
+            writer.abort();
+            store.note_swallowed_save();
+            return Study::with_clustering(simulate(cfg), clustering);
+        }
+    };
+
+    let n_rows = writer.rows();
+    let metrics = enricher.finish(&entities, &clustering);
+    let derived = Derived {
+        params,
+        labels: clustering.labels().to_vec(),
+        n_clusters: clustering.n_clusters(),
+        signatures,
+        metrics,
+    };
+    match writer.finish(&entities, Some(&derived)) {
+        Ok(_) => Study::from_enrichment_streamed(
+            entities,
+            derived.metrics,
+            n_rows,
+            fused_source(cfg, store),
+        ),
+        Err(_) => {
+            // The shards never published, so the columns-optional study
+            // would have nothing to stream from: re-simulate the rows (the
+            // enrichment is already computed and bit-identical).
+            store.note_swallowed_save();
+            Study::from_enrichment(simulate(cfg), derived.metrics)
+        }
+    }
+}
+
+/// Forks each finished shard to the snapshot writer and the streaming
+/// enricher without cloning it — both sinks see the same borrow.
+struct BuildSink<'a> {
+    writer: &'a mut crate::SnapshotWriter,
+    enricher: &'a mut StreamingEnricher,
+}
+
+impl ShardSink for BuildSink<'_> {
+    type Error = SnapshotError;
+
+    fn flush(&mut self, base: usize, shard: &InstanceColumns) -> Result<(), SnapshotError> {
+        self.writer.flush(base, shard)?;
+        match self.enricher.flush(base, shard) {
+            Ok(()) => Ok(()),
+            Err(never) => match never {},
+        }
+    }
+}
+
+/// The fused provider a columns-optional `Study` defers to: re-open the
+/// snapshot and stream the shard sections through the scan. If the file
+/// has been damaged or removed since the study was built, fall back to a
+/// full re-simulation — one slow (but correct) answer, never a wrong one.
+fn fused_source(
+    cfg: &SimConfig,
+    store: &SnapshotStore,
+) -> impl Fn(&Study) -> crowd_analytics::fused::Fused + Send + Sync + 'static {
+    let (cfg, store) = (cfg.clone(), store.clone());
+    move |study| match store.open_reader(&cfg).and_then(|mut r| r.fused()) {
+        Ok(fused) => fused,
+        Err(_) => {
+            let metrics: Vec<_> = study.enriched_batches().cloned().collect();
+            let full = Study::from_enrichment(simulate(&cfg), metrics);
+            crowd_analytics::fused::compute(&full)
+        }
     }
 }
 
@@ -169,6 +324,105 @@ mod tests {
         // … but the degradation is counted, not silent.
         assert_eq!(store.swallowed_saves(), 1);
         let _ = std::fs::remove_file(&blocker);
+    }
+
+    /// Streamed cold build, streamed warm hit, and the monolithic cold
+    /// build agree bitwise on every derived quantity, and neither streamed
+    /// study ever held the instance table.
+    #[test]
+    fn streamed_cold_and_warm_match_monolithic_bitwise() {
+        let cfg = SimConfig::tiny(25);
+        let baseline = Study::new(simulate(&cfg));
+        let metrics = |s: &Study| -> Vec<_> { s.enriched_batches().cloned().collect() };
+
+        let store = temp_store("streamed-eq").with_shards(4);
+        let cold = study_from_config(&cfg, Some(&store)); // miss: streams build + write
+        assert!(store.path_for(&cfg).exists(), "streamed miss wrote a snapshot");
+        assert_eq!(store.swallowed_saves(), 0, "nothing degraded");
+        let warm = study_from_config(&cfg, Some(&store)); // hit: meta-only load
+
+        for s in [&cold, &warm] {
+            assert!(!s.columns_resident(), "streamed studies are columns-optional");
+            assert_eq!(s.n_instances(), baseline.n_instances());
+            assert_eq!(metrics(s), metrics(&baseline));
+            assert_eq!(s.fused(), baseline.fused(), "fused scan is bit-identical");
+        }
+        // The streamed snapshot is byte-identical to a monolithic save at
+        // the same shard count.
+        let streamed_bytes = std::fs::read(store.path_for(&cfg)).unwrap();
+        let snap = Snapshot {
+            dataset: simulate(&cfg),
+            derived: Some(compute_derived(&simulate(&cfg), ClusterParams::default())),
+        };
+        let monolithic = crate::encode_sharded(&snap, crate::fingerprint(&cfg), 4);
+        assert_eq!(streamed_bytes, monolithic);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// A corrupt snapshot under the final name is refused by the open
+    /// checks and the streamed warm start rebuilds (and rewrites) cleanly.
+    #[test]
+    fn streamed_warm_start_survives_a_corrupt_snapshot() {
+        let cfg = SimConfig::tiny(26);
+        let store = temp_store("streamed-corrupt").with_shards(3);
+        let _ = study_from_config(&cfg, Some(&store));
+        let path = store.path_for(&cfg);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Torn final bytes: the loader refuses with a typed error, never a
+        // partial dataset.
+        std::fs::write(&path, &pristine[..pristine.len() - 11]).unwrap();
+        assert!(matches!(
+            store.open_reader(&cfg).and_then(|r| r.into_snapshot()),
+            Err(crate::SnapshotError::Truncated)
+        ));
+        let rebuilt = study_from_config(&cfg, Some(&store));
+        assert_eq!(rebuilt.n_instances(), simulate(&cfg).instances.len());
+        assert_eq!(std::fs::read(&path).unwrap(), pristine, "fallback rewrote the snapshot");
+
+        // Flipped byte inside a shard section: meta verifies, the damaged
+        // shard is refused by its own checksum when the fused scan streams.
+        let mut bent = pristine.clone();
+        let at = bent.len() - 20;
+        bent[at] ^= 0x40;
+        std::fs::write(&path, &bent).unwrap();
+        let warm = study_from_config(&cfg, Some(&store));
+        // The warm hit loaded only meta (valid), so the corruption
+        // surfaces inside `fused_source`, which re-simulates.
+        assert_eq!(warm.fused(), Study::new(simulate(&cfg)).fused());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// `shards > 1` with nowhere to write degrades to the monolithic cold
+    /// build and counts the swallow — same contract as the shards=1 path.
+    #[test]
+    fn streamed_unwritable_store_degrades_to_cold() {
+        let blocker = std::env::temp_dir()
+            .join(format!("crowd-snapshot-warm-sblocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let store = SnapshotStore::new(blocker.join("store")).with_shards(8);
+        let cfg = SimConfig::tiny(27);
+        let study = study_from_config(&cfg, Some(&store));
+        assert!(study.columns_resident(), "fallback is the monolithic build");
+        assert_eq!(study.dataset().instances, simulate(&cfg).instances);
+        assert_eq!(store.swallowed_saves(), 1);
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    /// Changing cluster parameters against a streamed snapshot reuses the
+    /// on-disk dataset and rewrites the derived section, like shards=1.
+    #[test]
+    fn streamed_param_change_reuses_dataset_and_rewrites() {
+        let cfg = SimConfig::tiny(28);
+        let store = temp_store("streamed-params").with_shards(4);
+        let _ = study_from_config(&cfg, Some(&store));
+
+        let loose = ClusterParams { threshold: 0.3, ..ClusterParams::default() };
+        let relaxed = study_with_params(&cfg, loose, Some(&store));
+        let d = store.load(&cfg).expect("rewritten").derived.expect("derived present");
+        assert_eq!(d.params, loose);
+        assert_eq!(d.n_clusters, relaxed.clusters().len());
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

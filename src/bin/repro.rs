@@ -108,7 +108,13 @@ fn main() {
         );
         println!(
             "  --shards N          partition the instance table into N shards \
-             (scan + snapshot layout; results are bit-identical)"
+             (scan + snapshot layout; results are bit-identical).\n\
+             \x20                    With N > 1 the whole build streams: cold runs flush \
+             each finished\n\
+             \x20                    shard to the snapshot as it completes, warm runs load \
+             entities +\n\
+             \x20                    enrichment only, and no path holds more than ~one \
+             shard of rows."
         );
         println!("targets: all {}", ALL_TARGETS.join(" "));
         return;
@@ -118,9 +124,11 @@ fn main() {
     let scale = opts.scale;
 
     let study = opts.build_study().unwrap_or_else(|e| die(&e));
+    // `n_instances`, not `dataset().instances.len()`: a streamed (`--shards`
+    // > 1) study keeps the rows on disk and the resident table is empty.
     eprintln!(
         "enriched: {} instances, {} sampled batches, {} clusters\n",
-        study.dataset().instances.len(),
+        study.n_instances(),
         study.enriched_batches().count(),
         study.clusters().len()
     );
@@ -195,7 +203,7 @@ fn print_summary(study: &Study, x: f64) {
             paper.to_string(),
         ]
     };
-    t.add_row(row("task instances (sampled)", s.instances, x, "27M"));
+    t.add_row(row("task instances (sampled)", study.n_instances(), x, "27M"));
     t.add_row(row("batches (total)", s.batches, x.sqrt(), "58k"));
     t.add_row(row("batches (sampled)", s.batches_sampled, x.sqrt(), "12k"));
     t.add_row(row("distinct tasks", s.distinct_tasks, x.sqrt(), "6,600"));

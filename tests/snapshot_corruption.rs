@@ -149,10 +149,15 @@ fn damaged_shard_fails_independently_and_warm_recovers() {
         other => panic!("load: expected ShardCorrupt {{ shard: 1 }}, got {other:?}"),
     }
 
-    // Warm path: silent fallback, then a rewritten valid snapshot.
+    // Warm path at shards > 1 (DESIGN.md §16): header and meta are
+    // intact, so the columns-optional warm hit succeeds without touching
+    // the damaged section. The corruption is caught lazily when the
+    // fused scan streams that shard; the scan falls back to a fresh
+    // simulation, so every analytics result still matches a never-cached
+    // run even though the file itself is left as-is.
     let recovered = warm::study_from_config(&cfg, Some(&store));
-    assert_eq!(recovered.dataset().instances, baseline.dataset().instances);
-    let reloaded = store.load(&cfg).expect("snapshot was rewritten after fallback");
-    assert_eq!(reloaded.dataset.instances, baseline.dataset().instances);
+    assert_eq!(recovered.n_instances(), baseline.dataset().instances.len());
+    assert_eq!(cluster_labels(&recovered), cluster_labels(&baseline));
+    assert_eq!(recovered.fused(), baseline.fused(), "lazy fallback must match baseline");
     let _ = std::fs::remove_dir_all(store.dir());
 }
