@@ -73,7 +73,7 @@ pub struct WorkerAgg {
 }
 
 impl WorkerAgg {
-    fn new() -> WorkerAgg {
+    pub(crate) fn new() -> WorkerAgg {
         WorkerAgg {
             tasks: 0,
             work_secs: 0.0,
@@ -87,7 +87,7 @@ impl WorkerAgg {
         }
     }
 
-    fn absorb(&mut self, o: WorkerAgg) {
+    pub(crate) fn absorb(&mut self, o: WorkerAgg) {
         self.tasks += o.tasks;
         self.work_secs += o.work_secs;
         self.trust_sum += o.trust_sum;

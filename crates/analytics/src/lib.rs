@@ -37,6 +37,8 @@ pub mod marketplace;
 pub mod study;
 #[cfg(test)]
 pub(crate) mod testutil;
+pub mod view;
 pub mod workers;
 
 pub use study::{BatchMetrics, ClusterInfo, StreamingEnricher, Study};
+pub use view::{FusedView, ViewHandle, ViewSnapshot};

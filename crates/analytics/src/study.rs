@@ -99,8 +99,10 @@ pub struct Study {
     /// Columns-optional fused provider; `None` means scan `ds.instances`.
     fused_source: Option<FusedSource>,
     /// Raw instance-table aggregates from the one fused scan, computed on
-    /// first use (most analytics functions only shape this cache).
-    fused: OnceLock<Fused>,
+    /// first use (most analytics functions only shape this cache), paired
+    /// with the instance-column mutation count the scan observed so a
+    /// post-scan mutation is refused instead of silently served stale.
+    fused: OnceLock<(u64, Fused)>,
     /// Shards the fused scan partitions the instance table into (the
     /// `--shards` knob). Purely a scheduling/memory knob: the chunk-
     /// aligned [`ShardPlan`] makes any value produce bit-identical
@@ -242,11 +244,46 @@ impl Study {
     /// Public so `crowd-testkit` can differential-test the fused engine
     /// against its straight-line oracles; analytics callers should prefer
     /// the shaped module functions.
+    ///
+    /// # Panics
+    /// If the instance columns were mutated (via
+    /// [`instances_mut`](Self::instances_mut)) after the scan ran: the
+    /// cache would be stale, and serving it silently is exactly the bug
+    /// this refusal pins. Recompute by building a fresh `Study` — or keep
+    /// live data in a [`crate::view::FusedView`], which applies deltas
+    /// instead of memoizing one scan.
     pub fn fused(&self) -> &Fused {
-        self.fused.get_or_init(|| match &self.fused_source {
-            Some(source) => source(self),
-            None => crate::fused::compute(self),
-        })
+        let (scanned_at, fused) = self.fused.get_or_init(|| {
+            let stamp = self.ds.instances.mutation_count();
+            let fused = match &self.fused_source {
+                Some(source) => source(self),
+                None => crate::fused::compute(self),
+            };
+            (stamp, fused)
+        });
+        assert_eq!(
+            *scanned_at,
+            self.ds.instances.mutation_count(),
+            "instance columns mutated after the fused scan ran; the memoized \
+             aggregates are stale — rebuild the Study (or use a FusedView for \
+             live data)"
+        );
+        fused
+    }
+
+    /// Mutable access to the resident instance columns, for repair surgery
+    /// and tests. Any row-visible mutation after the fused scan already ran
+    /// makes [`fused`](Self::fused) refuse (panic) instead of serving the
+    /// stale cache.
+    ///
+    /// # Panics
+    /// In columns-optional mode (no resident columns to mutate).
+    pub fn instances_mut(&mut self) -> &mut InstanceColumns {
+        assert!(
+            self.columns_resident(),
+            "columns-optional studies have no resident instance columns to mutate"
+        );
+        &mut self.ds.instances
     }
 
     /// The underlying dataset. In columns-optional mode the instance table
@@ -665,6 +702,32 @@ mod tests {
                 "metrics exactly for sampled batches"
             );
         }
+    }
+
+    #[test]
+    fn fused_refuses_after_post_scan_mutation() {
+        // Regression: the memoized fused scan used to make any later data
+        // change silently invisible — the cache kept serving pre-mutation
+        // aggregates. It must refuse instead.
+        let mut s = Study::new(crowd_sim::simulate(&crowd_sim::SimConfig::tiny(77)));
+        let tasks_before: u64 = s.fused().workers.values().map(|w| w.tasks).sum();
+        assert!(tasks_before > 0);
+        let trust = s.dataset().instances.row(0).trust;
+        s.instances_mut().set_trust(0, (trust - 0.5).abs());
+        let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.fused().workers.len();
+        }));
+        assert!(refused.is_err(), "stale fused cache must be refused, not served");
+    }
+
+    #[test]
+    fn fused_allows_mutation_before_the_scan() {
+        let mut s = Study::new(crowd_sim::simulate(&crowd_sim::SimConfig::tiny(78)));
+        let trust = s.dataset().instances.row(0).trust;
+        s.instances_mut().set_trust(0, trust); // row-visible write, same value
+        let n = s.dataset().instances.len() as u64;
+        assert_eq!(s.fused().n_instances(), n, "pre-scan mutation is fine");
+        assert_eq!(s.fused().n_instances(), n, "and the cache stays valid");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Live-service benchmark: sustained event-apply throughput through the
+//! full `crowd-serve` path (wire parse already done; deltas converted,
+//! gauges bumped, snapshot published per batch), dashboard query latency
+//! against published snapshots, checkpoint write + restore cost, and the
+//! hardware-independent `delta_apply_speedup_vs_batch_rebuild` ratio the
+//! CI gate re-measures. Numbers land in `BENCH_serve.json` by hand — the
+//! run prints a ready-to-paste skeleton.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crowd_bench::bench_sim_config;
+use crowd_bench::shapes::{measure, view_rebuild_ratio};
+use crowd_ingest::load_events_str;
+use crowd_serve::query::dashboard;
+use crowd_serve::{CheckpointStore, EventFeed, LiveService};
+
+/// Events per applied delta — one fused chunk of completed rows.
+const DELTA_EVENTS: usize = 8192;
+/// Dashboard queries sampled for the latency percentiles.
+const QUERIES: usize = 512;
+
+fn percentile(sorted_us: &[f64], p: usize) -> f64 {
+    sorted_us[(sorted_us.len() * p / 100).min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let feed = EventFeed::from_config(&bench_sim_config());
+    let wire = feed.to_csv();
+    let log = load_events_str(&wire, &feed.entities).expect("clean bench feed");
+    let n_events = log.events.len();
+    let rows = log.completed_rows();
+    println!(
+        "serve bench workload: {} events, {} completed rows, deltas of {} events",
+        n_events,
+        rows.len(),
+        DELTA_EVENTS
+    );
+
+    // ---- sustained apply throughput -----------------------------------
+    let (apply_s, applied_rows) = measure(5, || {
+        let mut svc = LiveService::new(Arc::clone(&feed.entities));
+        for chunk in log.events.chunks(DELTA_EVENTS) {
+            svc.apply_events(chunk).expect("apply");
+        }
+        svc.rows().len() as u64
+    });
+    assert_eq!(applied_rows as usize, rows.len());
+    let events_per_s = n_events as f64 / apply_s;
+    println!(
+        "apply_stream: median {:.1} ms ({:.0} events/s, {} versions)",
+        apply_s * 1e3,
+        events_per_s,
+        n_events.div_ceil(DELTA_EVENTS)
+    );
+
+    // ---- dashboard latency against published snapshots ----------------
+    let ckpt_dir = std::env::temp_dir().join(format!("crowd-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let store = CheckpointStore::new(&ckpt_dir, 2017);
+    let mut svc =
+        LiveService::new(Arc::clone(&feed.entities)).with_checkpoints(store.clone(), u64::MAX);
+    for chunk in log.events.chunks(DELTA_EVENTS) {
+        svc.apply_events(chunk).expect("apply");
+    }
+    let handle = svc.handle();
+    let mut lat_us: Vec<f64> = (0..QUERIES)
+        .map(|_| {
+            let t = Instant::now();
+            let snap = handle.snapshot();
+            let dash = dashboard(&snap.view.fused, svc.entities());
+            std::hint::black_box(dash.n_instances);
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    lat_us.sort_by(f64::total_cmp);
+    let (p50, p99) = (percentile(&lat_us, 50), percentile(&lat_us, 99));
+    println!("dashboard_query: p50 {p50:.0} us, p99 {p99:.0} us over {QUERIES} queries");
+
+    // ---- checkpoint write + restore -----------------------------------
+    let (ckpt_s, _) = measure(5, || {
+        svc.checkpoint_now().expect("checkpoint");
+        svc.events_applied()
+    });
+    let (restore_s, restored_at) = measure(5, || {
+        let (restored, faults) = LiveService::restore(store.clone(), u64::MAX).expect("restore");
+        assert!(faults.is_empty());
+        restored.events_applied()
+    });
+    assert_eq!(restored_at, svc.events_applied());
+    println!(
+        "checkpoint: write median {:.1} ms, restore median {:.1} ms ({} events of state)",
+        ckpt_s * 1e3,
+        restore_s * 1e3,
+        restored_at
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    // ---- the gated ratio ----------------------------------------------
+    let ratio = view_rebuild_ratio(&feed.entities, &rows, DELTA_EVENTS);
+    println!("delta_apply_speedup_vs_batch_rebuild: {ratio:.2}");
+
+    println!("\npaste into BENCH_serve.json:");
+    println!(
+        "  \"results\": {{\n    \"apply_stream\": {{ \"median_ms\": {:.1}, \"events_per_s\": {:.0} }},\n    \"dashboard_query\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n    \"checkpoint_write\": {{ \"median_ms\": {:.1} }},\n    \"checkpoint_restore\": {{ \"median_ms\": {:.1} }}\n  }},\n  \"delta_apply_speedup_vs_batch_rebuild\": {:.2}",
+        apply_s * 1e3,
+        events_per_s,
+        p50,
+        p99,
+        ckpt_s * 1e3,
+        restore_s * 1e3,
+        ratio
+    );
+}

@@ -7,9 +7,11 @@
 
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
-use crowd_core::dataset::{Dataset, InstanceRef};
+use crowd_analytics::FusedView;
+use crowd_core::dataset::{Dataset, InstanceColumns, InstanceRef};
 use crowd_core::{Accumulator, InstanceId, ScanPass};
 
 /// Instances issued per day — `arrivals::daily_load` shape.
@@ -167,6 +169,55 @@ pub fn run_per_module(ds: &Dataset) -> u64 {
     black_box(ScanPass::run(ds, &PerWorkerTasks::default()));
     black_box(ScanPass::run(ds, &PerItemJudgments::default()));
     MODULES * ds.instances.len() as u64
+}
+
+/// Incremental refresh vs rebuild-from-zero for the live fused view:
+/// applies `rows` to a [`FusedView`] in `delta`-row batches once, then
+/// rebuilds a fresh view over the full prefix at every one of those same
+/// boundaries — the cost a naive "recompute on refresh" service pays.
+/// Returns rebuild-time / incremental-time (bigger is better).
+///
+/// The shape of the ratio is what the gate pins: with D equal deltas the
+/// rebuild side scans ~D/2 times more rows, so the ratio collapses
+/// toward 1 exactly when `FusedView::apply` degrades into re-folding the
+/// whole accumulated prefix per delta — the regression this guards.
+pub fn view_rebuild_ratio(entities: &Arc<Dataset>, rows: &InstanceColumns, delta: usize) -> f64 {
+    let n = rows.len();
+    assert!(n > 0 && delta > 0, "ratio needs a non-empty workload");
+    let mut cuts = Vec::new();
+    let mut at = 0;
+    while at < n {
+        at = (at + delta).min(n);
+        cuts.push(at);
+    }
+    let deltas: Vec<InstanceColumns> = cuts
+        .iter()
+        .scan(0, |prev, &cut| {
+            let d = rows.clone_range(*prev..cut);
+            *prev = cut;
+            Some(d)
+        })
+        .collect();
+    let prefixes: Vec<InstanceColumns> = cuts.iter().map(|&cut| rows.clone_range(0..cut)).collect();
+
+    let (incremental, applied) = measure(5, || {
+        let mut view = FusedView::new(Arc::clone(entities));
+        let mut last = 0;
+        for d in &deltas {
+            last = view.apply(d).fused.n_instances();
+        }
+        last
+    });
+    assert_eq!(applied, n as u64);
+    let (rebuild, _) = measure(3, || {
+        let mut last = 0;
+        for p in &prefixes {
+            let mut view = FusedView::new(Arc::clone(entities));
+            last = view.apply(p).fused.n_instances();
+        }
+        last
+    });
+    rebuild / incremental
 }
 
 /// Median wall-clock of `runs` calls to `f`, with the value `f` returned.

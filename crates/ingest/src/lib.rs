@@ -32,11 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod fault;
 pub mod loader;
 pub mod retry;
 pub mod source;
 
+pub use events::{
+    event_log_to_csv, events_from_dataset, load_events, load_events_str, EventLog, EventOptions,
+    EventStreamError, MarketEvent,
+};
 pub use fault::{ChaosReader, Fault, FaultKind, FaultPlan};
 pub use loader::{ingest, ingest_dir, IngestFailure, IngestOptions, Ingested, CHUNK};
 pub use retry::{is_transient, read_all_with_retry, Backoff, Clock, ManualClock, SystemClock};

@@ -1,0 +1,300 @@
+//! Crash-safe service checkpoints.
+//!
+//! A checkpoint file is a small fixed-width header (magic, stream id,
+//! progress counters, header checksum) followed by a standard
+//! `crowd-snapshot` payload carrying the entity tables plus every
+//! instance row applied so far. The snapshot fingerprint field holds the
+//! *stream id*, so a checkpoint from a different stream is rejected by
+//! the payload decoder exactly like a snapshot for the wrong config.
+//!
+//! Writes are atomic (temp file + rename), so a crash mid-write leaves
+//! either the previous set intact or a stray temp file — never a half
+//! checkpoint under a final name. Restores scan newest-to-oldest and
+//! fall back past torn or corrupt files, returning the skipped files as
+//! typed [`CheckpointFault`]s so callers can report (or alert on) the
+//! damage they stepped over.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crowd_core::dataset::Dataset;
+use crowd_snapshot::format::checksum;
+use crowd_snapshot::{decode, encode, Snapshot, SnapshotError};
+
+/// File magic for serve checkpoints (distinct from snapshot files).
+pub const CKPT_MAGIC: [u8; 8] = *b"CSRVCKP1";
+
+/// Fixed header size: magic + 5 × u64 counters + u64 checksum.
+const HEADER_LEN: usize = 8 + 6 * 8;
+
+/// Everything needed to resume a [`crate::LiveService`].
+#[derive(Debug, Clone)]
+pub struct CheckpointState {
+    /// Identifies the event stream this checkpoint belongs to.
+    pub stream_id: u64,
+    /// Events applied when the checkpoint was taken.
+    pub events_applied: u64,
+    /// Published service version at the checkpoint.
+    pub version: u64,
+    /// `Posted` events seen.
+    pub posted: u64,
+    /// `PickedUp` events seen.
+    pub picked_up: u64,
+    /// Entity tables plus all instance rows applied so far, in applied
+    /// order.
+    pub dataset: Dataset,
+}
+
+/// One unusable checkpoint file a restore stepped over.
+#[derive(Debug)]
+pub struct CheckpointFault {
+    /// The damaged file.
+    pub path: PathBuf,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// Typed failure of a checkpoint operation.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error reading or writing the checkpoint directory.
+    Io(std::io::Error),
+    /// No checkpoint file could be restored; carries one fault per file
+    /// tried (empty when the directory held no checkpoints at all).
+    NoValidCheckpoint {
+        /// The rejected candidates, newest first.
+        faults: Vec<CheckpointFault>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::NoValidCheckpoint { faults } if faults.is_empty() => {
+                write!(f, "no checkpoint files present")
+            }
+            CheckpointError::NoValidCheckpoint { faults } => {
+                write!(
+                    f,
+                    "no valid checkpoint among {} candidates (newest: {})",
+                    faults.len(),
+                    faults[0].reason
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A directory of checkpoints for one event stream.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    stream_id: u64,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` for stream `stream_id`. The directory is
+    /// created on the first write.
+    pub fn new(dir: impl Into<PathBuf>, stream_id: u64) -> CheckpointStore {
+        CheckpointStore { dir: dir.into(), stream_id }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stream id checkpoints are keyed by.
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+
+    /// File path for a checkpoint at `events_applied`.
+    pub fn path_for(&self, events_applied: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{:016x}-{events_applied:020}.bin", self.stream_id))
+    }
+
+    /// Existing checkpoint files for this stream, oldest first.
+    pub fn list(&self) -> Vec<PathBuf> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else { return out };
+        let prefix = format!("ckpt-{:016x}-", self.stream_id);
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(&prefix) && name.ends_with(".bin") {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Atomically writes a checkpoint; returns its final path.
+    pub fn write(&self, state: &CheckpointState) -> Result<PathBuf, CheckpointError> {
+        assert_eq!(state.stream_id, self.stream_id, "checkpoint stream id mismatch");
+        fs::create_dir_all(&self.dir)?;
+        let bytes = encode_checkpoint(state);
+        let path = self.path_for(state.events_applied);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Loads one checkpoint file, verifying header and payload.
+    pub fn load(&self, path: &Path) -> Result<CheckpointState, String> {
+        let bytes = fs::read(path).map_err(|e| format!("read: {e}"))?;
+        decode_checkpoint(&bytes, self.stream_id)
+    }
+
+    /// Restores the newest valid checkpoint, stepping over torn or
+    /// corrupt files. Returns the state plus one [`CheckpointFault`] per
+    /// skipped file (newest first).
+    pub fn load_latest(&self) -> Result<(CheckpointState, Vec<CheckpointFault>), CheckpointError> {
+        let mut faults = Vec::new();
+        for path in self.list().into_iter().rev() {
+            match self.load(&path) {
+                Ok(state) => return Ok((state, faults)),
+                Err(reason) => faults.push(CheckpointFault { path, reason }),
+            }
+        }
+        Err(CheckpointError::NoValidCheckpoint { faults })
+    }
+}
+
+fn encode_checkpoint(state: &CheckpointState) -> Vec<u8> {
+    let payload =
+        encode(&Snapshot { dataset: state.dataset.clone(), derived: None }, state.stream_id);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&CKPT_MAGIC);
+    for v in [state.stream_id, state.events_applied, state.version, state.posted, state.picked_up] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let hdr_checksum = checksum(&out);
+    out.extend_from_slice(&hdr_checksum.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_checkpoint(bytes: &[u8], stream_id: u64) -> Result<CheckpointState, String> {
+    if bytes.len() < HEADER_LEN {
+        return Err("truncated header".into());
+    }
+    if bytes[..8] != CKPT_MAGIC {
+        return Err("bad checkpoint magic".into());
+    }
+    let u64_at = |i: usize| {
+        let off = 8 + i * 8;
+        u64::from_le_bytes(bytes[off..off + 8].try_into().expect("fixed-width header"))
+    };
+    let want = checksum(&bytes[..HEADER_LEN - 8]);
+    if u64_at(5) != want {
+        return Err("header checksum mismatch".into());
+    }
+    if u64_at(0) != stream_id {
+        return Err(format!("stream id {:#x}, expected {stream_id:#x}", u64_at(0)));
+    }
+    let snapshot = decode(&bytes[HEADER_LEN..], stream_id)
+        .map_err(|e: SnapshotError| format!("payload: {e}"))?;
+    Ok(CheckpointState {
+        stream_id,
+        events_applied: u64_at(1),
+        version: u64_at(2),
+        posted: u64_at(3),
+        picked_up: u64_at(4),
+        dataset: snapshot.dataset,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::fixture::Fixture;
+    use crowd_core::Duration;
+
+    fn state(events: u64) -> CheckpointState {
+        let mut fx = Fixture::new();
+        let w = fx.add_worker();
+        let b = fx.add_batch(Duration::ZERO);
+        fx.instance(b, 0, w, 60, 30);
+        CheckpointState {
+            stream_id: 0xfeed,
+            events_applied: events,
+            version: events / 2,
+            posted: 1,
+            picked_up: 1,
+            dataset: fx.finish(),
+        }
+    }
+
+    #[test]
+    fn round_trip_restores_counters_and_rows() {
+        let dir = std::env::temp_dir().join(format!("crowd-serve-ckpt-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir, 0xfeed);
+        store.write(&state(10)).unwrap();
+        store.write(&state(20)).unwrap();
+        let (got, faults) = store.load_latest().unwrap();
+        assert!(faults.is_empty());
+        assert_eq!(got.events_applied, 20);
+        assert_eq!(got.posted, 1);
+        assert_eq!(got.dataset.instances.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_newest_falls_back_to_previous_with_typed_fault() {
+        let dir = std::env::temp_dir().join(format!("crowd-serve-torn-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir, 0xfeed);
+        store.write(&state(10)).unwrap();
+        let newest = store.write(&state(20)).unwrap();
+        // Tear the newest file mid-payload.
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let (got, faults) = store.load_latest().unwrap();
+        assert_eq!(got.events_applied, 10);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].path, newest);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_torn_is_a_typed_error_listing_every_candidate() {
+        let dir = std::env::temp_dir().join(format!("crowd-serve-dead-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir, 0xfeed);
+        for ev in [10, 20] {
+            let p = store.write(&state(ev)).unwrap();
+            fs::write(&p, b"CSRVCKP1 garbage").unwrap();
+        }
+        match store.load_latest() {
+            Err(CheckpointError::NoValidCheckpoint { faults }) => assert_eq!(faults.len(), 2),
+            other => panic!("expected NoValidCheckpoint, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_stream_id_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("crowd-serve-stream-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir, 0xfeed);
+        store.write(&state(10)).unwrap();
+        let other = CheckpointStore::new(&dir, 0xbeef);
+        assert!(matches!(other.load_latest(), Err(CheckpointError::NoValidCheckpoint { .. })));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

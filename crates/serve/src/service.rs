@@ -1,0 +1,389 @@
+//! The live service: one writer applying event deltas, many readers
+//! querying published snapshots.
+//!
+//! Concurrency contract (what `serve_concurrent.rs` stress-tests):
+//!
+//! - [`LiveService`] is the single writer. [`apply_events`] folds a batch
+//!   of events into the delta-applied [`FusedView`], then publishes a new
+//!   immutable [`ServiceSnapshot`] by swapping an `Arc` under a write
+//!   lock.
+//! - [`ServiceHandle`] is the cloneable reader. [`snapshot`] clones the
+//!   current `Arc` under the read lock — the lock is held for one
+//!   refcount bump, and all query work runs against the immutable
+//!   snapshot afterwards. A reader therefore observes exactly one fully
+//!   published version (never a torn mix) and versions are monotone.
+//!
+//! Equivalence contract: every published snapshot's fused aggregates
+//! equal a cold batch [`Study`](crowd_analytics::Study) over the same
+//! event prefix. [`batch_study`] rebuilds that oracle on demand.
+//!
+//! [`apply_events`]: LiveService::apply_events
+//! [`snapshot`]: ServiceHandle::snapshot
+//! [`batch_study`]: LiveService::batch_study
+
+use std::fmt;
+use std::io::Read;
+use std::sync::{Arc, RwLock};
+
+use crowd_analytics::view::ViewSnapshot;
+use crowd_analytics::{FusedView, Study};
+use crowd_core::dataset::{Dataset, InstanceColumns};
+use crowd_core::provenance::TableReport;
+use crowd_ingest::events::{load_events, EventOptions, EventStreamError};
+use crowd_ingest::MarketEvent;
+
+use crate::checkpoint::{CheckpointError, CheckpointFault, CheckpointState, CheckpointStore};
+use crate::replay::entities_only;
+
+/// Monotone event counters, published with every snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauges {
+    /// `Posted` events applied.
+    pub posted: u64,
+    /// `PickedUp` events applied.
+    pub picked_up: u64,
+    /// `Completed` events applied (equals the view's row count).
+    pub completed: u64,
+}
+
+/// One published, immutable service state.
+#[derive(Debug)]
+pub struct ServiceSnapshot {
+    /// Service publish counter: 0 at start, +1 per applied batch.
+    pub version: u64,
+    /// Total events applied through this snapshot.
+    pub events_applied: u64,
+    /// Event counters at this snapshot.
+    pub gauges: Gauges,
+    /// The fused analytics state over exactly the completed rows applied
+    /// so far.
+    pub view: Arc<ViewSnapshot>,
+}
+
+/// Cloneable read handle onto the latest published [`ServiceSnapshot`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<RwLock<Arc<ServiceSnapshot>>>,
+}
+
+impl ServiceHandle {
+    /// The latest fully published snapshot.
+    pub fn snapshot(&self) -> Arc<ServiceSnapshot> {
+        Arc::clone(&self.shared.read().expect("service lock poisoned"))
+    }
+}
+
+/// Typed failure of a service operation.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The event stream failed to load.
+    Stream(EventStreamError),
+    /// A checkpoint write or restore failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Stream(e) => write!(f, "{e}"),
+            ServeError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EventStreamError> for ServeError {
+    fn from(e: EventStreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+/// Summary of one [`LiveService::ingest_stream`] run.
+#[derive(Debug, Clone)]
+pub struct IngestSummary {
+    /// Accept/repair/dedup/quarantine accounting from the event loader.
+    pub report: TableReport,
+    /// Delta batches applied.
+    pub batches: u64,
+    /// Events applied by this run.
+    pub events_applied: u64,
+    /// Service version after the run.
+    pub version: u64,
+}
+
+/// The single-writer live analytics service.
+pub struct LiveService {
+    entities: Arc<Dataset>,
+    view: FusedView,
+    rows: InstanceColumns,
+    gauges: Gauges,
+    events_applied: u64,
+    version: u64,
+    shared: Arc<RwLock<Arc<ServiceSnapshot>>>,
+    checkpoints: Option<(CheckpointStore, u64)>,
+}
+
+impl LiveService {
+    /// A fresh service over `entities` (instance table must be empty —
+    /// rows arrive as events).
+    pub fn new(entities: Arc<Dataset>) -> LiveService {
+        let view = FusedView::new(Arc::clone(&entities));
+        let snap = Arc::new(ServiceSnapshot {
+            version: 0,
+            events_applied: 0,
+            gauges: Gauges::default(),
+            view: view.handle().snapshot(),
+        });
+        LiveService {
+            entities,
+            view,
+            rows: InstanceColumns::default(),
+            gauges: Gauges::default(),
+            events_applied: 0,
+            version: 0,
+            shared: Arc::new(RwLock::new(snap)),
+            checkpoints: None,
+        }
+    }
+
+    /// Enables periodic checkpoints: one is written whenever
+    /// `events_applied` crosses a multiple of `every_events`.
+    pub fn with_checkpoints(mut self, store: CheckpointStore, every_events: u64) -> LiveService {
+        assert!(every_events > 0, "checkpoint cadence must be positive");
+        self.checkpoints = Some((store, every_events));
+        self
+    }
+
+    /// Restores from the newest valid checkpoint in `store`, stepping
+    /// over torn files. Returns the resumed service plus the faults
+    /// skipped; apply the event-stream tail from
+    /// [`events_applied`](LiveService::events_applied) onward to catch
+    /// up.
+    pub fn restore(
+        store: CheckpointStore,
+        every_events: u64,
+    ) -> Result<(LiveService, Vec<CheckpointFault>), ServeError> {
+        let (state, faults) = store.load_latest().map_err(ServeError::Checkpoint)?;
+        let entities = Arc::new(entities_only(&state.dataset));
+        let rows = state.dataset.instances.clone_range(0..state.dataset.instances.len());
+        let mut view = FusedView::new(Arc::clone(&entities));
+        view.apply(&rows);
+        let gauges = Gauges {
+            posted: state.posted,
+            picked_up: state.picked_up,
+            completed: rows.len() as u64,
+        };
+        let snap = Arc::new(ServiceSnapshot {
+            version: state.version,
+            events_applied: state.events_applied,
+            gauges,
+            view: view.handle().snapshot(),
+        });
+        let service = LiveService {
+            entities,
+            view,
+            rows,
+            gauges,
+            events_applied: state.events_applied,
+            version: state.version,
+            shared: Arc::new(RwLock::new(snap)),
+            checkpoints: Some((store, every_events)),
+        };
+        Ok((service, faults))
+    }
+
+    /// The entity tables the service was started with.
+    pub fn entities(&self) -> &Arc<Dataset> {
+        &self.entities
+    }
+
+    /// All completed rows applied so far, in applied order.
+    pub fn rows(&self) -> &InstanceColumns {
+        &self.rows
+    }
+
+    /// Total events applied.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Current published version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current event counters.
+    pub fn gauges(&self) -> Gauges {
+        self.gauges
+    }
+
+    /// A reader handle; clone freely across threads.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Applies one batch of events (in the given order) and publishes the
+    /// resulting snapshot. Empty batches publish too — a heartbeat
+    /// version bump with unchanged aggregates.
+    pub fn apply_events(
+        &mut self,
+        events: &[MarketEvent],
+    ) -> Result<Arc<ServiceSnapshot>, ServeError> {
+        let before = self.events_applied;
+        let mut delta = InstanceColumns::default();
+        for ev in events {
+            match ev {
+                MarketEvent::Posted { .. } => self.gauges.posted += 1,
+                MarketEvent::PickedUp { .. } => self.gauges.picked_up += 1,
+                MarketEvent::Completed { row, .. } => {
+                    self.gauges.completed += 1;
+                    delta.push(row.clone());
+                }
+            }
+        }
+        self.rows.extend_from(&delta, 0..delta.len());
+        let view_snap = self.view.apply(&delta);
+        self.events_applied += events.len() as u64;
+        self.version += 1;
+        let snap = Arc::new(ServiceSnapshot {
+            version: self.version,
+            events_applied: self.events_applied,
+            gauges: self.gauges,
+            view: view_snap,
+        });
+        *self.shared.write().expect("service lock poisoned") = Arc::clone(&snap);
+        if let Some((store, every)) = &self.checkpoints {
+            if self.events_applied / every > before / every {
+                let state = self.checkpoint_state();
+                store.write(&state).map_err(ServeError::Checkpoint)?;
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Loads an event stream through the resilient ingest path and
+    /// applies it in batches of `batch_events` events (canonical order).
+    pub fn ingest_stream(
+        &mut self,
+        reader: &mut dyn Read,
+        opts: &EventOptions,
+        batch_events: usize,
+    ) -> Result<IngestSummary, ServeError> {
+        assert!(batch_events > 0, "batch size must be positive");
+        let log = load_events(reader, &self.entities, opts)?;
+        let mut batches = 0u64;
+        let mut applied = 0u64;
+        for chunk in log.events.chunks(batch_events) {
+            self.apply_events(chunk)?;
+            batches += 1;
+            applied += chunk.len() as u64;
+        }
+        Ok(IngestSummary {
+            report: log.report,
+            batches,
+            events_applied: applied,
+            version: self.version,
+        })
+    }
+
+    /// Writes a checkpoint now (regardless of cadence). Panics if the
+    /// service has no checkpoint store configured.
+    pub fn checkpoint_now(&self) -> Result<std::path::PathBuf, ServeError> {
+        let (store, _) =
+            self.checkpoints.as_ref().expect("checkpoint_now requires with_checkpoints/restore");
+        store.write(&self.checkpoint_state()).map_err(ServeError::Checkpoint)
+    }
+
+    fn checkpoint_state(&self) -> CheckpointState {
+        let (store, _) = self.checkpoints.as_ref().expect("checked by callers");
+        let mut dataset = entities_only(&self.entities);
+        dataset.instances = self.rows.clone_range(0..self.rows.len());
+        CheckpointState {
+            stream_id: store.stream_id(),
+            events_applied: self.events_applied,
+            version: self.version,
+            posted: self.gauges.posted,
+            picked_up: self.gauges.picked_up,
+            dataset,
+        }
+    }
+
+    /// The cold batch oracle: a fresh [`Study`] over the entities plus
+    /// every row applied so far — what the published view must equal.
+    pub fn batch_study(&self) -> Study {
+        let mut ds = entities_only(&self.entities);
+        ds.instances = self.rows.clone_range(0..self.rows.len());
+        Study::new(ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::EventFeed;
+    use crowd_sim::SimConfig;
+
+    #[test]
+    fn applying_the_full_feed_matches_the_batch_study() {
+        let feed = EventFeed::from_config(&SimConfig::tiny(51));
+        let mut svc = LiveService::new(Arc::clone(&feed.entities));
+        let summary = svc
+            .ingest_stream(&mut feed.to_csv().as_bytes(), &EventOptions::default(), 2000)
+            .expect("clean feed");
+        assert_eq!(summary.report.verified, Some(true));
+        assert_eq!(svc.gauges().completed as usize, feed.n_completed());
+        assert_eq!(svc.gauges().posted as usize, feed.entities.batches.len());
+
+        let snap = svc.handle().snapshot();
+        assert_eq!(snap.version, summary.version);
+        assert_eq!(snap.view.rows, feed.n_completed());
+        let diffs = crowd_testkit::compare_fused(
+            &snap.view.fused,
+            svc.batch_study().fused(),
+            crowd_testkit::differential::FloatMode::OrderTolerant,
+        );
+        assert!(diffs.is_empty(), "live view diverged from batch study:\n{}", diffs.join("\n"));
+    }
+
+    #[test]
+    fn empty_batches_publish_heartbeat_versions() {
+        let feed = EventFeed::from_config(&SimConfig::tiny(52));
+        let mut svc = LiveService::new(Arc::clone(&feed.entities));
+        let v1 = svc.apply_events(&[]).unwrap();
+        let v2 = svc.apply_events(&[]).unwrap();
+        assert_eq!((v1.version, v2.version), (1, 2));
+        assert_eq!(v2.view.fused.n_instances(), 0);
+    }
+
+    #[test]
+    fn checkpoint_cadence_restores_to_the_same_state() {
+        let dir = std::env::temp_dir().join(format!("crowd-serve-svc-{}", std::process::id()));
+        let feed = EventFeed::from_config(&SimConfig::tiny(53));
+        let store = CheckpointStore::new(&dir, 53);
+        let mut svc =
+            LiveService::new(Arc::clone(&feed.entities)).with_checkpoints(store.clone(), 500);
+        let log = crowd_ingest::load_events_str(&feed.to_csv(), &feed.entities).unwrap();
+        for chunk in log.events.chunks(250) {
+            svc.apply_events(chunk).unwrap();
+        }
+        assert!(!store.list().is_empty(), "cadence must have produced checkpoints");
+
+        let (restored, faults) = LiveService::restore(store, 500).unwrap();
+        assert!(faults.is_empty());
+        // The newest checkpoint may trail the live service by < cadence
+        // events; replay the tail to catch up.
+        let tail = &log.events[restored.events_applied() as usize..];
+        let mut restored = restored;
+        restored.apply_events(tail).unwrap();
+        assert_eq!(restored.gauges(), svc.gauges());
+        assert_eq!(restored.handle().snapshot().view.fused, svc.handle().snapshot().view.fused);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -16,6 +16,10 @@
 //!   deterministic edge-case datasets (empty tables, single instances,
 //!   duplicate timestamps, median ties, chunk-boundary sizes) that explore
 //!   corners the simulator never emits;
+//! * [`view`] — the live-path differential: a delta-applied
+//!   [`FusedView`](crowd_analytics::FusedView) fed through the
+//!   damaged-in-transit event-stream loader and checked against cold
+//!   batch studies at every delta boundary;
 //! * [`paper_invariants`] — a conformance suite asserting the simulator
 //!   and analytics jointly reproduce the paper's qualitative findings
 //!   (effect directions, dominance relations, saturation shapes), each
@@ -33,7 +37,9 @@ pub mod differential;
 pub mod generators;
 pub mod oracle;
 pub mod paper_invariants;
+pub mod view;
 
 pub use differential::{assert_study_matches_oracle, compare_fused, fused_with_shards};
 pub use oracle::oracle_fused;
 pub use paper_invariants::{check_all, Invariant};
+pub use view::{assert_view_matches_batch, delta_cuts};

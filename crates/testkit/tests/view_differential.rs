@@ -1,0 +1,45 @@
+//! Live-view differential suite: the incremental `FusedView` must equal
+//! a cold batch `Study` at every delta boundary — over the deterministic
+//! edge catalog, seeded adversarial event streams, and a simulated
+//! marketplace — with the stream itself damaged in transit (reversed +
+//! replayed records) and recovered through the event loader.
+
+use crowd_sim::{simulate, SimConfig};
+use crowd_testkit::assert_view_matches_batch;
+use crowd_testkit::generators::{
+    edge_case_datasets, small_adversarial, sparse_timeline, ties_and_duplicates,
+};
+use proptest::prelude::*;
+
+#[test]
+fn edge_catalog_views_match_batch() {
+    for (name, ds) in edge_case_datasets() {
+        eprintln!("view differential: edge case `{name}` ({} instances)", ds.instances.len());
+        // Chunk-boundary cases get cuts that straddle the chunk width;
+        // everything else gets a handful of uneven deltas.
+        let deltas = if ds.instances.len() >= 8192 { 5 } else { 3 };
+        assert_view_matches_batch(&ds, deltas);
+    }
+}
+
+proptest! {
+    #[test]
+    fn small_adversarial_views_match_batch(ds in small_adversarial()) {
+        assert_view_matches_batch(&ds, 4);
+    }
+
+    #[test]
+    fn tied_and_duplicated_views_match_batch(ds in ties_and_duplicates()) {
+        assert_view_matches_batch(&ds, 3);
+    }
+
+    #[test]
+    fn sparse_timeline_views_match_batch(ds in sparse_timeline()) {
+        assert_view_matches_batch(&ds, 2);
+    }
+}
+
+#[test]
+fn simulated_tiny_scale_view_matches_batch() {
+    assert_view_matches_batch(&simulate(&SimConfig::tiny(9)), 3);
+}

@@ -1,0 +1,264 @@
+//! `serve` — runs the live incremental analytics service against a
+//! replayed marketplace event stream.
+//!
+//! ```text
+//! serve [--scale S] [--seed N] [--threads T] [--batch-events N]
+//!       [--readers M] [--checkpoint-dir DIR] [--checkpoint-every N]
+//!       [--verify]
+//! ```
+//!
+//! The simulated dataset is split into entity tables plus the event feed
+//! a live platform would have emitted; the feed goes through the
+//! `crowd-ingest` wire format (retry/quarantine/reorder/digest) and is
+//! applied to the service in batches while `--readers` query threads
+//! continuously render dashboards against published snapshots. The run
+//! reports sustained apply throughput, query latency percentiles, and
+//! (with `--verify`) the incremental-vs-batch differential.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crowd_ingest::events::EventOptions;
+use crowd_marketplace::cli::CommonOpts;
+use crowd_serve::query::dashboard;
+use crowd_serve::{CheckpointStore, EventFeed, LiveService};
+use crowd_sim::SimConfig;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    opts: CommonOpts,
+    batch_events: usize,
+    readers: usize,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    checkpoint_every: u64,
+    verify: bool,
+    help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            opts: CommonOpts::default(),
+            batch_events: 8192,
+            readers: 2,
+            checkpoint_dir: None,
+            checkpoint_every: 100_000,
+            verify: false,
+            help: false,
+        }
+    }
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        if out.opts.accept(&arg, &mut args)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--help" | "-h" => out.help = true,
+            "--verify" => out.verify = true,
+            "--batch-events" => {
+                out.batch_events = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--batch-events needs a positive integer")?;
+            }
+            "--readers" => {
+                out.readers =
+                    args.next().and_then(|v| v.parse().ok()).ok_or("--readers needs an integer")?;
+            }
+            "--checkpoint-dir" => {
+                let dir = args.next().ok_or("--checkpoint-dir needs a directory path")?;
+                if dir.is_empty() {
+                    return Err("--checkpoint-dir needs a directory path".into());
+                }
+                out.checkpoint_dir = Some(dir.into());
+            }
+            "--checkpoint-every" => {
+                out.checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--checkpoint-every needs a positive integer")?;
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(out)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
+    if args.help {
+        println!(
+            "usage: serve [--scale S] [--seed N] [--threads T] [--batch-events N] \
+             [--readers M] [--checkpoint-dir DIR] [--checkpoint-every N] [--verify]"
+        );
+        println!("  --batch-events N     events per applied delta batch (default 8192)");
+        println!("  --readers M          concurrent dashboard query threads (default 2)");
+        println!("  --checkpoint-dir DIR persist periodic checkpoints under DIR");
+        println!("  --checkpoint-every N checkpoint cadence in events (default 100000)");
+        println!(
+            "  --verify             rebuild the batch study and check the live view against it"
+        );
+        return;
+    }
+    args.opts.install_thread_pool().unwrap_or_else(|e| die(&e));
+
+    let cfg = SimConfig::new(args.opts.seed, args.opts.scale);
+    eprintln!("simulating feed at scale {} (seed {}) …", cfg.scale, cfg.seed);
+    let feed = EventFeed::from_config(&cfg);
+    let wire = feed.to_csv();
+    eprintln!(
+        "feed: {} events ({} completions), {:.1} MiB on the wire",
+        feed.events.len(),
+        feed.n_completed(),
+        wire.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    let mut service = LiveService::new(Arc::clone(&feed.entities));
+    if let Some(dir) = &args.checkpoint_dir {
+        let store = CheckpointStore::new(dir, cfg.seed);
+        service = service.with_checkpoints(store, args.checkpoint_every);
+    }
+
+    // Readers race the writer: each loops grabbing the latest snapshot and
+    // rendering the full dashboard until the writer finishes.
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let entities = Arc::clone(&feed.entities);
+    let readers: Vec<_> = (0..args.readers)
+        .map(|_| {
+            let handle = service.handle();
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            let entities = Arc::clone(&entities);
+            std::thread::spawn(move || {
+                let mut last_version = 0u64;
+                let mut latencies_us = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let snap = handle.snapshot();
+                    assert!(snap.version >= last_version, "versions must be monotone");
+                    last_version = snap.version;
+                    let dash = dashboard(&snap.view.fused, &entities);
+                    assert_eq!(dash.n_instances, snap.view.rows as u64, "torn snapshot");
+                    latencies_us.push(t.elapsed().as_micros() as u64);
+                    queries.fetch_add(1, Ordering::Relaxed);
+                }
+                latencies_us
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let summary = service
+        .ingest_stream(&mut wire.as_bytes(), &EventOptions::default(), args.batch_events)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<u64> =
+        readers.into_iter().flat_map(|r| r.join().expect("reader panicked")).collect();
+    latencies.sort_unstable();
+
+    let events_per_sec = summary.events_applied as f64 / elapsed.as_secs_f64();
+    println!(
+        "applied {} events in {} batches over {:.2}s — {:.0} events/s, final version {}",
+        summary.events_applied,
+        summary.batches,
+        elapsed.as_secs_f64(),
+        events_per_sec,
+        summary.version
+    );
+    println!(
+        "ingest: accepted {} repaired {} deduped {} quarantined {} (digest verified: {:?})",
+        summary.report.accepted,
+        summary.report.repaired,
+        summary.report.deduped,
+        summary.report.quarantined,
+        summary.report.verified
+    );
+    let total_queries = queries.load(Ordering::Relaxed);
+    if !latencies.is_empty() {
+        let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+        println!(
+            "queries: {} dashboards across {} readers — p50 {}µs p99 {}µs",
+            total_queries,
+            args.readers,
+            pct(0.50),
+            pct(0.99)
+        );
+    }
+
+    let snap = service.handle().snapshot();
+    let dash = dashboard(&snap.view.fused, service.entities());
+    println!(
+        "live view: {} instances, {} workers, {} weeks, median trust {:.3}",
+        dash.n_instances,
+        dash.n_workers,
+        snap.view.fused.n_weeks,
+        dash.median_trust.unwrap_or(f64::NAN)
+    );
+
+    if args.verify {
+        eprintln!("verify: rebuilding cold batch study …");
+        let batch = service.batch_study();
+        let live = &snap.view.fused;
+        let cold = batch.fused();
+        let mut bad = Vec::new();
+        if live.n_instances() != cold.n_instances() {
+            bad.push("n_instances".to_string());
+        }
+        if live.issued != cold.issued || live.completed != cold.completed {
+            bad.push("weekly throughput".to_string());
+        }
+        if live.median_pickup != cold.median_pickup {
+            bad.push("median pickup".to_string());
+        }
+        if live.workers.len() != cold.workers.len() {
+            bad.push("worker count".to_string());
+        }
+        if live.per_item != cold.per_item {
+            bad.push("per-item judgments".to_string());
+        }
+        if bad.is_empty() {
+            println!("verify: live view ≡ batch study ✓");
+        } else {
+            die(&format!("verify FAILED: live view diverged on {}", bad.join(", ")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_own_flags_and_common_opts() {
+        let args = parse_args(
+            ["--scale", "0.002", "--batch-events", "1000", "--readers", "0", "--verify"]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.opts.scale, 0.002);
+        assert_eq!(args.batch_events, 1000);
+        assert_eq!(args.readers, 0);
+        assert!(args.verify);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_args(["--batch-events", "0"].map(String::from)).is_err());
+        assert!(parse_args(["--frobnicate"].map(String::from)).is_err());
+        assert!(parse_args(["--checkpoint-every", "0"].map(String::from)).is_err());
+    }
+}
