@@ -263,6 +263,119 @@ impl Accumulator for FusedAcc {
         *self.per_item.entry((row.batch.raw(), row.item.raw())).or_insert(0) += 1;
     }
 
+    /// Columnar form of [`FusedAcc::accept`], called once per ≤ 8192-row
+    /// chunk: derived per-row values (batch creation time, work seconds,
+    /// pickup, clamped week indices, log-splice) are precomputed in tight
+    /// straight-line loops over the column slices, then each state family
+    /// is updated in its own ascending-row sub-loop.
+    ///
+    /// Bit-identity with the row loop: the families (per-worker map,
+    /// per-source map, weekly series, weekday histogram, per-day counts,
+    /// latency buckets, per-item counts) write disjoint state, and every
+    /// sub-loop walks rows in ascending order — so each float accumulator
+    /// receives exactly the values `accept` would feed it, in the same
+    /// order.
+    fn accept_chunk(
+        &mut self,
+        ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        let batches = &cols.batch_col()[range.clone()];
+        let items = &cols.item_col()[range.clone()];
+        let workers = &cols.worker_col()[range.clone()];
+        let starts = &cols.start_col()[range.clone()];
+        let ends = &cols.end_col()[range.clone()];
+        let trusts = &cols.trust_col()[range];
+        let n = batches.len();
+
+        // ---- columnar precompute ----------------------------------------
+        let created: Vec<Timestamp> = batches.iter().map(|&b| ds.batch(b).created_at).collect();
+        let work_secs: Vec<f64> =
+            starts.iter().zip(ends).map(|(&s, &e)| (e - s).as_secs() as f64).collect();
+        let pickup: Vec<f64> =
+            starts.iter().zip(&created).map(|(&s, &c)| (s - c).as_secs() as f64).collect();
+        let day: Vec<i64> = starts.iter().map(|s| s.day_number()).collect();
+        let src: Vec<u32> = workers.iter().map(|&w| ds.worker(w).source.raw()).collect();
+        let (wk, wi, wc): (Vec<usize>, Vec<usize>, Vec<usize>) = if self.n_weeks > 0 {
+            (
+                starts.iter().map(|&t| self.week_of(t)).collect(),
+                created.iter().map(|&t| self.week_of(t)).collect(),
+                ends.iter().map(|&t| self.week_of(t)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+        let splice: Vec<i32> = pickup
+            .iter()
+            .zip(&work_secs)
+            .map(|(&pk, &ws)| {
+                let p = pk.max(1.0);
+                let task = ws.max(1.0);
+                (2.0 * (p + task).log10()).floor() as i32
+            })
+            .collect();
+
+        // ---- per worker -------------------------------------------------
+        for i in 0..n {
+            let w = self.workers.entry(workers[i].raw()).or_insert_with(WorkerAgg::new);
+            w.tasks += 1;
+            w.work_secs += work_secs[i];
+            w.trust_sum += f64::from(trusts[i]);
+            w.first_day = w.first_day.min(day[i]);
+            w.last_day = w.last_day.max(day[i]);
+            w.days.insert(day[i]);
+            w.months.insert(month_index(starts[i]));
+            w.intervals.push((starts[i], ends[i]));
+            if self.n_weeks > 0 {
+                let cell = w.weeks.entry(wk[i]).or_default();
+                cell.tasks += 1;
+                cell.hours += (ends[i] - starts[i]).as_hours_f64();
+            }
+        }
+
+        // ---- per source -------------------------------------------------
+        for i in 0..n {
+            let s = self.sources.entry(src[i]).or_default();
+            s.n_tasks += 1;
+            s.trust_sum += f64::from(trusts[i]);
+            if let Some(med) = self.batch_median[batches[i].index()] {
+                if med > 0.0 {
+                    s.rel_time_sum += work_secs[i] / med;
+                    s.rel_time_n += 1;
+                }
+            }
+        }
+
+        // ---- arrival / load series --------------------------------------
+        if self.n_weeks > 0 {
+            for i in 0..n {
+                self.issued[wi[i]] += 1;
+                self.completed[wc[i]] += 1;
+                self.pickups[wi[i]].push(pickup[i]);
+            }
+        }
+        for &c in &created {
+            self.weekday[c.weekday().index()] += 1;
+        }
+        for &c in &created {
+            *self.per_day.entry(c.day_number()).or_insert(0) += 1;
+        }
+
+        // ---- latency decomposition (Fig 13b) ----------------------------
+        for i in 0..n {
+            let bucket = self.buckets.entry(splice[i]).or_default();
+            bucket.0.push(pickup[i].max(1.0));
+            bucket.1.push(work_secs[i].max(1.0));
+        }
+
+        // ---- redundancy -------------------------------------------------
+        for i in 0..n {
+            *self.per_item.entry((batches[i].raw(), items[i].raw())).or_insert(0) += 1;
+        }
+    }
+
     fn merge(&mut self, other: Self) {
         for (k, v) in other.workers {
             match self.workers.entry(k) {

@@ -383,57 +383,76 @@ pub fn enrich_batches(
         .collect()
 }
 
+thread_local! {
+    /// Per-thread `(pickups, times, item_scores)` scratch for
+    /// [`compute_batch_metrics`]: the float piles are cleared (capacity
+    /// kept) between batches, so the parallel enrichment fan-out only
+    /// allocates while a thread's high-water batch size still grows.
+    /// `by_item` cannot join them — it borrows `&Answer` from the dataset,
+    /// and a thread-local must be `'static`.
+    static METRIC_SCRATCH: std::cell::RefCell<(Vec<f64>, Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
+
 fn compute_batch_metrics(
     ds: &Dataset,
     index: &DatasetIndex,
     batch: BatchId,
     cluster: u32,
 ) -> BatchMetrics {
-    let created = ds.batch(batch).created_at;
-    let mut pickups = Vec::new();
-    let mut times = Vec::new();
-    // BTreeMap, not HashMap: the disagreement average below sums floats in
-    // map-iteration order, and f64 addition rounding depends on that order.
-    // A randomized hash order would make the last ulp of the score vary
-    // from run to run (and thread pool to thread pool); item-id order fixes
-    // the sum bit-for-bit.
-    let mut by_item: BTreeMap<u32, Vec<&Answer>> = BTreeMap::new();
-    let mut n_instances = 0u32;
-    for inst_id in index.instances_of_batch(batch) {
-        let inst = ds.instance(inst_id);
-        n_instances += 1;
-        pickups.push((inst.start - created).as_secs() as f64);
-        times.push(inst.work_time().as_secs() as f64);
-        by_item.entry(inst.item.raw()).or_default().push(inst.answer);
-    }
-    let n_items = by_item.len() as u32;
+    METRIC_SCRATCH.with(|scratch| {
+        let (pickups, times, item_scores) = &mut *scratch.borrow_mut();
+        pickups.clear();
+        times.clear();
+        item_scores.clear();
 
-    // §4.1: average item-level pairwise disagreement.
-    let mut item_scores = Vec::with_capacity(by_item.len());
-    for answers in by_item.values() {
-        if let Some(score) = item_disagreement_ref(answers) {
-            item_scores.push(score);
+        let created = ds.batch(batch).created_at;
+        // BTreeMap, not HashMap: the disagreement average below sums floats in
+        // map-iteration order, and f64 addition rounding depends on that order.
+        // A randomized hash order would make the last ulp of the score vary
+        // from run to run (and thread pool to thread pool); item-id order fixes
+        // the sum bit-for-bit.
+        let mut by_item: BTreeMap<u32, Vec<&Answer>> = BTreeMap::new();
+        let mut n_instances = 0u32;
+        for inst_id in index.instances_of_batch(batch) {
+            let inst = ds.instance(inst_id);
+            n_instances += 1;
+            pickups.push((inst.start - created).as_secs() as f64);
+            times.push(inst.work_time().as_secs() as f64);
+            by_item.entry(inst.item.raw()).or_default().push(inst.answer);
         }
-    }
-    let disagreement = if item_scores.is_empty() {
-        None
-    } else {
-        Some(item_scores.iter().sum::<f64>() / item_scores.len() as f64)
-    };
+        let n_items = by_item.len() as u32;
 
-    let features =
-        ds.batch(batch).html.as_deref().and_then(|h| extract_features(h).ok()).unwrap_or_default();
+        // §4.1: average item-level pairwise disagreement.
+        for answers in by_item.values() {
+            if let Some(score) = item_disagreement_ref(answers) {
+                item_scores.push(score);
+            }
+        }
+        let disagreement = if item_scores.is_empty() {
+            None
+        } else {
+            Some(item_scores.iter().sum::<f64>() / item_scores.len() as f64)
+        };
 
-    BatchMetrics {
-        batch,
-        cluster,
-        n_instances,
-        n_items,
-        disagreement,
-        task_time: median(&times),
-        pickup_time: median(&pickups),
-        features,
-    }
+        let features = ds
+            .batch(batch)
+            .html
+            .as_deref()
+            .and_then(|h| extract_features(h).ok())
+            .unwrap_or_default();
+
+        BatchMetrics {
+            batch,
+            cluster,
+            n_instances,
+            n_items,
+            disagreement,
+            task_time: median(times),
+            pickup_time: median(pickups),
+            features,
+        }
+    })
 }
 
 /// Streaming replacement for the per-batch half of [`enrich_batches`]: a
@@ -461,6 +480,14 @@ pub struct StreamingEnricher {
     /// Reduced per-batch stats, indexed by batch id.
     cores: Vec<Option<BatchCore>>,
     rows: usize,
+    /// Recycled pile buffers: closing a pile returns its float piles and
+    /// per-item answer vectors here (cleared, capacity kept), so the
+    /// one-open-pile-at-a-time loop stops allocating once the high-water
+    /// batch shape has been seen.
+    spare_pickups: Vec<f64>,
+    spare_times: Vec<f64>,
+    spare_scores: Vec<f64>,
+    spare_answer_vecs: Vec<Vec<Answer>>,
 }
 
 /// The in-flight accumulation for one sampled batch.
@@ -494,6 +521,10 @@ impl StreamingEnricher {
             last_batch: None,
             cores: vec![None; entities.batches.len()],
             rows: 0,
+            spare_pickups: Vec::new(),
+            spare_times: Vec::new(),
+            spare_scores: Vec::new(),
+            spare_answer_vecs: Vec::new(),
         }
     }
 
@@ -503,10 +534,11 @@ impl StreamingEnricher {
     }
 
     fn close_pile(&mut self) {
-        let Some(pile) = self.current.take() else { return };
+        let Some(mut pile) = self.current.take() else { return };
         // Mirror of `compute_batch_metrics`, fold for fold: same median
         // function, same item-id iteration order for the disagreement sum.
-        let mut item_scores = Vec::with_capacity(pile.by_item.len());
+        let mut item_scores = std::mem::take(&mut self.spare_scores);
+        item_scores.clear();
         for answers in pile.by_item.values() {
             if let Some(score) = item_disagreement(answers) {
                 item_scores.push(score);
@@ -524,6 +556,16 @@ impl StreamingEnricher {
             task_time: median(&pile.times),
             pickup_time: median(&pile.pickups),
         });
+        // Recycle the pile's buffers for the next sampled batch.
+        self.spare_scores = item_scores;
+        pile.pickups.clear();
+        self.spare_pickups = pile.pickups;
+        pile.times.clear();
+        self.spare_times = pile.times;
+        for (_, mut v) in std::mem::take(&mut pile.by_item) {
+            v.clear();
+            self.spare_answer_vecs.push(v);
+        }
     }
 
     /// Closes the last pile and assembles [`BatchMetrics`] for **every**
@@ -595,17 +637,23 @@ impl ShardSink for StreamingEnricher {
                         batch: bi,
                         created: self.created[bi],
                         n_instances: 0,
-                        pickups: Vec::new(),
-                        times: Vec::new(),
+                        pickups: std::mem::take(&mut self.spare_pickups),
+                        times: std::mem::take(&mut self.spare_times),
                         by_item: BTreeMap::new(),
                     });
                 }
             }
+            // Disjoint field borrows: the pool feeds `or_insert_with`
+            // while the pile is mutably borrowed.
+            let spare_answer_vecs = &mut self.spare_answer_vecs;
             if let Some(pile) = &mut self.current {
                 pile.n_instances += 1;
                 pile.pickups.push((row.start - pile.created).as_secs() as f64);
                 pile.times.push(row.work_time().as_secs() as f64);
-                pile.by_item.entry(row.item.raw()).or_default().push(row.answer.clone());
+                pile.by_item
+                    .entry(row.item.raw())
+                    .or_insert_with(|| spare_answer_vecs.pop().unwrap_or_default())
+                    .push(row.answer.clone());
             }
         }
         self.rows += shard.len();

@@ -1,0 +1,125 @@
+//! Hot-kernel bench: the allocation-free shingler and the blocked MinHash
+//! kernel against the frozen naive oracles in `crowd-testkit`, plus the
+//! fused-scan row throughput and a per-document allocation count measured
+//! with a counting global allocator.
+//!
+//! Writes `BENCH_kernel.json` at the workspace root. The two
+//! `*_speedup_vs_oracle` ratios are hardware-independent (kernel and
+//! oracle share the host) and are re-measured by the CI perf gate
+//! (`benches/gate.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowd_bench::bench_study;
+use crowd_bench::shapes::measure;
+use crowd_cluster::shingle::DEFAULT_K;
+use crowd_cluster::ShingleScratch;
+
+#[path = "kernel_workload.rs"]
+mod kernel_workload;
+use kernel_workload::{docs, measure_shingle, measure_sign};
+
+/// Counts allocator calls so the bench can report allocations per
+/// shingled document (steady state: zero).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations per document of a warmed [`ShingleScratch`] pass.
+fn allocs_per_doc(docs: &[String]) -> f64 {
+    let mut scratch = ShingleScratch::new();
+    for d in docs {
+        scratch.shingle(d, DEFAULT_K); // warm to the high-water shape
+    }
+    const PASSES: u64 = 20;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..PASSES {
+        for d in docs {
+            std::hint::black_box(scratch.shingle(d, DEFAULT_K));
+        }
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    allocs as f64 / (PASSES * docs.len() as u64) as f64
+}
+
+/// Fused-scan throughput: the full `FusedAcc` pass (the workload behind
+/// every analytics figure) in rows per second.
+fn fused_rows_per_sec() -> f64 {
+    let study = bench_study();
+    let rows = study.dataset().instances.len() as u64;
+    let (secs, _) = measure(5, || {
+        std::hint::black_box(crowd_analytics::fused::compute(study));
+        rows
+    });
+    rows as f64 / secs
+}
+
+fn write_report() {
+    let docs = docs();
+    let (shingle_speedup, shingles_per_sec) = measure_shingle(&docs);
+    let (sign_speedup, signatures_per_sec) = measure_sign(&docs);
+    let fused_rps = fused_rows_per_sec();
+    let apd = allocs_per_doc(&docs);
+    let json = format!(
+        r#"{{
+  "benchmark": "crates/bench/benches/kernel.rs",
+  "command": "cargo bench -p crowd-bench --bench kernel",
+  "workload": "{n_docs} sampled batch HTML documents from SimConfig::tiny(BENCH_SEED); oracles are the frozen naive implementations in crowd-testkit",
+  "results": {{
+    "shingle": {{ "shingles_per_sec": {shingles_per_sec:.0}, "speedup_vs_oracle": {shingle_speedup:.2}, "allocs_per_doc_steady_state": {apd:.3} }},
+    "minhash": {{ "signatures_per_sec": {signatures_per_sec:.0}, "speedup_vs_oracle": {sign_speedup:.2}, "n_hashes": 128 }},
+    "fused_scan": {{ "rows_per_sec": {fused_rps:.0} }}
+  }},
+  "shingle_speedup_vs_oracle": {shingle_speedup:.2},
+  "sign_speedup_vs_oracle": {sign_speedup:.2},
+  "note": "speedups are same-host kernel/oracle ratios (hardware-independent); the CI perf gate re-measures both and fails on >30% regression (wider band than the 15% macro ratios: the allocation-heavy oracle side is load-sensitive). Signatures are bit-identical between kernel and oracle (crates/testkit/tests/kernel_differential.rs)."
+}}
+"#,
+        n_docs = docs.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[kernel] wrote {path}"),
+        Err(e) => eprintln!("[kernel] could not write {path}: {e}"),
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let docs = docs();
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(10);
+    g.bench_function("shingle_all_docs", |b| {
+        let mut scratch = ShingleScratch::new();
+        b.iter(|| {
+            let mut total = 0u64;
+            for d in &docs {
+                total += scratch.shingle(d, DEFAULT_K).len() as u64;
+            }
+            total
+        })
+    });
+    g.finish();
+    write_report();
+}
+
+criterion_group!(kernel, bench_kernels);
+criterion_main!(kernel);

@@ -1,0 +1,99 @@
+//! Shared kernel workload + measurements for `benches/kernel.rs` and the
+//! perf gate (`benches/gate.rs`): both must measure the *same* thing so
+//! the checked-in `BENCH_kernel.json` ratios are comparable when the gate
+//! re-measures them on another host.
+//!
+//! The ratios are hardware-independent by construction — optimized kernel
+//! and naive oracle run on the identical document set in the same
+//! process, so host speed cancels out of the quotient.
+
+use std::collections::HashSet;
+
+use crowd_bench::shapes::measure;
+use crowd_bench::{bench_study, BENCH_SEED};
+use crowd_cluster::shingle::DEFAULT_K;
+use crowd_cluster::{MinHasher, ShingleScratch};
+use crowd_testkit::{naive_minhash_params, naive_shingles, naive_signature};
+
+/// Inner repetitions per measured run, so the tiny-scale doc set yields
+/// stable medians on a noisy shared host.
+const REPS: usize = 12;
+
+/// Timed runs per side; the median is reported.
+const RUNS: usize = 7;
+
+/// The real clustering inputs: every sampled batch's HTML document from
+/// the process-wide bench study (missing pages as empty strings, exactly
+/// like the clusterer sees them).
+pub fn docs() -> Vec<String> {
+    let ds = bench_study().dataset();
+    let (_, docs) = crowd_analytics::study::sampled_docs(ds);
+    docs.into_iter().map(str::to_owned).collect()
+}
+
+/// `(speedup_vs_oracle, kernel_shingles_per_sec)` for the shingling
+/// kernel over `docs`, at the clusterer's production `k`.
+pub fn measure_shingle(docs: &[String]) -> (f64, f64) {
+    let mut scratch = ShingleScratch::new();
+    let (kernel_s, shingles) = measure(RUNS, || {
+        let mut total = 0u64;
+        for _ in 0..REPS {
+            for d in docs {
+                total += scratch.shingle(d, DEFAULT_K).len() as u64;
+            }
+        }
+        total
+    });
+    let (oracle_s, oracle_shingles) = measure(RUNS, || {
+        let mut total = 0u64;
+        for _ in 0..REPS {
+            for d in docs {
+                total += naive_shingles(d, DEFAULT_K).len() as u64;
+            }
+        }
+        total
+    });
+    assert_eq!(shingles, oracle_shingles, "kernel and oracle must emit the same shingles");
+    (oracle_s / kernel_s, shingles as f64 / kernel_s)
+}
+
+/// `(speedup_vs_oracle, kernel_signatures_per_sec)` for the MinHash
+/// kernel at the clusterer's production width (128 hash functions).
+///
+/// The kernel side is the production path (sorted shingle slice →
+/// `sign_into` with a reused buffer); the oracle side is the frozen
+/// pre-refactor path (`HashSet` iteration, per-element scalar lanes).
+/// Both consume the same shingle sets.
+pub fn measure_sign(docs: &[String]) -> (f64, f64) {
+    const N_HASHES: usize = 128;
+    let mut scratch = ShingleScratch::new();
+    let slices: Vec<Vec<u64>> =
+        docs.iter().map(|d| scratch.shingle(d, DEFAULT_K).to_vec()).collect();
+    let sets: Vec<HashSet<u64>> = slices.iter().map(|s| s.iter().copied().collect()).collect();
+
+    let hasher = MinHasher::new(N_HASHES, BENCH_SEED);
+    let mut sig = Vec::new();
+    let (kernel_s, signatures) = measure(RUNS, || {
+        let mut n = 0u64;
+        for _ in 0..REPS {
+            for s in &slices {
+                hasher.sign_into(s, &mut sig);
+                std::hint::black_box(&sig);
+                n += 1;
+            }
+        }
+        n
+    });
+    let params = naive_minhash_params(N_HASHES, BENCH_SEED);
+    let (oracle_s, _) = measure(RUNS, || {
+        let mut n = 0u64;
+        for _ in 0..REPS {
+            for s in &sets {
+                std::hint::black_box(naive_signature(&params, s));
+                n += 1;
+            }
+        }
+        n
+    });
+    (oracle_s / kernel_s, signatures as f64 / kernel_s)
+}

@@ -26,6 +26,17 @@ impl Accumulator for DailyIssued {
     fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
         *self.0.entry(row.start.day_number()).or_insert(0) += 1;
     }
+    fn accept_chunk(
+        &mut self,
+        _ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        for s in &cols.start_col()[range] {
+            *self.0.entry(s.day_number()).or_insert(0) += 1;
+        }
+    }
     fn merge(&mut self, other: Self) {
         for (day, n) in other.0 {
             *self.0.entry(day).or_insert(0) += n;
@@ -47,6 +58,17 @@ impl Accumulator for WeekdayHist {
     }
     fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
         self.0[row.start.weekday().index()] += 1;
+    }
+    fn accept_chunk(
+        &mut self,
+        _ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        for s in &cols.start_col()[range] {
+            self.0[s.weekday().index()] += 1;
+        }
     }
     fn merge(&mut self, other: Self) {
         for (a, b) in self.0.iter_mut().zip(other.0) {
@@ -70,6 +92,18 @@ impl Accumulator for TrustSum {
     fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
         self.0 += f64::from(row.trust);
     }
+    // Same values, same ascending order → bit-identical float sum.
+    fn accept_chunk(
+        &mut self,
+        _ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        for &t in &cols.trust_col()[range] {
+            self.0 += f64::from(t);
+        }
+    }
     fn merge(&mut self, other: Self) {
         self.0 += other.0;
     }
@@ -90,6 +124,19 @@ impl Accumulator for WorkSecs {
     fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
         self.0 += row.work_time().as_secs() as f64;
     }
+    fn accept_chunk(
+        &mut self,
+        _ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        let starts = &cols.start_col()[range.clone()];
+        let ends = &cols.end_col()[range];
+        for (&s, &e) in starts.iter().zip(ends) {
+            self.0 += (e - s).as_secs() as f64;
+        }
+    }
     fn merge(&mut self, other: Self) {
         self.0 += other.0;
     }
@@ -109,6 +156,17 @@ impl Accumulator for PerWorkerTasks {
     }
     fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
         *self.0.entry(row.worker.raw()).or_insert(0) += 1;
+    }
+    fn accept_chunk(
+        &mut self,
+        _ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        for w in &cols.worker_col()[range] {
+            *self.0.entry(w.raw()).or_insert(0) += 1;
+        }
     }
     fn merge(&mut self, other: Self) {
         for (w, n) in other.0 {
@@ -131,6 +189,19 @@ impl Accumulator for PerItemJudgments {
     }
     fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
         *self.0.entry((row.batch.raw(), row.item.raw())).or_insert(0) += 1;
+    }
+    fn accept_chunk(
+        &mut self,
+        _ds: &Dataset,
+        _base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        let batches = &cols.batch_col()[range.clone()];
+        let items = &cols.item_col()[range];
+        for (b, i) in batches.iter().zip(items) {
+            *self.0.entry((b.raw(), i.raw())).or_insert(0) += 1;
+        }
     }
     fn merge(&mut self, other: Self) {
         for (k, n) in other.0 {

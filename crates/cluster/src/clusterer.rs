@@ -5,13 +5,21 @@
 //! merge confirmed pairs in a union-find. Connected components are the
 //! paper's "clusters of similar batches corresponding to a distinct task".
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use rayon::prelude::*;
 
 use crate::minhash::{MinHasher, Signature};
-use crate::shingle::{fnv1a, shingles};
+use crate::shingle::{fnv1a, ShingleScratch};
 use crate::unionfind::UnionFind;
+
+thread_local! {
+    /// Per-thread shingling scratch for the parallel signature fan-out:
+    /// steady-state shingling touches the allocator only while the buffers
+    /// grow to the largest document a thread has seen (DESIGN.md §18).
+    static SHINGLE_SCRATCH: RefCell<ShingleScratch> = RefCell::new(ShingleScratch::new());
+}
 
 /// Tuning parameters of the clusterer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,7 +149,12 @@ impl Clusterer {
     /// threads; output order matches input order exactly.
     pub fn signatures<S: AsRef<str> + Sync>(&self, docs: &[S]) -> Vec<Signature> {
         docs.par_iter()
-            .map(|d| self.hasher.signature(&shingles(d.as_ref(), self.params.shingle_k)))
+            .map(|d| {
+                SHINGLE_SCRATCH.with(|scratch| {
+                    let mut scratch = scratch.borrow_mut();
+                    self.hasher.sign(scratch.shingle(d.as_ref(), self.params.shingle_k))
+                })
+            })
             .collect()
     }
 
@@ -205,7 +218,11 @@ impl Clusterer {
             if uf.connected(first, other) {
                 continue;
             }
-            if sigs[first].estimate_jaccard(&sigs[other]) >= self.params.threshold {
+            // Signatures here come from one `MinHasher`, so the lengths
+            // always agree; a mismatch (impossible through this entry
+            // point) simply never confirms the candidate pair.
+            if sigs[first].estimate_jaccard(&sigs[other]).is_ok_and(|j| j >= self.params.threshold)
+            {
                 uf.union(first, other);
             }
         }

@@ -36,6 +36,6 @@ pub mod shingle;
 pub mod unionfind;
 
 pub use clusterer::{ClusterParams, Clusterer, Clustering};
-pub use minhash::{MinHasher, Signature};
-pub use shingle::{jaccard, shingles};
+pub use minhash::{LengthMismatch, MinHasher, Signature};
+pub use shingle::{jaccard, shingles, ShingleScratch};
 pub use unionfind::UnionFind;

@@ -3,12 +3,30 @@
 //! Documents (task HTML) are tokenized on non-alphanumeric boundaries —
 //! which naturally picks up tag names, attribute names, and visible words —
 //! and hashed as overlapping `k`-grams into a set of 64-bit shingles.
+//!
+//! ## Hot-path kernel (DESIGN.md §18)
+//!
+//! The original pipeline allocated per document: a `Vec<String>` of
+//! lowercased tokens, a join buffer per window, and a SipHash-backed
+//! `HashSet<u64>`. [`ShingleScratch`] replaces all of that with a
+//! streaming tokenizer that lowercases bytes in place (branchless ASCII
+//! fast path; the rare non-ASCII token falls back to `str::to_lowercase`
+//! so Unicode special cases like final sigma keep their exact bytes), a
+//! contiguous token-byte buffer with end offsets, and a reusable
+//! sorted/deduped `Vec<u64>` output — so steady-state shingling performs
+//! **zero** allocations (`tests/alloc_budget.rs` pins this). Every emitted
+//! value is the same FNV-1a hash over the same `\u{1f}`-separated window
+//! bytes the naive path produced; `crowd-testkit`'s frozen oracles prove
+//! bit-identity (`crowd-testkit/tests/kernel_differential.rs`).
 
 use std::collections::HashSet;
 
 /// Default shingle width: 3-token grams capture local structure without
 /// being hypersensitive to single-word edits.
 pub const DEFAULT_K: usize = 3;
+
+/// The byte the naive path's `'\u{1f}'` separator encodes to in UTF-8.
+const SEP: u8 = 0x1f;
 
 /// FNV-1a 64-bit hash.
 #[inline]
@@ -29,33 +47,155 @@ pub fn tokenize(doc: &str) -> Vec<String> {
         .collect()
 }
 
+/// Reusable working memory for [`shingle`](ShingleScratch::shingle):
+/// lowercased token bytes, token end offsets, and the output shingle
+/// values. Thread one instance through a per-thread loop (the clusterer
+/// keeps one in a `thread_local!`) and per-document shingling stops
+/// touching the allocator once the buffers have grown to the corpus's
+/// largest document.
+#[derive(Debug, Default)]
+pub struct ShingleScratch {
+    /// Lowercased bytes of every token of the current document,
+    /// concatenated (no separators — `ends` delimits tokens).
+    bytes: Vec<u8>,
+    /// End offset of each token within `bytes`.
+    ends: Vec<usize>,
+    /// Sorted, deduplicated shingle hashes of the current document.
+    out: Vec<u64>,
+}
+
+impl ShingleScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> ShingleScratch {
+        ShingleScratch::default()
+    }
+
+    /// Tokenizes `doc` into `bytes`/`ends`. ASCII bytes take the in-place
+    /// fast path; a token containing any non-ASCII scalar is re-lowercased
+    /// through `str::to_lowercase` over its exact source slice, because
+    /// `char`-at-a-time lowercasing diverges from the naive tokenizer on
+    /// context-sensitive mappings (Greek final sigma).
+    fn tokenize_into(&mut self, doc: &str) {
+        self.bytes.clear();
+        self.ends.clear();
+        let s = doc.as_bytes();
+        let mut i = 0;
+        let mut tok_bytes = 0usize; // start of the open token in `bytes`
+        let mut tok_doc = 0usize; // start of the open token in `doc`
+        let mut in_token = false;
+        let mut ascii_only = true;
+        // Seals the open token ending at doc offset `$end_doc`: the fast
+        // path already pushed lowercased ASCII bytes; a token that saw any
+        // non-ASCII scalar is redone whole through `str::to_lowercase`.
+        macro_rules! close_token {
+            ($end_doc:expr) => {
+                if !ascii_only {
+                    self.bytes.truncate(tok_bytes);
+                    let lowered = doc[tok_doc..$end_doc].to_lowercase();
+                    self.bytes.extend_from_slice(lowered.as_bytes());
+                }
+                self.ends.push(self.bytes.len());
+            };
+        }
+        while i < s.len() {
+            let b = s[i];
+            if b < 0x80 {
+                if b.is_ascii_alphanumeric() {
+                    if !in_token {
+                        in_token = true;
+                        tok_bytes = self.bytes.len();
+                        tok_doc = i;
+                    }
+                    if ascii_only {
+                        self.bytes.push(b.to_ascii_lowercase());
+                    }
+                } else if in_token {
+                    close_token!(i);
+                    in_token = false;
+                    ascii_only = true;
+                }
+                i += 1;
+            } else {
+                let c = doc[i..].chars().next().expect("byte ≥ 0x80 starts a char");
+                if c.is_alphanumeric() {
+                    if !in_token {
+                        in_token = true;
+                        tok_bytes = self.bytes.len();
+                        tok_doc = i;
+                    }
+                    ascii_only = false;
+                } else if in_token {
+                    close_token!(i);
+                    in_token = false;
+                    ascii_only = true;
+                }
+                i += c.len_utf8();
+            }
+        }
+        if in_token {
+            close_token!(s.len());
+        }
+    }
+
+    /// FNV-1a over tokens `lo..hi` joined by the `\u{1f}` separator,
+    /// computed directly on the token-byte buffer (no join string).
+    #[inline]
+    fn window_hash(&self, lo: usize, hi: usize) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut start = if lo == 0 { 0 } else { self.ends[lo - 1] };
+        for t in lo..hi {
+            if t > lo {
+                h ^= u64::from(SEP);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let end = self.ends[t];
+            for &b in &self.bytes[start..end] {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            start = end;
+        }
+        h
+    }
+
+    /// The shingle set of `doc` as a sorted, deduplicated slice, valid
+    /// until the next call. Values are exactly the naive
+    /// [`shingles`] set: documents shorter than `k` tokens contribute one
+    /// shingle over all their tokens, an empty document yields an empty
+    /// slice.
+    ///
+    /// # Panics
+    /// If `k` is zero.
+    pub fn shingle(&mut self, doc: &str, k: usize) -> &[u64] {
+        assert!(k > 0, "shingle width must be positive");
+        self.tokenize_into(doc);
+        self.out.clear();
+        let n = self.ends.len();
+        if n == 0 {
+            return &self.out;
+        }
+        if n < k {
+            self.out.push(self.window_hash(0, n));
+            return &self.out;
+        }
+        for lo in 0..=(n - k) {
+            self.out.push(self.window_hash(lo, lo + k));
+        }
+        self.out.sort_unstable();
+        self.out.dedup();
+        &self.out
+    }
+}
+
 /// The set of hashed `k`-token shingles of a document. Documents shorter
 /// than `k` tokens contribute a single shingle over all their tokens (an
 /// empty document yields the empty set).
+///
+/// Compatibility wrapper over [`ShingleScratch::shingle`]; per-document
+/// loops should hold a scratch instead.
 pub fn shingles(doc: &str, k: usize) -> HashSet<u64> {
-    assert!(k > 0, "shingle width must be positive");
-    let tokens = tokenize(doc);
-    let mut out = HashSet::new();
-    if tokens.is_empty() {
-        return out;
-    }
-    if tokens.len() < k {
-        let joined = tokens.join("\u{1f}");
-        out.insert(fnv1a(joined.as_bytes()));
-        return out;
-    }
-    let mut buf = String::new();
-    for window in tokens.windows(k) {
-        buf.clear();
-        for (i, t) in window.iter().enumerate() {
-            if i > 0 {
-                buf.push('\u{1f}');
-            }
-            buf.push_str(t);
-        }
-        out.insert(fnv1a(buf.as_bytes()));
-    }
-    out
+    let mut scratch = ShingleScratch::new();
+    scratch.shingle(doc, k).iter().copied().collect()
 }
 
 /// Exact Jaccard similarity of two shingle sets. Two empty sets are defined
@@ -143,5 +283,63 @@ mod tests {
         // FNV-1a("a") = 0xaf63dc4c8601ec8c
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    /// Naive re-derivation used only in this module's tests; the real
+    /// differential suite lives in crowd-testkit's kernel oracles.
+    fn naive(doc: &str, k: usize) -> HashSet<u64> {
+        let tokens = tokenize(doc);
+        let mut out = HashSet::new();
+        if tokens.is_empty() {
+            return out;
+        }
+        if tokens.len() < k {
+            out.insert(fnv1a(tokens.join("\u{1f}").as_bytes()));
+            return out;
+        }
+        for w in tokens.windows(k) {
+            out.insert(fnv1a(w.join("\u{1f}").as_bytes()));
+        }
+        out
+    }
+
+    #[test]
+    fn scratch_matches_naive_on_mixed_documents() {
+        let docs = [
+            "",
+            "   ",
+            "one",
+            "one two",
+            "<div class=\"task\">Hi THERE</div>",
+            "Grüße aus München: ÄÖÜßmaße 42",
+            "ΟΔΥΣΣΕΥΣ was here",           // capital sigma, word-final Σ
+            "ΣΟΦΟΣ\u{1f}ΣΟΦΟΣ and σ vs ς", // separators inside the doc
+            "日本語のテキスト mixed with ascii42",
+            "İstanbul DİYARBAKIR ffi ﬁ",
+            "a\u{0301}ccent e\u{0308} combining",
+        ];
+        for doc in docs {
+            for k in [1, 2, 3, 5] {
+                let mut scratch = ShingleScratch::new();
+                let fast: HashSet<u64> = scratch.shingle(doc, k).iter().copied().collect();
+                assert_eq!(fast, naive(doc, k), "doc {doc:?} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_output_is_sorted_and_deduped() {
+        let mut scratch = ShingleScratch::new();
+        let out = scratch.shingle("a b a b a b a b c", 2);
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_documents() {
+        let mut scratch = ShingleScratch::new();
+        let first: Vec<u64> = scratch.shingle("alpha beta gamma delta", 2).to_vec();
+        let _ = scratch.shingle("a much longer unrelated document with many more tokens", 3);
+        let again: Vec<u64> = scratch.shingle("alpha beta gamma delta", 2).to_vec();
+        assert_eq!(first, again, "state fully resets between documents");
     }
 }

@@ -73,6 +73,31 @@ pub trait Accumulator: Send + Sync {
     /// order within a chunk.
     fn accept(&mut self, ds: &Dataset, id: InstanceId, row: InstanceRef<'_>);
 
+    /// Folds local rows `range` of `cols` into the running state; `base`
+    /// offsets local row indices into global instance ids. The engine
+    /// calls this once per chunk, so `range` never exceeds
+    /// [`ScanPass::CHUNK`] rows.
+    ///
+    /// The default implementation loops [`accept`](Self::accept) in
+    /// ascending row order. Accumulators on the hot path may override it
+    /// with columnar sub-loops over the chunk's column slices
+    /// (DESIGN.md §18) — an override must be observably identical to the
+    /// default, state and float bits included: same per-row values, and
+    /// ascending row order preserved *within* every independently
+    /// accumulated family (disjoint families may interleave differently;
+    /// their accumulation sequences don't share state).
+    fn accept_chunk(
+        &mut self,
+        ds: &Dataset,
+        base: usize,
+        cols: &InstanceColumns,
+        range: std::ops::Range<usize>,
+    ) {
+        for i in range {
+            self.accept(ds, InstanceId::from_usize(base + i), cols.row(i));
+        }
+    }
+
     /// Absorbs the state of `other`, which covers the rows immediately
     /// after this accumulator's rows.
     fn merge(&mut self, other: Self)
@@ -195,9 +220,7 @@ impl ScanPass {
             .par_iter()
             .map(|&(clo, chi)| {
                 let mut acc = proto.init();
-                for i in clo..chi {
-                    acc.accept(ds, InstanceId::from_usize(base + i), cols.row(i));
-                }
+                acc.accept_chunk(ds, base, cols, clo..chi);
                 acc
             })
             .collect();
@@ -279,6 +302,20 @@ macro_rules! impl_accumulator_tuple {
 
             fn accept(&mut self, ds: &Dataset, id: InstanceId, row: InstanceRef<'_>) {
                 $(self.$idx.accept(ds, id, row);)+
+            }
+
+            fn accept_chunk(
+                &mut self,
+                ds: &Dataset,
+                base: usize,
+                cols: &InstanceColumns,
+                range: std::ops::Range<usize>,
+            ) {
+                // Forward per element (not via the default row loop), so a
+                // fused member with a columnar kernel keeps it inside a
+                // tuple. Element states are disjoint, and each element
+                // still sees the chunk's rows in ascending order.
+                $(self.$idx.accept_chunk(ds, base, cols, range.clone());)+
             }
 
             fn merge(&mut self, other: Self) {
@@ -435,6 +472,58 @@ mod tests {
         assert_eq!(ScanPass::full_scan_count() - before, 1, "fused = one pass");
         assert!(sum > 0.0);
         assert_eq!(since, 5_000);
+    }
+
+    /// Columnar twin of [`TrustSum`]: overrides `accept_chunk` with a
+    /// tight fold over the trust column slice — same values, same order,
+    /// so the float bits must match the row-loop default exactly.
+    #[derive(Debug, Default)]
+    struct ColumnarTrustSum {
+        sum: f64,
+    }
+
+    impl Accumulator for ColumnarTrustSum {
+        type Output = f64;
+
+        fn init(&self) -> Self {
+            ColumnarTrustSum::default()
+        }
+
+        fn accept(&mut self, _ds: &Dataset, _id: InstanceId, row: InstanceRef<'_>) {
+            self.sum += f64::from(row.trust);
+        }
+
+        fn accept_chunk(
+            &mut self,
+            _ds: &Dataset,
+            _base: usize,
+            cols: &InstanceColumns,
+            range: std::ops::Range<usize>,
+        ) {
+            for &t in &cols.trust_col()[range] {
+                self.sum += f64::from(t);
+            }
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.sum += other.sum;
+        }
+
+        fn finish(self, _ds: &Dataset) -> f64 {
+            self.sum
+        }
+    }
+
+    #[test]
+    fn columnar_override_is_bit_identical_to_row_loop() {
+        let ds = dataset(3 * ScanPass::CHUNK + 4321);
+        let row_loop = ScanPass::run(&ds, &TrustSum::default()).to_bits();
+        let columnar = ScanPass::run(&ds, &ColumnarTrustSum::default()).to_bits();
+        assert_eq!(columnar, row_loop);
+        // And inside a tuple: the macro forwards accept_chunk per element.
+        let (a, b) = ScanPass::run(&ds, &(ColumnarTrustSum::default(), TrustSum::default()));
+        assert_eq!(a.to_bits(), row_loop);
+        assert_eq!(b.to_bits(), row_loop);
     }
 
     #[test]

@@ -145,8 +145,10 @@ impl SimStream {
                         return;
                     }
                     base += buf.len();
-                    buf = InstanceColumns::new();
-                    buf.reserve(shard_rows);
+                    // Reuse the shard buffer: truncate keeps the column
+                    // capacity, so steady-state flushing reallocates only
+                    // for the variable-width answers.
+                    buf.truncate(0);
                 }
             }
         });

@@ -1,0 +1,138 @@
+//! Frozen reference implementations of the clustering hot-path kernels.
+//!
+//! These are the original, straight-line `tokenize`/`shingles`/MinHash
+//! implementations from `crowd-cluster`, copied here verbatim *before*
+//! that crate's kernels were rewritten for speed (streaming tokenizer,
+//! blocked MinHash — DESIGN.md §18). They are deliberately naive: per-token
+//! `String` allocations, window re-joins, per-shingle × per-function scalar
+//! loops. The optimized kernels must produce **identical** shingle values
+//! and signatures; `tests/kernel_differential.rs` proves it over the edge
+//! catalog and proptest documents (including non-ASCII, empty, and
+//! fewer-than-`k`-token inputs).
+//!
+//! This module intentionally does not depend on `crowd-cluster` (which is
+//! a dev-dependency of this crate only), so the oracle cannot drift by
+//! accidentally calling the code under test.
+
+use std::collections::HashSet;
+
+/// FNV-1a 64-bit hash — the shingle hash family.
+#[inline]
+pub fn naive_fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Lower-cased alphanumeric tokens of a document (allocating reference).
+pub fn naive_tokenize(doc: &str) -> Vec<String> {
+    doc.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+/// The set of hashed `k`-token shingles of a document, via per-window
+/// string joins. Documents shorter than `k` tokens contribute a single
+/// shingle over all their tokens; an empty document yields the empty set.
+///
+/// # Panics
+/// If `k` is zero.
+pub fn naive_shingles(doc: &str, k: usize) -> HashSet<u64> {
+    assert!(k > 0, "shingle width must be positive");
+    let tokens = naive_tokenize(doc);
+    let mut out = HashSet::new();
+    if tokens.is_empty() {
+        return out;
+    }
+    if tokens.len() < k {
+        let joined = tokens.join("\u{1f}");
+        out.insert(naive_fnv1a(joined.as_bytes()));
+        return out;
+    }
+    let mut buf = String::new();
+    for window in tokens.windows(k) {
+        buf.clear();
+        for (i, t) in window.iter().enumerate() {
+            if i > 0 {
+                buf.push('\u{1f}');
+            }
+            buf.push_str(t);
+        }
+        out.insert(naive_fnv1a(buf.as_bytes()));
+    }
+    out
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `(a, b)` parameters of the `h_i(x) = a·x + b (mod 2^64, odd a)`
+/// MinHash family, derived from `seed` exactly as `MinHasher::new` does.
+///
+/// # Panics
+/// If `n_hashes` is zero.
+pub fn naive_minhash_params(n_hashes: usize, seed: u64) -> Vec<(u64, u64)> {
+    assert!(n_hashes > 0, "need at least one hash function");
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    (0..n_hashes)
+        .map(|_| {
+            let a = splitmix64(&mut state) | 1; // odd multiplier
+            let b = splitmix64(&mut state);
+            (a, b)
+        })
+        .collect()
+}
+
+/// The MinHash signature of a shingle set via the original per-shingle ×
+/// per-function scalar loop. An empty set yields the all-`u64::MAX`
+/// signature.
+pub fn naive_signature(params: &[(u64, u64)], shingles: &HashSet<u64>) -> Vec<u64> {
+    let mut sig = vec![u64::MAX; params.len()];
+    for &s in shingles {
+        // Pre-mix the shingle so linear hashes act on spread bits.
+        let mut x = s;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        for (i, &(a, b)) in params.iter().enumerate() {
+            let h = a.wrapping_mul(x).wrapping_add(b);
+            if h < sig[i] {
+                sig[i] = h;
+            }
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(naive_fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(naive_fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn oracle_shingles_edge_shapes() {
+        assert!(naive_shingles("", 3).is_empty());
+        assert_eq!(naive_shingles("one two", 5).len(), 1, "short doc: one joined shingle");
+        assert_eq!(naive_shingles("a b c d e", 3).len(), 3);
+    }
+
+    #[test]
+    fn oracle_signature_of_empty_set_is_max() {
+        let params = naive_minhash_params(8, 1);
+        assert!(naive_signature(&params, &HashSet::new()).iter().all(|&v| v == u64::MAX));
+    }
+}

@@ -16,6 +16,10 @@
 //!   deterministic edge-case datasets (empty tables, single instances,
 //!   duplicate timestamps, median ties, chunk-boundary sizes) that explore
 //!   corners the simulator never emits;
+//! * [`kernels`] — frozen copies of the original naive shingling and
+//!   MinHash implementations, the reference oracles the rewritten
+//!   hot-path kernels in `crowd-cluster` are differentially tested
+//!   against (`tests/kernel_differential.rs`);
 //! * [`view`] — the live-path differential: a delta-applied
 //!   [`FusedView`](crowd_analytics::FusedView) fed through the
 //!   damaged-in-transit event-stream loader and checked against cold
@@ -35,11 +39,13 @@
 
 pub mod differential;
 pub mod generators;
+pub mod kernels;
 pub mod oracle;
 pub mod paper_invariants;
 pub mod view;
 
 pub use differential::{assert_study_matches_oracle, compare_fused, fused_with_shards};
+pub use kernels::{naive_minhash_params, naive_shingles, naive_signature, naive_tokenize};
 pub use oracle::oracle_fused;
 pub use paper_invariants::{check_all, Invariant};
 pub use view::{assert_view_matches_batch, delta_cuts};

@@ -1,0 +1,114 @@
+//! Differential tests pinning the optimized clustering kernels to the
+//! frozen naive oracles in [`crowd_testkit::kernels`].
+//!
+//! The tentpole contract: the allocation-free shingler and the blocked
+//! MinHash kernel must emit **bit-identical** values to the straight-line
+//! reference implementations — same FNV-1a shingle set, same `a·x + b`
+//! signature lanes — on every document, including non-ASCII, empty, and
+//! shorter-than-`k` ones.
+
+use std::collections::HashSet;
+
+use crowd_cluster::{MinHasher, ShingleScratch};
+use crowd_testkit::{naive_minhash_params, naive_shingles, naive_signature};
+use proptest::prelude::*;
+
+/// Documents that exercise every tokenizer path: ASCII fast path,
+/// multi-byte lowercasing, Greek final sigma (context-sensitive in
+/// `str::to_lowercase`), expanding mappings (İ, ligatures), combining
+/// marks, CJK (no case), punctuation-only, and the empty string.
+const EDGE_DOCS: &[&str] = &[
+    "",
+    "   \t\n  ",
+    "one",
+    "ONE two THREE",
+    "a-b_c d,e.f",
+    "<div class=\"task\"><h1>Flag IMAGES</h1><input type=\"radio\"></div>",
+    "ΟΔΥΣΣΕΥΣ was here; ΣΊΣΥΦΟΣ too",
+    "İstanbul DİYARBAKIR ffi ﬁ",
+    "e\u{301}cole E\u{301}COLE \u{e9}cole",
+    "日本語のテキスト と English mixed",
+    "ß STRASSE straße",
+    "1234 5678 1234 5678 1234",
+];
+
+fn scratch_shingles(doc: &str, k: usize) -> HashSet<u64> {
+    let mut scratch = ShingleScratch::new();
+    scratch.shingle(doc, k).iter().copied().collect()
+}
+
+#[test]
+fn shingle_kernel_matches_oracle_on_edge_docs() {
+    for &doc in EDGE_DOCS {
+        for k in [1, 2, 3, 5, 9] {
+            assert_eq!(scratch_shingles(doc, k), naive_shingles(doc, k), "doc {doc:?} k {k}");
+        }
+    }
+}
+
+#[test]
+fn public_shingles_wrapper_matches_oracle() {
+    for &doc in EDGE_DOCS {
+        assert_eq!(crowd_cluster::shingles(doc, 3), naive_shingles(doc, 3), "doc {doc:?}");
+    }
+}
+
+#[test]
+fn minhash_kernel_matches_oracle_on_edge_docs() {
+    // Lane counts straddling the blocked kernel's LANES=8 / BATCH=64
+    // boundaries, plus the clusterer's production shape.
+    for &(n_hashes, seed) in &[(1usize, 7u64), (8, 7), (13, 42), (64, 42), (128, 99), (200, 1)] {
+        let hasher = MinHasher::new(n_hashes, seed);
+        let params = naive_minhash_params(n_hashes, seed);
+        for &doc in EDGE_DOCS {
+            let set = naive_shingles(doc, 3);
+            let expected = naive_signature(&params, &set);
+            let got = hasher.signature(&set);
+            assert_eq!(got.0, expected, "doc {doc:?} n {n_hashes}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn shingle_kernel_matches_oracle_on_arbitrary_strings(
+        doc in "\\PC{0,120}",
+        k in 1usize..8,
+    ) {
+        prop_assert_eq!(scratch_shingles(&doc, k), naive_shingles(&doc, k));
+    }
+
+    #[test]
+    fn shingle_kernel_matches_oracle_on_wordy_docs(
+        words in prop::collection::vec("[a-zA-Z0-9ΣσςİIıßÀ-ÿ]{1,12}", 0..40),
+        k in 1usize..6,
+    ) {
+        let doc = words.join(" ");
+        prop_assert_eq!(scratch_shingles(&doc, k), naive_shingles(&doc, k));
+    }
+
+    #[test]
+    fn minhash_kernel_matches_oracle_on_arbitrary_sets(
+        shingles in prop::collection::hash_set(0u64..u64::MAX, 0..300),
+        n_hashes in 1usize..96,
+        seed in 0u64..1_000,
+    ) {
+        let hasher = MinHasher::new(n_hashes, seed);
+        let params = naive_minhash_params(n_hashes, seed);
+        let expected = naive_signature(&params, &shingles);
+        prop_assert_eq!(hasher.signature(&shingles).0, expected);
+    }
+
+    #[test]
+    fn end_to_end_doc_to_signature_matches_oracle(
+        doc in "\\PC{0,200}",
+        seed in 0u64..100,
+    ) {
+        let hasher = MinHasher::new(64, seed);
+        let mut scratch = ShingleScratch::new();
+        let got = hasher.sign(scratch.shingle(&doc, 3));
+        let params = naive_minhash_params(64, seed);
+        let expected = naive_signature(&params, &naive_shingles(&doc, 3));
+        prop_assert_eq!(got.0, expected);
+    }
+}
