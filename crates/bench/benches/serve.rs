@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use crowd_bench::bench_sim_config;
 use crowd_bench::shapes::{measure, view_rebuild_ratio};
-use crowd_ingest::load_events_str;
+use crowd_ingest::{load_events_str, WalOptions};
 use crowd_serve::query::dashboard;
 use crowd_serve::{CheckpointStore, EventFeed, LiveService};
 
@@ -53,6 +53,76 @@ fn main() {
         events_per_s,
         n_events.div_ceil(DELTA_EVENTS)
     );
+
+    // ---- the same stream with the write-ahead log in front ------------
+    // fsync every 8 appends: the batched-durability configuration the
+    // serve binary documents for throughput; every batch is still written
+    // (and page-cached) before it is applied, so a SIGKILL loses nothing.
+    let wal_dir =
+        std::env::temp_dir().join(format!("crowd-bench-serve-wal-{}", std::process::id()));
+    let wal_opts = WalOptions { fsync_every: 8, ..WalOptions::default() };
+    let (wal_s, wal_rows) = measure(5, || {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let mut svc = LiveService::new(Arc::clone(&feed.entities))
+            .with_wal(&wal_dir, 2017, wal_opts)
+            .expect("wal open");
+        for chunk in log.events.chunks(DELTA_EVENTS) {
+            svc.apply_events(chunk).expect("apply");
+        }
+        svc.wal_sync().expect("wal sync");
+        svc.rows().len() as u64
+    });
+    assert_eq!(wal_rows as usize, rows.len());
+    let wal_events_per_s = n_events as f64 / wal_s;
+    let wal_overhead = wal_events_per_s / events_per_s;
+    println!(
+        "wal_append: median {:.1} ms ({:.0} events/s, fsync every 8 appends) — {:.2}x of no-WAL throughput",
+        wal_s * 1e3,
+        wal_events_per_s,
+        wal_overhead
+    );
+
+    // ---- crash recovery: newest checkpoint + WAL tail -----------------
+    // Prime a durable run whose last cadence checkpoint leaves a real WAL
+    // tail behind, then measure restore_durable (checkpoint load + tail
+    // replay + fused rebuild). Cadence u64::MAX during the measured
+    // restores keeps every iteration recovering the identical state.
+    let rec_dir =
+        std::env::temp_dir().join(format!("crowd-bench-serve-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rec_dir);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    {
+        let store = CheckpointStore::new(&rec_dir, 2017);
+        let mut svc = LiveService::new(Arc::clone(&feed.entities))
+            .with_checkpoints(store, 16_384)
+            .with_wal(&wal_dir, 2017, wal_opts)
+            .expect("wal open");
+        for chunk in log.events.chunks(DELTA_EVENTS) {
+            svc.apply_events(chunk).expect("apply");
+        }
+        svc.wal_sync().expect("wal sync");
+    }
+    let (recovery_s, recovered_at) = measure(5, || {
+        let store = CheckpointStore::new(&rec_dir, 2017);
+        let (svc, report) = LiveService::restore_durable(
+            store,
+            u64::MAX,
+            Arc::clone(&feed.entities),
+            &wal_dir,
+            wal_opts,
+        )
+        .expect("restore");
+        assert!(report.wal_events_replayed > 0, "recovery must exercise WAL replay");
+        svc.events_applied()
+    });
+    assert_eq!(recovered_at as usize, n_events);
+    println!(
+        "recovery: median {:.1} ms to checkpoint-restore + WAL-replay back to {} events",
+        recovery_s * 1e3,
+        recovered_at
+    );
+    let _ = std::fs::remove_dir_all(&rec_dir);
+    let _ = std::fs::remove_dir_all(&wal_dir);
 
     // ---- dashboard latency against published snapshots ----------------
     let ckpt_dir = std::env::temp_dir().join(format!("crowd-bench-serve-{}", std::process::id()));
@@ -102,13 +172,17 @@ fn main() {
 
     println!("\npaste into BENCH_serve.json:");
     println!(
-        "  \"results\": {{\n    \"apply_stream\": {{ \"median_ms\": {:.1}, \"events_per_s\": {:.0} }},\n    \"dashboard_query\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n    \"checkpoint_write\": {{ \"median_ms\": {:.1} }},\n    \"checkpoint_restore\": {{ \"median_ms\": {:.1} }}\n  }},\n  \"delta_apply_speedup_vs_batch_rebuild\": {:.2}",
+        "  \"results\": {{\n    \"apply_stream\": {{ \"median_ms\": {:.1}, \"events_per_s\": {:.0} }},\n    \"wal_append\": {{ \"median_ms\": {:.1}, \"events_per_s\": {:.0} }},\n    \"recovery_ms\": {:.1},\n    \"dashboard_query\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1} }},\n    \"checkpoint_write\": {{ \"median_ms\": {:.1} }},\n    \"checkpoint_restore\": {{ \"median_ms\": {:.1} }}\n  }},\n  \"delta_apply_speedup_vs_batch_rebuild\": {:.2},\n  \"wal_append_overhead\": {:.2}",
         apply_s * 1e3,
         events_per_s,
+        wal_s * 1e3,
+        wal_events_per_s,
+        recovery_s * 1e3,
         p50,
         p99,
         ckpt_s * 1e3,
         restore_s * 1e3,
-        ratio
+        ratio,
+        wal_overhead
     );
 }

@@ -469,6 +469,22 @@ enum Parsed {
     Trailer(Trailer),
 }
 
+/// Parses one wire-format event record (no trailer allowed) — the WAL
+/// replay path decodes checksummed payloads through the same grammar the
+/// stream loader uses, so a WAL record can never smuggle in an event the
+/// ingest path would have rejected.
+pub(crate) fn parse_wire_event(
+    f: &[String],
+    line: usize,
+    entities: &Dataset,
+) -> Result<MarketEvent, String> {
+    match parse_event(f, line, entities) {
+        Ok(Parsed::Event(ev)) => Ok(ev),
+        Ok(Parsed::Trailer(_)) => Err("trailer record inside a WAL payload".into()),
+        Err((fault, message)) => Err(format!("{fault:?}: {message}")),
+    }
+}
+
 fn parse_event(
     f: &[String],
     line: usize,

@@ -1,0 +1,86 @@
+//! Kill-point instrumentation for crash-anywhere chaos testing.
+//!
+//! Durability code paths (WAL appends, fsyncs, segment rotation and
+//! retirement, checkpoint temp writes and renames, snapshot publishes)
+//! call [`kill_point`] at every boundary where a real crash could land.
+//! In normal operation the call is one relaxed atomic increment. When the
+//! process is launched with `CROWD_KILL_AT=<n>`, the *n*-th kill point
+//! terminates the process on the spot — no unwinding, no destructors, no
+//! buffered-write flushing — which is how the `serve_crash` harness
+//! proves the recovery path works from *any* instant, not just the
+//! convenient ones.
+//!
+//! Termination prefers a genuine `SIGKILL` (delivered by re-executing
+//! `kill -9` against our own pid, so not even signal handlers could
+//! interfere) and falls back to [`std::process::abort`] when no `kill`
+//! binary is reachable. Both die without cleanup; the distinction never
+//! matters to the artifacts left on disk.
+//!
+//! The counter is process-global and monotone, so a run's kill points
+//! form a stable, replayable schedule: the same binary, flags, and seed
+//! pass the same points in the same order. The harness first does an
+//! uninterrupted run to learn the schedule length (via
+//! [`points_passed`], surfaced by the serve binary under
+//! `CROWD_KILL_REPORT=1`), then replays with `CROWD_KILL_AT` set to
+//! seeded positions inside it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable arming the kill switch: the 1-based kill point
+/// at which the process terminates itself.
+pub const KILL_AT_ENV: &str = "CROWD_KILL_AT";
+
+static PASSED: AtomicU64 = AtomicU64::new(0);
+
+fn armed_at() -> Option<u64> {
+    static ARMED: OnceLock<Option<u64>> = OnceLock::new();
+    *ARMED.get_or_init(|| {
+        std::env::var(KILL_AT_ENV).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
+    })
+}
+
+/// Marks a crash-relevant boundary. Increments the process-global kill
+/// point counter; if `CROWD_KILL_AT` arms exactly this point, the
+/// process dies here without any cleanup.
+pub fn kill_point(name: &str) {
+    let n = PASSED.fetch_add(1, Ordering::Relaxed) + 1;
+    if armed_at() == Some(n) {
+        // Flushes nothing on purpose: stderr is unbuffered, and the whole
+        // point is that no other state gets a chance to be flushed.
+        eprintln!("[killpoint] dying at point {n} ({name})");
+        die();
+    }
+}
+
+/// How many kill points this process has passed so far.
+pub fn points_passed() -> u64 {
+    PASSED.load(Ordering::Relaxed)
+}
+
+fn die() -> ! {
+    let pid = std::process::id().to_string();
+    for kill in ["/bin/kill", "/usr/bin/kill", "kill"] {
+        if let Ok(mut child) = std::process::Command::new(kill).args(["-9", &pid]).spawn() {
+            let _ = child.wait();
+            // SIGKILL delivery can race the wait; give it a beat.
+            std::thread::sleep(std::time::Duration::from_secs(2));
+        }
+    }
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_kill_points_only_count() {
+        // The test process never sets CROWD_KILL_AT, so passing points is
+        // observable and harmless.
+        let before = points_passed();
+        kill_point("test.a");
+        kill_point("test.b");
+        assert!(points_passed() >= before + 2);
+    }
+}

@@ -34,15 +34,22 @@
 
 pub mod events;
 pub mod fault;
+pub mod killpoint;
 pub mod loader;
 pub mod retry;
 pub mod source;
+pub mod wal;
 
 pub use events::{
     event_log_to_csv, events_from_dataset, load_events, load_events_str, EventLog, EventOptions,
     EventStreamError, MarketEvent,
 };
 pub use fault::{ChaosReader, Fault, FaultKind, FaultPlan};
+pub use killpoint::{kill_point, points_passed, KILL_AT_ENV};
 pub use loader::{ingest, ingest_dir, IngestFailure, IngestOptions, Ingested, CHUNK};
 pub use retry::{is_transient, read_all_with_retry, Backoff, Clock, ManualClock, SystemClock};
 pub use source::{ChaosSource, DirSource, TableSource};
+pub use wal::{
+    replay as wal_replay, segment_files as wal_segment_files, truncate_torn, WalCorruptKind,
+    WalError, WalFault, WalOptions, WalReplay, WalStats, WalWriter,
+};

@@ -57,7 +57,9 @@ impl Clock for ManualClock {
     }
 }
 
-/// Exponential backoff policy: retry `r` waits `min(cap, base · factor^r)`.
+/// Exponential backoff policy: retry `r` waits `min(cap, base · factor^r)`,
+/// optionally jittered (seeded, deterministic) so concurrent retriers
+/// hitting the same contended resource don't synchronize their retries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Backoff {
     /// Retries allowed after the initial attempt.
@@ -68,6 +70,10 @@ pub struct Backoff {
     pub factor: u32,
     /// Upper bound on any single delay.
     pub cap: Duration,
+    /// When set, each delay is jittered into `[delay/2, delay]` by a
+    /// deterministic function of `(seed, retry)` — replayable in tests,
+    /// decorrelated across retriers that use distinct seeds.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for Backoff {
@@ -77,6 +83,7 @@ impl Default for Backoff {
             base: Duration::from_millis(10),
             factor: 2,
             cap: Duration::from_secs(1),
+            jitter_seed: None,
         }
     }
 }
@@ -84,13 +91,38 @@ impl Default for Backoff {
 impl Backoff {
     /// No retries: the first transient error is terminal.
     pub const fn none() -> Backoff {
-        Backoff { max_retries: 0, base: Duration::ZERO, factor: 1, cap: Duration::ZERO }
+        Backoff {
+            max_retries: 0,
+            base: Duration::ZERO,
+            factor: 1,
+            cap: Duration::ZERO,
+            jitter_seed: None,
+        }
     }
 
-    /// Delay before retry number `retry` (0-based).
+    /// Enables seeded jitter. Give each concurrent retrier its own seed
+    /// (stream id, table index, thread ordinal) so their schedules
+    /// decorrelate; the same seed always produces the same schedule.
+    pub fn with_jitter(mut self, seed: u64) -> Backoff {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// Delay before retry number `retry` (0-based). With jitter enabled
+    /// the exponential delay `d` becomes a deterministic point in
+    /// `[d/2, d]`, so jitter never exceeds the un-jittered schedule (and
+    /// therefore never exceeds `cap`).
     pub fn delay(&self, retry: u32) -> Duration {
         let mult = self.factor.saturating_pow(retry.min(20));
-        self.base.saturating_mul(mult).min(self.cap)
+        let full = self.base.saturating_mul(mult).min(self.cap);
+        let Some(seed) = self.jitter_seed else { return full };
+        let nanos = u64::try_from(full.as_nanos()).unwrap_or(u64::MAX);
+        if nanos < 2 {
+            return full;
+        }
+        let half = nanos / 2;
+        let offset = crowd_core::rng::stream_seed(seed, u64::from(retry)) % (nanos - half + 1);
+        Duration::from_nanos(half + offset)
     }
 }
 
@@ -151,12 +183,67 @@ mod tests {
             base: Duration::from_millis(10),
             factor: 2,
             cap: Duration::from_millis(55),
+            jitter_seed: None,
         };
         assert_eq!(b.delay(0), Duration::from_millis(10));
         assert_eq!(b.delay(1), Duration::from_millis(20));
         assert_eq!(b.delay(2), Duration::from_millis(40));
         assert_eq!(b.delay(3), Duration::from_millis(55), "capped");
         assert_eq!(b.delay(31), Duration::from_millis(55), "no overflow");
+    }
+
+    #[test]
+    fn jittered_delays_are_deterministic_per_seed_and_stay_in_band() {
+        let base = Backoff {
+            max_retries: 10,
+            base: Duration::from_millis(10),
+            factor: 2,
+            cap: Duration::from_millis(400),
+            jitter_seed: None,
+        };
+        let a = base.with_jitter(7);
+        let b = base.with_jitter(7);
+        let c = base.with_jitter(8);
+        for retry in 0..8 {
+            let full = base.delay(retry);
+            let jittered = a.delay(retry);
+            assert_eq!(jittered, b.delay(retry), "same seed, same schedule");
+            assert!(
+                jittered >= full / 2 && jittered <= full,
+                "retry {retry}: {jittered:?} outside [{:?}, {full:?}]",
+                full / 2
+            );
+            assert!(jittered <= base.cap, "jitter must respect the cap");
+        }
+        // Distinct seeds must actually decorrelate: at least one retry in
+        // the schedule differs.
+        assert!(
+            (0..8).any(|r| a.delay(r) != c.delay(r)),
+            "seeds 7 and 8 produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn jittered_schedule_is_pinned_per_seed_on_a_manual_clock() {
+        // The exact virtual schedule for seed 42 is part of the contract:
+        // a change to the jitter function shows up here, not as an
+        // unexplained flake in a chaos run.
+        let plan =
+            FaultPlan::single(Fault::Transient { first_call: 1, times: 3, would_block: true });
+        let mut r = ChaosReader::new(Cursor::new(b"hello world".to_vec()), &plan);
+        let clock = ManualClock::new();
+        let backoff = Backoff::default().with_jitter(42);
+        let (bytes, retries) = read_all_with_retry(&mut r, "workers", &backoff, &clock).unwrap();
+        assert_eq!(bytes, b"hello world");
+        assert_eq!(retries, 3);
+        let expect: Vec<Duration> = (0..3).map(|r| backoff.delay(r)).collect();
+        assert_eq!(clock.slept(), expect, "sleeps must follow the seeded schedule exactly");
+        // And that schedule is genuinely jittered relative to the raw one.
+        let raw = Backoff::default();
+        assert!(
+            (0..3).any(|r| backoff.delay(r) != raw.delay(r)),
+            "seed 42 left the schedule unjittered"
+        );
     }
 
     #[test]

@@ -16,10 +16,14 @@
 
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crowd_core::dataset::Dataset;
+use crowd_ingest::killpoint::kill_point;
+use crowd_ingest::{is_transient, Backoff, Clock, SystemClock};
 use crowd_snapshot::format::checksum;
 use crowd_snapshot::{decode, encode, Snapshot, SnapshotError};
 
@@ -97,17 +101,80 @@ impl From<std::io::Error> for CheckpointError {
 }
 
 /// A directory of checkpoints for one event stream.
-#[derive(Debug, Clone)]
+///
+/// Writes retry transient IO errors under a bounded [`Backoff`] (parity
+/// with `SnapshotStore`'s save path); clones share the retry counter, so
+/// the clone-per-call patterns the service uses still account every
+/// retry in one place.
+#[derive(Clone)]
 pub struct CheckpointStore {
     dir: PathBuf,
     stream_id: u64,
+    backoff: Backoff,
+    clock: Arc<dyn Clock>,
+    retries: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("stream_id", &self.stream_id)
+            .field("backoff", &self.backoff)
+            .field("retries", &self.retries_spent())
+            .finish_non_exhaustive()
+    }
 }
 
 impl CheckpointStore {
     /// A store rooted at `dir` for stream `stream_id`. The directory is
-    /// created on the first write.
+    /// created on the first write. Transient save errors retry under the
+    /// default backoff, jittered by the stream id so concurrent stores
+    /// over a shared filesystem decorrelate.
     pub fn new(dir: impl Into<PathBuf>, stream_id: u64) -> CheckpointStore {
-        CheckpointStore { dir: dir.into(), stream_id }
+        CheckpointStore {
+            dir: dir.into(),
+            stream_id,
+            backoff: Backoff::default().with_jitter(stream_id),
+            clock: Arc::new(SystemClock),
+            retries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Replaces the retry policy for transient save failures.
+    pub fn with_backoff(mut self, backoff: Backoff) -> CheckpointStore {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the clock backing retry delays (inject a
+    /// [`crowd_ingest::ManualClock`] in tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> CheckpointStore {
+        self.clock = clock;
+        self
+    }
+
+    /// Transient-error retries spent by writes over this store's lifetime
+    /// (shared across clones).
+    pub fn retries_spent(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f`, retrying transient IO errors under the store's backoff.
+    /// Every retry is counted into the shared retry gauge.
+    fn retry_io(&self, mut f: impl FnMut() -> io::Result<()>) -> io::Result<()> {
+        let mut retries = 0u32;
+        loop {
+            match f() {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) && retries < self.backoff.max_retries => {
+                    self.clock.sleep(self.backoff.delay(retries));
+                    retries += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The store's directory.
@@ -141,19 +208,30 @@ impl CheckpointStore {
         out
     }
 
-    /// Atomically writes a checkpoint; returns its final path.
+    /// Atomically writes a checkpoint; returns its final path. Transient
+    /// IO errors retry under the store's backoff; anything else surfaces
+    /// after removing the temp file.
     pub fn write(&self, state: &CheckpointState) -> Result<PathBuf, CheckpointError> {
         assert_eq!(state.stream_id, self.stream_id, "checkpoint stream id mismatch");
         fs::create_dir_all(&self.dir)?;
         let bytes = encode_checkpoint(state);
         let path = self.path_for(state.events_applied);
         let tmp = path.with_extension("tmp");
-        {
+        let result = self.retry_io(|| {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_all()?;
+            // A kill here leaves a durable temp under a non-final name:
+            // invisible to restore, swept by nothing, harmless.
+            kill_point("ckpt.temp");
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        });
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
         }
-        fs::rename(&tmp, &path)?;
+        kill_point("ckpt.rename");
         Ok(path)
     }
 
@@ -286,6 +364,49 @@ mod tests {
             other => panic!("expected NoValidCheckpoint, got {other:?}"),
         }
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_write_faults_retry_on_the_seeded_jitter_schedule() {
+        use crowd_ingest::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let store =
+            CheckpointStore::new("unused", 0xfeed).with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut failures = 3;
+        store
+            .retry_io(|| {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(io::Error::from(io::ErrorKind::Interrupted))
+                } else {
+                    Ok(())
+                }
+            })
+            .expect("transient faults within budget must recover");
+        assert_eq!(store.retries_spent(), 3);
+        // The sleeps follow the stream-seeded jitter schedule exactly.
+        let expect: Vec<_> = (0..3).map(|r| store.backoff.delay(r)).collect();
+        assert_eq!(clock.slept(), expect);
+        let raw = Backoff::default();
+        assert!(
+            (0..3).any(|r| store.backoff.delay(r) != raw.delay(r)),
+            "stream-id jitter left the schedule untouched"
+        );
+    }
+
+    #[test]
+    fn exhausted_transient_budget_surfaces_the_error_and_clones_share_retries() {
+        use crowd_ingest::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let store = CheckpointStore::new("unused", 0xfeed)
+            .with_backoff(Backoff { max_retries: 2, ..Backoff::default() })
+            .with_clock(clock as Arc<dyn Clock>);
+        let clone = store.clone();
+        let err = clone
+            .retry_io(|| Err(io::Error::from(io::ErrorKind::WouldBlock)))
+            .expect_err("endless transience must exhaust");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(store.retries_spent(), 2, "clones share the retry gauge");
     }
 
     #[test]

@@ -34,10 +34,14 @@
 
 pub mod checkpoint;
 pub mod query;
+pub mod queue;
 pub mod replay;
 pub mod service;
 
 pub use checkpoint::{CheckpointError, CheckpointFault, CheckpointState, CheckpointStore};
 pub use query::{Dashboard, SourceLoad, WeekThroughput};
+pub use queue::{Admission, ApplyQueue, QueueStats, ShedPolicy};
 pub use replay::{entities_only, EventFeed};
-pub use service::{Gauges, IngestSummary, LiveService, ServeError, ServiceHandle, ServiceSnapshot};
+pub use service::{
+    Gauges, IngestSummary, LiveService, RecoveryReport, ServeError, ServiceHandle, ServiceSnapshot,
+};

@@ -1,0 +1,198 @@
+//! WAL fuzzing: an arbitrary single-byte mutation or truncation of a
+//! valid write-ahead log must recover the longest valid prefix or return
+//! a typed `WalFault` — never a panic, never a corrupt record replayed
+//! (mirrors `ingest_fuzz.rs` for the on-disk event-log format).
+//!
+//! The checksum discipline makes the oracle sharp: every content byte of
+//! a segment is covered by either the header checksum or a record
+//! checksum, so *any* effective mutation must surface as a fault, and
+//! the replayed events must always be an exact prefix of the clean log.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use crowd_core::dataset::Dataset;
+use crowd_core::fixture::Fixture;
+use crowd_core::prelude::*;
+use crowd_ingest::events_from_dataset;
+use crowd_ingest::wal::{replay, segment_files, truncate_torn, WalFault, WalOptions, WalWriter};
+use proptest::prelude::*;
+
+const STREAM: u64 = 0x57a1;
+
+/// One canonical line per clean event, for prefix comparison.
+fn canon(events: &[crowd_ingest::MarketEvent]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| {
+            let mut s = String::new();
+            e.serialize(&mut s);
+            s
+        })
+        .collect()
+}
+
+/// The pristine segment files of the fixture WAL: `(file name, bytes)`.
+type SegmentFiles = Vec<(String, Vec<u8>)>;
+
+/// The clean fixture: entity tables, the canonical event list, and the
+/// pristine segment files of a WAL holding every event across several
+/// rotated segments.
+fn fixture() -> &'static (Dataset, Vec<String>, SegmentFiles) {
+    static FIX: OnceLock<(Dataset, Vec<String>, SegmentFiles)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut f = Fixture::new();
+        let ws = f.add_workers(4);
+        let b0 = f.add_batch(Duration::ZERO);
+        let b1 = f.add_batch(Duration::from_days(2));
+        let b2 = f.add_batch(Duration::from_days(5));
+        for (i, &b) in [b0, b1, b2].iter().enumerate() {
+            for item in 0..5u32 {
+                f.instance(
+                    b,
+                    item,
+                    ws[(item as usize + i) % ws.len()],
+                    900 + 45 * i64::from(item),
+                    40,
+                );
+            }
+        }
+        let ds = f.finish();
+        let events = events_from_dataset(&ds);
+        let dir = std::env::temp_dir().join(format!("crowd_wal_fuzz_base_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Small segments force several rotations; batches of 4 leave
+        // record boundaries at many offsets.
+        let mut w =
+            WalWriter::open(&dir, STREAM, WalOptions { fsync_every: 1, segment_bytes: 384 }, 0)
+                .expect("open wal");
+        for chunk in events.chunks(4) {
+            w.append(chunk).expect("append");
+        }
+        w.sync().expect("sync");
+        let files = segment_files(&dir, STREAM)
+            .expect("list")
+            .into_iter()
+            .map(|(_, p)| {
+                let name = p.file_name().unwrap().to_string_lossy().into_owned();
+                let bytes = std::fs::read(&p).unwrap();
+                (name, bytes)
+            })
+            .collect::<Vec<_>>();
+        assert!(files.len() >= 3, "fixture must span several segments");
+        let _ = std::fs::remove_dir_all(&dir);
+        (ds, canon(&events), files)
+    })
+}
+
+/// Writes the pristine segments into a fresh case directory, applying
+/// `mutate` to the chosen file's bytes. Returns the directory and
+/// whether the bytes actually changed.
+fn write_case(tag: &str, target: usize, mutate: impl Fn(&mut Vec<u8>) -> bool) -> (PathBuf, bool) {
+    let (_, _, files) = fixture();
+    let dir = std::env::temp_dir().join(format!("crowd_wal_fuzz_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let target = target % files.len();
+    let mut changed = false;
+    for (i, (name, bytes)) in files.iter().enumerate() {
+        let mut out = bytes.clone();
+        if i == target {
+            changed = mutate(&mut out);
+        }
+        std::fs::write(dir.join(name), out).unwrap();
+    }
+    (dir, changed)
+}
+
+proptest! {
+    #[test]
+    fn single_byte_mutations_recover_a_prefix_or_a_typed_fault(
+        file_idx in 0usize..8,
+        offset in 0usize..1 << 16,
+        byte in 0u32..256,
+    ) {
+        let (ds, clean, _) = fixture();
+        let (dir, changed) = write_case("flip", file_idx, |bytes| {
+            let at = offset % bytes.len().max(1);
+            let old = bytes[at];
+            bytes[at] = byte as u8;
+            old != byte as u8
+        });
+
+        // Reaching any assertion at all means no panic and no hang.
+        let got = replay(&dir, STREAM, 0, ds).expect("replay IO must succeed");
+        let lines = canon(&got.events);
+        prop_assert_eq!(
+            &lines[..],
+            &clean[..lines.len()],
+            "replayed events must be an exact prefix of the clean log"
+        );
+        if changed {
+            // Every content byte is checksummed, so an effective mutation
+            // can never replay silently clean and complete.
+            prop_assert!(
+                got.fault.is_some(),
+                "a changed byte must surface as a typed fault, got clean replay of {} events",
+                lines.len()
+            );
+        } else {
+            prop_assert!(got.fault.is_none(), "identity mutation must replay clean");
+            prop_assert_eq!(lines.len(), clean.len());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncations_recover_the_longest_valid_prefix(
+        file_idx in 0usize..8,
+        keep in 0usize..1 << 16,
+    ) {
+        let (ds, clean, files) = fixture();
+        let target = file_idx % files.len();
+        let is_final = target == files.len() - 1;
+        let (dir, changed) = write_case("cut", target, |bytes| {
+            let keep = keep % (bytes.len() + 1);
+            let cut = keep < bytes.len();
+            bytes.truncate(keep);
+            cut
+        });
+
+        let got = replay(&dir, STREAM, 0, ds).expect("replay IO must succeed");
+        let lines = canon(&got.events);
+        prop_assert_eq!(&lines[..], &clean[..lines.len()], "prefix property");
+        if !changed {
+            prop_assert!(got.fault.is_none());
+            prop_assert_eq!(lines.len(), clean.len());
+        } else if is_final {
+            // A shortened final segment is exactly what a crash leaves:
+            // the fault is a truncatable torn tail (or, if the cut landed
+            // on a record boundary, a clean-but-shorter log).
+            match got.fault {
+                None => prop_assert!(lines.len() <= clean.len()),
+                Some(ref fault) => {
+                    prop_assert!(
+                        fault.is_torn_tail(),
+                        "final-segment truncation must classify as torn, got {}", fault
+                    );
+                    // Truncating the tear and replaying again is clean and
+                    // keeps the same prefix.
+                    truncate_torn(fault).expect("truncate");
+                    let again = replay(&dir, STREAM, 0, ds).expect("replay after truncate");
+                    prop_assert!(again.fault.is_none(), "truncated log must replay clean");
+                    prop_assert_eq!(canon(&again.events), lines);
+                }
+            }
+        } else {
+            // A hole before later segments is damage no crash produces:
+            // replay must refuse with a non-torn fault and never serve
+            // anything past the damaged segment.
+            let fault = got.fault.as_ref().expect("mid-log truncation must fault");
+            prop_assert!(
+                !fault.is_torn_tail() || matches!(fault, WalFault::SeqGap { .. }),
+                "non-final truncation must not classify as a truncatable tail, got {}", fault
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -7,11 +7,15 @@
 //!   snapshot's gauges, row count, and fused aggregates are mutually
 //!   consistent (no torn reads);
 //! - versions are monotone per reader;
+//! - readers *block* for the next version (`wait_for_version`, condvar)
+//!   instead of spinning on the snapshot `Arc`, and every wake returns a
+//!   version at least as new as the one waited for;
 //! - after the stream drains, the live view equals the cold batch engine
 //!   over the same rows at 1 and 4 worker threads.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crowd_ingest::load_events_str;
 use crowd_serve::query::dashboard;
@@ -53,12 +57,20 @@ fn readers_never_observe_torn_state_while_the_writer_applies() {
                 let mut last_version = 0u64;
                 let mut last_events = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let snap = handle.snapshot();
-                    // Monotone versions per reader.
+                    // Block for the next unseen version instead of
+                    // spinning; a timeout just re-checks the stop flag.
+                    let Some(snap) =
+                        handle.wait_for_version(last_version + 1, Duration::from_millis(20))
+                    else {
+                        continue;
+                    };
+                    // Monotone versions per reader — and the wake must
+                    // deliver at least the version waited for.
                     assert!(
-                        snap.version >= last_version,
-                        "reader {reader_id}: version went backwards \
-                         ({last_version} -> {})",
+                        snap.version > last_version,
+                        "reader {reader_id}: woke with a stale version \
+                         (waited for {}, got {})",
+                        last_version + 1,
                         snap.version
                     );
                     assert!(
@@ -126,7 +138,10 @@ fn single_reader_with_tiny_deltas_stays_consistent() {
         std::thread::spawn(move || {
             let mut versions = Vec::new();
             while !stop.load(Ordering::Relaxed) {
-                let snap = handle.snapshot();
+                let next = versions.last().copied().unwrap_or(0) + 1;
+                let Some(snap) = handle.wait_for_version(next, Duration::from_millis(20)) else {
+                    continue;
+                };
                 assert_eq!(snap.gauges.completed, snap.view.rows as u64);
                 versions.push(snap.version);
             }
